@@ -1,0 +1,73 @@
+"""Benchmark-suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — 5 representative datasets, small batches; the
+  whole suite finishes in a few minutes.
+* ``full``  — all 16 dataset stand-ins at the sizes recorded in
+  EXPERIMENTS.md (tens of minutes).
+
+Every experiment writes its paper-style rendering to
+``benchmarks/results/<name>.txt`` (and the pytest-benchmark table reports
+wall time of the harness run itself).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALES = {
+    "quick": {
+        "datasets": ["livej", "roadNet-CA", "ER", "BA", "RMAT"],
+        "fig4_datasets": ["roadNet-CA", "ER", "BA", "RMAT"],
+        "scal_datasets": ["roadNet-CA", "BA"],
+        "batch": 300,
+        "workers": (1, 4, 16),
+        "batch_sizes": (100, 200, 400),
+        "stability_groups": 4,
+        "stability_batch": 150,
+    },
+    "full": {
+        "datasets": None,  # all 16
+        "fig4_datasets": None,
+        "scal_datasets": ["livej", "baidu", "dbpedia", "roadNet-CA"],
+        "batch": 1000,
+        "workers": (1, 2, 4, 8, 16),
+        "batch_sizes": (250, 500, 1000, 2500),
+        "stability_groups": 10,
+        "stability_batch": 400,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {list(SCALES)}")
+    cfg = dict(SCALES[name])
+    cfg["name"] = name
+    from repro.graph.datasets import DATASETS
+
+    for key in ("datasets", "fig4_datasets"):
+        if cfg[key] is None:
+            cfg[key] = list(DATASETS)
+    return cfg
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")

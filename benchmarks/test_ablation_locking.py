@@ -1,0 +1,57 @@
+"""Ablation — lock only V+ vs lock-all-neighbors.
+
+The paper's headline synchronization design: only vertices entering V+
+are locked; their (many) neighbors are not.  The ablation charges an
+acquire+release pair for every neighbor touched during scans — a lower
+bound on the alternative's cost, since added contention is not even
+modeled.
+"""
+
+from repro.bench.workloads import dataset_workload
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import ParallelOrderMaintainer
+from repro.parallel.costs import CostModel
+from repro.bench.reporting import render_table
+
+from conftest import save_result
+
+
+def run_variant(edges, batch, workers, neighbor_locking):
+    costs = CostModel(neighbor_locking=neighbor_locking)
+    m = ParallelOrderMaintainer(
+        DynamicGraph(edges), num_workers=workers, costs=costs
+    )
+    t_rm = m.remove_edges(batch).makespan
+    t_in = m.insert_edges(batch).makespan
+    m.check()
+    return t_in, t_rm
+
+
+def test_ablation_locking(benchmark, scale, results_dir):
+    def experiment():
+        rows = []
+        workers = max(scale["workers"])
+        for ds in scale["scal_datasets"]:
+            edges, batch = dataset_workload(ds, scale["batch"] // 2, seed=0)
+            vi, vr = run_variant(edges, batch, workers, False)
+            ni, nr = run_variant(edges, batch, workers, True)
+            rows.append(
+                {
+                    "dataset": ds,
+                    "OurI (V+ only)": round(vi),
+                    "OurI (lock nbrs)": round(ni),
+                    "penalty I": f"{ni / vi:.2f}x",
+                    "OurR (V+ only)": round(vr),
+                    "OurR (lock nbrs)": round(nr),
+                    "penalty R": f"{nr / vr:.2f}x",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = "Ablation — locking granularity (lower bound on the penalty)\n\n"
+    text += render_table(rows)
+    save_result(results_dir, "ablation_locking", text)
+    for r in rows:
+        assert float(r["penalty I"].rstrip("x")) > 1.0
+        assert float(r["penalty R"].rstrip("x")) > 1.0

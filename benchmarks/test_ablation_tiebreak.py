@@ -1,0 +1,43 @@
+"""Ablation — BZ tie-break strategy (paper Section 3.1).
+
+The k-order produced by BZ depends on how equal-degree vertices are
+ordered; the paper reports "small degree first" consistently best for the
+subsequent maintenance work.  We measure total OurI insertion work (1
+worker == OI) after initializing with each strategy.
+"""
+
+from repro.bench.workloads import dataset_workload
+from repro.core.decomposition import STRATEGIES
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import ParallelOrderMaintainer
+from repro.bench.reporting import render_table
+
+from conftest import save_result
+
+
+def test_ablation_tiebreak(benchmark, scale, results_dir):
+    def experiment():
+        rows = []
+        for ds in scale["scal_datasets"]:
+            edges, batch = dataset_workload(ds, scale["batch"] // 2, seed=0)
+            row = {"dataset": ds}
+            for strategy in STRATEGIES:
+                m = ParallelOrderMaintainer(
+                    DynamicGraph(edges), num_workers=1, strategy=strategy
+                )
+                m.remove_edges(batch)
+                row[strategy] = round(m.insert_edges(batch).makespan)
+                m.check()
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = (
+        "Ablation — BZ tie-break strategy vs subsequent insertion work "
+        "(1 worker)\n\n" + render_table(rows)
+    )
+    save_result(results_dir, "ablation_tiebreak", text)
+    # small-degree-first should not be the *worst* strategy anywhere
+    for r in rows:
+        vals = {s: r[s] for s in STRATEGIES}
+        assert vals["small-degree-first"] <= max(vals.values())

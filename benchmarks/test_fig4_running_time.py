@@ -1,0 +1,111 @@
+"""Figure 4 — running time by number of workers, all algorithms.
+
+Per dataset: OurI/OurR, JEI/JER, MI/MR across worker counts, plus the
+sequential references (OI/OR == Our at 1 worker; TI/TR measured
+separately).  Shape to reproduce (paper Section 5.2):
+
+* OurI/OurR fastest parallel method, MI/MR slowest;
+* OI (Our@1) much faster than TI;
+* JEI/JER gain little or nothing on single-core-value graphs (BA).
+"""
+
+import json
+
+from repro.bench.harness import fig4_running_time, table2_speedups
+from repro.bench.reporting import render_log_plot, render_series
+
+from conftest import save_result
+
+
+def test_fig4(benchmark, scale, results_dir):
+    data = benchmark.pedantic(
+        fig4_running_time,
+        args=(scale["fig4_datasets"],),
+        kwargs={"worker_counts": scale["workers"], "batch_size": scale["batch"]},
+        rounds=1,
+        iterations=1,
+    )
+    sections = [
+        "Figure 4 — running time (work units) by worker count",
+        "(OI/OR are the 1-worker Our lines; T = sequential TI/TR reference)",
+    ]
+    for ds, algos in data.items():
+        for phase in ("insert", "remove"):
+            series = {
+                f"{algo}{'I' if phase == 'insert' else 'R'}": {
+                    p: cell[phase] for p, cell in per_p.items()
+                }
+                for algo, per_p in algos.items()
+            }
+            sections.append(f"\n--- {ds} / {phase} ---")
+            sections.append(render_series(series, title="algo \\ P"))
+            sections.append(render_log_plot(series))
+    save_result(results_dir, "fig4_running_time", "\n".join(sections))
+    # persist raw data for the Table 2 bench
+    (results_dir / "fig4_raw.json").write_text(json.dumps(data))
+
+    p_lo, p_hi = min(scale["workers"]), max(scale["workers"])
+    our_wins = 0
+    for ds, algos in data.items():
+        our_i = algos["Our"]
+        # Our scales for insertion on every dataset
+        assert our_i[p_hi]["insert"] < our_i[p_lo]["insert"]
+        # OI (Our@1) is faster than TI
+        assert our_i[p_lo]["insert"] < algos["T"][1]["insert"]
+        if our_i[p_hi]["insert"] < algos["JE"][p_hi]["insert"]:
+            our_wins += 1
+    # Our at max workers beats JEI at max workers on a clear majority of
+    # datasets (the paper's own Table 2 has a few 0.7-0.8x rows on the
+    # sparsest graphs — wiki-links-en, wiki-edits-sh)
+    assert our_wins >= 0.7 * len(data)
+    if "BA" in data:
+        # the level-restricted baseline gains far less than Our on the
+        # uniform-core graph (no speedup at paper scale; at reproduction
+        # scale the removal phase creates a couple of levels, so allow a
+        # small residual gain)
+        je = data["BA"]["JE"]
+        our = data["BA"]["Our"]
+        je_speedup = je[p_lo]["insert"] / je[p_hi]["insert"]
+        our_speedup = our[p_lo]["insert"] / our[p_hi]["insert"]
+        assert je_speedup <= 0.6 * our_speedup
+
+
+def test_table2(benchmark, scale, results_dir):
+    raw = results_dir / "fig4_raw.json"
+    if raw.exists():
+        data = json.loads(raw.read_text())
+        # JSON stringifies the worker-count keys
+        data = {
+            ds: {
+                algo: {int(p): cell for p, cell in per_p.items()}
+                for algo, per_p in algos.items()
+            }
+            for ds, algos in data.items()
+        }
+    else:  # standalone run: regenerate at quick scale
+        data = fig4_running_time(
+            scale["fig4_datasets"],
+            worker_counts=scale["workers"],
+            batch_size=scale["batch"],
+        )
+    p_hi = max(scale["workers"])
+    rows = benchmark.pedantic(
+        table2_speedups, args=(data,), kwargs={"p_hi": p_hi}, rounds=1, iterations=1
+    )
+    text = "Table 2 — speedups (derived from Figure 4 data)\n\n"
+    text += render_series(
+        {r["dataset"]: {i: v for i, v in enumerate(r.values()) if isinstance(v, float)} for r in rows},
+        title="dataset",
+        value_fmt="{:.1f}",
+    )
+    # also a proper labeled table
+    from repro.bench.reporting import render_table
+
+    text += "\n\n" + render_table(rows)
+    save_result(results_dir, "table2_speedups", text)
+
+    key = f"OurI vs JEI @{p_hi}"
+    scored = [r[key] for r in rows if key in r]
+    if scored:
+        wins = sum(1 for v in scored if v >= 1.0)
+        assert wins >= 0.7 * len(scored)

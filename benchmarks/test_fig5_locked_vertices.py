@@ -1,0 +1,35 @@
+"""Figure 5 — distribution of |V+| (number of locked vertices) per edge.
+
+Shape to reproduce: "more than 97% of inserted or removed edges have
+|V+| between 0 and 10" — tiny search sets are why locking only V+ gives
+high parallelism.
+"""
+
+from repro.bench.harness import fig5_locked_vertices
+from repro.bench.reporting import render_histogram
+
+from conftest import save_result
+
+
+def test_fig5(benchmark, scale, results_dir):
+    out = benchmark.pedantic(
+        fig5_locked_vertices,
+        args=(scale["datasets"],),
+        kwargs={"batch_size": scale["batch"], "workers": max(scale["workers"])},
+        rounds=1,
+        iterations=1,
+    )
+    sections = ["Figure 5 — |V+| sizes for OurI / OurR"]
+    overall_small = overall_total = 0
+    for ds, hists in out.items():
+        for which, hist in hists.items():
+            sections.append(f"\n--- {ds} / {which} ---\n{render_histogram(hist)}")
+            small = sum(v for k, v in hist.items() if k <= 10)
+            total = sum(hist.values())
+            overall_small += small
+            overall_total += total
+            sections.append(f"|V+| <= 10 for {100.0 * small / total:.1f}% of edges")
+    pct = 100.0 * overall_small / overall_total
+    sections.append(f"\nOVERALL: |V+| <= 10 for {pct:.1f}% of edges (paper: >97%)")
+    save_result(results_dir, "fig5_locked_vertices", "\n".join(sections))
+    assert pct >= 90.0

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Super-spreader monitoring on a dynamic contact network.
+
+k-core shells identify super-spreaders better than raw degree (Kitsak et
+al.; cited context of the paper's intro: "urgently address new pandemic
+super-spreading events").  This example simulates a contact network under
+an intervention policy:
+
+1. build a contact graph and find the innermost core (the likely
+   super-spreading set);
+2. repeatedly apply an *intervention batch* — removing contact edges
+   around the densest shell (quarantine) — with OurR, and a *reopening
+   batch* re-adding a sample of old contacts with OurI;
+3. watch the max-core shrink under intervention and recover on reopening,
+   with core numbers maintained incrementally the whole time.
+
+Run:  python examples/contagion_monitoring.py
+"""
+
+import os
+import random
+
+from repro import DynamicGraph, ParallelOrderMaintainer, erdos_renyi
+
+_QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+_N = 800 if _QUICK else 3000
+_M = 1600 if _QUICK else 6000
+
+
+def contact_network(seed: int = 13):
+    """Sparse background contacts + one planted dense gathering."""
+    rng = random.Random(seed)
+    edges = set(erdos_renyi(_N, _M, seed=seed))
+    hotspot = rng.sample(range(_N), 50)
+    for i, u in enumerate(hotspot):
+        for v in hotspot[i + 1 :]:
+            if rng.random() < 0.45:
+                edges.add((u, v) if u < v else (v, u))
+    return sorted(edges)
+
+
+def innermost_shell(m):
+    cores = m.cores()
+    kmax = max(cores.values())
+    return kmax, [u for u, k in cores.items() if k == kmax]
+
+
+def main() -> None:
+    rng = random.Random(13)
+    edges = contact_network(seed=13)
+    m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=8)
+
+    kmax, shell = innermost_shell(m)
+    print(f"contact graph: m={m.graph.num_edges}, innermost core k={kmax}, "
+          f"|shell|={len(shell)}")
+
+    removed_log = []
+    for round_no in range(1, 6):
+        # --- intervention: cut contacts incident to the densest shell ---
+        kmax, shell = innermost_shell(m)
+        shell_set = set(shell)
+        candidates = sorted(
+            {
+                (u, v) if u < v else (v, u)
+                for u in shell_set
+                for v in m.graph.neighbors(u)
+            }
+        )
+        rng.shuffle(candidates)
+        batch = candidates[: min(400, len(candidates))]
+        res = m.remove_edges(batch)
+        removed_log.extend(batch)
+        k_after, shell_after = innermost_shell(m)
+        print(
+            f"round {round_no}: quarantined {len(batch):>3} contacts "
+            f"(sim time {res.makespan:>8.0f})  k: {kmax} -> {k_after}, "
+            f"shell size {len(shell)} -> {len(shell_after)}"
+        )
+
+    # --- reopening: restore a sample of removed contacts ----------------
+    rng.shuffle(removed_log)
+    reopen = [e for e in removed_log[: len(removed_log) // 2]
+              if not m.graph.has_edge(*e)]
+    res = m.insert_edges(reopen)
+    k_final, shell_final = innermost_shell(m)
+    print(
+        f"\nreopening restored {len(reopen)} contacts "
+        f"(sim time {res.makespan:.0f}): k={k_final}, |shell|={len(shell_final)}"
+    )
+    m.check()
+    print("maintained cores verified against a fresh decomposition")
+
+
+if __name__ == "__main__":
+    main()

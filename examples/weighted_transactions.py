@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Weighted cores on a transaction network (the paper's finance use case).
+
+k-core robustness analysis of financial networks (Burleson-Lesser et al.,
+cited in the paper's intro) weighs links by exposure, not mere existence.
+This example maintains *weighted* core numbers — the extension the paper's
+conclusion proposes — over a synthetic interbank-exposure network:
+
+1. build a network whose edge weights model exposure sizes;
+2. identify the systemically dense core (top weighted-core institutions);
+3. stream exposure changes (new deals / unwinds) through the incremental
+   maintainer, watching the core set respond — including multi-level
+   jumps from single heavy edges, the weighted case's hallmark.
+
+Run:  python examples/weighted_transactions.py
+"""
+
+import os
+import random
+
+from repro.weighted import WeightedCoreMaintainer, WeightedDynamicGraph
+
+_QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+N_BANKS = 80 if _QUICK else 300
+N_DEALS = 120 if _QUICK else 600
+SEED = 99
+
+
+def exposure_network(rng: random.Random):
+    """Tiered interbank network: a dense money-center tier with heavy
+    mutual exposures, a regional tier, and a periphery."""
+    centers = list(range(10))
+    regionals = list(range(10, N_BANKS // 3))
+    periphery = list(range(N_BANKS // 3, N_BANKS))
+    edges = []
+    seen = set()
+
+    def add(u, v, w):
+        if u != v and (min(u, v), max(u, v)) not in seen:
+            seen.add((min(u, v), max(u, v)))
+            edges.append((u, v, w))
+
+    for i, u in enumerate(centers):
+        for v in centers[i + 1 :]:
+            add(u, v, rng.randint(5, 9))
+    for u in regionals:
+        for v in rng.sample(centers, 3):
+            add(u, v, rng.randint(2, 6))
+        for v in rng.sample(regionals, 2):
+            add(u, v, rng.randint(1, 4))
+    for u in periphery:
+        for v in rng.sample(regionals, 2):
+            add(u, v, rng.randint(1, 3))
+    return edges
+
+
+def top_tier(m, limit=6):
+    cores = m.cores()
+    kmax = max(cores.values())
+    tier = sorted(u for u, c in cores.items() if c == kmax)
+    return kmax, tier[:limit], len(tier)
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    g = WeightedDynamicGraph(exposure_network(rng))
+    m = WeightedCoreMaintainer(g)
+    kmax, tier, size = top_tier(m)
+    print(f"exposure network: n={g.num_vertices}, m={g.num_edges}")
+    print(f"systemic core: weighted-k={kmax}, members={size}, sample={tier}\n")
+
+    banks = list(g.vertices())
+    jumps = 0
+    for deal in range(N_DEALS):
+        if rng.random() < 0.55 or g.num_edges < 50:
+            u, v = rng.sample(banks, 2)
+            if g.has_edge(u, v):
+                continue
+            w = rng.choice([1, 1, 2, 3, 8])  # occasional jumbo deal
+            before = m.core(u)
+            m.insert_edge(u, v, w)
+            if m.core(u) - before > 1:
+                jumps += 1
+        else:
+            all_edges = list(g.edges())
+            u, v, _w = all_edges[rng.randrange(len(all_edges))]
+            m.remove_edge(u, v)
+        if (deal + 1) % (N_DEALS // 5) == 0:
+            kmax, tier, size = top_tier(m)
+            print(
+                f"after {deal + 1:>4} deals: weighted-k={kmax:>3}  "
+                f"core size={size:>3}  sample={tier}"
+            )
+
+    m.check()
+    print(f"\n{jumps} deals moved a bank's core by more than one level "
+          "(the weighted case's multi-level jumps)")
+    print("weighted cores verified against a full recomputation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` also works on
+machines without the ``wheel`` package / network access (pip falls back to
+the legacy setup.py develop path when no [build-system] table is present).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Parallel order-based k-core maintenance in dynamic graphs "
+        "(reproduction of Guo & Sekerinski, ICPP 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy", "networkx"]},
+)

@@ -1,0 +1,106 @@
+"""repro — Parallel Order-Based Core Maintenance in Dynamic Graphs.
+
+A from-scratch Python reproduction of Guo & Sekerinski, *Parallel
+Order-Based Core Maintenance in Dynamic Graphs*, ICPP 2023:
+
+* static core decomposition (BZ) with k-order output;
+* the sequential Simplified-Order maintenance (OI/OR) on a two-level
+  Order-Maintenance list;
+* the paper's contribution, Parallel-Order (OurI/OurR), run on a
+  discrete-event simulated multicore (or real threads for protocol
+  validation);
+* the prior-art baselines: sequential Traversal (TI/TR), Join-Edge-Set
+  (JEI/JER) and Matching (MI/MR) parallel batch algorithms;
+* graph generators, dataset stand-ins, and a benchmark harness
+  regenerating every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import DynamicGraph, OrderMaintainer, erdos_renyi
+
+    g = DynamicGraph(erdos_renyi(1000, 4000, seed=7))
+    m = OrderMaintainer(g)
+    m.insert_edge(0, 999)
+    print(m.core(0))
+
+See ``examples/`` and DESIGN.md for the full tour.
+"""
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    lattice,
+    powerlaw_cluster,
+    rmat,
+    temporal_stream,
+)
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset
+from repro.core.decomposition import (
+    CoreDecomposition,
+    core_decomposition,
+    core_histogram,
+    park_decomposition,
+)
+from repro.core.history import CoreHistory
+from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
+from repro.core.queries import (
+    innermost_core,
+    k_core_subgraph,
+    k_core_vertices,
+    k_shell,
+    subcore,
+)
+from repro.parallel.batch import BatchResult, ParallelOrderMaintainer
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import SimDeadlockError, SimMachine, SimReport
+from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
+from repro.baselines.matching import MatchingMaintainer
+from repro.parallel.stream import StreamProcessor
+from repro.parallel.threads import ThreadedOrderMaintainer
+from repro.weighted import (
+    WeightedCoreMaintainer,
+    WeightedDynamicGraph,
+    weighted_core_decomposition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicGraph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "rmat",
+    "lattice",
+    "powerlaw_cluster",
+    "temporal_stream",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "CoreDecomposition",
+    "core_decomposition",
+    "core_histogram",
+    "park_decomposition",
+    "OrderMaintainer",
+    "CoreHistory",
+    "TraversalMaintainer",
+    "k_core_vertices",
+    "k_core_subgraph",
+    "k_shell",
+    "innermost_core",
+    "subcore",
+    "ParallelOrderMaintainer",
+    "BatchResult",
+    "CostModel",
+    "SimMachine",
+    "SimReport",
+    "SimDeadlockError",
+    "JoinEdgeSetMaintainer",
+    "MatchingMaintainer",
+    "StreamProcessor",
+    "ThreadedOrderMaintainer",
+    "WeightedDynamicGraph",
+    "WeightedCoreMaintainer",
+    "weighted_core_decomposition",
+    "__version__",
+]

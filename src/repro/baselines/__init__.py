@@ -1,0 +1,27 @@
+"""Prior-art parallel batch baselines the paper compares against.
+
+Both algorithms parallelize the *Traversal* maintenance and share its two
+structural limitations the paper attacks:
+
+* parallelism exists **only across different core values** (JEI/JER) or
+  across vertex-disjoint edges within barrier-synchronized rounds (MI/MR);
+  when all affected vertices share one core number (the BA graph) they
+  degenerate to sequential execution;
+* per-edge work is Traversal work (large, unstable ``V+``).
+
+Their redeeming feature — batch preprocessing that avoids repeated
+computations — is modeled with persistent mcd/pcd memoization plus
+conservative invalidation (see :class:`repro.core.traversal.TraversalMemo`),
+which is why they beat plain TI/TR at one worker, as in the paper.
+
+Because each edge operation executes atomically under the simulated
+machine, their timing is computed with the equivalent deterministic
+schedules (greedy task assignment for the level groups; rounds with
+barriers for the matchings) rather than coroutine interleaving — the
+makespans are identical and the code is far clearer.
+"""
+
+from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
+from repro.baselines.matching import MatchingMaintainer
+
+__all__ = ["JoinEdgeSetMaintainer", "MatchingMaintainer"]

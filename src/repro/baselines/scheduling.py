@@ -1,0 +1,44 @@
+"""Deterministic multiprocessor schedules used by the batch baselines.
+
+Per-edge operations are atomic under the simulated machine, so the
+makespan of a baseline run is fully determined by how its task structure
+maps onto ``P`` workers — no coroutine interleaving needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["lpt_makespan", "chunk_round_makespan"]
+
+
+def lpt_makespan(task_costs: Sequence[float], workers: int) -> float:
+    """Longest-Processing-Time-first greedy assignment of independent
+    tasks; returns the max worker load.
+
+    Models JEI/JER's level groups: each core-value group is one
+    indivisible task (vertices with one core value can only be processed
+    by a single worker at a time — the paper's central criticism).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    loads = [0.0] * workers
+    for c in sorted(task_costs, reverse=True):
+        i = loads.index(min(loads))
+        loads[i] += c
+    return max(loads) if loads else 0.0
+
+
+def chunk_round_makespan(
+    round_costs: Sequence[Sequence[float]], workers: int
+) -> float:
+    """Barrier-synchronized rounds (MI/MR): within each round the edges
+    are dealt round-robin to workers; the round lasts as long as its most
+    loaded worker; rounds run back to back."""
+    total = 0.0
+    for costs in round_costs:
+        loads = [0.0] * workers
+        for i, c in enumerate(costs):
+            loads[i % workers] += c
+        total += max(loads) if loads else 0.0
+    return total

@@ -1,0 +1,39 @@
+"""Benchmark harness regenerating the paper's evaluation.
+
+* :mod:`repro.bench.workloads` — batch samplers (random sample for static
+  graphs, latest window for temporal ones) following Section 5.2's
+  protocol: the sampled edges are *first removed and then inserted*.
+* :mod:`repro.bench.harness`  — experiment runners for every table and
+  figure (Table 1, Figures 3-7, Table 2) plus the ablations.
+* :mod:`repro.bench.reporting` — ASCII table/series renderers used by the
+  ``benchmarks/`` suite and the EXPERIMENTS.md generator.
+"""
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    fig3_core_distributions,
+    fig4_running_time,
+    fig5_locked_vertices,
+    fig6_scalability,
+    fig7_stability,
+    run_remove_insert,
+    table1_datasets,
+    table2_speedups,
+)
+from repro.bench.workloads import sample_batch
+from repro.bench.reporting import render_series, render_table
+
+__all__ = [
+    "ALGORITHMS",
+    "run_remove_insert",
+    "table1_datasets",
+    "fig3_core_distributions",
+    "fig4_running_time",
+    "table2_speedups",
+    "fig5_locked_vertices",
+    "fig6_scalability",
+    "fig7_stability",
+    "sample_batch",
+    "render_table",
+    "render_series",
+]

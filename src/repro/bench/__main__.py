@@ -1,0 +1,135 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Regenerates the paper's tables and figures without pytest:
+
+    python -m repro.bench table1
+    python -m repro.bench fig3  --datasets BA roadNet-CA
+    python -m repro.bench fig4  --datasets BA --workers 1 4 16 --batch 300
+    python -m repro.bench table2 --datasets BA RMAT
+    python -m repro.bench fig5 fig6 fig7
+    python -m repro.bench all   --batch 200
+
+Output is the same paper-style text the benchmark suite writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench import harness
+from repro.bench.reporting import render_histogram, render_series, render_table
+
+DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
+EXPERIMENTS = ("table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7")
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    p.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ("all",),
+        help="which experiments to run",
+    )
+    p.add_argument("--datasets", nargs="+", default=DEFAULT_DATASETS)
+    p.add_argument("--workers", nargs="+", type=int, default=[1, 4, 16])
+    p.add_argument("--batch", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+
+    fig4_cache = None
+
+    def fig4_data():
+        nonlocal fig4_cache
+        if fig4_cache is None:
+            fig4_cache = harness.fig4_running_time(
+                args.datasets,
+                worker_counts=tuple(args.workers),
+                batch_size=args.batch,
+                seed=args.seed,
+            )
+        return fig4_cache
+
+    for exp in wanted:
+        print(f"\n=== {exp} ===")
+        if exp == "table1":
+            print(render_table(harness.table1_datasets(args.datasets, seed=args.seed)))
+        elif exp == "fig3":
+            for name, hist in harness.fig3_core_distributions(
+                args.datasets, seed=args.seed
+            ).items():
+                print(f"\n--- {name} ---")
+                print(render_histogram(hist))
+        elif exp == "fig4":
+            for ds, algos in fig4_data().items():
+                for phase in ("insert", "remove"):
+                    series = {
+                        f"{algo}{'I' if phase == 'insert' else 'R'}": {
+                            p: cell[phase] for p, cell in per_p.items()
+                        }
+                        for algo, per_p in algos.items()
+                    }
+                    print(f"\n--- {ds} / {phase} ---")
+                    print(render_series(series, title="algo \\ P"))
+        elif exp == "table2":
+            rows = harness.table2_speedups(fig4_data(), p_hi=max(args.workers))
+            print(render_table(rows))
+        elif exp == "fig5":
+            out = harness.fig5_locked_vertices(
+                args.datasets,
+                batch_size=args.batch,
+                workers=max(args.workers),
+                seed=args.seed,
+            )
+            for ds, hists in out.items():
+                for which, hist in hists.items():
+                    print(f"\n--- {ds} / {which} ---")
+                    print(render_histogram(hist))
+        elif exp == "fig6":
+            sizes = tuple(
+                max(10, args.batch * f // 4) for f in (1, 2, 4)
+            )
+            out = harness.fig6_scalability(
+                args.datasets[:2],
+                batch_sizes=sizes,
+                workers=max(args.workers),
+                seed=args.seed,
+            )
+            for ds, algos in out.items():
+                series = {
+                    f"{algo}I": {b: c["insert_ratio"] for b, c in per_b.items()}
+                    for algo, per_b in algos.items()
+                }
+                print(f"\n--- {ds} (insert-time ratios) ---")
+                print(render_series(series, title="algo \\ batch", value_fmt="{:.2f}"))
+        elif exp == "fig7":
+            out = harness.fig7_stability(
+                args.datasets[:2],
+                groups=4,
+                batch_size=max(20, args.batch // 2),
+                workers=max(args.workers),
+                seed=args.seed,
+            )
+            for ds, algos in out.items():
+                print(f"\n--- {ds} ---")
+                for algo, cell in algos.items():
+                    print(
+                        f"{algo}: insert spread {cell['insert_rel_spread']:.2f} "
+                        f"remove spread {cell['remove_rel_spread']:.2f}"
+                    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

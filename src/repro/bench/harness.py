@@ -1,0 +1,320 @@
+"""Experiment runners for every table and figure of the paper's evaluation.
+
+All running times are **simulated makespans in work units** (see
+``repro.parallel.costs``): the paper measures wall-clock milliseconds on a
+64-core machine; under the GIL the equivalent quantity is the simulated
+parallel time, which preserves exactly the comparisons the paper makes
+(who wins, by what factor, how speedups scale with workers).  Sequential
+wall-clock is additionally benchmarked by the pytest-benchmark suites.
+
+Experiment scale is controlled by the caller (the ``benchmarks/`` suite
+defaults to a quick configuration; set ``REPRO_BENCH_SCALE=full`` there
+for the full 16-dataset sweep recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
+from repro.baselines.matching import MatchingMaintainer
+from repro.core.decomposition import core_decomposition, core_histogram
+from repro.core.maintainer import TraversalMaintainer
+from repro.graph.datasets import DATASETS
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import ParallelOrderMaintainer
+from repro.bench.workloads import dataset_workload, disjoint_batches
+
+Edge = Tuple[int, int]
+
+__all__ = [
+    "ALGORITHMS",
+    "run_remove_insert",
+    "table1_datasets",
+    "fig3_core_distributions",
+    "fig4_running_time",
+    "table2_speedups",
+    "fig5_locked_vertices",
+    "fig6_scalability",
+    "fig7_stability",
+]
+
+# name -> factory(graph, workers) -> maintainer with {insert,remove}_edges
+ALGORITHMS: Dict[str, Callable] = {
+    "Our": lambda g, p: ParallelOrderMaintainer(g, num_workers=p),
+    "JE": lambda g, p: JoinEdgeSetMaintainer(g, num_workers=p),
+    "M": lambda g, p: MatchingMaintainer(g, num_workers=p),
+}
+
+
+def run_remove_insert(
+    dataset: str,
+    batch_size: int,
+    workers: int,
+    algo: str = "Our",
+    seed: int = 0,
+    check: bool = False,
+) -> Dict[str, object]:
+    """One experiment cell: build the full stand-in graph, remove the
+    sampled batch, then insert it back (Section 5.2's protocol).
+
+    Returns simulated makespans, total work, wall-clock seconds, and the
+    per-edge instrumentation of both phases.
+    """
+    edges, batch = dataset_workload(dataset, batch_size, seed=seed)
+    graph = DynamicGraph(edges)
+    m = ALGORITHMS[algo](graph, workers)
+    t0 = time.perf_counter()
+    rem = m.remove_edges(batch)
+    t1 = time.perf_counter()
+    ins = m.insert_edges(batch)
+    t2 = time.perf_counter()
+    if check:
+        m.check()
+    return {
+        "dataset": dataset,
+        "algo": algo,
+        "workers": workers,
+        "remove_makespan": rem.makespan,
+        "insert_makespan": ins.makespan,
+        "remove_work": rem.report.total_work,
+        "insert_work": ins.report.total_work,
+        "remove_wall_s": t1 - t0,
+        "insert_wall_s": t2 - t1,
+        "remove_stats": rem.stats,
+        "insert_stats": ins.stats,
+    }
+
+
+def sequential_traversal_times(
+    dataset: str, batch_size: int, seed: int = 0
+) -> Dict[str, float]:
+    """TI/TR reference points (work units), same remove-then-insert protocol."""
+    edges, batch = dataset_workload(dataset, batch_size, seed=seed)
+    m = TraversalMaintainer(DynamicGraph(edges))
+    tr = sum(s.work for s in m.remove_edges(batch))
+    ti = sum(s.work for s in m.insert_edges(batch))
+    return {"TI": ti, "TR": tr}
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Figure 3
+# ----------------------------------------------------------------------
+def table1_datasets(names: Optional[Iterable[str]] = None, seed: int = 0) -> List[Dict]:
+    """Stand-in graph statistics next to the paper's original Table 1."""
+    rows = []
+    for name in names or DATASETS:
+        ds = DATASETS[name]
+        g = ds.graph(seed)
+        decomp = core_decomposition(g)
+        rows.append(
+            {
+                "name": name,
+                "kind": ds.kind,
+                "n": g.num_vertices,
+                "m": g.num_edges,
+                "avg_deg": round(g.average_degree(), 2),
+                "max_k": decomp.max_core,
+                "paper_n": ds.paper.n,
+                "paper_m": ds.paper.m,
+                "paper_avg_deg": ds.paper.avg_deg,
+                "paper_max_k": ds.paper.max_k,
+            }
+        )
+    return rows
+
+
+def fig3_core_distributions(
+    names: Optional[Iterable[str]] = None, seed: int = 0
+) -> Dict[str, Dict[int, int]]:
+    """Core-number histogram per dataset (x = core value, y = #vertices)."""
+    out = {}
+    for name in names or DATASETS:
+        g = DATASETS[name].graph(seed)
+        out[name] = core_histogram(core_decomposition(g).core)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4 / Table 2
+# ----------------------------------------------------------------------
+def fig4_running_time(
+    names: Iterable[str],
+    worker_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    batch_size: int = 1000,
+    algos: Sequence[str] = ("Our", "JE", "M"),
+    seed: int = 0,
+    include_traversal: bool = True,
+) -> Dict[str, Dict[str, Dict[int, Dict[str, float]]]]:
+    """Running time by worker count, per dataset and algorithm.
+
+    Returns ``data[dataset][algo][P] = {"insert": t, "remove": t}``.
+    The sequential references appear as ``data[ds]["T"][1]`` (TI/TR) and
+    the 1-worker Our run doubles as OI/OR (same work, as in the paper).
+    """
+    data: Dict[str, Dict[str, Dict[int, Dict[str, float]]]] = {}
+    for name in names:
+        data[name] = {}
+        for algo in algos:
+            data[name][algo] = {}
+            for p in worker_counts:
+                cell = run_remove_insert(name, batch_size, p, algo, seed)
+                data[name][algo][p] = {
+                    "insert": cell["insert_makespan"],
+                    "remove": cell["remove_makespan"],
+                }
+        if include_traversal:
+            t = sequential_traversal_times(name, batch_size, seed)
+            data[name]["T"] = {1: {"insert": t["TI"], "remove": t["TR"]}}
+    return data
+
+
+def table2_speedups(
+    fig4: Dict[str, Dict[str, Dict[int, Dict[str, float]]]],
+    p_hi: int = 16,
+) -> List[Dict]:
+    """The paper's Table 2 derived from Figure 4 data."""
+
+    def ratio(a: float, b: float) -> float:
+        return round(a / b, 1) if b else float("inf")
+
+    rows = []
+    for ds, algos in fig4.items():
+
+        def t(algo: str, p: int, phase: str) -> float:
+            return algos[algo][p][phase]
+
+        row = {"dataset": ds}
+        for algo, label in (("Our", "Our"), ("JE", "JE"), ("M", "M")):
+            if algo in algos:
+                row[f"{label}I 1v{p_hi}"] = ratio(
+                    t(algo, 1, "insert"), t(algo, p_hi, "insert")
+                )
+                row[f"{label}R 1v{p_hi}"] = ratio(
+                    t(algo, 1, "remove"), t(algo, p_hi, "remove")
+                )
+        for other in ("JE", "M"):
+            if other in algos:
+                row[f"OurI vs {other}I @1"] = ratio(
+                    t(other, 1, "insert"), t("Our", 1, "insert")
+                )
+                row[f"OurR vs {other}R @1"] = ratio(
+                    t(other, 1, "remove"), t("Our", 1, "remove")
+                )
+                row[f"OurI vs {other}I @{p_hi}"] = ratio(
+                    t(other, p_hi, "insert"), t("Our", p_hi, "insert")
+                )
+                row[f"OurR vs {other}R @{p_hi}"] = ratio(
+                    t(other, p_hi, "remove"), t("Our", p_hi, "remove")
+                )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 5: |V+| distribution
+# ----------------------------------------------------------------------
+def fig5_locked_vertices(
+    names: Iterable[str],
+    batch_size: int = 1000,
+    workers: int = 16,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[int, int]]]:
+    """Histogram of per-edge ``|V+|`` (== locked vertices) for OurI/OurR."""
+    out: Dict[str, Dict[str, Dict[int, int]]] = {}
+    for name in names:
+        cell = run_remove_insert(name, batch_size, workers, "Our", seed)
+        hist_i: Dict[int, int] = {}
+        for s in cell["insert_stats"]:
+            hist_i[len(s.v_plus)] = hist_i.get(len(s.v_plus), 0) + 1
+        hist_r: Dict[int, int] = {}
+        for s in cell["remove_stats"]:
+            hist_r[len(s.v_plus)] = hist_r.get(len(s.v_plus), 0) + 1
+        out[name] = {
+            "OurI": dict(sorted(hist_i.items())),
+            "OurR": dict(sorted(hist_r.items())),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6: scalability in batch size
+# ----------------------------------------------------------------------
+def fig6_scalability(
+    names: Iterable[str],
+    batch_sizes: Sequence[int] = (500, 1000, 2500, 5000),
+    workers: int = 16,
+    algos: Sequence[str] = ("Our", "JE"),
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[int, Dict[str, float]]]]:
+    """Time ratio relative to the smallest batch, per dataset/algorithm.
+
+    Returns ``data[ds][algo][batch] = {"insert_ratio": r, "remove_ratio": r,
+    "insert": t, "remove": t}``.
+    """
+    out: Dict[str, Dict[str, Dict[int, Dict[str, float]]]] = {}
+    for name in names:
+        out[name] = {}
+        for algo in algos:
+            cells = {}
+            for b in batch_sizes:
+                cell = run_remove_insert(name, b, workers, algo, seed)
+                cells[b] = cell
+            b0 = batch_sizes[0]
+            out[name][algo] = {
+                b: {
+                    "insert": cells[b]["insert_makespan"],
+                    "remove": cells[b]["remove_makespan"],
+                    "insert_ratio": cells[b]["insert_makespan"]
+                    / max(cells[b0]["insert_makespan"], 1e-9),
+                    "remove_ratio": cells[b]["remove_makespan"]
+                    / max(cells[b0]["remove_makespan"], 1e-9),
+                }
+                for b in batch_sizes
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 7: stability across disjoint batches
+# ----------------------------------------------------------------------
+def fig7_stability(
+    names: Iterable[str],
+    groups: int = 10,
+    batch_size: int = 500,
+    workers: int = 16,
+    algos: Sequence[str] = ("Our", "JE"),
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Repeat the remove+insert experiment over disjoint edge groups and
+    report per-group times plus mean/stdev/relative-spread."""
+    out: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for name in names:
+        edges, _ = dataset_workload(name, batch_size, seed=seed)
+        batches = disjoint_batches(edges, groups, batch_size, seed=seed + 7)
+        out[name] = {}
+        for algo in algos:
+            ins_times: List[float] = []
+            rem_times: List[float] = []
+            for batch in batches:
+                g = DynamicGraph(edges)
+                m = ALGORITHMS[algo](g, workers)
+                rem_times.append(m.remove_edges(batch).makespan)
+                ins_times.append(m.insert_edges(batch).makespan)
+            out[name][algo] = {
+                "insert_times": ins_times,
+                "remove_times": rem_times,
+                "insert_mean": statistics.mean(ins_times),
+                "insert_rel_spread": (
+                    (max(ins_times) - min(ins_times))
+                    / max(statistics.mean(ins_times), 1e-9)
+                ),
+                "remove_mean": statistics.mean(rem_times),
+                "remove_rel_spread": (
+                    (max(rem_times) - min(rem_times))
+                    / max(statistics.mean(rem_times), 1e-9)
+                ),
+            }
+    return out

@@ -1,0 +1,109 @@
+"""ASCII renderers for benchmark output (tables and log-scale series).
+
+The benchmark suite prints paper-style rows with these helpers; the same
+strings go into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "render_histogram", "render_log_plot"]
+
+
+def render_table(rows: Sequence[Mapping], columns: Optional[List[str]] = None) -> str:
+    """Render dict-rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0].keys())
+    cells = [[str(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping],
+    title: str = "",
+    value_fmt: str = "{:.0f}",
+) -> str:
+    """Render ``{line_name: {x: y}}`` as a small text matrix (x across)."""
+    xs = sorted({x for line in series.values() for x in line})
+    header = [title.ljust(12)] + [str(x).rjust(10) for x in xs]
+    lines = ["".join(header)]
+    for name, line in series.items():
+        row = [name.ljust(12)]
+        for x in xs:
+            v = line.get(x)
+            row.append((value_fmt.format(v) if v is not None else "-").rjust(10))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_log_plot(
+    series: Mapping[str, Mapping],
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render ``{line: {x: y}}`` as an ASCII scatter with a log-10 y-axis —
+    the shape of the paper's Figure 4 panels.  Each line gets a letter
+    marker; collisions show ``*``."""
+    pts = [
+        (x, y) for line in series.values() for x, y in line.items() if y > 0
+    ]
+    if not pts:
+        return "(no data)"
+    xs = sorted({x for x, _ in pts})
+    lo = math.log10(min(y for _, y in pts))
+    hi = math.log10(max(y for _, y in pts))
+    span = (hi - lo) or 1.0
+    markers = {}
+    for i, name in enumerate(series):
+        markers[name] = chr(ord("A") + i % 26)
+    col_w = 6
+    grid = [[" "] * (len(xs) * col_w) for _ in range(height)]
+    for name, line in series.items():
+        for x, y in line.items():
+            if y <= 0:
+                continue
+            row = height - 1 - int((math.log10(y) - lo) / span * (height - 1))
+            col = xs.index(x) * col_w + col_w // 2
+            cell = grid[row][col]
+            grid[row][col] = markers[name] if cell == " " else "*"
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        frac = 1 - r / (height - 1) if height > 1 else 1.0
+        ylab = 10 ** (lo + frac * span)
+        lines.append(f"{ylab:>10.0f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * (len(xs) * col_w))
+    lines.append(
+        " " * 12 + "".join(str(x).center(col_w) for x in xs) + "   (workers)"
+    )
+    legend = "  ".join(f"{m}={name}" for name, m in markers.items())
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    hist: Mapping[int, int], width: int = 40, log: bool = True
+) -> str:
+    """Render ``{bucket: count}`` as horizontal ASCII bars."""
+    if not hist:
+        return "(empty)"
+    max_count = max(hist.values())
+    scale = (math.log1p(max_count) if log else max_count) or 1
+    lines = []
+    for k in sorted(hist):
+        v = hist[k]
+        mag = math.log1p(v) if log else v
+        bar = "#" * max(1, int(width * mag / scale)) if v else ""
+        lines.append(f"{k:>6}  {v:>8}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Static core decomposition: the BZ peeling algorithm (paper Algorithm 1).
+
+``core_decomposition`` computes, in one pass:
+
+* ``core[u]`` — the core number of every vertex (Definition 3.2);
+* ``order`` — the peeling sequence, which *is* a valid k-order
+  (Definition 3.5): the total order the maintenance algorithms keep
+  refining as edges change;
+* ``d_out[u]`` — the initial remaining out-degree ``d_out^+``
+  (Definition 3.7): orienting every edge by the produced k-order, the
+  number of u's DAG successors.  Note this is *not* the bucket degree at
+  peel time: a neighbor peeled at the same degree leaves the bucket degree
+  untouched, so we count successors from final positions, which guarantees
+  the steady-state invariant ``d_out^+[u] <= core[u]``.
+
+Tie-breaking among equal-degree vertices picks which of the many valid
+k-orders is produced.  The paper tests three strategies (Section 3.1) and
+adopts *small degree first* — among vertices with the same current degree,
+peel the one with the smallest original degree first; we implement all
+three plus FIFO for the ablation benchmark.
+
+The implementation uses a single lazy min-heap keyed by
+``(current_degree, tie_key)``.  The classic bucket array gives O(m); the
+heap gives O(m log n) with far simpler support for tie strategies, and at
+the scales of this reproduction the difference is noise (profiled; see
+``benchmarks/test_ablation_tiebreak.py``).
+
+``park_decomposition`` is a level-synchronous variant in the spirit of
+ParK/Kabir-Madduri (paper Section 2): it peels all vertices of the current
+lowest degree as one parallel "level", exposing the available parallelism
+per level.  It is used by the simulated-machine initialization extension
+and validates against BZ.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph
+
+Vertex = Hashable
+
+__all__ = [
+    "CoreDecomposition",
+    "core_decomposition",
+    "core_histogram",
+    "park_decomposition",
+    "STRATEGIES",
+]
+
+STRATEGIES = ("small-degree-first", "large-degree-first", "random", "fifo")
+
+
+@dataclass
+class CoreDecomposition:
+    """Result of a static core decomposition."""
+
+    core: Dict[Vertex, int]
+    order: List[Vertex]
+    d_out: Dict[Vertex, int]
+    max_core: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.max_core = max(self.core.values(), default=0)
+
+    def histogram(self) -> Dict[int, int]:
+        """Core value -> number of vertices (the paper's Figure 3 data)."""
+        return core_histogram(self.core)
+
+
+def core_histogram(core: Dict[Vertex, int]) -> Dict[int, int]:
+    """Count vertices per core number, sorted by core value."""
+    hist: Dict[int, int] = {}
+    for k in core.values():
+        hist[k] = hist.get(k, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def core_decomposition(
+    graph: DynamicGraph,
+    strategy: str = "small-degree-first",
+    seed: int = 0,
+) -> CoreDecomposition:
+    """BZ peeling (paper Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        The (static snapshot of the) graph.
+    strategy:
+        Tie-break among vertices sharing the minimum current degree; one of
+        ``STRATEGIES``.  The paper uses ``small-degree-first``.
+    seed:
+        Only used by the ``random`` strategy.
+
+    Returns
+    -------
+    CoreDecomposition
+        core numbers, the produced k-order, and peel-time degrees.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use one of {STRATEGIES}")
+    rng = random.Random(seed)
+
+    deg: Dict[Vertex, int] = {u: graph.degree(u) for u in graph.vertices()}
+
+    def tie_key(u: Vertex, i: int) -> Tuple:
+        d0 = deg[u]
+        if strategy == "small-degree-first":
+            return (d0, i)
+        if strategy == "large-degree-first":
+            return (-d0, i)
+        if strategy == "random":
+            return (rng.random(), i)
+        return (i,)  # fifo
+
+    # lazy min-heap of (current_degree, tie_key, vertex)
+    index = {u: i for i, u in enumerate(graph.vertices())}
+    d = dict(deg)
+    heap: List[Tuple] = [(d[u], tie_key(u, index[u]), index[u], u) for u in d]
+    heapq.heapify(heap)
+
+    core: Dict[Vertex, int] = {}
+    order: List[Vertex] = []
+    k = 0
+    removed: set = set()
+    while heap:
+        du, _tk, _idx, u = heapq.heappop(heap)
+        if u in removed or du != d[u]:
+            continue  # stale entry
+        removed.add(u)
+        k = max(k, d[u])
+        core[u] = k
+        order.append(u)
+        for v in graph.neighbors(u):
+            if v not in removed and d[v] > d[u]:
+                d[v] -= 1
+                heapq.heappush(heap, (d[v], tie_key(v, index[v]), index[v], v))
+    position = {u: i for i, u in enumerate(order)}
+    d_out = {
+        u: sum(1 for v in graph.neighbors(u) if position[v] > position[u])
+        for u in order
+    }
+    return CoreDecomposition(core=core, order=order, d_out=d_out)
+
+
+def park_decomposition(graph: DynamicGraph) -> Tuple[Dict[Vertex, int], List[List[Vertex]]]:
+    """Level-synchronous peeling in the ParK style (paper Section 2).
+
+    Repeatedly: collect every vertex whose current degree is <= the level
+    ``k`` being finalized, peel them together as one parallel round, repeat
+    until no vertex is below the threshold, then advance ``k``.  Returns
+    core numbers (identical to BZ's) and the list of peel *rounds*, whose
+    sizes show the parallel width available to a level-synchronous machine.
+    """
+    d: Dict[Vertex, int] = {u: graph.degree(u) for u in graph.vertices()}
+    alive = set(d)
+    core: Dict[Vertex, int] = {}
+    rounds: List[List[Vertex]] = []
+    k = 0
+    while alive:
+        # advance k to the minimum remaining degree
+        kmin = min(d[u] for u in alive)
+        k = max(k, kmin)
+        frontier = [u for u in alive if d[u] <= k]
+        while frontier:
+            rounds.append(frontier)
+            next_frontier: List[Vertex] = []
+            for u in frontier:
+                core[u] = k
+                alive.discard(u)
+            for u in frontier:
+                for v in graph.neighbors(u):
+                    if v in alive:
+                        d[v] -= 1
+            for u in frontier:
+                for v in graph.neighbors(u):
+                    if v in alive and d[v] <= k and v not in next_frontier:
+                        next_frontier.append(v)
+            # dedupe while preserving order
+            seen = set()
+            frontier = [v for v in next_frontier if not (v in seen or seen.add(v))]
+    return core, rounds

@@ -1,0 +1,139 @@
+"""User-facing maintenance facades.
+
+:class:`OrderMaintainer` — the sequential Simplified-Order algorithm (OI/OR
+of the paper, [12]): keeps core numbers, the k-order, remaining
+out-degrees and lazy mcds across an arbitrary stream of edge insertions
+and removals.
+
+:class:`TraversalMaintainer` — the sequential Traversal baseline (TI/TR,
+[27]): keeps only core numbers.
+
+Both expose the same interface so benchmarks and examples can swap them:
+
+>>> from repro.graph import DynamicGraph
+>>> g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+>>> m = OrderMaintainer(g)
+>>> m.core(0)
+2
+>>> _ = m.insert_edge(0, 3); _ = m.insert_edge(1, 3); _ = m.insert_edge(2, 3)
+>>> m.core(3)
+3
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.core.decomposition import core_decomposition
+from repro.core.order_insert import order_insert_edge
+from repro.core.order_remove import order_remove_edge
+from repro.core.state import InsertStats, OrderState, RemoveStats
+from repro.core.traversal import traversal_insert_edge, traversal_remove_edge
+from repro.graph.dynamic_graph import DynamicGraph
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["OrderMaintainer", "TraversalMaintainer"]
+
+
+class OrderMaintainer:
+    """Sequential order-based core maintenance (the paper's OI + OR).
+
+    Parameters
+    ----------
+    graph:
+        The initial graph.  The maintainer takes ownership: all edge
+        changes must go through :meth:`insert_edge` / :meth:`remove_edge`.
+    strategy:
+        BZ tie-break strategy for the initial k-order (paper Section 3.1).
+    capacity:
+        OM-list group capacity (see :class:`repro.om.list_labels.OMList`).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        strategy: str = "small-degree-first",
+        capacity: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.state = OrderState.from_graph(
+            graph, strategy=strategy, capacity=capacity, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.state.graph
+
+    def core(self, u: Vertex) -> int:
+        """Current core number of ``u``."""
+        return self.state.korder.core[u]
+
+    def cores(self) -> Dict[Vertex, int]:
+        """Snapshot of all core numbers."""
+        return dict(self.state.korder.core)
+
+    def korder_sequence(self, k: int) -> List[Vertex]:
+        """The current O_k sequence (diagnostics)."""
+        return self.state.korder.sequence(k)
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> InsertStats:
+        """Insert one edge; cores/k-order repaired in O(|E+| log |E+|)."""
+        return order_insert_edge(self.state, u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> RemoveStats:
+        """Remove one edge; cores/k-order repaired in O(|E*|)."""
+        return order_remove_edge(self.state, u, v)
+
+    def insert_edges(self, edges: Iterable[Edge]) -> List[InsertStats]:
+        """Insert a batch sequentially (the paper's 1-worker OI)."""
+        return [self.insert_edge(u, v) for u, v in edges]
+
+    def remove_edges(self, edges: Iterable[Edge]) -> List[RemoveStats]:
+        """Remove a batch sequentially (the paper's 1-worker OR)."""
+        return [self.remove_edge(u, v) for u, v in edges]
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Assert all steady-state invariants (differential vs. BZ)."""
+        self.state.check_invariants()
+
+
+class TraversalMaintainer:
+    """Sequential Traversal core maintenance (the paper's TI + TR)."""
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        self.graph = graph
+        self._core: Dict[Vertex, int] = dict(core_decomposition(graph).core)
+
+    # ------------------------------------------------------------------
+    def core(self, u: Vertex) -> int:
+        return self._core[u]
+
+    def cores(self) -> Dict[Vertex, int]:
+        return dict(self._core)
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> InsertStats:
+        return traversal_insert_edge(self.graph, self._core, u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> RemoveStats:
+        return traversal_remove_edge(self.graph, self._core, u, v)
+
+    def insert_edges(self, edges: Iterable[Edge]) -> List[InsertStats]:
+        return [self.insert_edge(u, v) for u, v in edges]
+
+    def remove_edges(self, edges: Iterable[Edge]) -> List[RemoveStats]:
+        return [self.remove_edge(u, v) for u, v in edges]
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Differential check against a fresh BZ decomposition."""
+        fresh = core_decomposition(self.graph).core
+        for u in self.graph.vertices():
+            assert self._core[u] == fresh[u], (
+                f"core[{u!r}]={self._core[u]} != BZ {fresh[u]}"
+            )

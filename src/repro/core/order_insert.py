@@ -1,0 +1,232 @@
+"""Sequential Simplified-Order edge insertion — OI (paper Algorithms 7-9).
+
+Given an edge inserted as ``u -> v`` with ``u`` the k-order-earlier
+endpoint and ``K = core[u]``, the candidate set ``V*`` (vertices whose core
+number rises to K+1) is exactly the set satisfying Theorem 3.1:
+
+    w in V*  iff  core[w] = K  and  d_in*(w) + d_out^+(w) > K
+
+The algorithm discovers it by walking affected vertices in k-order with a
+min-priority queue:
+
+* ``Forward(w)`` — w qualifies: add to V*, push its core-K successors;
+* ``Backward(w)`` — w was reachable but cannot qualify
+  (``d_in* + d_out^+ <= K`` with ``d_in* > 0``): peel it and, cascading
+  through ``DoPre``/``DoPost``, every candidate its failure invalidates;
+  peeled vertices are re-threaded right after the Backward seed so the
+  k-order stays a valid peeling order;
+* otherwise skip.
+
+Ending phase: survivors get ``core = K+1``, are spliced (in V*-insertion
+order) at the *head* of ``O_{K+1}``, and their ``d_out^+`` is recomputed
+from the new order.  All ``d_in*`` provably return to 0.
+
+The module also provides :class:`KOrderPQ`, the label-keyed priority queue:
+entries are re-keyed lazily when Backward moved a queued vertex (the
+sequential analogue of the paper's version-stamped queue of Appendix E).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.state import InsertStats, OrderState
+
+Vertex = Hashable
+
+__all__ = ["order_insert_edge", "KOrderPQ"]
+
+
+class KOrderPQ:
+    """Min-priority queue over vertices keyed by current k-order labels.
+
+    Two kinds of staleness can hit queued keys:
+
+    * *moves* — Backward re-threads a queued vertex to a later position:
+      its key only grows, so re-validating on pop (pop, compare with fresh
+      labels, re-push if changed) restores the order;
+    * *relabels* — an OM split/rebalance may rewrite labels wholesale,
+      possibly *decreasing* some, which per-entry checks cannot repair.
+      We therefore record the O_K list version at key time and rebuild the
+      whole heap when it changed — exactly the paper's Appendix E rule
+      ("if O_k triggers a relabel operation ... make the heap again").
+    """
+
+    __slots__ = ("_korder", "_heap", "_members", "_seq", "_version")
+
+    def __init__(self, korder) -> None:
+        self._korder = korder
+        self._heap: List[Tuple[tuple, int, Vertex]] = []
+        self._members: Set[Vertex] = set()
+        self._seq = 0
+        self._version = korder.version
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def push(self, v: Vertex) -> None:
+        if v in self._members:
+            return
+        self._members.add(v)
+        heapq.heappush(self._heap, (self._korder.labels(v), self._next_seq(), v))
+
+    def _rebuild(self) -> None:
+        self._heap = [
+            (self._korder.labels(v), self._next_seq(), v) for v in self._members
+        ]
+        heapq.heapify(self._heap)
+        self._version = self._korder.version
+
+    def pop(self) -> Optional[Vertex]:
+        """Pop the member with the minimum current k-order, or None."""
+        while self._members:
+            if self._korder.version != self._version:
+                self._rebuild()
+            labels, _seq, v = heapq.heappop(self._heap)
+            if v not in self._members:
+                continue  # superseded entry
+            fresh = self._korder.labels(v)
+            if fresh != labels:
+                # v was re-threaded while queued; re-key and retry
+                heapq.heappush(self._heap, (fresh, self._next_seq(), v))
+                continue
+            self._members.discard(v)
+            return v
+        return None
+
+
+def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
+    """Insert edge ``(a, b)`` and repair cores / k-order / d_out^+ / mcd.
+
+    Returns the instrumentation record (``V*`` and ``V+``).
+    """
+    graph, ko = state.graph, state.korder
+    state.ensure_vertex(a)
+    state.ensure_vertex(b)
+    if graph.has_edge(a, b):
+        raise ValueError(f"edge already present: ({a!r}, {b!r})")
+
+    # Orient the edge u -> v with u the k-order-earlier endpoint.
+    u, v = (a, b) if ko.precedes(a, b) else (b, a)
+    K = ko.core[u]
+
+    # Materialize d_out^+(u) *before* the edge exists — a post-insertion
+    # recompute would already count v and the +1 below would double-count.
+    new_dout = state.ensure_d_out(u) + 1
+
+    graph.add_edge(u, v)
+    # Incremental mcd upkeep for the new edge (Definition 3.8); core
+    # changes below re-invalidate whatever this touches.
+    if state.mcd.get(u) is not None and ko.core[v] >= K:
+        state.mcd[u] += 1  # type: ignore[operator]
+    if state.mcd.get(v) is not None and K >= ko.core[v]:
+        state.mcd[v] += 1  # type: ignore[operator]
+
+    state.d_out[u] = new_dout
+    stats = InsertStats()
+    if new_dout <= K:
+        return stats  # Algorithm 7 line 3: nothing to maintain
+
+    d_in: Dict[Vertex, int] = {}
+    # V* as insertion-ordered dict: Backward removals delete keys, so the
+    # remaining iteration order is "the order w was (last) added to V*".
+    v_star: Dict[Vertex, None] = {}
+    v_plus: Set[Vertex] = set()
+
+    q = KOrderPQ(ko)
+    q.push(u)
+
+    # ------------------------------------------------------------------
+    def forward(w: Vertex) -> None:
+        """Algorithm 8: w joins V*; its core-K successors become reachable."""
+        v_star[w] = None
+        v_plus.add(w)
+        for x in ko.post(graph, w, k=K):
+            d_in[x] = d_in.get(x, 0) + 1
+            q.push(x)
+
+    def do_pre(w: Vertex, r: deque, in_r: Set[Vertex]) -> None:
+        """Algorithm 9 lines 10-13: w turned gray, so its predecessors in
+        V* lose one remaining out-degree."""
+        for x in ko.pre(graph, w, k=K):
+            if x in v_star:
+                state.d_out[x] -= 1
+                if d_in.get(x, 0) + state.d_out[x] <= K and x not in in_r:
+                    r.append(x)
+                    in_r.add(x)
+
+    def do_post(w: Vertex, r: deque, in_r: Set[Vertex]) -> None:
+        """Algorithm 9 lines 14-18: w left V*, so successors that counted
+        it as a candidate predecessor lose one candidate in-degree."""
+        for x in ko.post(graph, w, k=K):
+            if d_in.get(x, 0) > 0:
+                d_in[x] -= 1
+                if (
+                    x in v_star
+                    and d_in[x] + state.d_out[x] <= K
+                    and x not in in_r
+                ):
+                    r.append(x)
+                    in_r.add(x)
+
+    def backward(w: Vertex) -> None:
+        """Algorithm 9: w cannot be a candidate; cascade the withdrawal."""
+        v_plus.add(w)
+        anchor = w
+        r: deque = deque()
+        in_r: Set[Vertex] = set()
+        do_pre(w, r, in_r)
+        state.d_out[w] += d_in.get(w, 0)
+        d_in[w] = 0
+        while r:
+            x = r.popleft()
+            in_r.discard(x)
+            del v_star[x]
+            do_pre(x, r, in_r)
+            do_post(x, r, in_r)
+            ko.move_after_vertex(anchor, x)
+            anchor = x
+            state.d_out[x] += d_in.get(x, 0)
+            d_in[x] = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 7 main loop: traverse reachable vertices in k-order.
+    while True:
+        w = q.pop()
+        if w is None:
+            break
+        if d_in.get(w, 0) + state.ensure_d_out(w) > K:
+            forward(w)
+        elif d_in.get(w, 0) > 0:
+            backward(w)
+        # else: skip — w cannot be affected (Algorithm 7's silent case)
+
+    # ------------------------------------------------------------------
+    # Ending phase (Algorithm 7 lines 9-10).
+    winners = list(v_star)
+    stats.v_star = winners
+    stats.v_plus = list(v_plus)
+    if winners:
+        prev: Optional[Vertex] = None
+        for w in winners:
+            # One status window per candidate (never observably unlinked):
+            # first to the head of O_{K+1}, the rest chained behind it so
+            # the final segment order equals the V*-insertion order.
+            if prev is None:
+                ko.promote_head(w, K + 1)
+            else:
+                ko.promote_after(prev, w, K + 1)
+            prev = w
+        for w in winners:
+            state.refresh_d_out(w)
+        state.invalidate_mcd_around(winners)
+    return stats

@@ -1,0 +1,113 @@
+"""Sequential Simplified-Order edge removal — OR (paper Algorithm 10).
+
+Removal is mcd-driven (Definition 3.8): every vertex keeps
+``mcd(v) = |{w in adj(v) : core(w) >= core(v)}| >= core(v)``.  Removing an
+edge can push an endpoint's mcd below its core, in which case its core
+drops by exactly one and the deficit propagates to same-core neighbors.
+
+Unlike insertion, ``V+ = V*``: only vertices whose core actually drops are
+ever touched — this is why the paper's OurR parallelization locks so few
+vertices.
+
+mcd values are kept *lazily* (``None`` = unknown), exactly as the parallel
+Algorithm 6 does with its ``mcd = ∅`` convention; materialization happens
+through :meth:`repro.core.state.OrderState.ensure_mcd`, whose
+pending/visitor accounting mirrors the paper's ``CheckMCD``.
+
+A design choice worth noting: cores of dropped vertices are decremented
+*immediately* when they join the propagation queue (as the parallel
+Algorithm 6 line 22 does, rather than at the end like the sequential
+Algorithm 10).  This keeps every on-demand mcd materialization consistent
+mid-propagation and makes the sequential and parallel code paths agree
+step for step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Set
+
+from repro.core.state import OrderState, RemoveStats
+
+Vertex = Hashable
+
+__all__ = ["order_remove_edge"]
+
+
+def order_remove_edge(state: OrderState, a: Vertex, b: Vertex) -> RemoveStats:
+    """Remove edge ``(a, b)`` and repair cores / k-order / d_out^+ / mcd.
+
+    Returns the instrumentation record (``V*``; for removal ``V+ == V*``).
+    """
+    graph, ko = state.graph, state.korder
+    if not graph.has_edge(a, b):
+        raise KeyError(f"edge not present: ({a!r}, {b!r})")
+
+    ca, cb = ko.core[a], ko.core[b]
+    K = min(ca, cb)
+
+    # Materialize endpoint mcds *before* the removal (Algorithm 6 line 3),
+    # then account for the removed edge (Algorithm 10 line 2).
+    state.ensure_mcd(a)
+    state.ensure_mcd(b)
+
+    # d_out^+ upkeep for the removed edge: the earlier endpoint loses one
+    # successor (when materialized; order must be read before mutation).
+    first = a if ko.precedes(a, b) else b
+    if state.d_out.get(first) is not None:
+        state.d_out[first] -= 1  # type: ignore[operator]
+
+    graph.remove_edge(a, b)
+    if cb >= ca:
+        state.mcd[a] -= 1  # type: ignore[operator]
+    if ca >= cb:
+        state.mcd[b] -= 1  # type: ignore[operator]
+
+    stats = RemoveStats()
+    r: deque = deque()
+    pending: Set[Vertex] = set()
+    v_star: list = []
+
+    def drop(x: Vertex) -> None:
+        """x's core falls K -> K-1 (paper's DoMCD success branch).
+
+        The move to the tail of O_{K-1} happens right here, at drop time
+        (identical to the paper's end-phase append in a sequential run,
+        and required for causal consistency in the parallel one — see
+        :meth:`repro.core.korder.KOrder.demote_tail`).
+        """
+        ko.demote_tail(x, K - 1)
+        state.mcd[x] = None   # out of date; recomputed on demand later
+        v_star.append(x)
+        r.append(x)
+        pending.add(x)
+
+    # Seed: an endpoint drops if it sat at level K and lost support.
+    for x in (a, b):
+        if ko.core[x] == K and state.mcd[x] < K:  # type: ignore[operator]
+            drop(x)
+
+    # Propagation (Algorithm 10 lines 5-9).
+    while r:
+        w = r.popleft()
+        pending.discard(w)
+        for x in list(graph.neighbors(w)):
+            if ko.core[x] != K:
+                continue  # dropped vertices are already at K-1
+            state.ensure_mcd(x, pending=pending, visitor=w)
+            state.mcd[x] -= 1  # type: ignore[operator]
+            if state.mcd[x] < K:  # type: ignore[operator]
+                drop(x)
+
+    # Ending phase (the O_{K-1} moves already happened at drop time):
+    # d_out^+ of dropped vertices and of their level-K neighbors depends
+    # on the new positions, so invalidate both (lazy recompute when next
+    # needed — see the d_out discussion in ``repro.core.state``).
+    if v_star:
+        for w in v_star:
+            state.d_out[w] = None
+            for x in graph.neighbors(w):
+                if ko.core[x] == K:
+                    state.d_out[x] = None
+        stats.v_star = v_star
+    return stats

@@ -1,0 +1,135 @@
+"""Query helpers over (maintained) core numbers.
+
+Core *maintenance* keeps ``core[u]`` current; these helpers answer the
+questions applications actually ask (paper Section 1's use cases:
+influence, density, robustness):
+
+* the k-core subgraph and its connected components (Definition 3.1);
+* k-shells (vertices with core exactly k) and the innermost core;
+* subcores (Definition 3.3): maximal connected same-core regions;
+* the degeneracy (max core) and a degeneracy ordering;
+* core-based density screening.
+
+All functions take the core map explicitly, so they work identically with
+any maintainer (Order, Traversal, parallel) or a fresh decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph
+
+Vertex = Hashable
+
+__all__ = [
+    "k_core_vertices",
+    "k_core_subgraph",
+    "k_shell",
+    "innermost_core",
+    "subcore",
+    "all_subcores",
+    "degeneracy",
+    "degeneracy_ordering",
+    "core_components",
+]
+
+
+def k_core_vertices(core: Dict[Vertex, int], k: int) -> Set[Vertex]:
+    """Vertices of the k-core: everyone with core number >= k."""
+    return {u for u, c in core.items() if c >= k}
+
+
+def k_core_subgraph(graph: DynamicGraph, core: Dict[Vertex, int], k: int) -> DynamicGraph:
+    """The induced k-core subgraph G_k (Definition 3.1).
+
+    Every vertex in the result has degree >= k within it (checked by the
+    property tests), and ``G_{k+1} ⊆ G_k``.
+    """
+    return graph.subgraph(k_core_vertices(core, k))
+
+
+def k_shell(core: Dict[Vertex, int], k: int) -> Set[Vertex]:
+    """Vertices with core number exactly k (the k-shell)."""
+    return {u for u, c in core.items() if c == k}
+
+
+def innermost_core(core: Dict[Vertex, int]) -> Tuple[int, Set[Vertex]]:
+    """``(k_max, vertices at k_max)`` — the densest shell."""
+    if not core:
+        return 0, set()
+    kmax = max(core.values())
+    return kmax, k_shell(core, kmax)
+
+
+def subcore(graph: DynamicGraph, core: Dict[Vertex, int], u: Vertex) -> Set[Vertex]:
+    """The k-subcore containing ``u`` (Definition 3.3): the maximal
+    connected set of vertices sharing u's core number, reachable from u
+    through same-core vertices.  This is the region the Traversal
+    algorithms search (their ``V+``)."""
+    k = core[u]
+    seen = {u}
+    frontier = [u]
+    while frontier:
+        nxt = []
+        for w in frontier:
+            for v in graph.neighbors(w):
+                if v not in seen and core[v] == k:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return seen
+
+
+def all_subcores(graph: DynamicGraph, core: Dict[Vertex, int]) -> List[Set[Vertex]]:
+    """Every subcore, as a partition of V (ordered by discovery)."""
+    out: List[Set[Vertex]] = []
+    assigned: Set[Vertex] = set()
+    for u in graph.vertices():
+        if u not in assigned:
+            sc = subcore(graph, core, u)
+            assigned.update(sc)
+            out.append(sc)
+    return out
+
+
+def degeneracy(core: Dict[Vertex, int]) -> int:
+    """The graph's degeneracy == the maximum core number."""
+    return max(core.values(), default=0)
+
+
+def degeneracy_ordering(
+    graph: DynamicGraph, core: Dict[Vertex, int]
+) -> List[Vertex]:
+    """An ordering in which every vertex has at most ``degeneracy`` later
+    neighbors — by definition, any k-order works; we produce one by a
+    fresh peel restricted to the core structure (stable and cheap)."""
+    from repro.core.decomposition import core_decomposition
+
+    return core_decomposition(graph).order
+
+
+def core_components(
+    graph: DynamicGraph, core: Dict[Vertex, int], k: int
+) -> List[Set[Vertex]]:
+    """Connected components of the k-core subgraph — the distinct dense
+    communities at density level k."""
+    members = k_core_vertices(core, k)
+    out: List[Set[Vertex]] = []
+    seen: Set[Vertex] = set()
+    for u in members:
+        if u in seen:
+            continue
+        comp = {u}
+        frontier = [u]
+        while frontier:
+            nxt = []
+            for w in frontier:
+                for v in graph.neighbors(w):
+                    if v in members and v not in comp:
+                        comp.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        seen.update(comp)
+        out.append(comp)
+    return out

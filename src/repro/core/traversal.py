@@ -1,0 +1,279 @@
+"""Sequential Traversal core maintenance — TI/TR (Sariyüce et al., VLDBJ'16).
+
+The baseline the paper compares against (and that JEI/JER and MI/MR
+parallelize).  Characteristics that matter for the evaluation's shape:
+
+* **Insertion (TI)** explores the whole *reachable pure-core region* of the
+  root: a DFS over core-K vertices pruned by mcd/pcd, followed by a peel
+  phase.  Its searched set ``V+`` is usually much larger than the Order
+  algorithm's (the paper's |V+|/|V*| discussion in Section 3), and its size
+  fluctuates heavily between edges — the instability shown in Figure 7.
+* **Removal (TR)** propagates mcd deficits like OR, but Traversal keeps no
+  k-order and, standalone, no cross-operation mcd cache, so every
+  operation recomputes its support counts from scratch.
+* Only core numbers are maintained (no k-order).
+
+Definitions (Section 3.1 / [27]):
+
+* ``mcd(v) = |{w in adj(v) : core(w) >= core(v)}|``
+* ``pcd(v) = |{w in adj(v) : core(w) > core(v)
+              or (core(w) = core(v) and mcd(w) > core(v))}|``
+
+Instrumentation: every operation accumulates abstract *work units* (one
+unit per adjacency-entry touch) into ``stats.work`` — the common currency
+the benchmark harness uses to compare all algorithms on the simulated
+machine.
+
+Batch baselines (JEI/JER, MI/MR) pass a persistent :class:`TraversalMemo`:
+mcd/pcd values then survive across edges of a batch, with *conservative
+invalidation* after each processed edge (everything whose value could have
+changed — endpoints, promoted/demoted vertices, and their 1- and 2-hop
+dependents — is evicted).  That cache reuse is the "avoid repeated
+computations" advantage the paper credits those methods with; correctness
+is unaffected because invalidation is a superset of the true dependency
+set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.state import InsertStats, RemoveStats
+from repro.graph.dynamic_graph import DynamicGraph
+
+Vertex = Hashable
+
+__all__ = ["TraversalMemo", "traversal_insert_edge", "traversal_remove_edge"]
+
+#: charged on a cache hit instead of a full O(deg) recompute
+_CACHE_HIT_COST = 0.25
+
+
+class TraversalMemo:
+    """mcd/pcd memoization with work accounting.
+
+    ``persistent=False`` (the default for standalone TI/TR) recomputes from
+    scratch every operation; ``persistent=True`` (the batch baselines)
+    keeps values across operations and relies on
+    :meth:`invalidate_after_op` being called after each edge.
+    """
+
+    __slots__ = ("graph", "core", "persistent", "_mcd", "_pcd", "work")
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        core: Dict[Vertex, int],
+        persistent: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.core = core
+        self.persistent = persistent
+        self._mcd: Dict[Vertex, int] = {}
+        self._pcd: Dict[Vertex, int] = {}
+        self.work = 0.0
+
+    # ------------------------------------------------------------------
+    def reset_op(self) -> None:
+        """Start a new operation: transient memos are cleared."""
+        if not self.persistent:
+            self._mcd.clear()
+            self._pcd.clear()
+
+    def mcd(self, v: Vertex) -> int:
+        got = self._mcd.get(v)
+        if got is not None:
+            self.work += _CACHE_HIT_COST
+            return got
+        cv = self.core[v]
+        got = sum(1 for w in self.graph.neighbors(v) if self.core[w] >= cv)
+        self.work += self.graph.degree(v)
+        self._mcd[v] = got
+        return got
+
+    def pcd(self, v: Vertex) -> int:
+        got = self._pcd.get(v)
+        if got is not None:
+            self.work += _CACHE_HIT_COST
+            return got
+        cv = self.core[v]
+        got = 0
+        for w in self.graph.neighbors(v):
+            cw = self.core[w]
+            if cw > cv or (cw == cv and self.mcd(w) > cv):
+                got += 1
+        self.work += self.graph.degree(v)
+        self._pcd[v] = got
+        return got
+
+    # ------------------------------------------------------------------
+    def invalidate_after_op(self, endpoints, changed) -> None:
+        """Conservative eviction after one edge operation.
+
+        ``changed`` = vertices whose core number changed (V* of the op).
+        mcd depends on own core, neighbor cores and own adjacency: evict
+        ``M = endpoints ∪ changed ∪ N(changed)``.  pcd additionally
+        depends on neighbors' mcd: evict ``M ∪ N(M)``.
+        """
+        if not self.persistent:
+            return
+        g = self.graph
+        m: Set[Vertex] = set(endpoints)
+        m.update(changed)
+        for w in changed:
+            m.update(g.neighbors(w))
+        p: Set[Vertex] = set(m)
+        for w in m:
+            if g.has_vertex(w):
+                p.update(g.neighbors(w))
+        for w in m:
+            self._mcd.pop(w, None)
+        for w in p:
+            self._pcd.pop(w, None)
+        # eviction bookkeeping is real work too
+        self.work += len(p) * 0.25
+
+
+def traversal_insert_edge(
+    graph: DynamicGraph,
+    core: Dict[Vertex, int],
+    a: Vertex,
+    b: Vertex,
+    memo: Optional[TraversalMemo] = None,
+) -> InsertStats:
+    """TI: insert edge ``(a, b)``, update ``core`` in place.
+
+    Returns instrumentation: ``V+`` = visited set, ``V*`` = promoted set,
+    ``work`` = abstract work units consumed.
+    """
+    for x in (a, b):
+        if x not in core:
+            graph.add_vertex(x)
+            core[x] = 0
+    if graph.has_edge(a, b):
+        raise ValueError(f"edge already present: ({a!r}, {b!r})")
+    graph.add_edge(a, b)
+    if memo is None:
+        memo = TraversalMemo(graph, core, persistent=False)
+    memo.reset_op()
+    work0 = memo.work
+    # the new edge itself dirties the endpoints' neighborhoods
+    memo.invalidate_after_op((a, b), ())
+
+    r = a if core[a] <= core[b] else b
+    K = core[r]
+
+    cd: Dict[Vertex, int] = {r: memo.pcd(r)}
+    visited: Dict[Vertex, None] = {r: None}
+    stack: List[Vertex] = [r]
+    while stack:
+        w = stack.pop()
+        memo.work += 1
+        if cd[w] > K:
+            memo.work += graph.degree(w)
+            for x in graph.neighbors(w):
+                if core[x] == K and x not in visited and memo.mcd(x) > K:
+                    visited[x] = None
+                    cd[x] = memo.pcd(x)
+                    stack.append(x)
+
+    # Peel phase: evict visited vertices whose support cannot exceed K.
+    evicted: Set[Vertex] = set()
+    queue: deque = deque(w for w in visited if cd[w] <= K)
+    queued: Set[Vertex] = set(queue)
+    while queue:
+        w = queue.popleft()
+        evicted.add(w)
+        if memo.mcd(w) <= K:
+            continue  # w was never counted in neighbors' pcd
+        memo.work += graph.degree(w)
+        for x in graph.neighbors(w):
+            if core[x] == K and x in visited and x not in evicted:
+                cd[x] -= 1
+                if cd[x] <= K and x not in queued:
+                    queue.append(x)
+                    queued.add(x)
+
+    stats = InsertStats()
+    stats.v_plus = list(visited)
+    for w in visited:
+        if w not in evicted:
+            core[w] = K + 1
+            stats.v_star.append(w)
+    memo.invalidate_after_op((a, b), stats.v_star)
+    stats.work = memo.work - work0 + 2.0  # + fixed edge overhead
+    return stats
+
+
+def traversal_remove_edge(
+    graph: DynamicGraph,
+    core: Dict[Vertex, int],
+    a: Vertex,
+    b: Vertex,
+    memo: Optional[TraversalMemo] = None,
+) -> RemoveStats:
+    """TR: remove edge ``(a, b)``, update ``core`` in place.
+
+    mcd-deficit propagation; support counts come from the (per-op or
+    persistent) memo.
+    """
+    if not graph.has_edge(a, b):
+        raise KeyError(f"edge not present: ({a!r}, {b!r})")
+    if memo is None:
+        memo = TraversalMemo(graph, core, persistent=False)
+    memo.reset_op()
+    work0 = memo.work
+
+    K = min(core[a], core[b])
+    # Materialize endpoint support *before* the removal, then account for
+    # the lost edge manually (mirrors OR's bookkeeping).  The memo's
+    # cached values may not include this op's own drops yet, which is fine
+    # pre-removal.
+    mcd: Dict[Vertex, int] = {a: memo.mcd(a), b: memo.mcd(b)}
+    graph.remove_edge(a, b)
+    if core[b] >= core[a]:
+        mcd[a] -= 1
+    if core[a] >= core[b]:
+        mcd[b] -= 1
+
+    stats = RemoveStats()
+    dropped: Set[Vertex] = set()
+    r: deque = deque()
+
+    def drop(x: Vertex) -> None:
+        core[x] = K - 1
+        dropped.add(x)
+        r.append(x)
+        stats.v_star.append(x)
+
+    for x in (a, b):
+        if core[x] == K and mcd[x] < K:
+            drop(x)
+
+    while r:
+        w = r.popleft()
+        memo.work += graph.degree(w)
+        for x in graph.neighbors(w):
+            if core[x] != K:
+                continue
+            if x not in mcd:
+                # First touch this op: count supporters at level K.  A
+                # dropped neighbor still counts while it has not yet
+                # propagated to x (it is queued, or it is w itself, about
+                # to decrement below).
+                cnt = 0
+                for y in graph.neighbors(x):
+                    if core[y] >= K:
+                        cnt += 1
+                    elif core[y] == K - 1 and (y == w or y in r):
+                        cnt += 1
+                memo.work += graph.degree(x)
+                mcd[x] = cnt
+            mcd[x] -= 1
+            if mcd[x] < K:
+                drop(x)
+
+    memo.invalidate_after_op((a, b), stats.v_star)
+    stats.work = memo.work - work0 + 2.0
+    return stats

@@ -1,0 +1,33 @@
+"""Dynamic graph substrate: storage, generators, I/O, and dataset registry.
+
+The paper operates on undirected, unweighted simple graphs that change by
+edge insertions and removals.  :class:`~repro.graph.dynamic_graph.DynamicGraph`
+is the storage every maintenance algorithm in :mod:`repro` mutates;
+:mod:`repro.graph.generators` builds the synthetic graph families used by the
+evaluation; :mod:`repro.graph.datasets` provides scaled stand-ins for the
+SNAP/KONECT datasets of the paper's Table 1.
+"""
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    erdos_renyi,
+    barabasi_albert,
+    rmat,
+    lattice,
+    powerlaw_cluster,
+    temporal_stream,
+)
+from repro.graph.datasets import DATASETS, load_dataset, dataset_names
+
+__all__ = [
+    "DynamicGraph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "rmat",
+    "lattice",
+    "powerlaw_cluster",
+    "temporal_stream",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]

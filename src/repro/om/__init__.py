@@ -1,0 +1,18 @@
+"""Order-Maintenance (OM) list data structures.
+
+The Order algorithm keeps every vertex in *k-order* (Definition 3.5): a
+total order refined on demand as cores change.  Maintaining that order with
+O(1) comparisons is the job of the OM structure (Section 3.2): a two-level
+tagged list after Dietz & Sleator / Bender et al., where each item carries a
+(group label, item label) pair and ``x <= y`` reduces to integer comparison.
+
+:mod:`repro.om.list_labels` implements the sequential structure;
+:mod:`repro.om.parallel_om` adds the per-item status counters and list
+version/relabel counters that the paper's parallel algorithms (Algorithm 4
+and Appendix E) rely on.
+"""
+
+from repro.om.list_labels import OMList, OMItem
+from repro.om.parallel_om import ParallelOMList
+
+__all__ = ["OMList", "OMItem", "ParallelOMList"]

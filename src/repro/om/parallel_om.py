@@ -1,0 +1,107 @@
+"""Parallel Order-Maintenance wrapper (paper Section 3.2 + Algorithm 4).
+
+The parallel algorithms share one OM list per core value ``k`` among all
+workers.  Three pieces of state make that safe:
+
+* **per-item status counters** ``v.s`` (stored on :class:`~repro.om.list_labels.OMItem`):
+  atomically incremented *before and after* any operation that changes the
+  item's position.  An odd value means "move in flight"; a changed value
+  means "moved since you last looked".
+* **list version** ``version``: incremented around every relabel (group
+  split or top-list rebalance), so readers holding raw labels can detect
+  that labels were re-assigned (``O_k.ver`` of Appendix E).
+* **relabel counter** ``relabels_in_progress``: non-zero while a relabel
+  runs (``O_k.cnt`` of Appendix E).
+
+:meth:`ParallelOMList.order_concurrent` is the paper's Algorithm 4: the
+lock-free ``Order(u, v)`` that re-reads both statuses until it observes a
+stable snapshot.  Under the discrete-event simulator a single call is
+atomic, so the loop exits first iteration; under the real-thread backend
+the retry loop genuinely runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.om.list_labels import OMItem, OMList
+
+__all__ = ["ParallelOMList"]
+
+
+class ParallelOMList(OMList):
+    """An :class:`OMList` with the concurrent-read protocol of the paper."""
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # status protocol
+    # ------------------------------------------------------------------
+    @staticmethod
+    def status(x: OMItem) -> int:
+        """Read the status counter ``x.s``."""
+        return x.s
+
+    @staticmethod
+    def begin_move(x: OMItem) -> None:
+        """Atomically bump ``x.s`` to odd before changing x's position
+        (the ``<w.s++>`` of Algorithm 5 lines 16/30)."""
+        x.s += 1
+
+    @staticmethod
+    def end_move(x: OMItem) -> None:
+        """Atomically bump ``x.s`` back to even after the move."""
+        x.s += 1
+
+    def move_after(self, anchor: OMItem, x: OMItem) -> None:
+        """Delete ``x`` and re-insert it right after ``anchor``, wrapped in
+        the status protocol.  Used by Backward_p (Algorithm 5 line 30)."""
+        self.begin_move(x)
+        try:
+            self.delete(x)
+            self.insert_after(anchor, x)
+        finally:
+            self.end_move(x)
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: concurrent Order(u, v)
+    # ------------------------------------------------------------------
+    def order_concurrent(
+        self,
+        u: OMItem,
+        v: OMItem,
+        on_spin: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Paper's Algorithm 4: compare u <= v while other workers may be
+        moving u or v.
+
+        Re-reads ``u.s``/``v.s`` until both are even and unchanged across
+        the label comparison, guaranteeing the comparison saw a consistent
+        snapshot.  ``on_spin`` is called once per retry so the simulator
+        can charge spin cost (and the thread backend can yield).
+        """
+        attempts = 0
+        while True:
+            while True:
+                s, s2 = u.s, v.s
+                if s % 2 == 0 and s2 % 2 == 0:
+                    break
+                if on_spin is not None:
+                    on_spin()
+            try:
+                r: Optional[bool] = self.order(u, v)
+            except (ValueError, AttributeError):
+                # torn read: an item was observed mid-splice (only possible
+                # under the thread backend; moves are step-atomic in the
+                # simulator).  The mover's status bump makes the retry land
+                # on a consistent snapshot.
+                r = None
+            if r is not None and s == u.s and s2 == v.s:
+                return r
+            attempts += 1
+            if attempts > 10_000_000:  # pragma: no cover - diagnostics
+                raise RuntimeError(
+                    "order_concurrent made no progress; status protocol violated?"
+                )
+            if on_spin is not None:
+                on_spin()

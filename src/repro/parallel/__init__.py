@@ -1,0 +1,37 @@
+"""Parallel core maintenance: the paper's contribution (OurI / OurR).
+
+Because CPython's GIL prevents genuine shared-memory speedups (the
+reproduction gate called out in DESIGN.md), the "multicore machine" here is
+a **discrete-event simulator** (:mod:`repro.parallel.runtime`): worker
+coroutines yield timed events (compute ticks, lock attempts, releases) to a
+conservative scheduler that advances whichever worker has the smallest
+local clock.  Lock contention, blocking chains, spin-waiting and the
+resulting makespan are modeled explicitly — precisely the quantities the
+paper's evaluation is about — while every shared-state mutation stays
+step-atomic and therefore analyzable.
+
+The same worker generators can also be driven by real threads
+(:mod:`repro.parallel.threads`) to validate the synchronization protocol
+under genuine preemption.
+
+Modules
+-------
+* :mod:`repro.parallel.costs`    — the work-unit cost model
+* :mod:`repro.parallel.runtime`  — the simulated machine and lock primitives
+* :mod:`repro.parallel.pqueue`   — version-stamped priority queue (Appendix E)
+* :mod:`repro.parallel.parallel_insert` — OurI (Algorithm 5)
+* :mod:`repro.parallel.parallel_remove` — OurR (Algorithm 6)
+* :mod:`repro.parallel.batch`    — Parallel-InsertEdges / -RemoveEdges (Algorithm 3)
+"""
+
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import SimMachine, SimReport, SimDeadlockError
+from repro.parallel.batch import ParallelOrderMaintainer
+
+__all__ = [
+    "CostModel",
+    "SimMachine",
+    "SimReport",
+    "SimDeadlockError",
+    "ParallelOrderMaintainer",
+]

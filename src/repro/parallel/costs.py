@@ -1,0 +1,63 @@
+"""Work-unit cost model for the simulated multicore.
+
+Every algorithm (OurI/OurR, the JEI/JER and MI/MR baselines, and the
+sequential OI/OR/TI/TR run as 1-worker configurations) charges its
+operations in the same abstract units, so simulated makespans are directly
+comparable the way the paper's wall-clock milliseconds are.  The default
+magnitudes follow the relative costs of the underlying operations on a
+real machine (a CAS ≈ a couple of cache accesses, an OM splice a handful,
+a relabel a couple dozen); the benchmark conclusions are insensitive to
+the exact values — they shift absolute numbers, not who wins (checked by
+``benchmarks/test_ablation_costs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost, in abstract work units, of each primitive operation."""
+
+    #: comparing two vertices' k-order labels (paper: O(1) Order op)
+    order_cmp: float = 1.0
+    #: touching one adjacency-list entry during a scan
+    adj_scan: float = 1.0
+    #: one heap push/pop on the priority queue
+    heap_op: float = 2.0
+    #: successfully taking a lock (CAS + fence)
+    lock_acquire: float = 2.0
+    #: a failed CAS on a held lock
+    cas_fail: float = 1.0
+    #: releasing a lock
+    lock_release: float = 1.0
+    #: one spin-loop iteration while waiting
+    spin: float = 1.0
+    #: splicing an item out of / into the OM list (delete+insert pair)
+    om_move: float = 5.0
+    #: one OM relabel event (group split or top rebalance)
+    om_relabel: float = 25.0
+    #: updating the adjacency structure for one edge
+    graph_mutate: float = 2.0
+    #: fixed per-edge dispatch overhead
+    edge_overhead: float = 3.0
+    #: reading/updating one scalar counter (core, mcd, d_out, t)
+    counter_op: float = 0.5
+    #: ablation knob: model the lock-all-neighbors design the paper argues
+    #: against — every neighbor touched during a scan pays an extra
+    #: acquire+release pair (a *lower bound* on the real penalty, since it
+    #: ignores the extra contention those locks would add)
+    neighbor_locking: bool = False
+
+    def scan(self, degree: int) -> float:
+        """Cost of scanning a ``degree``-sized neighborhood."""
+        return self.per_neighbor() * degree
+
+    def per_neighbor(self) -> float:
+        """Cost of touching one adjacency entry, including the ablation's
+        per-neighbor locking penalty when enabled."""
+        extra = (self.lock_acquire + self.lock_release) if self.neighbor_locking else 0.0
+        return self.adj_scan + extra

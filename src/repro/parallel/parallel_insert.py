@@ -1,0 +1,271 @@
+"""Parallel-Order edge insertion — OurI (paper Algorithm 5).
+
+Worker coroutine for the simulated/threaded machine.  Faithful points:
+
+* **lines 1-2** — the edge's endpoints are locked *together* (try-both,
+  full back-off — no hold-and-wait) and the orientation re-checked after
+  locking, because other workers may have flipped the k-order in between.
+* **line 9** — the candidate in-degree ``d_in*`` of a dequeued vertex is
+  *computed on use* by scanning its predecessors against this worker's
+  private ``V*`` (unlike the sequential OI, which increments it in
+  Forward), so unlocked successors never carry worker-private counters.
+* **locking discipline** — only vertices entering ``V+`` are ever locked
+  (the paper's headline design: neighbors stay unlocked).  Propagation
+  locks are taken in k-order via the version-stamped queue, which is the
+  deadlock-freedom argument of Appendix C: a worker whose candidate set
+  would cross a vertex locked by another worker necessarily *blocks on
+  that vertex first*, so Backward can never re-thread a vertex across a
+  locked one.
+* **dequeue** (Algorithm 13) — conditionally lock the recorded front with
+  ``core == K`` (skip promoted vertices), then verify its status counter;
+  a mismatch means it was re-threaded while queued: unlock, mark the
+  queue version stale, re-snapshot (Algorithm 11) and retry.
+* **end phase** — each surviving candidate is promoted with a single
+  status window (delete + core bump + splice at the head of O_{K+1}),
+  its ``d_out^+`` recomputed against the new order with concurrent-safe
+  comparisons, and the affected mcd caches invalidated.
+
+All shared-counter writes target locked vertices only; all reads of
+unlocked vertices (core numbers during Forward, order comparisons during
+scans) are the benign races the paper's Appendix C argues safe — the
+random-schedule differential tests exercise them heavily.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Set
+
+from repro.core.state import InsertStats, OrderState
+from repro.parallel.costs import CostModel
+from repro.parallel.pqueue import VersionedPQ
+from repro.parallel.runtime import cond_acquire, lock_pair, release_all
+
+Vertex = Hashable
+
+__all__ = ["insert_edge_par", "insert_worker"]
+
+
+def _relabel_count(state: OrderState) -> int:
+    om = state.korder.om
+    return om.n_splits + om.n_rebalances
+
+
+def insert_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
+    """Generator implementing InsertEdge_p for one edge.  Returns
+    :class:`InsertStats` (via StopIteration value / ``yield from``)."""
+    graph, ko = state.graph, state.korder
+    yield ("tick", C.edge_overhead)
+
+    # --- lines 1-2: lock the endpoints together, in k-order -----------
+    while True:
+        if ko.precedes_concurrent(a, b):
+            u, v = a, b
+        else:
+            u, v = b, a
+        yield ("tick", C.order_cmp)
+        yield from lock_pair(u, v)
+        yield ("tick", C.order_cmp)
+        if ko.precedes(v, u):  # flipped before we got the locks: redo
+            yield ("release", u)
+            yield ("release", v)
+            yield ("spin",)
+            continue
+        break
+    locked: Set[Vertex] = {u, v}
+    K = ko.core[u]
+
+    # --- lines 3-4: insert the edge, charge u's d_out^+ ---------------
+    # (a scan is only paid when the lazy d_out must actually be
+    # rematerialized; the common case is a cached counter bump, as in the
+    # paper where d_out^+ is a maintained field)
+    if state.d_out.get(u) is None:
+        yield ("tick", C.scan(graph.degree(u)))
+    du = state.ensure_d_out(u) + 1
+    graph.add_edge(u, v)
+    if state.mcd.get(u) is not None and ko.core[v] >= K:
+        state.mcd[u] += 1  # type: ignore[operator]
+    if state.mcd.get(v) is not None and K >= ko.core[v]:
+        state.mcd[v] += 1  # type: ignore[operator]
+    state.d_out[u] = du
+    yield ("tick", C.graph_mutate + C.counter_op)
+
+    # --- lines 5-6 -----------------------------------------------------
+    yield ("release", v)
+    locked.discard(v)
+    stats = InsertStats()
+    if du <= K:
+        yield ("release", u)
+        return stats
+
+    # --- lines 7-13: propagate in k-order ------------------------------
+    pq = VersionedPQ(ko, K)
+    d_in: Dict[Vertex, int] = {}
+    v_star: Dict[Vertex, None] = {}
+    v_plus: Set[Vertex] = set()
+
+    def forward(w: Vertex):
+        """Algorithm 5 lines 18-21 (w locked)."""
+        v_star[w] = None
+        v_plus.add(w)
+        for x in list(graph.neighbors(w)):
+            yield ("tick", C.per_neighbor() + C.order_cmp)
+            # benign racy read of an unlocked neighbor's core; the
+            # dequeuer's conditional lock re-validates it
+            if ko.core.get(x) == K and ko.precedes_concurrent(w, x):
+                if x not in pq:
+                    pq.enqueue(x)
+                    yield ("tick", C.heap_op)
+
+    def do_pre(w: Vertex, r: deque, in_r: Set[Vertex]):
+        """Algorithm 5 lines 32-35."""
+        for x in list(graph.neighbors(w)):
+            yield ("tick", C.per_neighbor() + C.order_cmp)
+            if x in v_star and ko.precedes_concurrent(x, w):
+                state.d_out[x] -= 1  # type: ignore[operator]
+                if d_in.get(x, 0) + state.d_out[x] <= K and x not in in_r:
+                    r.append(x)
+                    in_r.add(x)
+
+    def do_post(w: Vertex, r: deque, in_r: Set[Vertex]):
+        """Algorithm 5 lines 36-40."""
+        for x in list(graph.neighbors(w)):
+            yield ("tick", C.per_neighbor() + C.order_cmp)
+            if (
+                x in v_star
+                and d_in.get(x, 0) > 0
+                and ko.precedes_concurrent(w, x)
+            ):
+                d_in[x] -= 1
+                if d_in[x] + state.d_out[x] <= K and x not in in_r:
+                    r.append(x)
+                    in_r.add(x)
+
+    def backward(w: Vertex):
+        """Algorithm 5 lines 22-31 (w and every re-threaded vertex are
+        locked by this worker)."""
+        v_plus.add(w)
+        anchor = w
+        r: deque = deque()
+        in_r: Set[Vertex] = set()
+        yield from do_pre(w, r, in_r)
+        state.d_out[w] += d_in.get(w, 0)  # type: ignore[operator]
+        d_in[w] = 0
+        yield ("tick", C.counter_op)
+        while r:
+            x = r.popleft()
+            in_r.discard(x)
+            del v_star[x]
+            yield from do_pre(x, r, in_r)
+            yield from do_post(x, r, in_r)
+            before = _relabel_count(state)
+            ko.move_after_vertex(anchor, x)
+            yield (
+                "tick",
+                C.om_move + (_relabel_count(state) - before) * C.om_relabel,
+            )
+            anchor = x
+            state.d_out[x] += d_in.get(x, 0)  # type: ignore[operator]
+            d_in[x] = 0
+            yield ("tick", C.counter_op)
+
+    def dequeue():
+        """Algorithm 13: lock-and-validate the queue front in k-order."""
+        while len(pq):
+            if pq.ver is None:
+                nrec = pq.update_version()
+                yield ("tick", C.heap_op * max(1, nrec))
+            w = pq.front()
+            if w is None:
+                return None
+            if w in locked:
+                # Re-processing one of our own V+ vertices (re-enqueued by
+                # a later Forward); it is already locked and under our
+                # control, so no CAS / status dance is needed.
+                pq.remove(w)
+                yield ("tick", C.heap_op)
+                return w
+            got = yield from cond_acquire(w, lambda ww=w: ko.core[ww] == K)
+            if not got:
+                pq.remove(w)  # promoted meanwhile; skip (Alg. 13 line 5)
+                yield ("tick", C.heap_op)
+                continue
+            if ko.status(w) != pq.recorded_status(w):
+                # re-threaded while queued: stale order; re-version
+                yield ("release", w)
+                pq.ver = None
+                continue
+            pq.remove(w)
+            yield ("tick", C.heap_op)
+            locked.add(w)
+            return w
+        return None
+
+    w: Vertex = u
+    while w is not None:
+        # line 9: compute d_in* on use
+        din = 0
+        for x in list(graph.neighbors(w)):
+            yield ("tick", C.per_neighbor() + C.order_cmp)
+            if x in v_star and ko.precedes_concurrent(x, w):
+                din += 1
+        d_in[w] = din
+        if state.d_out.get(w) is None:
+            yield ("tick", C.scan(graph.degree(w)))
+        dw = state.ensure_d_out(w)
+        yield ("tick", C.counter_op)
+        if din + dw > K:
+            yield from forward(w)
+        elif din > 0:
+            yield from backward(w)
+        elif w not in v_plus:
+            yield ("release", w)  # line 11: cannot be in V+
+            locked.discard(w)
+        # else: a re-processed V+ vertex with no current candidate
+        # predecessors — keep it locked until the end phase.
+        w = yield from dequeue()
+
+    # --- lines 14-17: ending phase --------------------------------------
+    winners: List[Vertex] = list(v_star)
+    stats.v_star = winners
+    stats.v_plus = list(v_plus)
+    prev = None
+    for x in winners:
+        d_in[x] = 0
+        before = _relabel_count(state)
+        if prev is None:
+            ko.promote_head(x, K + 1)
+        else:
+            ko.promote_after(prev, x, K + 1)
+        prev = x
+        yield (
+            "tick",
+            C.om_move + C.counter_op + (_relabel_count(state) - before) * C.om_relabel,
+        )
+    for x in winners:
+        # d_out^+ recompute against the new order (w locked; neighbors
+        # compared with the Algorithm 4 protocol)
+        cnt = 0
+        for y in list(graph.neighbors(x)):
+            yield ("tick", C.per_neighbor() + C.order_cmp)
+            if ko.precedes_concurrent(x, y):
+                cnt += 1
+        state.d_out[x] = cnt
+        state.mcd[x] = None
+        for y in graph.neighbors(x):
+            state.mcd[y] = None
+        yield ("tick", C.counter_op)
+    yield from release_all(locked)
+    return stats
+
+
+def insert_worker(
+    state: OrderState,
+    edges: Iterable[tuple],
+    C: CostModel,
+    out: List[InsertStats],
+):
+    """DoInsert_p (Algorithm 3): process this worker's share of ΔE."""
+    for a, b in edges:
+        stats = yield from insert_edge_par(state, a, b, C)
+        out.append(stats)

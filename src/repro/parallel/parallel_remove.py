@@ -1,0 +1,180 @@
+"""Parallel-Order edge removal — OurR (paper Algorithm 6).
+
+Worker coroutine for the simulated/threaded machine.  Faithful points:
+
+* **conditional locks** (Algorithm 2) everywhere: a propagation only waits
+  on a neighbor while that neighbor still has core ``K``; the moment
+  another worker drops it to ``K-1`` the waiter gives up — this is the
+  deadlock-freedom mechanism of Appendix D (two workers whose propagation
+  fronts meet each stop at the other's already-dropped vertices).
+* **the ``t`` status protocol** — a dropped vertex carries
+  ``t = 2`` (queued) → ``1`` (propagating) → ``0`` (done); a concurrent
+  ``CheckMCD`` that counted a ``t = 1`` vertex as still-pending support
+  CASes it to ``3``, forcing the owner to re-scan its neighborhood
+  (``A_p`` suppresses re-visiting) so the count is eventually repaid.
+* **CheckMCD without neighbor locks** — the paper's headline: mcd is
+  recomputed from racy reads of neighbor cores plus the ``t`` protocol,
+  never by locking the neighborhood.
+* **mcd laziness** — a dropped vertex's mcd is wiped (``∅``) and only
+  recomputed on demand, possibly by a different worker in a later
+  operation.
+
+Unlike insertion, removal never consults the k-order during propagation;
+dropped vertices are unlinked from the order at drop time and appended to
+the tail of ``O_{K-1}`` in the end phase (insertions never run
+concurrently with removals — paper Section 4 — so a temporarily unlinked
+vertex is never compared against).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, List, Set
+
+from repro.core.state import OrderState, RemoveStats
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import cond_acquire, lock_pair, release_all
+
+Vertex = Hashable
+
+__all__ = ["remove_edge_par", "remove_worker"]
+
+
+def _relabel_count(state: OrderState) -> int:
+    om = state.korder.om
+    return om.n_splits + om.n_rebalances
+
+
+def remove_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
+    """Generator implementing RemoveEdge_p for one edge.  Returns
+    :class:`RemoveStats`."""
+    graph, ko = state.graph, state.korder
+    yield ("tick", C.edge_overhead)
+
+    # --- line 1: lock the endpoints together ---------------------------
+    yield from lock_pair(a, b)
+    locked: Set[Vertex] = {a, b}
+    ca, cb = ko.core[a], ko.core[b]
+    K = min(ca, cb)
+
+    stats = RemoveStats()
+    r: deque = deque()
+    v_star: List[Vertex] = []
+
+    # ------------------------------------------------------------------
+    def check_mcd(x: Vertex, visitor):
+        """CheckMCD_p (Algorithm 6 lines 26-34): materialize mcd[x] from
+        unlocked neighbor reads + the t protocol.  x is locked by us."""
+        if state.mcd.get(x) is not None:
+            return
+        cu = ko.core[x]
+        cnt = 0
+        for y in list(graph.neighbors(x)):
+            yield ("tick", C.per_neighbor() + C.counter_op)
+            cy = ko.core.get(y, 0)
+            if cy >= cu:
+                cnt += 1
+            elif cy == cu - 1:
+                ty = state.t.get(y, 0)
+                if ty > 0:
+                    cnt += 1
+                    if y != visitor and ty == 1:
+                        # CAS(y.t, 1, 3): force y's owner to re-propagate
+                        # so the support we just counted gets repaid.
+                        state.t_cas(y, 1, 3)
+                    if state.t.get(y, 0) == 0:
+                        cnt -= 1  # dropped to done mid-read (threads only)
+        state.mcd[x] = cnt
+
+    def drop(x: Vertex) -> float:
+        """DoMCD success branch: core K -> K-1 with t=2, and the move to
+        the tail of O_{K-1} *at drop time* (causally ordered across
+        workers — see KOrder.demote_tail).  Returns the relabel cost."""
+        before = _relabel_count(state)
+        # t is published *before* the core drop so concurrent CheckMCD
+        # readers never observe (core=K-1, t=0) for an unfinished drop.
+        state.t[x] = 2
+        ko.demote_tail(x, K - 1)
+        state.mcd[x] = None
+        r.append(x)
+        v_star.append(x)
+        return C.om_move + (_relabel_count(state) - before) * C.om_relabel
+
+    def do_mcd(x: Vertex):
+        """DoMCD_p (Algorithm 6 lines 19-25): x locked, loses one support."""
+        state.mcd[x] -= 1  # type: ignore[operator]
+        yield ("tick", C.counter_op)
+        if state.mcd[x] < K:  # type: ignore[operator]
+            cost = drop(x)
+            yield ("tick", cost)
+        else:
+            yield ("release", x)
+            locked.discard(x)
+
+    # --- lines 2-7: seed from the endpoints ----------------------------
+    yield from check_mcd(a, None)
+    yield from check_mcd(b, None)
+    # d_out^+ upkeep for the removed edge (both endpoints locked, so the
+    # order comparison is stable); laziness tolerates unknown values.
+    first = a if ko.precedes(a, b) else b
+    if state.d_out.get(first) is not None:
+        state.d_out[first] -= 1  # type: ignore[operator]
+    yield ("tick", C.order_cmp + C.counter_op)
+    graph.remove_edge(a, b)
+    yield ("tick", C.graph_mutate)
+    for x in (a, b):
+        if ko.core[x] == K:
+            # the other endpoint had core >= K, so it supported x
+            yield from do_mcd(x)
+        else:
+            yield ("release", x)
+            locked.discard(x)
+
+    # --- lines 8-16: propagate ------------------------------------------
+    while r:
+        w = r.popleft()
+        a_set: Set[Vertex] = set()
+        while True:
+            state.t_add(w, -1)  # line 10 (2->1, or 2->1 again after a CAS)
+            yield ("tick", C.counter_op)
+            for x in list(graph.neighbors(w)):
+                yield ("tick", C.per_neighbor())
+                if x in a_set or ko.core.get(x) != K:
+                    continue
+                got = yield from cond_acquire(x, lambda xx=x: ko.core[xx] == K)
+                if not got:
+                    continue  # dropped by another worker meanwhile
+                locked.add(x)
+                yield from check_mcd(x, w)
+                yield from do_mcd(x)
+                a_set.add(x)
+            if state.t_add(w, -1) <= 0:  # line 15 (1->0, or 3->2 when CASed)
+                yield ("tick", C.counter_op)
+                break  # done; t stays 0
+            yield ("tick", C.counter_op)
+
+    # --- end phase (the O_{K-1} appends already happened at drop time) ---
+    for w in v_star:
+        # d_out^+ of dropped vertices and their level-K neighbors depends
+        # on the new positions: invalidate (lazy recompute under lock by
+        # whichever insertion needs it next).
+        state.d_out[w] = None
+        for x in list(graph.neighbors(w)):
+            yield ("tick", C.per_neighbor())
+            if ko.core.get(x) == K:
+                state.d_out[x] = None
+    stats.v_star = v_star
+    yield from release_all(locked)
+    return stats
+
+
+def remove_worker(
+    state: OrderState,
+    edges: Iterable[tuple],
+    C: CostModel,
+    out: List[RemoveStats],
+):
+    """DoRemove_p (Algorithm 3's removal counterpart)."""
+    for a, b in edges:
+        stats = yield from remove_edge_par(state, a, b, C)
+        out.append(stats)

@@ -1,0 +1,265 @@
+"""Discrete-event simulated multicore machine.
+
+Workers are Python generators that *yield events* and receive results via
+``send``:
+
+===================  =======================  ==========================
+yield                 meaning                  value sent back
+===================  =======================  ==========================
+``("tick", c)``       compute for c units      ``None``
+``("try", key)``      CAS-acquire lock *key*   ``True``/``False``
+``("release", key)``  release lock *key*       ``None``
+``("spin",)``         one busy-wait iteration  ``None``
+===================  =======================  ==========================
+
+The scheduler always advances the runnable worker with the smallest local
+clock (a conservative discrete-event simulation), so shared-state mutation
+inside a single step is atomic — the simulated analogue of a CAS — while
+anything spanning two yields can interleave with other workers.  That is
+exactly the granularity at which the paper's locking protocol has to work,
+and it makes logical races (stale reads across steps) reproducible and
+testable instead of timing-dependent.
+
+Locks are pure spin locks (the paper builds everything from CAS,
+Algorithm 2); blocked workers burn ``spin`` events.  Livelock/deadlock is
+detected by watching for a long window with no lock-state change while
+waiters exist.
+
+A ``schedule="random"`` policy (seeded) replaces min-clock selection with
+uniform random choice among runnable workers, exploring far more
+interleavings for correctness tests; makespans are only meaningful under
+``min-clock``.
+
+The helper generators :func:`lock_pair` and :func:`cond_acquire` implement
+the paper's "lock u and v together when both are not locked" and the
+conditional lock of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Hashable, List, Optional, Tuple
+
+from repro.parallel.costs import CostModel
+
+Key = Hashable
+Event = Tuple
+
+__all__ = [
+    "SimMachine",
+    "SimReport",
+    "SimDeadlockError",
+    "lock_pair",
+    "cond_acquire",
+    "release_all",
+]
+
+
+class SimDeadlockError(RuntimeError):
+    """Raised when no worker can make progress (all spinning/blocked)."""
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated run."""
+
+    makespan: float = 0.0           # max worker clock = parallel time
+    worker_clocks: List[float] = field(default_factory=list)
+    total_work: float = 0.0         # sum of tick costs = sequential work
+    spin_time: float = 0.0          # total time burnt busy-waiting
+    lock_acquires: int = 0
+    lock_failures: int = 0          # failed CAS attempts
+    events: int = 0
+
+    @property
+    def speedup_vs_work(self) -> float:
+        """``total_work / makespan``: how well the run used its workers."""
+        return self.total_work / self.makespan if self.makespan else 1.0
+
+
+class _Lock:
+    __slots__ = ("holder",)
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+
+
+class SimMachine:
+    """The simulated multicore.  See module docstring.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of parallel workers ``P``.
+    costs:
+        The :class:`CostModel` used to charge ``tick``/lock events.
+    schedule:
+        ``"min-clock"`` (timing-faithful, deterministic) or ``"random"``
+        (seeded stress scheduling for correctness tests).
+    seed:
+        Seed for the random schedule.
+    max_stall_events:
+        Progress window for livelock detection: if this many consecutive
+        events happen with at least one lock held and no lock state
+        change, a :class:`SimDeadlockError` is raised.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        costs: Optional[CostModel] = None,
+        schedule: str = "min-clock",
+        seed: int = 0,
+        max_stall_events: int = 200_000,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if schedule not in ("min-clock", "random"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self.num_workers = num_workers
+        self.costs = costs or CostModel()
+        self.schedule = schedule
+        self.seed = seed
+        self.max_stall_events = max_stall_events
+
+    # ------------------------------------------------------------------
+    def run(
+        self, worker_bodies: List[Generator[Event, object, None]]
+    ) -> SimReport:
+        """Drive the given worker generators to completion.
+
+        ``worker_bodies`` may be shorter than ``num_workers`` (idle workers
+        contribute nothing); longer is an error.
+        """
+        if len(worker_bodies) > self.num_workers:
+            raise ValueError(
+                f"{len(worker_bodies)} bodies for {self.num_workers} workers"
+            )
+        C = self.costs
+        rng = random.Random(self.seed)
+        report = SimReport()
+        gens = list(worker_bodies)
+        n = len(gens)
+        clocks = [0.0] * n
+        done = [False] * n
+        sendvals: List[object] = [None] * n
+        locks: Dict[Key, _Lock] = {}
+        stall = 0  # events since last lock-state change
+
+        def lock_of(key: Key) -> _Lock:
+            lk = locks.get(key)
+            if lk is None:
+                lk = locks[key] = _Lock()
+            return lk
+
+        while True:
+            runnable = [i for i in range(n) if not done[i]]
+            if not runnable:
+                break
+            if self.schedule == "random":
+                wid = runnable[rng.randrange(len(runnable))]
+            else:
+                wid = min(runnable, key=lambda i: (clocks[i], i))
+            gen = gens[wid]
+            val, sendvals[wid] = sendvals[wid], None
+            try:
+                ev = gen.send(val)
+            except StopIteration:
+                done[wid] = True
+                continue
+            report.events += 1
+            stall += 1
+            kind = ev[0]
+            if kind == "tick":
+                cost = ev[1]
+                clocks[wid] += cost
+                report.total_work += cost
+            elif kind == "try":
+                lk = lock_of(ev[1])
+                if lk.holder is None:
+                    lk.holder = wid
+                    clocks[wid] += C.lock_acquire
+                    report.total_work += C.lock_acquire
+                    report.lock_acquires += 1
+                    sendvals[wid] = True
+                    stall = 0
+                else:
+                    if lk.holder == wid:
+                        raise RuntimeError(
+                            f"worker {wid} re-acquiring its own lock {ev[1]!r}"
+                        )
+                    clocks[wid] += C.cas_fail
+                    report.lock_failures += 1
+                    sendvals[wid] = False
+            elif kind == "release":
+                lk = lock_of(ev[1])
+                if lk.holder != wid:
+                    raise RuntimeError(
+                        f"worker {wid} releasing lock {ev[1]!r} held by {lk.holder}"
+                    )
+                lk.holder = None
+                clocks[wid] += C.lock_release
+                report.total_work += C.lock_release
+                stall = 0
+            elif kind == "spin":
+                clocks[wid] += C.spin
+                report.spin_time += C.spin
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown event {ev!r} from worker {wid}")
+
+            if stall > self.max_stall_events and any(
+                lk.holder is not None for lk in locks.values()
+            ):
+                holders = {
+                    k: lk.holder for k, lk in locks.items() if lk.holder is not None
+                }
+                raise SimDeadlockError(
+                    f"no lock-state change in {stall} events; "
+                    f"held locks: {holders}"
+                )
+
+        report.worker_clocks = clocks
+        report.makespan = max(clocks, default=0.0)
+        return report
+
+
+# ----------------------------------------------------------------------
+# lock protocol helpers (shared by the sim and thread drivers)
+# ----------------------------------------------------------------------
+def lock_pair(x: Key, y: Key):
+    """Acquire two locks "together when both are not locked"
+    (Algorithm 5/6 line 1): try-lock both, back off completely on failure.
+    No hold-and-wait, hence no deadlock through this path."""
+    while True:
+        ok = yield ("try", x)
+        if ok:
+            ok2 = yield ("try", y)
+            if ok2:
+                return
+            yield ("release", x)
+        yield ("spin",)
+
+
+def cond_acquire(key: Key, cond: Callable[[], bool]):
+    """The conditional lock of Algorithm 2.
+
+    Spin until either the condition is false (return ``False`` without the
+    lock) or the lock is taken with the condition still true (``True``).
+    A lock acquired under a now-false condition is released immediately.
+    """
+    while cond():
+        ok = yield ("try", key)
+        if ok:
+            if cond():
+                return True
+            yield ("release", key)
+            return False
+        yield ("spin",)
+    return False
+
+
+def release_all(keys):
+    """Release every lock in ``keys`` (end-of-operation cleanup)."""
+    for k in keys:
+        yield ("release", k)

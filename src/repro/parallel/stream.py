@@ -1,0 +1,148 @@
+"""Stream driver: feed a mixed +/- edge stream through parallel batches.
+
+The paper's batch algorithms require homogeneous batches (all insertions
+or all removals — Algorithm 3's note that the two never run concurrently).
+Real streams interleave both.  :class:`StreamProcessor` bridges the gap:
+it buffers operations, cuts the stream into maximal homogeneous runs
+(preserving order between a removal and a later insertion of the same
+edge, and vice versa), and executes each run as one parallel batch.
+
+Duplicate-within-run operations are coalesced: inserting an edge already
+queued for insertion is dropped; removing an edge queued for insertion
+cancels both (the paper's preprocessing would do the same).
+
+>>> from repro import DynamicGraph
+>>> from repro.parallel.stream import StreamProcessor
+>>> sp = StreamProcessor(DynamicGraph([(0, 1), (1, 2)]), num_workers=4)
+>>> sp.insert(0, 2)
+>>> sp.remove(0, 1)
+>>> reports = sp.flush()
+>>> sp.core(2)
+1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.parallel.batch import BatchResult, ParallelOrderMaintainer
+from repro.parallel.costs import CostModel
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["StreamProcessor"]
+
+
+class StreamProcessor:
+    """Buffers a mixed edge stream and applies it as homogeneous parallel
+    batches through a :class:`ParallelOrderMaintainer`.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (ownership transfers to the maintainer).
+    num_workers, costs, schedule, seed:
+        Forwarded to the parallel maintainer.
+    max_batch:
+        Auto-flush threshold: a pending run reaching this size is executed
+        immediately (keeps latency bounded on long streams).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        num_workers: int = 4,
+        costs: Optional[CostModel] = None,
+        schedule: str = "min-clock",
+        seed: int = 0,
+        max_batch: int = 10_000,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.maintainer = ParallelOrderMaintainer(
+            graph, num_workers=num_workers, costs=costs,
+            schedule=schedule, seed=seed,
+        )
+        self.max_batch = max_batch
+        self._pending_kind: Optional[str] = None  # "+" | "-"
+        self._pending: Dict[Edge, None] = {}
+        self._reports: List[BatchResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.maintainer.graph
+
+    def core(self, u: Vertex) -> int:
+        """Core number of ``u`` (pending operations NOT yet applied —
+        call :meth:`flush` first for exact answers)."""
+        return self.maintainer.core(u)
+
+    def cores(self) -> Dict[Vertex, int]:
+        return self.maintainer.cores()
+
+    def pending(self) -> int:
+        """Number of buffered, un-flushed operations."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def insert(self, u: Vertex, v: Vertex) -> None:
+        """Queue an edge insertion."""
+        self._push("+", u, v)
+
+    def remove(self, u: Vertex, v: Vertex) -> None:
+        """Queue an edge removal."""
+        self._push("-", u, v)
+
+    def _push(self, kind: str, u: Vertex, v: Vertex) -> None:
+        if u == v:
+            raise ValueError(f"self-loop: {u!r}")
+        e = canonical_edge(u, v)
+        if self._pending_kind not in (None, kind):
+            if e in self._pending:
+                # opposite op on a queued edge cancels both: the edge
+                # returns to its pre-queue state
+                del self._pending[e]
+                if not self._pending:
+                    self._pending_kind = None
+                return
+            self._flush_pending()
+        self._pending_kind = kind
+        if e in self._pending:
+            return  # duplicate same-kind op coalesces
+        # validate against the post-flush graph state
+        has = self.graph.has_edge(*e)
+        if kind == "+" and has:
+            raise ValueError(f"edge already present: {e!r}")
+        if kind == "-" and not has:
+            raise KeyError(f"edge not present: {e!r}")
+        self._pending[e] = None
+        if len(self._pending) >= self.max_batch:
+            self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        if not self._pending:
+            return
+        batch = list(self._pending)
+        kind = self._pending_kind
+        self._pending.clear()
+        self._pending_kind = None
+        if kind == "+":
+            self._reports.append(self.maintainer.insert_edges(batch))
+        else:
+            self._reports.append(self.maintainer.remove_edges(batch))
+
+    def flush(self) -> List[BatchResult]:
+        """Apply everything buffered; return (and clear) the accumulated
+        batch reports since the last flush."""
+        self._flush_pending()
+        out = self._reports
+        self._reports = []
+        return out
+
+    def check(self) -> None:
+        """Flush, then assert all invariants."""
+        self.flush()
+        self.maintainer.check()

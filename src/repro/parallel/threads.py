@@ -1,0 +1,191 @@
+"""Real-thread backend: validate the synchronization protocol under
+genuine preemption.
+
+The exact same worker generators that run on the simulated machine are
+driven here by ``threading.Thread``s: ``("try", key)`` maps to a
+non-blocking ``threading.Lock`` acquire, ``("spin",)`` to a scheduler
+yield, ``("tick", _)`` to nothing.  The GIL removes any wall-clock speedup
+(the reproduction gate), but it does NOT serialize logical interleavings —
+threads preempt between bytecodes, so stale reads, order flips between
+lock attempts, t-protocol races and PQ staleness all genuinely occur and
+must be survived by the paper's protocol.
+
+Three shared facilities get real mutexes (each standing in for hardware
+atomicity the C implementation gets for free):
+
+* ``KOrder.mutex`` — serializes *structural* OM splices/relabels (the
+  internal synchronization of the parallel OM structure [11]); order
+  comparisons stay lock-free via the status-counter protocol;
+* ``OrderState.t_mutex`` — makes the t-protocol's CAS/decrements atomic;
+* a registry lock for creating per-vertex locks.
+
+``DynamicGraph``'s edge counter is recomputed after the run (the counter
+increment is intentionally unsynchronized, as it is performance-neutral
+bookkeeping; adjacency-set mutations themselves are always protected by
+the endpoint locks the algorithms hold).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence
+
+from repro.core.state import InsertStats, OrderState, RemoveStats
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.parallel.costs import CostModel
+from repro.parallel.parallel_insert import insert_worker
+from repro.parallel.parallel_remove import remove_worker
+
+Key = Hashable
+
+__all__ = ["ThreadMachine", "ThreadedOrderMaintainer", "ThreadReport"]
+
+
+@dataclass
+class ThreadReport:
+    """Outcome of one threaded run (correctness-oriented; no makespan)."""
+
+    wall_s: float = 0.0
+    workers: int = 0
+    errors: List[BaseException] = field(default_factory=list)
+
+
+class ThreadMachine:
+    """Drive worker generators with real threads."""
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = num_workers
+        self._locks: Dict[Key, threading.Lock] = {}
+        self._registry = threading.Lock()
+
+    def _lock_of(self, key: Key) -> threading.Lock:
+        lk = self._locks.get(key)
+        if lk is None:
+            with self._registry:
+                lk = self._locks.setdefault(key, threading.Lock())
+        return lk
+
+    def _drive(self, gen, errors: List[BaseException]) -> None:
+        val = None
+        try:
+            while True:
+                try:
+                    ev = gen.send(val)
+                except StopIteration:
+                    return
+                kind = ev[0]
+                if kind == "tick":
+                    val = None
+                elif kind == "try":
+                    val = self._lock_of(ev[1]).acquire(blocking=False)
+                elif kind == "release":
+                    self._lock_of(ev[1]).release()
+                    val = None
+                elif kind == "spin":
+                    time.sleep(0)  # yield the GIL
+                    val = None
+                else:  # pragma: no cover - protocol error
+                    raise RuntimeError(f"unknown event {ev!r}")
+        except BaseException as exc:  # noqa: BLE001 - surface to the caller
+            errors.append(exc)
+
+    def run(self, bodies: Sequence) -> ThreadReport:
+        report = ThreadReport(workers=len(bodies))
+        threads = [
+            threading.Thread(target=self._drive, args=(gen, report.errors))
+            for gen in bodies
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        report.wall_s = time.perf_counter() - t0
+        if report.errors:
+            raise report.errors[0]
+        return report
+
+
+class ThreadedOrderMaintainer:
+    """OurI/OurR executed by real threads (protocol validation backend).
+
+    Same interface as :class:`~repro.parallel.batch.ParallelOrderMaintainer`
+    but returns :class:`ThreadReport` objects (wall time, no makespan).
+    """
+
+    def __init__(self, graph: DynamicGraph, num_workers: int = 4) -> None:
+        self.state = OrderState.from_graph(graph)
+        self.state.korder.mutex = threading.Lock()
+        self.state.t_mutex = threading.Lock()
+        self.num_workers = num_workers
+        self.costs = CostModel()
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.state.graph
+
+    def core(self, u) -> int:
+        return self.state.korder.core[u]
+
+    def cores(self) -> Dict:
+        return dict(self.state.korder.core)
+
+    def check(self) -> None:
+        self.state.check_invariants()
+
+    # ------------------------------------------------------------------
+    def _partition(self, edges):
+        from repro.parallel.batch import partition_batch
+
+        return partition_batch(list(edges), self.num_workers)
+
+    def _fix_edge_counter(self) -> None:
+        g = self.state.graph
+        g._num_edges = sum(len(g.neighbors(u)) for u in g.vertices()) // 2
+
+    def _validate(self, edges, inserting: bool) -> None:
+        seen = set()
+        g = self.state.graph
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop in batch: {u!r}")
+            e = canonical_edge(u, v)
+            if e in seen:
+                raise ValueError(f"duplicate edge in batch: {e!r}")
+            seen.add(e)
+            if inserting and g.has_edge(u, v):
+                raise ValueError(f"edge already in graph: {e!r}")
+            if not inserting and not g.has_edge(u, v):
+                raise KeyError(f"edge not in graph: {e!r}")
+
+    def insert_edges(self, edges) -> ThreadReport:
+        edges = list(edges)
+        self._validate(edges, inserting=True)
+        for u, v in edges:
+            self.state.ensure_vertex(u)
+            self.state.ensure_vertex(v)
+        outs: List[List[InsertStats]] = []
+        bodies = []
+        for chunk in self._partition(edges):
+            out: List[InsertStats] = []
+            outs.append(out)
+            bodies.append(insert_worker(self.state, chunk, self.costs, out))
+        report = ThreadMachine(self.num_workers).run(bodies)
+        self._fix_edge_counter()
+        return report
+
+    def remove_edges(self, edges) -> ThreadReport:
+        edges = list(edges)
+        self._validate(edges, inserting=False)
+        outs: List[List[RemoveStats]] = []
+        bodies = []
+        for chunk in self._partition(edges):
+            out: List[RemoveStats] = []
+            outs.append(out)
+            bodies.append(remove_worker(self.state, chunk, self.costs, out))
+        report = ThreadMachine(self.num_workers).run(bodies)
+        self._fix_edge_counter()
+        return report

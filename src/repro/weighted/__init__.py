@@ -1,0 +1,32 @@
+"""Weighted-graph core maintenance — the paper's stated extension.
+
+The paper's conclusion ("the proposed parallel methodology can be applied
+to other graphs, e.g. weighted graphs") and its related-work discussion of
+Zhou et al. motivate this subpackage: for an edge-weighted graph the
+degree of a vertex is the *sum of the weights* of its incident edges
+(paper Section 2), the weighted core number generalizes accordingly, and
+— as the paper notes — maintenance faces "a large search range ... as the
+degree of a related vertex may change widely": one weight-w edge can move
+core numbers by up to w, not 1.
+
+* :mod:`repro.weighted.graph` — weighted dynamic graph (positive integer
+  weights).
+* :mod:`repro.weighted.decomposition` — weighted BZ peeling.
+* :mod:`repro.weighted.maintenance` — incremental maintenance via
+  band-bounded region recomputation: a weight-w change can only move
+  cores within the band ``[K, K+w)`` (insert) / ``(K-w, K]`` (remove),
+  and only for vertices band-connected to the endpoints, so the repair
+  re-peels just that region against a pinned boundary.
+"""
+
+from repro.weighted.graph import WeightedDynamicGraph
+from repro.weighted.decomposition import weighted_core_decomposition
+from repro.weighted.maintenance import WeightedCoreMaintainer
+from repro.weighted.parallel import ParallelWeightedMaintainer
+
+__all__ = [
+    "WeightedDynamicGraph",
+    "weighted_core_decomposition",
+    "WeightedCoreMaintainer",
+    "ParallelWeightedMaintainer",
+]

@@ -1,0 +1,53 @@
+"""Weighted core decomposition: BZ peeling on weighted degrees.
+
+The weighted core number of ``u`` is the largest ``t`` such that ``u``
+belongs to an induced subgraph in which every vertex has *weighted*
+degree >= t (Zhou et al.'s weighted coreness; with all weights 1 it is
+exactly the ordinary core number, which the tests verify).
+
+Peeling generalizes directly: repeatedly extract the vertex with minimum
+current weighted degree ``d``; its core is ``max(core so far, d)``;
+removing it subtracts the edge weight (not 1) from each neighbor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+from repro.weighted.graph import WeightedDynamicGraph
+
+Vertex = Hashable
+
+__all__ = ["weighted_core_decomposition"]
+
+
+def weighted_core_decomposition(
+    graph: WeightedDynamicGraph,
+) -> Tuple[Dict[Vertex, int], List[Vertex]]:
+    """Return ``(core, peel_order)`` for the weighted graph."""
+    d: Dict[Vertex, int] = {
+        u: graph.weighted_degree(u) for u in graph.vertices()
+    }
+    index = {u: i for i, u in enumerate(graph.vertices())}
+    heap = [(d[u], index[u], u) for u in d]
+    heapq.heapify(heap)
+    removed = set()
+    core: Dict[Vertex, int] = {}
+    order: List[Vertex] = []
+    k = 0
+    while heap:
+        du, _i, u = heapq.heappop(heap)
+        if u in removed or du != d[u]:
+            continue
+        removed.add(u)
+        k = max(k, d[u])
+        core[u] = k
+        order.append(u)
+        for v, w in graph.neighbors(u).items():
+            if v not in removed and d[v] > d[u]:
+                # clamp at the peeling threshold, as in unweighted BZ:
+                # support below the current level is irrelevant
+                d[v] = max(d[u], d[v] - w)
+                heapq.heappush(heap, (d[v], index[v], v))
+    return core, order

@@ -1,0 +1,116 @@
+"""Edge-weighted undirected dynamic graph.
+
+Weights are positive integers (as in Zhou et al.'s weighted-core work;
+integer weights keep the peeling thresholds discrete).  The weighted
+degree of a vertex is the sum of its incident weights — the degree notion
+the paper's Section 2 describes for weighted graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Tuple
+
+Vertex = Hashable
+WeightedEdge = Tuple[Vertex, Vertex, int]
+
+__all__ = ["WeightedDynamicGraph"]
+
+
+class WeightedDynamicGraph:
+    """Undirected simple graph with positive integer edge weights."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Iterable[WeightedEdge] | None = None) -> None:
+        self._adj: Dict[Vertex, Dict[Vertex, int]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v, w in edges:
+                if not self.has_edge(u, v):
+                    self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Each undirected weighted edge once (canonical orientation)."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                key = (u, v) if repr(u) <= repr(v) else (v, u)
+                if key not in seen:
+                    seen.add(key)
+                    yield (*key, w)
+
+    def neighbors(self, u: Vertex) -> Dict[Vertex, int]:
+        """Live mapping ``neighbor -> weight``."""
+        return self._adj[u]
+
+    def degree(self, u: Vertex) -> int:
+        """Number of incident edges (unweighted degree)."""
+        return len(self._adj[u])
+
+    def weighted_degree(self, u: Vertex) -> int:
+        """Sum of incident weights — the paper's weighted-graph degree."""
+        return sum(self._adj[u].values())
+
+    def weight(self, u: Vertex, v: Vertex) -> int:
+        return self._adj[u][v]
+
+    def has_vertex(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, u: Vertex) -> None:
+        if u not in self._adj:
+            self._adj[u] = {}
+
+    def add_edge(self, u: Vertex, v: Vertex, w: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loop not allowed: {u!r}")
+        if not isinstance(w, int) or w < 1:
+            raise ValueError(f"weight must be a positive integer, got {w!r}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            raise ValueError(f"edge already present: ({u!r}, {v!r})")
+        self._adj[u][v] = w
+        self._adj[v][u] = w
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> int:
+        """Remove the edge and return its weight."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge not present: ({u!r}, {v!r})")
+        w = self._adj[u].pop(v)
+        self._adj[v].pop(u)
+        self._num_edges -= 1
+        return w
+
+    def copy(self) -> "WeightedDynamicGraph":
+        g = WeightedDynamicGraph()
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WeightedDynamicGraph(n={self.num_vertices}, m={self.num_edges})"

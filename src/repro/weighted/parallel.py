@@ -1,0 +1,216 @@
+"""Parallel weighted core maintenance on the simulated multicore.
+
+The paper's conclusion claims its methodology transfers to weighted
+graphs.  This module realizes a first version of that transfer: workers
+each take one weighted edge at a time (as in Algorithm 3) and repair the
+band-bounded region of :mod:`repro.weighted.maintenance`, synchronizing
+with **region locks**:
+
+* compute the candidate band region for the edge;
+* try-lock *all* region vertices in a canonical order, with full back-off
+  (no hold-and-wait, hence no deadlock — the try-both pattern of
+  Algorithm 5 line 1 generalized to a set);
+* after locking, re-derive the region: if concurrent repairs changed any
+  core so the region grew, back off and retry;
+* re-peel, commit, unlock.
+
+Compared to OurI/OurR this is coarser — a weight-w edge locks its whole
+repair region rather than V+ only — which is exactly the trade-off the
+paper predicts for the weighted case ("a large search range ... as the
+degree of a related vertex may change widely").  The benchmark
+``benchmarks/test_weighted_maintenance.py`` quantifies the regions; this
+module's tests show the parallel version still scales on networks whose
+bands localize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import SimMachine, SimReport, release_all
+from repro.weighted.graph import WeightedDynamicGraph
+from repro.weighted.maintenance import WeightedCoreMaintainer, WeightedOpStats
+
+Vertex = Hashable
+WEdge = Tuple[Vertex, Vertex, int]
+
+__all__ = ["ParallelWeightedMaintainer", "WeightedBatchResult"]
+
+
+class WeightedBatchResult:
+    """Report for one parallel weighted batch."""
+
+    __slots__ = ("report", "stats")
+
+    def __init__(self, report: SimReport, stats: List[WeightedOpStats]) -> None:
+        self.report = report
+        self.stats = stats
+
+    @property
+    def makespan(self) -> float:
+        return self.report.makespan
+
+    def region_sizes(self) -> List[int]:
+        return [len(s.region) for s in self.stats]
+
+
+def _try_lock_all(keys: Sequence[Vertex]):
+    """Try-lock a vertex set in canonical order with full back-off.
+    Returns True when all were acquired."""
+    held: List[Vertex] = []
+    for k in keys:
+        ok = yield ("try", k)
+        if not ok:
+            yield from release_all(held)
+            return False
+        held.append(k)
+    return True
+
+
+class ParallelWeightedMaintainer:
+    """Batch-parallel weighted core maintenance (region-locking scheme)."""
+
+    def __init__(
+        self,
+        graph: WeightedDynamicGraph,
+        num_workers: int = 4,
+        costs: Optional[CostModel] = None,
+        schedule: str = "min-clock",
+        seed: int = 0,
+    ) -> None:
+        self.inner = WeightedCoreMaintainer(graph)
+        self.num_workers = num_workers
+        self.costs = costs or CostModel()
+        self.schedule = schedule
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> WeightedDynamicGraph:
+        return self.inner.graph
+
+    def core(self, u: Vertex) -> int:
+        return self.inner.core(u)
+
+    def cores(self) -> Dict[Vertex, int]:
+        return self.inner.cores()
+
+    def check(self) -> None:
+        self.inner.check()
+
+    # ------------------------------------------------------------------
+    def _edge_worker(self, edges, inserting: bool, out: List[WeightedOpStats]):
+        C = self.costs
+        m = self.inner
+        g = m.graph
+        for u, v, w in edges:
+            yield ("tick", C.edge_overhead)
+
+            def bounds():
+                """Band bounds from *current* cores (endpoint cores can
+                move under concurrent repairs until we hold their locks)."""
+                k = min(m._core.get(u, 0), m._core.get(v, 0))
+                if inserting:
+                    return k, k + w - 1
+                return max(0, k - w + 1), k
+
+            mutated = False
+            extra: Set[Vertex] = set()
+            stats: Optional[WeightedOpStats] = None
+            while stats is None:
+                # candidate region from the *current* (unlocked) state,
+                # plus any expansion discovered by failed attempts
+                lo, hi = bounds()
+                region = m._band_region((u, v), lo, hi) | {u, v} | extra
+                keys = sorted(region, key=repr)
+                yield ("tick", C.scan(len(keys)))
+                got = yield from _try_lock_all(keys)
+                if not got:
+                    yield ("spin",)
+                    continue
+                # One atomic block (no yields): re-derive the region under
+                # the locks, mutate on first success, attempt the repair.
+                # Atomicity here plays the role of the fine-grained
+                # protocols of OurI/OurR; the region locks carry the
+                # cross-edge exclusion (and are genuinely contended —
+                # see the back-off path above).
+                lo, hi = bounds()
+                fresh = m._band_region((u, v), lo, hi) | {u, v} | extra
+                if not fresh <= region:
+                    yield from release_all(keys)
+                    yield ("spin",)
+                    continue
+                if not mutated:
+                    if inserting:
+                        g.add_edge(u, v, w)
+                    else:
+                        g.remove_edge(u, v)
+                    mutated = True
+                changed, violated = m.attempt_repair(fresh)
+                if violated:
+                    # cross-edge interaction: the repair needs vertices we
+                    # do not hold — grow the target set and re-lock
+                    extra |= m.expansion_region(violated)
+                    yield from release_all(keys)
+                    yield ("spin",)
+                    continue
+                stats = WeightedOpStats(
+                    region=sorted(fresh, key=repr),
+                    changed=sorted(changed, key=repr),
+                    expansions=1 if extra else 0,
+                )
+                # charge graph mutation + the re-peel: region edges times
+                # the band height
+                cost = sum(g.degree(x) for x in fresh) * max(1, hi - lo + 1)
+                yield ("tick", C.graph_mutate + cost * C.adj_scan)
+                out.append(stats)
+                yield from release_all(keys)
+
+    def _run(self, edges: Sequence[WEdge], inserting: bool) -> WeightedBatchResult:
+        from repro.parallel.batch import partition_batch
+
+        # pre-register new endpoint vertices (sequential prologue)
+        if inserting:
+            for u, v, _w in edges:
+                for x in (u, v):
+                    if x not in self.inner._core:
+                        self.graph.add_vertex(x)
+                        self.inner._core[x] = 0
+        chunks = partition_batch(list(edges), self.num_workers)
+        outs: List[List[WeightedOpStats]] = [[] for _ in chunks]
+        bodies = [
+            self._edge_worker(chunk, inserting, out)
+            for chunk, out in zip(chunks, outs)
+        ]
+        machine = SimMachine(
+            self.num_workers, self.costs, self.schedule, self.seed
+        )
+        report = machine.run(bodies)
+        return WeightedBatchResult(report, [s for o in outs for s in o])
+
+    def insert_edges(self, edges: Sequence[WEdge]) -> WeightedBatchResult:
+        """Insert a batch of weighted edges with P workers."""
+        seen: Set[Tuple[Vertex, Vertex]] = set()
+        for u, v, w in edges:
+            if u == v:
+                raise ValueError(f"self-loop: {u!r}")
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge in batch: {key!r}")
+            seen.add(key)
+            if self.graph.has_edge(u, v):
+                raise ValueError(f"edge already present: {key!r}")
+        return self._run(edges, inserting=True)
+
+    def remove_edges(self, edges: Sequence[Tuple[Vertex, Vertex]]) -> WeightedBatchResult:
+        """Remove a batch of edges with P workers."""
+        weighted: List[WEdge] = []
+        seen: Set[Tuple[Vertex, Vertex]] = set()
+        for u, v in edges:
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge in batch: {key!r}")
+            seen.add(key)
+            weighted.append((u, v, self.graph.weight(u, v)))
+        return self._run(weighted, inserting=False)

@@ -1,0 +1,155 @@
+"""Tests for the JEI/JER and MI/MR batch baselines."""
+
+import pytest
+
+from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
+from repro.baselines.matching import MatchingMaintainer, greedy_matchings
+from repro.baselines.scheduling import chunk_round_makespan, lpt_makespan
+from repro.core.maintainer import TraversalMaintainer
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import barabasi_albert, erdos_renyi, rmat
+from tests.conftest import assert_cores_match_bz, split_edges
+
+
+class TestScheduling:
+    def test_lpt_single_worker_is_sum(self):
+        assert lpt_makespan([3, 1, 2], 1) == 6
+
+    def test_lpt_many_workers_is_max(self):
+        assert lpt_makespan([3, 1, 2], 10) == 3
+
+    def test_lpt_balances(self):
+        assert lpt_makespan([4, 3, 3], 2) == 6  # [4+?]: 4|3,3 -> 6
+
+    def test_lpt_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_lpt_invalid_workers(self):
+        with pytest.raises(ValueError):
+            lpt_makespan([1], 0)
+
+    def test_rounds_sum_of_maxima(self):
+        rounds = [[2, 2, 2], [5]]
+        assert chunk_round_makespan(rounds, 3) == 2 + 5
+
+    def test_rounds_single_worker(self):
+        rounds = [[2, 2, 2], [5]]
+        assert chunk_round_makespan(rounds, 1) == 11
+
+
+class TestGreedyMatchings:
+    def test_rounds_are_vertex_disjoint(self):
+        edges = erdos_renyi(30, 80, seed=1)
+        for rnd in greedy_matchings(edges):
+            used = set()
+            for u, v in rnd:
+                assert u not in used and v not in used
+                used.update((u, v))
+
+    def test_all_edges_covered_once(self):
+        edges = erdos_renyi(30, 80, seed=2)
+        rounds = greedy_matchings(edges)
+        flat = [e for r in rounds for e in r]
+        assert sorted(flat) == sorted(edges)
+
+    def test_star_needs_one_round_per_edge(self):
+        star = [(0, i) for i in range(1, 8)]
+        rounds = greedy_matchings(star)
+        assert len(rounds) == 7
+
+    def test_empty(self):
+        assert greedy_matchings([]) == []
+
+
+@pytest.mark.parametrize("cls", [JoinEdgeSetMaintainer, MatchingMaintainer])
+class TestCorrectness:
+    def test_insert_remove_roundtrip(self, cls):
+        edges = erdos_renyi(60, 200, seed=3)
+        base, dyn = split_edges(edges)
+        m = cls(DynamicGraph(base), num_workers=4)
+        m.insert_edges(dyn)
+        m.check()
+        m.remove_edges(dyn)
+        m.check()
+        assert_cores_match_bz(m)
+
+    def test_batch_validation(self, cls):
+        m = cls(DynamicGraph([(0, 1)]), num_workers=2)
+        with pytest.raises(ValueError):
+            m.insert_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            m.insert_edges([(2, 3), (3, 2)])
+        with pytest.raises(KeyError):
+            m.remove_edges([(5, 6)])
+
+    def test_new_vertices(self, cls):
+        m = cls(DynamicGraph([(0, 1)]), num_workers=2)
+        m.insert_edges([(7, 8), (8, 9), (7, 9)])
+        assert m.core(7) == 2
+        m.check()
+
+    def test_empty_batch(self, cls):
+        m = cls(DynamicGraph([(0, 1)]), num_workers=2)
+        res = m.insert_edges([])
+        assert res.makespan == 0.0
+
+
+class TestParallelismShape:
+    """The structural claims the paper's evaluation rests on."""
+
+    def test_jei_no_speedup_on_uniform_core_graph(self):
+        """BA has one core value -> one level task -> JEI is sequential."""
+        edges = barabasi_albert(200, 4, seed=4)
+        batch = edges[-80:]
+        t = {}
+        for p in (1, 16):
+            m = JoinEdgeSetMaintainer(DynamicGraph(edges), num_workers=p)
+            m.remove_edges(batch)
+            t[p] = m.insert_edges(batch).makespan
+        assert t[16] >= 0.95 * t[1]  # essentially no speedup
+
+    def test_jei_speedup_on_multilevel_graph(self):
+        edges = rmat(8, 4, seed=5)
+        batch = edges[-100:]
+        t = {}
+        for p in (1, 16):
+            m = JoinEdgeSetMaintainer(DynamicGraph(edges), num_workers=p)
+            m.remove_edges(batch)
+            t[p] = m.insert_edges(batch).makespan
+        assert t[16] < t[1]
+
+    def test_jei_beats_plain_ti_at_one_worker(self):
+        """The batching gain: JEI@1 < TI on a cascade-heavy graph."""
+        edges = erdos_renyi(200, 800, seed=6)
+        batch = edges[-120:]
+        je = JoinEdgeSetMaintainer(DynamicGraph(edges), num_workers=1)
+        je.remove_edges(batch)
+        jei = je.insert_edges(batch).report.total_work
+
+        tm = TraversalMaintainer(DynamicGraph(edges))
+        tm.remove_edges(batch)
+        ti = sum(s.work for s in tm.insert_edges(batch))
+        assert jei < ti
+
+    def test_mi_not_faster_than_jei(self):
+        """MI's barriers + per-round memos make it the slowest contender."""
+        edges = rmat(8, 4, seed=7)
+        batch = edges[-100:]
+        je = JoinEdgeSetMaintainer(DynamicGraph(edges), num_workers=16)
+        je.remove_edges(batch)
+        t_je = je.insert_edges(batch).makespan
+        mi = MatchingMaintainer(DynamicGraph(edges), num_workers=16)
+        mi.remove_edges(batch)
+        t_mi = mi.insert_edges(batch).makespan
+        assert t_mi >= 0.8 * t_je  # allow noise; MI must not win big
+
+    def test_matching_rounds_serialize_star_batch(self):
+        """A star-shaped batch forces MI into one edge per round."""
+        base = erdos_renyi(40, 120, seed=8)
+        g = DynamicGraph(base)
+        hub = 0
+        batch = [(hub, 1000 + i) for i in range(10)]
+        m = MatchingMaintainer(g, num_workers=16)
+        res = m.insert_edges(batch)
+        # with 10 rounds of one edge, makespan ~ total work (no parallelism)
+        assert res.makespan >= 0.9 * res.report.total_work

@@ -1,0 +1,132 @@
+"""CLI entry point, cost model, report helpers, and regression cases."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel.batch import ParallelOrderMaintainer
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import SimReport
+
+
+class TestCLI:
+    def _run(self, *args):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_table1(self):
+        out = self._run("table1", "--datasets", "BA")
+        assert "paper_max_k" in out and "BA" in out
+
+    def test_fig3(self):
+        out = self._run("fig3", "--datasets", "roadNet-CA")
+        assert "#" in out
+
+    def test_fig4_and_table2(self):
+        out = self._run(
+            "fig4", "table2",
+            "--datasets", "roadNet-CA",
+            "--workers", "1", "4",
+            "--batch", "60",
+        )
+        assert "OurI" in out and "JEI" in out
+        assert "dataset" in out  # table2 rendering
+
+    def test_fig5(self):
+        out = self._run(
+            "fig5", "--datasets", "roadNet-CA", "--workers", "4", "--batch", "50"
+        )
+        assert "OurI" in out
+
+    def test_fig6_fig7(self):
+        out = self._run(
+            "fig6", "fig7",
+            "--datasets", "roadNet-CA", "BA",
+            "--workers", "4",
+            "--batch", "60",
+        )
+        assert "ratios" in out
+        assert "spread" in out
+
+    def test_bad_experiment_rejected(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "fig99"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        c = CostModel()
+        for field in (
+            "order_cmp", "adj_scan", "heap_op", "lock_acquire",
+            "lock_release", "spin", "om_move", "om_relabel",
+            "graph_mutate", "edge_overhead", "counter_op",
+        ):
+            assert getattr(c, field) > 0
+
+    def test_scan_scales_with_degree(self):
+        c = CostModel()
+        assert c.scan(10) == 10 * c.per_neighbor()
+
+    def test_neighbor_locking_raises_per_neighbor_cost(self):
+        base = CostModel()
+        locked = CostModel(neighbor_locking=True)
+        assert locked.per_neighbor() == pytest.approx(
+            base.per_neighbor() + base.lock_acquire + base.lock_release
+        )
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().adj_scan = 5  # type: ignore[misc]
+
+
+class TestSimReport:
+    def test_speedup_vs_work(self):
+        rep = SimReport(makespan=50.0, total_work=200.0)
+        assert rep.speedup_vs_work == 4.0
+
+    def test_speedup_empty(self):
+        assert SimReport().speedup_vs_work == 1.0
+
+
+class TestRegressions:
+    def test_end_phase_append_race_config(self):
+        """Regression for the k-order-validity race found in parallel
+        removal (DESIGN.md 'Deviations'): this exact configuration
+        produced an invalid order when dropped vertices were appended to
+        O_{K-1} in the end phase instead of at drop time."""
+        edges = erdos_renyi(60, 160, seed=1)
+        base, dyn = edges[:-53], edges[-53:]
+        m = ParallelOrderMaintainer(
+            DynamicGraph(base), num_workers=2, schedule="min-clock", seed=2
+        )
+        m.insert_edges(dyn)
+        m.check()
+        m.remove_edges(dyn)
+        m.check()
+
+    def test_lazy_dout_double_count_regression(self):
+        """Regression: materializing d_out^+ *after* the edge insertion
+        double-counted the new edge (ensure must run pre-mutation)."""
+        from repro.core.maintainer import OrderMaintainer
+
+        edges = erdos_renyi(60, 160, seed=1)
+        m = OrderMaintainer(DynamicGraph(edges))
+        # removal invalidates d_out around V*; the following insert used
+        # to recompute post-insertion and over-promote
+        removed = edges[:40]
+        m.remove_edges(removed)
+        m.insert_edges(removed)
+        m.check()

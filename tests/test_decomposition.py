@@ -1,0 +1,166 @@
+"""Tests for static core decomposition (BZ + ParK variant).
+
+networkx is available offline, so BZ is cross-validated against
+``networkx.core_number`` on every generator family.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import (
+    STRATEGIES,
+    core_decomposition,
+    core_histogram,
+    park_decomposition,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from tests.conftest import small_graph_families
+
+
+def nx_cores(g: DynamicGraph):
+    h = nx.Graph()
+    h.add_nodes_from(g.vertices())
+    h.add_edges_from(g.edges())
+    return nx.core_number(h)
+
+
+class TestBZKnownGraphs:
+    def test_empty_graph(self):
+        d = core_decomposition(DynamicGraph())
+        assert d.core == {}
+        assert d.order == []
+        assert d.max_core == 0
+
+    def test_single_edge(self):
+        d = core_decomposition(DynamicGraph([(0, 1)]))
+        assert d.core == {0: 1, 1: 1}
+
+    def test_isolated_vertex(self):
+        g = DynamicGraph([(0, 1)])
+        g.add_vertex(9)
+        d = core_decomposition(g)
+        assert d.core[9] == 0
+
+    def test_triangle(self, triangle_graph):
+        d = core_decomposition(triangle_graph)
+        assert set(d.core.values()) == {2}
+
+    def test_star(self):
+        g = DynamicGraph([(0, i) for i in range(1, 8)])
+        d = core_decomposition(g)
+        assert all(v == 1 for v in d.core.values())
+
+    def test_clique(self):
+        n = 6
+        g = DynamicGraph([(i, j) for i in range(n) for j in range(i + 1, n)])
+        d = core_decomposition(g)
+        assert set(d.core.values()) == {n - 1}
+
+    def test_path(self):
+        g = DynamicGraph([(i, i + 1) for i in range(9)])
+        assert set(core_decomposition(g).core.values()) == {1}
+
+    def test_two_triangles_bridge(self, two_triangles_bridge):
+        d = core_decomposition(two_triangles_bridge)
+        assert set(d.core.values()) == {2}
+
+
+class TestBZAgainstNetworkx:
+    @pytest.mark.parametrize(
+        "name,edges", small_graph_families(), ids=lambda p: p if isinstance(p, str) else ""
+    )
+    def test_families(self, name, edges):
+        g = DynamicGraph(edges)
+        assert core_decomposition(g).core == nx_cores(g)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_er(self, seed):
+        g = DynamicGraph(erdos_renyi(30, 70, seed=seed))
+        assert core_decomposition(g).core == nx_cores(g)
+
+
+class TestKOrderProperties:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_order_is_valid_peel_sequence(self, strategy):
+        g = DynamicGraph(erdos_renyi(60, 180, seed=5))
+        d = core_decomposition(g, strategy=strategy)
+        pos = {u: i for i, u in enumerate(d.order)}
+        # cores non-decreasing along the order
+        cores_seq = [d.core[u] for u in d.order]
+        assert cores_seq == sorted(cores_seq)
+        # nobody has more later-neighbors than its core number
+        for u in g.vertices():
+            post = sum(1 for v in g.neighbors(u) if pos[v] > pos[u])
+            assert post <= d.core[u]
+
+    def test_d_out_matches_positions(self):
+        g = DynamicGraph(erdos_renyi(50, 140, seed=6))
+        d = core_decomposition(g)
+        pos = {u: i for i, u in enumerate(d.order)}
+        for u in g.vertices():
+            assert d.d_out[u] == sum(
+                1 for v in g.neighbors(u) if pos[v] > pos[u]
+            )
+
+    def test_order_covers_all_vertices_once(self):
+        g = DynamicGraph(erdos_renyi(40, 90, seed=7))
+        d = core_decomposition(g)
+        assert sorted(d.order) == sorted(g.vertices())
+
+    def test_strategies_same_cores_different_orders(self):
+        g = DynamicGraph(erdos_renyi(60, 180, seed=8))
+        results = {s: core_decomposition(g, strategy=s) for s in STRATEGIES}
+        cores = [r.core for r in results.values()]
+        assert all(c == cores[0] for c in cores)
+        orders = {tuple(r.order) for r in results.values()}
+        assert len(orders) >= 2  # tie-breaks genuinely differ
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            core_decomposition(DynamicGraph([(0, 1)]), strategy="bogus")
+
+    def test_random_strategy_seeded(self):
+        g = DynamicGraph(erdos_renyi(40, 100, seed=9))
+        a = core_decomposition(g, strategy="random", seed=1)
+        b = core_decomposition(g, strategy="random", seed=1)
+        assert a.order == b.order
+
+
+class TestHistogram:
+    def test_histogram_counts(self):
+        hist = core_histogram({1: 0, 2: 1, 3: 1, 4: 2})
+        assert hist == {0: 1, 1: 2, 2: 1}
+
+    def test_histogram_sorted_keys(self):
+        hist = core_histogram({i: i % 3 for i in range(30)})
+        assert list(hist.keys()) == sorted(hist.keys())
+
+    def test_decomposition_histogram_total(self):
+        g = DynamicGraph(erdos_renyi(50, 120, seed=10))
+        d = core_decomposition(g)
+        assert sum(d.histogram().values()) == g.num_vertices
+
+
+class TestParK:
+    @pytest.mark.parametrize(
+        "name,edges", small_graph_families(1), ids=lambda p: p if isinstance(p, str) else ""
+    )
+    def test_matches_bz(self, name, edges):
+        g = DynamicGraph(edges)
+        core, rounds = park_decomposition(g)
+        assert core == core_decomposition(g).core
+        assert sum(len(r) for r in rounds) == g.num_vertices
+
+    def test_rounds_expose_parallel_width(self):
+        # a star peels all leaves in one wide round
+        g = DynamicGraph([(0, i) for i in range(1, 30)])
+        _, rounds = park_decomposition(g)
+        assert max(len(r) for r in rounds) >= 29
+
+    def test_empty(self):
+        core, rounds = park_decomposition(DynamicGraph())
+        assert core == {} and rounds == []

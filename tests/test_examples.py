@@ -1,0 +1,70 @@
+"""The example scripts must run end-to-end (quick mode)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    env = dict(os.environ, REPRO_EXAMPLE_QUICK="1")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "max core number" in out
+    assert "invariants verified" in out
+    assert "P=16" in out
+
+
+def test_streaming_social_network():
+    out = run_example("streaming_social_network.py")
+    assert "max-core" in out
+    assert "final state verified" in out
+
+
+def test_parallel_batch_comparison():
+    out = run_example("parallel_batch_comparison.py", "BA")
+    assert "OurI speedup" in out
+    assert "single core value" in out
+
+
+def test_parallel_batch_comparison_other_dataset():
+    out = run_example("parallel_batch_comparison.py", "roadNet-CA")
+    assert "OurI speedup" in out
+
+
+def test_contagion_monitoring():
+    out = run_example("contagion_monitoring.py")
+    assert "quarantined" in out
+    assert "maintained cores verified" in out
+
+
+def test_weighted_transactions():
+    out = run_example("weighted_transactions.py")
+    assert "systemic core" in out
+    assert "verified against a full recomputation" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "streaming_social_network.py",
+     "parallel_batch_comparison.py", "contagion_monitoring.py",
+     "weighted_transactions.py"],
+)
+def test_examples_have_docstrings(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.lstrip().startswith(('#!/usr/bin/env python3\n"""', '"""'))

@@ -1,0 +1,163 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.core.decomposition import core_decomposition
+from repro.graph.generators import (
+    barabasi_albert,
+    dedupe_edges,
+    erdos_renyi,
+    lattice,
+    powerlaw_cluster,
+    rmat,
+    temporal_stream,
+)
+
+
+def _no_dupes_no_loops(edges):
+    assert all(u != v for u, v in edges)
+    canon = {(min(u, v), max(u, v)) for u, v in edges}
+    assert len(canon) == len(edges)
+
+
+class TestDedupe:
+    def test_removes_self_loops(self):
+        assert dedupe_edges([(1, 1), (0, 1)]) == [(0, 1)]
+
+    def test_removes_reversed_duplicates(self):
+        assert dedupe_edges([(0, 1), (1, 0)]) == [(0, 1)]
+
+    def test_preserves_first_seen_order(self):
+        assert dedupe_edges([(2, 3), (0, 1), (3, 2)]) == [(2, 3), (0, 1)]
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        edges = erdos_renyi(100, 250, seed=1)
+        assert len(edges) == 250
+        _no_dupes_no_loops(edges)
+
+    def test_deterministic_per_seed(self):
+        assert erdos_renyi(50, 100, seed=7) == erdos_renyi(50, 100, seed=7)
+        assert erdos_renyi(50, 100, seed=7) != erdos_renyi(50, 100, seed=8)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 100)
+
+    def test_vertices_in_range(self):
+        edges = erdos_renyi(30, 60, seed=2)
+        assert all(0 <= u < 30 and 0 <= v < 30 for u, v in edges)
+
+    def test_narrow_core_distribution(self):
+        g = DynamicGraph(erdos_renyi(500, 2000, seed=3))
+        decomp = core_decomposition(g)
+        # ER at average degree 8 concentrates cores in a narrow band
+        assert 3 <= decomp.max_core <= 8
+
+
+class TestBarabasiAlbert:
+    def test_every_vertex_has_core_k(self):
+        """The property the paper's evaluation leans on: a BA graph has a
+        single core value equal to the attachment parameter."""
+        for k in (2, 3, 4):
+            g = DynamicGraph(barabasi_albert(120, k, seed=k))
+            cores = core_decomposition(g).core
+            assert set(cores.values()) == {k}
+
+    def test_min_degree_is_k(self):
+        g = DynamicGraph(barabasi_albert(100, 3, seed=1))
+        assert min(g.degree(u) for u in g.vertices()) == 3
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+    def test_deterministic(self):
+        assert barabasi_albert(60, 3, seed=5) == barabasi_albert(60, 3, seed=5)
+
+    def test_heavy_tail(self):
+        g = DynamicGraph(barabasi_albert(400, 3, seed=2))
+        degs = sorted((g.degree(u) for u in g.vertices()), reverse=True)
+        assert degs[0] > 4 * degs[len(degs) // 2]  # hub much above median
+
+
+class TestRmat:
+    def test_size_and_validity(self):
+        edges = rmat(8, edge_factor=4, seed=1)
+        assert len(edges) == 4 * 256
+        _no_dupes_no_loops(edges)
+
+    def test_skewed_cores(self):
+        g = DynamicGraph(rmat(9, 4, seed=2))
+        hist = core_decomposition(g).histogram()
+        # many low-core vertices, few high-core ones
+        assert hist[min(hist)] > hist[max(hist)]
+
+    def test_bad_probabilities_raise(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.6, b=0.3, c=0.3)
+
+    def test_deterministic(self):
+        assert rmat(6, 2, seed=9) == rmat(6, 2, seed=9)
+
+
+class TestLattice:
+    def test_max_core_is_three_with_diagonals(self):
+        g = DynamicGraph(lattice(12, 12, diag_fraction=0.3, seed=1))
+        assert core_decomposition(g).max_core == 3
+
+    def test_pure_grid_max_core_two(self):
+        g = DynamicGraph(lattice(10, 10, diag_fraction=0.0))
+        assert core_decomposition(g).max_core == 2
+
+    def test_bounded_degree(self):
+        g = DynamicGraph(lattice(9, 9, diag_fraction=0.5, seed=2))
+        assert max(g.degree(u) for u in g.vertices()) <= 8
+
+
+class TestPowerlawCluster:
+    def test_validity(self):
+        edges = powerlaw_cluster(150, 4, 0.5, seed=1)
+        _no_dupes_no_loops(edges)
+        g = DynamicGraph(edges)
+        assert g.num_vertices == 150
+
+    def test_triangle_closure_raises_clustering(self):
+        def triangles(g):
+            t = 0
+            for u in g.vertices():
+                nbrs = list(g.neighbors(u))
+                for i in range(len(nbrs)):
+                    for j in range(i + 1, len(nbrs)):
+                        if g.has_edge(nbrs[i], nbrs[j]):
+                            t += 1
+            return t
+
+        flat = DynamicGraph(powerlaw_cluster(150, 4, 0.0, seed=3))
+        clustered = DynamicGraph(powerlaw_cluster(150, 4, 0.9, seed=3))
+        assert triangles(clustered) > triangles(flat)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(3, 3, 0.5)
+
+
+class TestTemporalStream:
+    def test_strictly_increasing_timestamps(self):
+        stream = temporal_stream(100, 300, seed=1)
+        ts = [t for _, _, t in stream]
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    def test_edges_distinct(self):
+        stream = temporal_stream(100, 300, seed=2)
+        _no_dupes_no_loops([(u, v) for u, v, _ in stream])
+
+    def test_requested_length(self):
+        assert len(temporal_stream(200, 500, seed=3)) == 500
+
+    def test_deterministic(self):
+        assert temporal_stream(50, 100, seed=4) == temporal_stream(50, 100, seed=4)

@@ -1,0 +1,136 @@
+"""Tests for the core-number history tracker."""
+
+import random
+
+import pytest
+
+from repro.core.history import CoreHistory
+from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+
+
+def fresh(edges=((0, 1), (1, 2))):
+    return CoreHistory(OrderMaintainer(DynamicGraph(list(edges))))
+
+
+class TestRecording:
+    def test_initial_state_at_time_zero(self):
+        h = fresh()
+        assert h.core_at(0, 0) == 1
+        assert h.core_at(1, 0) == 1
+
+    def test_unknown_vertex(self):
+        h = fresh()
+        assert h.core_at("ghost", 0) is None
+
+    def test_insert_records_delta(self):
+        h = fresh()
+        h.insert_edge(0, 2)  # closes the triangle: all rise to 2
+        assert h.t == 1
+        assert h.core_at(1, 0) == 1
+        assert h.core_at(1, 1) == 2
+
+    def test_remove_records_delta(self):
+        h = fresh([(0, 1), (1, 2), (0, 2)])
+        h.remove_edge(0, 1)
+        assert h.core_at(2, 0) == 2
+        assert h.core_at(2, 1) == 1
+
+    def test_series(self):
+        h = fresh()
+        h.insert_edge(0, 2)
+        h.remove_edge(0, 2)
+        assert h.series(0) == [(0, 1), (1, 2), (2, 1)]
+
+    def test_new_vertex_appears_with_first_edge(self):
+        h = fresh()
+        h.insert_edge(2, 99)
+        assert h.core_at(99, 0) is None
+        assert h.core_at(99, 1) == 1
+
+    def test_markers(self):
+        h = fresh()
+        h.record_marker("start")
+        h.insert_edge(0, 2)
+        h.record_marker("after-close")
+        assert h.markers() == [(0, "start"), (1, "after-close")]
+
+
+class TestQueries:
+    def test_changed_between(self):
+        h = fresh()
+        h.insert_edge(0, 2)          # t=1: all rise
+        h.insert_edge(0, 3)          # t=2: 3 appears at core 1
+        assert h.changed_between(0, 1) == {0, 1, 2}
+        assert 3 in h.changed_between(1, 2)
+        assert h.changed_between(2, 2) == set()
+
+    def test_changed_between_excludes_noop_touches(self):
+        h = fresh([(0, 1), (1, 2), (0, 2), (5, 6)])
+        h.insert_edge(2, 5)  # endpoints recorded but cores unchanged
+        assert h.changed_between(0, 1) == set()
+
+    def test_shell_size_at(self):
+        h = fresh()
+        assert h.shell_size_at(1, 0) == 3
+        h.insert_edge(0, 2)
+        assert h.shell_size_at(1, 1) == 0
+        assert h.shell_size_at(2, 1) == 3
+        # history at time 0 unchanged
+        assert h.shell_size_at(1, 0) == 3
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("maintainer_cls", [OrderMaintainer, TraversalMaintainer])
+    def test_random_stream_history_matches_final(self, maintainer_cls, rng):
+        base = erdos_renyi(30, 70, seed=1)
+        h = CoreHistory(maintainer_cls(DynamicGraph(base)))
+        present = set(base)
+        absent = [e for e in erdos_renyi(30, 250, seed=2) if e not in present]
+        for _ in range(120):
+            if absent and (not present or rng.random() < 0.5):
+                e = absent.pop(rng.randrange(len(absent)))
+                h.insert_edge(*e)
+                present.add(e)
+            else:
+                e = sorted(present)[rng.randrange(len(present))]
+                h.remove_edge(*e)
+                present.discard(e)
+                absent.append(e)
+        h.check()
+
+    def test_replay_matches_recorded_history(self, rng):
+        """Replaying the stream to time t and recomputing must equal the
+        recorded history at t — the core guarantee of delta encoding."""
+        from repro.core.decomposition import core_decomposition
+
+        base = erdos_renyi(25, 60, seed=3)
+        ops = []
+        present = set(base)
+        absent = [e for e in erdos_renyi(25, 200, seed=4) if e not in present]
+        for _ in range(60):
+            if absent and (not present or rng.random() < 0.5):
+                e = absent.pop(rng.randrange(len(absent)))
+                ops.append(("+", e))
+                present.add(e)
+            else:
+                e = sorted(present)[rng.randrange(len(present))]
+                ops.append(("-", e))
+                present.discard(e)
+                absent.append(e)
+
+        h = CoreHistory(OrderMaintainer(DynamicGraph(base)))
+        for kind, e in ops:
+            (h.insert_edge if kind == "+" else h.remove_edge)(*e)
+
+        for t_check in (0, 15, 37, 60):
+            g = DynamicGraph(base)
+            for kind, e in ops[:t_check]:
+                if kind == "+":
+                    g.add_edge(*e)
+                else:
+                    g.remove_edge(*e)
+            truth = core_decomposition(g).core
+            for u in g.vertices():
+                assert h.core_at(u, t_check) == truth[u], (t_check, u)

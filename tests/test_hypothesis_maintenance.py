@@ -1,0 +1,169 @@
+"""Property-based tests: arbitrary dynamic edge sequences.
+
+Hypothesis drives random insert/remove traces against the Order and
+Traversal maintainers simultaneously and checks every invariant after a
+bounded number of operations.  A stateful machine additionally shrinks
+failures to minimal traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.decomposition import core_decomposition
+from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import ParallelOrderMaintainer
+
+N_VERTICES = 12
+
+
+def all_possible_edges():
+    return [(i, j) for i in range(N_VERTICES) for j in range(i + 1, N_VERTICES)]
+
+
+@st.composite
+def edge_trace(draw, max_ops=40):
+    """A feasible trace of ('+'/'-', edge) operations over a small clique
+    universe (inserts only absent edges, removes only present ones)."""
+    pool = all_possible_edges()
+    present = set()
+    ops = []
+    n = draw(st.integers(1, max_ops))
+    for _ in range(n):
+        absent = [e for e in pool if e not in present]
+        choices = []
+        if absent:
+            choices.append("+")
+        if present:
+            choices.append("-")
+        op = draw(st.sampled_from(choices))
+        if op == "+":
+            e = draw(st.sampled_from(absent))
+            present.add(e)
+        else:
+            e = draw(st.sampled_from(sorted(present)))
+            present.discard(e)
+        ops.append((op, e))
+    return ops
+
+
+@given(edge_trace())
+@settings(max_examples=60, deadline=None)
+def test_order_maintainer_matches_bz_on_any_trace(ops):
+    m = OrderMaintainer(DynamicGraph())
+    for op, (u, v) in ops:
+        if op == "+":
+            m.insert_edge(u, v)
+        else:
+            m.remove_edge(u, v)
+    m.check()
+
+
+@given(edge_trace())
+@settings(max_examples=40, deadline=None)
+def test_traversal_matches_order_on_any_trace(ops):
+    mo = OrderMaintainer(DynamicGraph())
+    mt = TraversalMaintainer(DynamicGraph())
+    for op, (u, v) in ops:
+        if op == "+":
+            so = mo.insert_edge(u, v)
+            stt = mt.insert_edge(u, v)
+        else:
+            so = mo.remove_edge(u, v)
+            stt = mt.remove_edge(u, v)
+        # the candidate sets must agree as sets (algorithms find the same V*)
+        assert sorted(map(str, so.v_star)) == sorted(map(str, stt.v_star))
+    assert mo.cores() == mt.cores()
+
+
+@given(edge_trace(max_ops=24), st.integers(1, 4), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_parallel_batches_match_bz(ops, workers, seed):
+    """Group the trace into homogeneous runs (consecutive ops of one kind)
+    and feed each as a parallel batch."""
+    m = ParallelOrderMaintainer(
+        DynamicGraph(), num_workers=workers, schedule="random", seed=seed
+    )
+    batch, kind = [], None
+    for op, e in ops + [(None, None)]:
+        if op != kind and batch:
+            if kind == "+":
+                m.insert_edges(batch)
+            else:
+                m.remove_edges(batch)
+            batch = []
+        if op is None:
+            break
+        kind = op
+        batch.append(e)
+    m.check()
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_core_numbers_are_order_independent(seed):
+    """Inserting the same edge set in two different orders ends equal."""
+    import random
+
+    rng = random.Random(seed)
+    edges = all_possible_edges()
+    rng.shuffle(edges)
+    chosen = edges[: rng.randint(3, 30)]
+    m1 = OrderMaintainer(DynamicGraph())
+    for e in chosen:
+        m1.insert_edge(*e)
+    shuffled = list(chosen)
+    rng.shuffle(shuffled)
+    m2 = OrderMaintainer(DynamicGraph())
+    for e in shuffled:
+        m2.insert_edge(*e)
+    assert m1.cores() == m2.cores()
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    """Stateful differential: OrderMaintainer vs incremental BZ oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.m = OrderMaintainer(DynamicGraph())
+        self.present = set()
+        self.steps = 0
+
+    @rule(data=st.data())
+    def insert(self, data):
+        absent = [e for e in all_possible_edges() if e not in self.present]
+        if not absent:
+            return
+        e = data.draw(st.sampled_from(absent))
+        self.m.insert_edge(*e)
+        self.present.add(e)
+        self.steps += 1
+
+    @precondition(lambda self: self.present)
+    @rule(data=st.data())
+    def remove(self, data):
+        e = data.draw(st.sampled_from(sorted(self.present)))
+        self.m.remove_edge(*e)
+        self.present.discard(e)
+        self.steps += 1
+
+    @invariant()
+    def cores_match_oracle(self):
+        fresh = core_decomposition(self.m.graph).core
+        for u in self.m.graph.vertices():
+            assert self.m.core(u) == fresh[u]
+
+    @invariant()
+    def mcd_dominates_core(self):
+        for u in self.m.graph.vertices():
+            cached = self.m.state.mcd.get(u)
+            if cached is not None:
+                assert cached >= self.m.core(u)
+
+
+TestMaintenanceMachine = MaintenanceMachine.TestCase
+TestMaintenanceMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,123 @@
+"""Tests for joint (batched) Traversal group processing."""
+
+import random
+
+import pytest
+
+from repro.baselines.joint_traversal import insert_group, remove_group
+from repro.core.decomposition import core_decomposition
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, lattice, rmat
+
+
+def fresh(edges):
+    g = DynamicGraph(edges)
+    return g, dict(core_decomposition(g).core)
+
+
+class TestInsertGroup:
+    def test_single_edge_matches_bz(self):
+        g, core = fresh([(0, 1), (1, 2)])
+        stats = insert_group(g, core, [(0, 2)])
+        assert core == core_decomposition(g).core
+        assert sorted(stats.changed) == [0, 1, 2]
+
+    def test_multi_edge_core_jump_by_two(self):
+        """A batch can raise a core number by more than one — the reason
+        joint processing must iterate to a fixpoint."""
+        # path 0-1-2-3-4; add edges making {0,1,2,3} a clique: cores 1 -> 3
+        g, core = fresh([(0, 1), (1, 2), (2, 3), (3, 4)])
+        batch = [(0, 2), (0, 3), (1, 3)]
+        insert_group(g, core, batch)
+        assert core == core_decomposition(g).core
+        assert core[0] == 3
+
+    def test_new_vertices(self):
+        g, core = fresh([(0, 1)])
+        insert_group(g, core, [(5, 6), (6, 7), (5, 7)])
+        assert core[5] == core[6] == core[7] == 2
+        assert core == core_decomposition(g).core
+
+    def test_one_flood_shared_across_grid_edges(self):
+        """The whole point: k edges into the same huge subcore must cost
+        far less than k separate traversals."""
+        from repro.core.traversal import traversal_insert_edge
+
+        base = lattice(25, 25, diag_fraction=0.0)
+        rng = random.Random(1)
+        # candidate diagonals not in the grid
+        batch = []
+        for r in range(0, 20, 3):
+            batch.append((r * 25 + r, (r + 1) * 25 + r + 1))
+        g1, c1 = fresh(base)
+        joint = insert_group(g1, c1, batch)
+
+        g2, c2 = fresh(base)
+        per_edge_work = 0.0
+        for e in batch:
+            per_edge_work += traversal_insert_edge(g2, c2, *e).work
+        assert c1 == c2 == core_decomposition(g1).core
+        assert joint.work < per_edge_work / 2
+
+    def test_stats_duck_type(self):
+        g, core = fresh([(0, 1), (1, 2)])
+        stats = insert_group(g, core, [(0, 2)])
+        assert stats.v_star == stats.changed
+        assert stats.v_plus == stats.changed
+        assert stats.edges == 1
+        assert stats.work > 0
+
+
+class TestRemoveGroup:
+    def test_single_edge_matches_bz(self):
+        g, core = fresh([(0, 1), (1, 2), (0, 2)])
+        stats = remove_group(g, core, [(0, 1)])
+        assert core == core_decomposition(g).core
+        assert sorted(stats.changed) == [0, 1, 2]
+
+    def test_multi_edge_core_drop_by_two(self):
+        # K4: cores 3; removing two edges at vertex 0 drops it to 1
+        g, core = fresh([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        remove_group(g, core, [(0, 1), (0, 2)])
+        assert core == core_decomposition(g).core
+        assert core[0] == 1
+
+    def test_remove_whole_graph(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        g, core = fresh(edges)
+        remove_group(g, core, edges)
+        assert all(v == 0 for v in core.values())
+
+    def test_cross_level_cascade(self):
+        """Drops at a high level must trigger re-checks of the dropped
+        vertices at their new level."""
+        rng = random.Random(3)
+        edges = rmat(7, 4, seed=3)
+        g, core = fresh(edges)
+        batch = rng.sample(edges, len(edges) // 2)
+        remove_group(g, core, batch)
+        assert core == core_decomposition(g).core
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_mixed_groups(seed):
+    rng = random.Random(seed)
+    edges = erdos_renyi(80, 300, seed=seed)
+    g, core = fresh(edges)
+    present = set(edges)
+    for _ in range(6):
+        if rng.random() < 0.5 and len(present) > 30:
+            batch = rng.sample(sorted(present), 25)
+            remove_group(g, core, batch)
+            present.difference_update(batch)
+        else:
+            absent = [
+                (u, v)
+                for u in range(80)
+                for v in range(u + 1, 80)
+                if (u, v) not in present
+            ]
+            batch = rng.sample(absent, 25)
+            insert_group(g, core, batch)
+            present.update(batch)
+        assert core == core_decomposition(g).core

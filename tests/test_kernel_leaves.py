@@ -1,0 +1,95 @@
+"""Tests for the kernel+leaves generator and simulator work-conservation
+properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_decomposition, core_histogram
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import attach_leaves, erdos_renyi, kernel_leaves
+
+
+class TestKernelLeaves:
+    def test_shape(self):
+        edges = kernel_leaves(200, 1500, 3000, seed=1)
+        g = DynamicGraph(edges)
+        cores = core_decomposition(g).core
+        hist = core_histogram(cores)
+        # massive low-core periphery, deep kernel
+        assert hist.get(1, 0) + hist.get(2, 0) > 0.6 * g.num_vertices
+        assert max(hist) >= 5
+
+    def test_leaf_ids_offset(self):
+        edges = kernel_leaves(50, 200, 100, seed=2)
+        leaves = {u for e in edges for u in e if u >= 50}
+        assert leaves  # leaf vertices exist above the kernel range
+
+    def test_er_kernel_variant(self):
+        edges = kernel_leaves(100, 800, 500, seed=3, kernel="er")
+        g = DynamicGraph(edges)
+        assert core_decomposition(g).max_core >= 4
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_leaves(50, 100, 100, kernel="mystery")
+
+    def test_deterministic(self):
+        assert kernel_leaves(50, 200, 300, seed=4) == kernel_leaves(
+            50, 200, 300, seed=4
+        )
+
+    def test_attach_leaves_standalone(self):
+        kernel = erdos_renyi(40, 200, seed=5)
+        edges = attach_leaves(kernel, 40, 200, double_attach=0.5, seed=6)
+        g = DynamicGraph(edges)
+        assert g.num_vertices > 200
+        # double attachment creates some degree-2 leaves
+        leaf_degs = [g.degree(u) for u in g.vertices() if u >= 40]
+        assert any(d >= 2 for d in leaf_degs)
+        assert all(d >= 1 for d in leaf_degs)
+
+    def test_no_dupes_or_loops(self):
+        edges = kernel_leaves(60, 300, 400, seed=7)
+        assert all(u != v for u, v in edges)
+        canon = {(min(u, v), max(u, v)) for u, v in edges}
+        assert len(canon) == len(edges)
+
+
+class TestMachineWorkConservation:
+    """Properties every simulated run must satisfy."""
+
+    @given(st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_bounds(self, seed, workers):
+        from repro.graph.generators import erdos_renyi as er
+        from repro.parallel.batch import ParallelOrderMaintainer
+
+        edges = er(30, 80, seed=seed % 7)
+        batch = edges[::4]
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=workers)
+        res = m.remove_edges(batch)
+        rep = res.report
+        # makespan between perfect-parallel and fully-serial bounds
+        assert rep.makespan <= rep.total_work + rep.spin_time + 1e-9
+        assert rep.makespan * workers >= rep.total_work - 1e-9
+
+    def test_single_worker_no_contention(self):
+        from repro.parallel.batch import ParallelOrderMaintainer
+
+        edges = erdos_renyi(40, 120, seed=9)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=1)
+        rep = m.remove_edges(edges[::4]).report
+        assert rep.lock_failures == 0
+        assert rep.spin_time == 0
+        assert rep.makespan == pytest.approx(rep.total_work)
+
+    def test_worker_clocks_sum_to_at_least_work(self):
+        from repro.parallel.batch import ParallelOrderMaintainer
+
+        edges = erdos_renyi(40, 120, seed=10)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=4)
+        rep = m.insert_edges(
+            [e for e in erdos_renyi(40, 300, seed=11) if not m.graph.has_edge(*e)][:40]
+        ).report
+        assert sum(rep.worker_clocks) >= rep.total_work - 1e-9

@@ -1,0 +1,165 @@
+"""Tests for the k-order bookkeeping (single OM list + anchors)."""
+
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.core.korder import KOrder
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+
+
+def make(edges):
+    g = DynamicGraph(edges)
+    d = core_decomposition(g)
+    ko = KOrder.from_decomposition(d.core, d.order)
+    return g, d, ko
+
+
+class TestConstruction:
+    def test_segments_match_cores(self):
+        g, d, ko = make(erdos_renyi(40, 100, seed=1))
+        for k in range(d.max_core + 1):
+            for u in ko.sequence(k):
+                assert d.core[u] == k
+
+    def test_full_sequence_equals_peel_order(self):
+        g, d, ko = make(erdos_renyi(40, 100, seed=2))
+        assert ko.full_sequence() == d.order
+
+    def test_check_valid_passes(self):
+        g, d, ko = make(erdos_renyi(40, 100, seed=3))
+        ko.check_valid(g)
+
+    def test_empty(self):
+        ko = KOrder()
+        assert ko.full_sequence() == []
+        assert ko.sequence(0) == []
+
+    def test_add_vertex(self):
+        ko = KOrder()
+        ko.add_vertex("x", 0)
+        assert ko.core["x"] == 0
+        assert ko.sequence(0) == ["x"]
+        with pytest.raises(ValueError):
+            ko.add_vertex("x", 0)
+
+
+class TestComparison:
+    def test_precedes_matches_positions(self):
+        g, d, ko = make(erdos_renyi(30, 80, seed=4))
+        pos = {u: i for i, u in enumerate(d.order)}
+        for i, u in enumerate(d.order):
+            for v in d.order[i + 1 : i + 6]:
+                assert ko.precedes(u, v)
+                assert not ko.precedes(v, u)
+
+    def test_precedes_irreflexive(self):
+        g, d, ko = make([(0, 1), (1, 2)])
+        assert not ko.precedes(0, 0)
+
+    def test_precedes_concurrent_agrees(self):
+        g, d, ko = make(erdos_renyi(30, 80, seed=5))
+        for u in list(g.vertices())[:10]:
+            for v in list(g.vertices())[:10]:
+                if u != v:
+                    assert ko.precedes(u, v) == ko.precedes_concurrent(u, v)
+
+    def test_cross_segment_comparison_via_labels(self):
+        # smaller core always precedes larger core, label-only
+        g, d, ko = make([(0, 1), (1, 2), (0, 2), (2, 3)])  # 3 has core 1
+        assert ko.core[3] == 1 and ko.core[0] == 2
+        assert ko.precedes(3, 0)
+
+
+class TestPostPre:
+    def test_post_pre_partition_neighbors(self):
+        g, d, ko = make(erdos_renyi(30, 90, seed=6))
+        for u in g.vertices():
+            post = set(ko.post(g, u))
+            pre = set(ko.pre(g, u))
+            assert post | pre == set(g.neighbors(u))
+            assert not (post & pre)
+
+    def test_count_post_matches_d_out(self):
+        g, d, ko = make(erdos_renyi(30, 90, seed=7))
+        for u in g.vertices():
+            assert ko.count_post(g, u) == d.d_out[u]
+
+    def test_filtered_by_core(self):
+        g, d, ko = make(erdos_renyi(30, 90, seed=8))
+        for u in list(g.vertices())[:10]:
+            k = ko.core[u]
+            assert all(ko.core[v] == k for v in ko.post(g, u, k=k))
+
+
+class TestMoves:
+    def test_promote_head(self):
+        g, d, ko = make([(0, 1), (1, 2), (0, 2), (3, 0)])
+        # 3 has core 1; promote it to 2 manually
+        ko.promote_head(3, 2)
+        assert ko.core[3] == 2
+        assert ko.sequence(2)[0] == 3
+        assert ko.sequence(1) == []
+
+    def test_promote_after_chains(self):
+        g, d, ko = make([(0, 1), (1, 2), (0, 2), (3, 0), (4, 0)])
+        ko.promote_head(3, 2)
+        ko.promote_after(3, 4, 2)
+        assert ko.sequence(2)[:2] == [3, 4]
+
+    def test_promote_after_requires_promoted_anchor(self):
+        g, d, ko = make([(0, 1), (1, 2), (0, 2), (3, 0), (4, 0)])
+        with pytest.raises(ValueError):
+            ko.promote_after(3, 4, 2)  # anchor 3 still core 1
+
+    def test_demote_tail(self):
+        g, d, ko = make([(0, 1), (1, 2), (0, 2), (3, 0)])
+        ko.demote_tail(0, 1)
+        assert ko.core[0] == 1
+        assert ko.sequence(1)[-1] == 0
+
+    def test_promote_extends_levels(self):
+        g, d, ko = make([(0, 1)])  # max core 1
+        ko.promote_head(0, 2)
+        assert ko.max_level >= 2
+        assert ko.sequence(2) == [0]
+
+    def test_move_after_vertex(self):
+        g, d, ko = make(erdos_renyi(20, 50, seed=9))
+        seq = ko.sequence(ko.core[d.order[0]])
+        if len(seq) >= 3:
+            a, b = seq[0], seq[2]
+            ko.move_after_vertex(a, b)
+            new_seq = ko.sequence(ko.core[a])
+            assert new_seq.index(b) == new_seq.index(a) + 1
+
+    def test_moves_bump_status(self):
+        g, d, ko = make([(0, 1), (1, 2), (0, 2)])
+        s0 = ko.status(0)
+        ko.demote_tail(0, 1)
+        assert ko.status(0) == s0 + 2
+        assert ko.status(0) % 2 == 0
+
+    def test_version_property(self):
+        g, d, ko = make(erdos_renyi(20, 50, seed=10))
+        assert ko.version == ko.om.version
+        assert ko.relabels_in_progress == 0
+
+
+class TestValidity:
+    def test_check_valid_catches_core_segment_mismatch(self):
+        g, d, ko = make([(0, 1), (1, 2), (0, 2)])
+        ko.core[0] = 1  # corrupt: claims core 1 while sitting in O_2
+        with pytest.raises(AssertionError):
+            ko.check_valid(g)
+
+    def test_check_valid_catches_order_violation(self):
+        # a path graph where we artificially give a vertex too many successors
+        g = DynamicGraph([(0, 1), (1, 2), (2, 3)])
+        d = core_decomposition(g)
+        ko = KOrder.from_decomposition(d.core, d.order)
+        # demote 2's neighbors' positions so 1 has both neighbors after it:
+        # move 0 and 2 after 1 in O_1 by re-threading 0 to the tail
+        ko.demote_tail(0, 1)  # 0 now at tail: neighbor 1 gets 2 successors
+        with pytest.raises(AssertionError):
+            ko.check_valid(g)

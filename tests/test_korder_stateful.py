@@ -1,0 +1,116 @@
+"""Stateful property test: KOrder stays valid under arbitrary legal
+promote/demote/move sequences.
+
+The maintenance algorithms compose exactly three kinds of k-order
+mutations; this machine drives random legal sequences of them and checks
+structural validity after every step (segment membership, OM invariants,
+status-parity) — independent of any maintenance logic.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.korder import KOrder
+
+
+class KOrderMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ko = KOrder(capacity=4)  # tiny groups -> frequent relabels
+        self.counter = 0
+        for i in range(6):
+            self.ko.add_vertex(f"v{i}", k=i % 3)
+            self.counter += 1
+
+    def _vertices(self):
+        return sorted(self.ko.core, key=repr)
+
+    @rule(k=st.integers(0, 3))
+    def add_vertex(self, k):
+        k = min(k, self.ko.max_level + 1)
+        self.ko.add_vertex(f"v{self.counter}", k=k)
+        self.counter += 1
+
+    @rule(data=st.data())
+    def promote(self, data):
+        vs = self._vertices()
+        u = data.draw(st.sampled_from(vs))
+        self.ko.promote_head(u, self.ko.core[u] + 1)
+
+    @rule(data=st.data())
+    def promote_chain(self, data):
+        vs = self._vertices()
+        u = data.draw(st.sampled_from(vs))
+        v = data.draw(st.sampled_from(vs))
+        if u == v:
+            return
+        new_k = self.ko.core[u] + 1
+        self.ko.promote_head(u, new_k)
+        self.ko.promote_after(u, v, new_k)
+
+    @rule(data=st.data())
+    def demote(self, data):
+        vs = [u for u in self._vertices() if self.ko.core[u] > 0]
+        if not vs:
+            return
+        u = data.draw(st.sampled_from(vs))
+        self.ko.demote_tail(u, self.ko.core[u] - 1)
+
+    @rule(data=st.data())
+    def move_within_segment(self, data):
+        by_level = {}
+        for u in self._vertices():
+            by_level.setdefault(self.ko.core[u], []).append(u)
+        levels = [k for k, vs in by_level.items() if len(vs) >= 2]
+        if not levels:
+            return
+        k = data.draw(st.sampled_from(sorted(levels)))
+        anchor, u = data.draw(
+            st.sampled_from(
+                [
+                    (a, b)
+                    for a in by_level[k]
+                    for b in by_level[k]
+                    if a != b
+                ]
+            )
+        )
+        self.ko.move_after_vertex(anchor, u)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def structurally_sound(self):
+        self.ko.om.check_invariants()
+
+    @invariant()
+    def segments_match_cores(self):
+        for k in range(self.ko.max_level + 1):
+            for u in self.ko.sequence(k):
+                assert self.ko.core[u] == k
+
+    @invariant()
+    def statuses_even(self):
+        for u in self.ko.core:
+            assert self.ko.status(u) % 2 == 0
+
+    @invariant()
+    def full_sequence_is_total(self):
+        seq = self.ko.full_sequence()
+        assert sorted(seq, key=repr) == self._vertices()
+        # cores non-decreasing along the sequence
+        cores = [self.ko.core[u] for u in seq]
+        assert cores == sorted(cores)
+
+    @invariant()
+    def precedes_agrees_with_sequence(self):
+        seq = self.ko.full_sequence()
+        if len(seq) >= 2:
+            assert self.ko.precedes(seq[0], seq[-1])
+            assert not self.ko.precedes(seq[-1], seq[0])
+
+
+TestKOrderMachine = KOrderMachine.TestCase
+TestKOrderMachine.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)

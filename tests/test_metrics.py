@@ -1,0 +1,91 @@
+"""Tests for the structural graph metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import barabasi_albert, erdos_renyi, lattice
+from repro.graph.metrics import (
+    connected_components,
+    degree_histogram,
+    degree_skew,
+    global_clustering,
+    profile,
+)
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(g.vertices())
+    h.add_edges_from(g.edges())
+    return h
+
+
+class TestDegreeStats:
+    def test_histogram_total(self):
+        g = DynamicGraph(erdos_renyi(40, 100, seed=1))
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == g.num_vertices
+        assert sum(d * c for d, c in hist.items()) == 2 * g.num_edges
+
+    def test_skew_orderings(self):
+        flat = DynamicGraph(lattice(12, 12))
+        heavy = DynamicGraph(barabasi_albert(144, 3, seed=2))
+        assert degree_skew(heavy) > degree_skew(flat)
+
+    def test_skew_empty(self):
+        assert degree_skew(DynamicGraph()) == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+        assert global_clustering(g) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        g = DynamicGraph([(0, i) for i in range(1, 8)])
+        assert global_clustering(g) == 0.0
+
+    def test_matches_networkx(self):
+        g = DynamicGraph(erdos_renyi(30, 90, seed=3))
+        assert global_clustering(g) == pytest.approx(
+            nx.transitivity(to_nx(g)), abs=1e-9
+        )
+
+    def test_sampled_close_to_full(self):
+        g = DynamicGraph(erdos_renyi(200, 800, seed=4))
+        full = global_clustering(g)
+        sampled = global_clustering(g, sample=100)
+        assert abs(full - sampled) < 0.1
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = DynamicGraph([(0, 1), (1, 2), (10, 11)])
+        assert connected_components(g) == [3, 2]
+
+    def test_matches_networkx(self):
+        g = DynamicGraph(erdos_renyi(60, 70, seed=5))
+        ours = connected_components(g)
+        theirs = sorted(
+            (len(c) for c in nx.connected_components(to_nx(g))), reverse=True
+        )
+        assert ours == theirs
+
+
+class TestProfile:
+    def test_fields(self):
+        g = DynamicGraph(erdos_renyi(50, 150, seed=6))
+        p = profile(g)
+        assert p.n == 50 or p.n == g.num_vertices
+        assert p.m == g.num_edges
+        assert 0 <= p.largest_component_frac <= 1
+        row = p.row()
+        assert set(row) == {
+            "n", "m", "avg_deg", "max_deg", "skew",
+            "clustering", "components", "lcc%",
+        }
+
+    def test_empty_graph(self):
+        p = profile(DynamicGraph())
+        assert p.n == 0 and p.components == 0

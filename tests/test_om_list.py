@@ -1,0 +1,283 @@
+"""Unit + property tests for the two-level Order-Maintenance list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.om.list_labels import OMItem, OMList
+
+
+def build(payloads, capacity=8):
+    lst = OMList(capacity=capacity)
+    items = []
+    for p in payloads:
+        it = OMItem(p)
+        lst.insert_tail(it)
+        items.append(it)
+    return lst, items
+
+
+class TestBasicOps:
+    def test_empty_list(self):
+        lst = OMList()
+        assert len(lst) == 0
+        assert lst.first() is None
+        assert lst.last() is None
+        assert lst.to_list() == []
+
+    def test_insert_tail_order(self):
+        lst, items = build("abc")
+        assert lst.to_list() == ["a", "b", "c"]
+        assert lst.first() is items[0]
+        assert lst.last() is items[2]
+
+    def test_insert_head(self):
+        lst, _ = build("bc")
+        x = OMItem("a")
+        lst.insert_head(x)
+        assert lst.to_list() == ["a", "b", "c"]
+
+    def test_insert_after_middle(self):
+        lst, items = build("ac")
+        mid = OMItem("b")
+        lst.insert_after(items[0], mid)
+        assert lst.to_list() == ["a", "b", "c"]
+
+    def test_order_semantics(self):
+        lst, items = build("abcd")
+        assert lst.order(items[0], items[3])
+        assert not lst.order(items[3], items[0])
+        assert not lst.order(items[1], items[1])
+
+    def test_order_raises_for_foreign_item(self):
+        lst, items = build("ab")
+        with pytest.raises(ValueError):
+            lst.order(items[0], OMItem("zzz"))
+
+    def test_delete_middle(self):
+        lst, items = build("abc")
+        lst.delete(items[1])
+        assert lst.to_list() == ["a", "c"]
+        assert not items[1].in_list
+
+    def test_delete_last_updates_tail(self):
+        lst, items = build("abc")
+        lst.delete(items[2])
+        assert lst.last() is items[1]
+        y = OMItem("d")
+        lst.insert_tail(y)
+        assert lst.to_list() == ["a", "b", "d"]
+
+    def test_delete_all_then_reuse(self):
+        lst, items = build("abc")
+        for it in items:
+            lst.delete(it)
+        assert len(lst) == 0
+        lst.insert_head(OMItem("x"))
+        assert lst.to_list() == ["x"]
+
+    def test_reinsert_deleted_item(self):
+        lst, items = build("abc")
+        lst.delete(items[0])
+        lst.insert_tail(items[0])
+        assert lst.to_list() == ["b", "c", "a"]
+
+    def test_double_insert_raises(self):
+        lst, items = build("ab")
+        with pytest.raises(ValueError):
+            lst.insert_tail(items[0])
+
+    def test_delete_foreign_raises(self):
+        lst, _ = build("ab")
+        with pytest.raises(ValueError):
+            lst.delete(OMItem("zzz"))
+
+    def test_insert_after_unlinked_anchor_raises(self):
+        lst, items = build("ab")
+        lst.delete(items[0])
+        with pytest.raises(ValueError):
+            lst.insert_after(items[0], OMItem("x"))
+
+
+class TestNavigation:
+    def test_successor_chain(self):
+        lst, items = build("abcd")
+        chain = []
+        x = lst.first()
+        while x is not None:
+            chain.append(x.payload)
+            x = lst.successor(x)
+        assert chain == ["a", "b", "c", "d"]
+
+    def test_predecessor_chain(self):
+        lst, items = build("abcd")
+        chain = []
+        x = lst.last()
+        while x is not None:
+            chain.append(x.payload)
+            x = lst.predecessor(x)
+        assert chain == ["d", "c", "b", "a"]
+
+    def test_predecessor_of_first_is_none(self):
+        lst, items = build("ab")
+        assert lst.predecessor(items[0]) is None
+
+    def test_insert_before(self):
+        lst, items = build("ac")
+        lst.insert_before(items[0], OMItem("z"))
+        lst.insert_before(items[1], OMItem("b"))
+        assert lst.to_list() == ["z", "a", "b", "c"]
+
+
+class TestRelabeling:
+    def test_splits_triggered_by_head_hammering(self):
+        lst = OMList(capacity=4)
+        for i in range(200):
+            lst.insert_head(OMItem(i))
+        assert lst.n_splits > 0
+        lst.check_invariants()
+        assert lst.to_list() == list(range(199, -1, -1))
+
+    def test_same_spot_insertions_force_rebalance(self):
+        lst = OMList(capacity=4)
+        anchor = OMItem("anchor")
+        lst.insert_tail(anchor)
+        for i in range(500):
+            lst.insert_after(anchor, OMItem(i))
+        lst.check_invariants()
+        assert lst.n_splits > 0
+        # all inserted after the same anchor -> reversed order
+        assert lst.to_list() == ["anchor"] + list(range(499, -1, -1))
+
+    def test_version_bumps_on_relabel(self):
+        lst = OMList(capacity=4)
+        v0 = lst.version
+        for i in range(100):
+            lst.insert_head(OMItem(i))
+        assert lst.version > v0
+        assert lst.version % 2 == 0  # begin/end pairs
+        assert lst.relabels_in_progress == 0
+
+    def test_delete_never_relabels(self):
+        lst, items = build(range(100), capacity=8)
+        splits, rebalances = lst.n_splits, lst.n_rebalances
+        v = lst.version
+        for it in items[10:60]:
+            lst.delete(it)
+        assert (lst.n_splits, lst.n_rebalances) == (splits, rebalances)
+        assert lst.version == v
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            OMList(capacity=2)
+
+    @pytest.mark.parametrize("capacity", [4, 8, 64])
+    def test_random_workout_keeps_invariants(self, capacity):
+        rng = random.Random(capacity)
+        lst = OMList(capacity=capacity)
+        ref = []
+        for step in range(1500):
+            op = rng.random()
+            if not ref or op < 0.35:
+                it = OMItem(step)
+                if rng.random() < 0.5:
+                    lst.insert_head(it)
+                    ref.insert(0, it)
+                else:
+                    lst.insert_tail(it)
+                    ref.append(it)
+            elif op < 0.7:
+                i = rng.randrange(len(ref))
+                it = OMItem(step)
+                lst.insert_after(ref[i], it)
+                ref.insert(i + 1, it)
+            else:
+                i = rng.randrange(len(ref))
+                lst.delete(ref.pop(i))
+        lst.check_invariants()
+        assert lst.to_list() == [x.payload for x in ref]
+        for _ in range(300):
+            i, j = rng.randrange(len(ref)), rng.randrange(len(ref))
+            assert lst.order(ref[i], ref[j]) == (i < j)
+
+
+class OMListMachine(RuleBasedStateMachine):
+    """Hypothesis state machine: OMList must always agree with a plain
+    Python list under arbitrary operation sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.lst = OMList(capacity=4)  # tiny capacity → frequent relabels
+        self.ref = []
+        self.counter = 0
+
+    @rule(at_head=st.booleans())
+    def insert_end(self, at_head):
+        it = OMItem(self.counter)
+        self.counter += 1
+        if at_head:
+            self.lst.insert_head(it)
+            self.ref.insert(0, it)
+        else:
+            self.lst.insert_tail(it)
+            self.ref.append(it)
+
+    @precondition(lambda self: self.ref)
+    @rule(data=st.data())
+    def insert_after(self, data):
+        i = data.draw(st.integers(0, len(self.ref) - 1))
+        it = OMItem(self.counter)
+        self.counter += 1
+        self.lst.insert_after(self.ref[i], it)
+        self.ref.insert(i + 1, it)
+
+    @precondition(lambda self: self.ref)
+    @rule(data=st.data())
+    def delete(self, data):
+        i = data.draw(st.integers(0, len(self.ref) - 1))
+        self.lst.delete(self.ref.pop(i))
+
+    @invariant()
+    def agrees_with_reference(self):
+        assert self.lst.to_list() == [x.payload for x in self.ref]
+
+    @invariant()
+    def structure_is_sound(self):
+        self.lst.check_invariants()
+
+    @precondition(lambda self: len(self.ref) >= 2)
+    @invariant()
+    def order_agrees(self):
+        a, b = 0, len(self.ref) - 1
+        assert self.lst.order(self.ref[a], self.ref[b])
+        assert not self.lst.order(self.ref[b], self.ref[a])
+
+
+TestOMListStateMachine = OMListMachine.TestCase
+TestOMListStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_label_monotonicity_along_list(ops):
+    """Walking any constructed list, (group,bottom) label pairs strictly
+    increase — the property Order() comparison relies on."""
+    lst = OMList(capacity=4)
+    anchor = None
+    for i, op in enumerate(ops):
+        it = OMItem(i)
+        if op == 0 or anchor is None:
+            lst.insert_head(it)
+        elif op == 1:
+            lst.insert_tail(it)
+        else:
+            lst.insert_after(anchor, it)
+        anchor = it
+    labels = [lst.labels(x) for x in lst]
+    assert labels == sorted(labels)
+    assert len(set(labels)) == len(labels)

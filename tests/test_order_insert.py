@@ -1,0 +1,199 @@
+"""Unit tests for the sequential Order insertion (OI, Algorithms 7-9)."""
+
+import pytest
+
+from repro.core.maintainer import OrderMaintainer
+from repro.core.state import OrderState
+from repro.core.order_insert import KOrderPQ, order_insert_edge
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from tests.conftest import assert_cores_match_bz
+
+
+class TestSingleInsertions:
+    def test_no_maintenance_needed(self):
+        # connecting an existing core-1 vertex to a triangle: no change
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2), (3, 4)]))
+        stats = m.insert_edge(2, 3)
+        assert stats.v_star == []
+        assert m.core(3) == 1
+        m.check()
+
+    def test_new_vertex_promoted_to_core_one(self):
+        # a brand-new pendant vertex rises 0 -> 1 (it *is* a candidate)
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2)]))
+        stats = m.insert_edge(2, 3)
+        assert stats.v_star == [3]
+        assert m.core(3) == 1
+        m.check()
+
+    def test_triangle_completion_promotes(self):
+        # path 0-1-2 plus closing edge -> all three reach core 2
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2)]))
+        stats = m.insert_edge(0, 2)
+        assert sorted(stats.v_star) == [0, 1, 2]
+        assert all(m.core(u) == 2 for u in (0, 1, 2))
+        m.check()
+
+    def test_new_vertex_single_edge(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2)]))
+        m.insert_edge(99, 0)
+        assert m.core(99) == 1
+        m.check()
+
+    def test_edge_between_two_new_vertices(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2)]))
+        m.insert_edge("a", "b")
+        assert m.core("a") == m.core("b") == 1
+        m.check()
+
+    def test_first_edge_of_empty_graph(self):
+        m = OrderMaintainer(DynamicGraph())
+        m.insert_edge(1, 2)
+        assert m.core(1) == m.core(2) == 1
+        m.check()
+
+    def test_duplicate_insert_raises(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1)]))
+        with pytest.raises(ValueError):
+            m.insert_edge(1, 0)
+
+    def test_k4_completion(self):
+        # K4 minus one edge has cores (2,2,3?) -> closing it gives all 3
+        m = OrderMaintainer(
+            DynamicGraph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        )
+        m.insert_edge(2, 3)
+        assert all(m.core(u) == 3 for u in range(4))
+        m.check()
+
+    def test_backward_case_no_promotion(self):
+        """A vertex reachable from the root that cannot be a candidate
+        forces the Backward path: the k-order is re-threaded but cores
+        stay unchanged."""
+        # two triangles sharing no edge, connected by one vertex path
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        m = OrderMaintainer(g)
+        before = m.cores()
+        stats = m.insert_edge(4, 2)  # creates a second triangle 2-3-4
+        assert sorted(stats.v_star) == [3, 4]
+        m.check()
+        assert m.core(3) == m.core(4) == 2
+        assert m.core(0) == before[0]
+
+    def test_v_plus_superset_of_v_star(self):
+        g = DynamicGraph(erdos_renyi(40, 120, seed=1))
+        m = OrderMaintainer(g)
+        for e in erdos_renyi(40, 780, seed=9)[:60]:
+            if not m.graph.has_edge(*e):
+                stats = m.insert_edge(*e)
+                assert set(stats.v_star) <= set(stats.v_plus)
+        m.check()
+
+    def test_core_rises_at_most_one_per_edge(self):
+        g = DynamicGraph(erdos_renyi(30, 60, seed=2))
+        m = OrderMaintainer(g)
+        for e in erdos_renyi(30, 420, seed=5)[:80]:
+            if not m.graph.has_edge(*e):
+                before = m.cores()
+                m.insert_edge(*e)
+                after = m.cores()
+                for u in before:
+                    assert 0 <= after[u] - before[u] <= 1
+
+    def test_candidates_all_had_core_k(self):
+        g = DynamicGraph(erdos_renyi(30, 90, seed=3))
+        m = OrderMaintainer(g)
+        for e in erdos_renyi(30, 400, seed=6)[:80]:
+            if not m.graph.has_edge(*e):
+                before = m.cores()
+                ko = m.state.korder
+                u, v = e
+                k = min(before[u], before[v]) if u in before and v in before else 0
+                stats = m.insert_edge(*e)
+                for w in stats.v_star:
+                    assert before.get(w, 0) == k or w not in before
+
+
+class TestKOrderPQ:
+    def _mk(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        state = OrderState.from_graph(g)
+        return state.korder
+
+    def test_pops_in_order(self):
+        ko = self._mk()
+        seq = ko.full_sequence()
+        pq = KOrderPQ(ko)
+        for v in reversed(seq):
+            pq.push(v)
+        assert [pq.pop() for _ in seq] == seq
+        assert pq.pop() is None
+
+    def test_push_idempotent(self):
+        ko = self._mk()
+        seq = ko.full_sequence()
+        pq = KOrderPQ(ko)
+        pq.push(seq[0])
+        pq.push(seq[0])
+        assert len(pq) == 1
+        assert pq.pop() == seq[0]
+        assert len(pq) == 0
+
+    def test_contains(self):
+        ko = self._mk()
+        seq = ko.full_sequence()
+        pq = KOrderPQ(ko)
+        pq.push(seq[1])
+        assert seq[1] in pq and seq[0] not in pq
+
+    def test_rekey_after_move(self):
+        ko = self._mk()
+        seq2 = ko.sequence(2)
+        assert len(seq2) >= 3
+        pq = KOrderPQ(ko)
+        for v in seq2:
+            pq.push(v)
+        # move the order-first queued vertex to the back of the segment
+        ko.move_after_vertex(seq2[-1], seq2[0])
+        popped = [pq.pop() for _ in seq2]
+        assert popped == ko.sequence(2)  # agrees with the *new* order
+
+
+class TestEndPhaseInvariants:
+    def test_dout_refreshed_for_winners(self):
+        g = DynamicGraph([(0, 1), (1, 2)])
+        state = OrderState.from_graph(g)
+        order_insert_edge(state, 0, 2)
+        state.check_invariants()
+
+    def test_promoted_go_to_head_of_next_segment(self):
+        g = DynamicGraph([(0, 1), (1, 2), (3, 4), (4, 5), (3, 5)])
+        state = OrderState.from_graph(g)
+        stats = order_insert_edge(state, 0, 2)  # 0,1,2 promoted to core 2
+        seq2 = state.korder.sequence(2)
+        # the winners occupy the head of O_2, in V*-insertion order
+        assert seq2[: len(stats.v_star)] == stats.v_star
+        state.check_invariants()
+
+    def test_mcd_invalidated_around_winners(self):
+        g = DynamicGraph([(0, 1), (1, 2), (2, 3)])
+        state = OrderState.from_graph(g)
+        for u in g.vertices():
+            state.ensure_mcd(u)
+        order_insert_edge(state, 0, 2)
+        for w in (0, 1, 2):
+            assert state.mcd[w] is None
+        state.check_invariants()
+
+
+def test_insert_heavy_sequence_stays_consistent():
+    g = DynamicGraph(erdos_renyi(50, 100, seed=4))
+    m = OrderMaintainer(g)
+    extra = [e for e in erdos_renyi(50, 500, seed=11) if not g.has_edge(*e)]
+    for i, e in enumerate(extra[:150]):
+        m.insert_edge(*e)
+        if i % 30 == 0:
+            m.check()
+    m.check()
+    assert_cores_match_bz(m)

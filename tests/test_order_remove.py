@@ -1,0 +1,148 @@
+"""Unit tests for the sequential Order removal (OR, Algorithm 10)."""
+
+import pytest
+
+from repro.core.maintainer import OrderMaintainer
+from repro.core.state import OrderState
+from repro.core.order_remove import order_remove_edge
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from tests.conftest import assert_cores_match_bz
+
+
+class TestSingleRemovals:
+    def test_break_triangle(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2)]))
+        stats = m.remove_edge(0, 1)
+        assert sorted(stats.v_star) == [0, 1, 2]
+        assert all(m.core(u) == 1 for u in (0, 1, 2))
+        m.check()
+
+    def test_remove_pendant_no_cascade(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3)]))
+        stats = m.remove_edge(2, 3)
+        assert stats.v_star == [3]  # only the pendant drops (1 -> 0)
+        assert m.core(3) == 0
+        assert m.core(2) == 2
+        m.check()
+
+    def test_remove_between_higher_and_lower_core(self):
+        # removing an edge into a higher-core vertex only affects the low side
+        m = OrderMaintainer(
+            DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        )
+        before2 = m.core(2)
+        m.remove_edge(2, 3)
+        assert m.core(2) == before2
+        m.check()
+
+    def test_missing_edge_raises(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1)]))
+        with pytest.raises(KeyError):
+            m.remove_edge(0, 9)
+
+    def test_core_drops_at_most_one(self):
+        g = DynamicGraph(erdos_renyi(30, 90, seed=1))
+        m = OrderMaintainer(g)
+        for e in list(g.edges())[:40]:
+            before = m.cores()
+            m.remove_edge(*e)
+            after = m.cores()
+            for u in before:
+                assert 0 <= before[u] - after[u] <= 1
+
+    def test_v_star_vertices_had_core_k(self):
+        g = DynamicGraph(erdos_renyi(30, 90, seed=2))
+        m = OrderMaintainer(g)
+        for e in list(g.edges())[:40]:
+            before = m.cores()
+            k = min(before[e[0]], before[e[1]])
+            stats = m.remove_edge(*e)
+            assert all(before[w] == k for w in stats.v_star)
+
+    def test_remove_to_empty(self):
+        m = OrderMaintainer(DynamicGraph([(0, 1), (1, 2), (0, 2)]))
+        for e in [(0, 1), (1, 2), (0, 2)]:
+            m.remove_edge(*e)
+        assert all(m.core(u) == 0 for u in (0, 1, 2))
+        m.check()
+
+    def test_cascade_through_chain_of_triangles(self):
+        # chain of triangles sharing vertices: breaking the 2-core cascades
+        edges = []
+        for i in range(0, 8, 2):
+            edges += [(i, i + 1), (i + 1, i + 2), (i, i + 2)]
+        m = OrderMaintainer(DynamicGraph(edges))
+        assert all(m.core(u) == 2 for u in range(9))
+        m.remove_edge(0, 1)
+        # only the first triangle collapses (vertex 2 is shared)
+        assert m.core(0) == 1 and m.core(1) == 1
+        assert m.core(3) == 2
+        m.check()
+
+
+class TestRemoveStateUpkeep:
+    def test_dropped_appended_to_lower_segment_tail(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2), (3, 4)])
+        state = OrderState.from_graph(g)
+        stats = order_remove_edge(state, 0, 1)
+        seq1 = state.korder.sequence(1)
+        # 3,4 were already in O_1; dropped vertices appended after them
+        assert seq1[:2] == [3, 4] or seq1[0] in (3, 4)
+        assert seq1[-len(stats.v_star):] == stats.v_star
+        state.check_invariants()
+
+    def test_mcd_wiped_for_dropped(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+        state = OrderState.from_graph(g)
+        for u in g.vertices():
+            state.ensure_mcd(u)
+        order_remove_edge(state, 0, 1)
+        for u in (0, 1, 2):
+            assert state.mcd[u] is None
+
+    def test_dout_invalidated_around_vstar(self):
+        g = DynamicGraph(erdos_renyi(30, 90, seed=3))
+        state = OrderState.from_graph(g)
+        e = next(iter(g.edges()))
+        stats = order_remove_edge(state, *e)
+        for w in stats.v_star:
+            assert state.d_out.get(w) is None
+        state.check_invariants()
+
+    def test_remove_stats_v_plus_equals_v_star(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+        state = OrderState.from_graph(g)
+        stats = order_remove_edge(state, 0, 1)
+        assert stats.v_plus == stats.v_star
+
+
+def test_remove_heavy_sequence_stays_consistent():
+    g = DynamicGraph(erdos_renyi(50, 160, seed=4))
+    m = OrderMaintainer(g)
+    edges = list(g.edges())
+    for i, e in enumerate(edges[:120]):
+        m.remove_edge(*e)
+        if i % 30 == 0:
+            m.check()
+    m.check()
+    assert_cores_match_bz(m)
+
+
+def test_interleaved_insert_remove_consistency(rng):
+    g = DynamicGraph(erdos_renyi(40, 80, seed=5))
+    m = OrderMaintainer(g)
+    absent = [e for e in erdos_renyi(40, 300, seed=6) if not g.has_edge(*e)]
+    present = list(g.edges())
+    for i in range(250):
+        if absent and (not present or rng.random() < 0.5):
+            e = absent.pop(rng.randrange(len(absent)))
+            m.insert_edge(*e)
+            present.append(e)
+        else:
+            e = present.pop(rng.randrange(len(present)))
+            m.remove_edge(*e)
+            absent.append(e)
+        if i % 50 == 0:
+            m.check()
+    m.check()

@@ -1,0 +1,115 @@
+"""Cross-algorithm, cross-schedule differential tests.
+
+Every maintenance algorithm, run any way, must end with the same core
+numbers as a from-scratch BZ decomposition of the final graph — core
+numbers depend only on the graph, never on the processing order.
+"""
+
+import pytest
+
+from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
+from repro.baselines.matching import MatchingMaintainer
+from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import ParallelOrderMaintainer
+from tests.conftest import small_graph_families, split_edges
+
+BATCH_FACTORIES = {
+    "our-p1": lambda g: ParallelOrderMaintainer(g, num_workers=1),
+    "our-p4": lambda g: ParallelOrderMaintainer(g, num_workers=4),
+    "our-p4-random": lambda g: ParallelOrderMaintainer(
+        g, num_workers=4, schedule="random", seed=11
+    ),
+    "jei": lambda g: JoinEdgeSetMaintainer(g, num_workers=4),
+    "mi": lambda g: MatchingMaintainer(g, num_workers=4),
+}
+
+
+@pytest.mark.parametrize("algo", list(BATCH_FACTORIES))
+@pytest.mark.parametrize(
+    "name,edges", small_graph_families(3), ids=lambda p: p if isinstance(p, str) else ""
+)
+def test_remove_then_insert_all_algorithms(name, edges, algo):
+    """Paper protocol on every family x every batch algorithm."""
+    batch = edges[len(edges) // 2 :: 3]  # spread sample
+    m = BATCH_FACTORIES[algo](DynamicGraph(edges))
+    m.remove_edges(batch)
+    m.check()
+    m.insert_edges(batch)
+    m.check()
+
+
+@pytest.mark.parametrize(
+    "name,edges", small_graph_families(4), ids=lambda p: p if isinstance(p, str) else ""
+)
+def test_all_algorithms_agree(name, edges):
+    """After identical batches, all five maintainers hold identical cores."""
+    base, dyn = split_edges(edges)
+    ms = [
+        OrderMaintainer(DynamicGraph(base)),
+        TraversalMaintainer(DynamicGraph(base)),
+        ParallelOrderMaintainer(DynamicGraph(base), num_workers=3),
+        JoinEdgeSetMaintainer(DynamicGraph(base), num_workers=3),
+        MatchingMaintainer(DynamicGraph(base), num_workers=3),
+    ]
+    for m in ms:
+        m.insert_edges(dyn)
+    cores = [m.cores() for m in ms]
+    assert all(c == cores[0] for c in cores)
+    for m in ms:
+        m.remove_edges(dyn)
+    cores = [m.cores() for m in ms]
+    assert all(c == cores[0] for c in cores)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_many_random_interleavings(seed):
+    """The random scheduler explores different interleavings per seed; all
+    must produce correct cores and valid k-order state."""
+    from repro.graph.generators import erdos_renyi
+
+    edges = erdos_renyi(50, 170, seed=100 + seed)
+    batch = edges[::3]
+    m = ParallelOrderMaintainer(
+        DynamicGraph(edges), num_workers=5, schedule="random", seed=seed
+    )
+    m.remove_edges(batch)
+    m.check()
+    m.insert_edges(batch)
+    m.check()
+
+
+def test_parallel_results_independent_of_worker_count():
+    from repro.graph.generators import powerlaw_cluster
+
+    edges = powerlaw_cluster(80, 3, 0.5, seed=9)
+    batch = edges[::4]
+    cores = []
+    for p in (1, 2, 4, 8):
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=p)
+        m.remove_edges(batch)
+        m.insert_edges(batch)
+        cores.append(m.cores())
+    assert all(c == cores[0] for c in cores)
+
+
+def test_same_work_claim():
+    """Paper Section 4: OurI/OurR have the *same work* as their sequential
+    versions.  Removal work is essentially interleaving-independent;
+    insertion work varies more (different interleavings evolve different
+    k-orders, hence different search sets) but stays within a small factor.
+    """
+    from repro.graph.generators import barabasi_albert
+
+    edges = barabasi_albert(250, 4, seed=13)
+    batch = edges[::4]
+    rm_work = {}
+    ins_work = {}
+    for p in (1, 4, 16):
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=p)
+        rm_work[p] = m.remove_edges(batch).report.total_work
+        ins_work[p] = m.insert_edges(batch).report.total_work
+    for p in (4, 16):
+        assert abs(rm_work[p] - rm_work[1]) <= 0.15 * rm_work[1]
+        assert ins_work[p] <= 3.0 * ins_work[1]
+        assert ins_work[p] >= 0.5 * ins_work[1]

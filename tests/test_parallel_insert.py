@@ -1,0 +1,154 @@
+"""Tests for OurI — parallel Order insertion (Algorithm 5)."""
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.parallel.batch import ParallelOrderMaintainer, partition_batch
+from tests.conftest import assert_cores_match_bz
+
+
+class TestPartition:
+    def test_near_equal_chunks(self):
+        chunks = partition_batch(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_fewer_edges_than_workers(self):
+        chunks = partition_batch([1, 2], 8)
+        assert [len(c) for c in chunks] == [1, 1]
+
+    def test_single_worker(self):
+        assert partition_batch([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_batch([1], 0)
+
+
+class TestBatchValidation:
+    def _m(self, P=2):
+        return ParallelOrderMaintainer(
+            DynamicGraph([(0, 1), (1, 2), (0, 2)]), num_workers=P
+        )
+
+    def test_duplicate_in_batch_rejected(self):
+        with pytest.raises(ValueError):
+            self._m().insert_edges([(3, 4), (4, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            self._m().insert_edges([(3, 3)])
+
+    def test_existing_edge_rejected(self):
+        with pytest.raises(ValueError):
+            self._m().insert_edges([(0, 1)])
+
+    def test_missing_edge_rejected_on_remove(self):
+        with pytest.raises(KeyError):
+            self._m().remove_edges([(0, 9)])
+
+
+class TestSmallBatches:
+    def test_triangle_completion_parallel(self):
+        m = ParallelOrderMaintainer(DynamicGraph([(0, 1), (1, 2)]), num_workers=2)
+        res = m.insert_edges([(0, 2)])
+        assert sorted(res.stats[0].v_star) == [0, 1, 2]
+        m.check()
+
+    def test_two_independent_triangles(self):
+        g = DynamicGraph([(0, 1), (1, 2), (10, 11), (11, 12)])
+        m = ParallelOrderMaintainer(g, num_workers=2)
+        res = m.insert_edges([(0, 2), (10, 12)])
+        assert all(m.core(u) == 2 for u in (0, 1, 2, 10, 11, 12))
+        assert len(res.stats) == 2
+        m.check()
+
+    def test_new_vertices_in_batch(self):
+        m = ParallelOrderMaintainer(DynamicGraph([(0, 1)]), num_workers=2)
+        m.insert_edges([(5, 6), (6, 7), (5, 7)])
+        assert m.core(5) == m.core(6) == m.core(7) == 2
+        m.check()
+
+    def test_interacting_edges_same_subcore(self):
+        """Edges whose candidate sets overlap — the contended case."""
+        g = DynamicGraph([(i, i + 1) for i in range(6)])  # path: all core 1
+        m = ParallelOrderMaintainer(g, num_workers=3)
+        m.insert_edges([(0, 2), (2, 4), (1, 3)])
+        m.check()
+        assert_cores_match_bz(m)
+
+    def test_empty_batch(self):
+        m = ParallelOrderMaintainer(DynamicGraph([(0, 1)]), num_workers=2)
+        res = m.insert_edges([])
+        assert res.makespan == 0.0
+        assert res.stats == []
+
+
+class TestReports:
+    def test_one_worker_equals_sequential_work(self):
+        """Paper: OurI with 1 worker == OI — makespan equals total work."""
+        edges = erdos_renyi(50, 150, seed=1)
+        base, dyn = edges[:-30], edges[-30:]
+        m = ParallelOrderMaintainer(DynamicGraph(base), num_workers=1)
+        res = m.insert_edges(dyn)
+        assert res.makespan == pytest.approx(res.report.total_work)
+
+    def test_stats_per_edge(self):
+        edges = erdos_renyi(50, 150, seed=2)
+        base, dyn = edges[:-25], edges[-25:]
+        m = ParallelOrderMaintainer(DynamicGraph(base), num_workers=4)
+        res = m.insert_edges(dyn)
+        assert len(res.stats) == 25
+        assert len(res.v_plus_sizes()) == 25
+
+    def test_multiworker_makespan_not_worse_than_serial(self):
+        edges = barabasi_albert(150, 4, seed=3)
+        base, dyn = edges[:-80], edges[-80:]
+        m1 = ParallelOrderMaintainer(DynamicGraph(base), num_workers=1)
+        t1 = m1.insert_edges(dyn).makespan
+        m8 = ParallelOrderMaintainer(DynamicGraph(base), num_workers=8)
+        t8 = m8.insert_edges(dyn).makespan
+        assert t8 < t1
+        m1.check()
+        m8.check()
+
+    def test_min_clock_run_is_deterministic(self):
+        edges = erdos_renyi(40, 120, seed=4)
+        base, dyn = edges[:-30], edges[-30:]
+
+        def go():
+            m = ParallelOrderMaintainer(DynamicGraph(base), num_workers=4)
+            r = m.insert_edges(dyn)
+            return r.makespan, r.report.events, m.cores()
+
+        assert go() == go()
+
+
+class TestCorrectnessAcrossSchedules:
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8])
+    def test_min_clock(self, workers):
+        edges = erdos_renyi(60, 200, seed=5)
+        base, dyn = edges[:-60], edges[-60:]
+        m = ParallelOrderMaintainer(DynamicGraph(base), num_workers=workers)
+        m.insert_edges(dyn)
+        m.check()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedules(self, seed):
+        edges = erdos_renyi(60, 200, seed=6)
+        base, dyn = edges[:-60], edges[-60:]
+        m = ParallelOrderMaintainer(
+            DynamicGraph(base), num_workers=4, schedule="random", seed=seed
+        )
+        m.insert_edges(dyn)
+        m.check()
+
+    def test_uniform_core_graph(self):
+        """BA: every vertex shares one core value — the case where prior
+        work loses all parallelism but OurI must stay correct and fast."""
+        edges = barabasi_albert(200, 3, seed=7)
+        base, dyn = edges[:-80], edges[-80:]
+        m = ParallelOrderMaintainer(DynamicGraph(base), num_workers=8)
+        m.insert_edges(dyn)
+        m.check()

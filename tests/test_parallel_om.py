@@ -1,0 +1,134 @@
+"""Tests for the parallel OM wrapper (status protocol, Algorithm 4)."""
+
+import threading
+
+from repro.om.list_labels import OMItem
+from repro.om.parallel_om import ParallelOMList
+
+
+def build(n=10, capacity=8):
+    lst = ParallelOMList(capacity=capacity)
+    items = []
+    for i in range(n):
+        it = OMItem(i)
+        lst.insert_tail(it)
+        items.append(it)
+    return lst, items
+
+
+class TestStatusProtocol:
+    def test_begin_end_move_parity(self):
+        lst, items = build()
+        x = items[0]
+        assert x.s % 2 == 0
+        lst.begin_move(x)
+        assert x.s % 2 == 1
+        lst.end_move(x)
+        assert x.s % 2 == 0
+
+    def test_move_after_bumps_status_twice(self):
+        lst, items = build()
+        s0 = items[3].s
+        lst.move_after(items[5], items[3])
+        assert items[3].s == s0 + 2
+        assert lst.to_list().index(3) == lst.to_list().index(5) + 1
+
+    def test_order_concurrent_agrees_with_order(self):
+        lst, items = build(20)
+        for i in range(0, 20, 3):
+            for j in range(0, 20, 4):
+                if i != j:
+                    assert lst.order_concurrent(items[i], items[j]) == (i < j)
+
+    def test_order_concurrent_same_item(self):
+        lst, items = build()
+        assert lst.order_concurrent(items[0], items[0]) is False
+
+    def test_on_spin_not_called_when_stable(self):
+        lst, items = build()
+        spins = []
+        lst.order_concurrent(items[0], items[1], on_spin=lambda: spins.append(1))
+        assert spins == []
+
+    def test_spin_while_status_odd(self):
+        """A reader observing an odd status must retry until it is even."""
+        lst, items = build()
+        x = items[0]
+        lst.begin_move(x)
+        calls = {"n": 0}
+
+        def on_spin():
+            calls["n"] += 1
+            if calls["n"] > 3:
+                lst.end_move(x)  # the 'mover' finishes
+
+        assert lst.order_concurrent(x, items[1], on_spin=on_spin) is True
+        assert calls["n"] > 3
+
+
+class TestUnderThreads:
+    def test_concurrent_readers_with_mover(self):
+        """Readers comparing while a mover shuffles items: no crashes and
+        every returned comparison is internally consistent."""
+        lst, items = build(50, capacity=4)
+        stop = threading.Event()
+        errors = []
+
+        def mover():
+            try:
+                for round_ in range(300):
+                    x = items[round_ % 50]
+                    anchor = items[(round_ * 7 + 1) % 50]
+                    if x is anchor:
+                        continue
+                    x.s += 1
+                    lst.delete(x)
+                    lst.insert_after(anchor, x)
+                    x.s += 1
+            except BaseException as e:  # noqa: BLE001
+                errors.append(e)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                i = 0
+                while not stop.is_set():
+                    a = items[i % 50]
+                    b = items[(i * 3 + 1) % 50]
+                    if a is not b:
+                        r1 = lst.order_concurrent(a, b)
+                        assert isinstance(r1, bool)
+                    i += 1
+            except BaseException as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [threading.Thread(target=mover)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        lst.check_invariants()
+
+
+class TestTornReadRecovery:
+    def test_order_concurrent_retries_through_torn_read(self, monkeypatch):
+        """A torn read (exception while the mover's status is odd) must be
+        retried, not propagated (the thread backend's failure mode)."""
+        lst, items = build(6)
+        x, y = items[0], items[1]
+        calls = {"n": 0}
+        real_order = ParallelOMList.order
+
+        def flaky_order(self, a, b):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise AttributeError("mid-splice read")
+            return real_order(self, a, b)
+
+        monkeypatch.setattr(ParallelOMList, "order", flaky_order)
+        assert lst.order_concurrent(x, y) is True
+        assert calls["n"] >= 2

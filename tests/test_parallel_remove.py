@@ -1,0 +1,119 @@
+"""Tests for OurR — parallel Order removal (Algorithm 6)."""
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import barabasi_albert, erdos_renyi, rmat
+from repro.parallel.batch import ParallelOrderMaintainer
+from tests.conftest import assert_cores_match_bz
+
+
+class TestSmallBatches:
+    def test_break_triangle_parallel(self):
+        m = ParallelOrderMaintainer(
+            DynamicGraph([(0, 1), (1, 2), (0, 2)]), num_workers=2
+        )
+        res = m.remove_edges([(0, 1)])
+        assert sorted(res.stats[0].v_star) == [0, 1, 2]
+        m.check()
+
+    def test_two_independent_regions(self):
+        g = DynamicGraph(
+            [(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)]
+        )
+        m = ParallelOrderMaintainer(g, num_workers=2)
+        m.remove_edges([(0, 1), (10, 11)])
+        assert all(m.core(u) == 1 for u in (0, 1, 2, 10, 11, 12))
+        m.check()
+
+    def test_overlapping_cascades(self):
+        """Two removed edges whose drop cascades meet — the conditional
+        lock / t-protocol interaction case (paper's Figure 2)."""
+        # 6-clique: removing two disjoint edges drops everyone 5 -> 4
+        edges = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=2)
+        m.remove_edges([(0, 1), (2, 3)])
+        m.check()
+        assert_cores_match_bz(m)
+
+    def test_empty_batch(self):
+        m = ParallelOrderMaintainer(DynamicGraph([(0, 1)]), num_workers=2)
+        res = m.remove_edges([])
+        assert res.makespan == 0.0
+
+    def test_remove_entire_graph(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=4)
+        m.remove_edges(edges)
+        assert all(m.core(u) == 0 for u in range(4))
+        m.check()
+
+
+class TestReports:
+    def test_one_worker_equals_sequential_work(self):
+        edges = erdos_renyi(50, 160, seed=1)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=1)
+        res = m.remove_edges(edges[-40:])
+        assert res.makespan == pytest.approx(res.report.total_work)
+
+    def test_v_plus_equals_v_star_for_removal(self):
+        edges = erdos_renyi(50, 160, seed=2)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=4)
+        res = m.remove_edges(edges[-30:])
+        for s in res.stats:
+            assert s.v_plus == s.v_star
+
+    def test_multiworker_speedup(self):
+        edges = barabasi_albert(200, 4, seed=3)
+        batch = edges[-100:]
+        t1 = (
+            ParallelOrderMaintainer(DynamicGraph(edges), num_workers=1)
+            .remove_edges(batch)
+            .makespan
+        )
+        t8 = (
+            ParallelOrderMaintainer(DynamicGraph(edges), num_workers=8)
+            .remove_edges(batch)
+            .makespan
+        )
+        assert t8 < t1
+
+
+class TestCorrectnessAcrossSchedules:
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8])
+    def test_min_clock(self, workers):
+        edges = erdos_renyi(60, 220, seed=4)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=workers)
+        m.remove_edges(edges[-70:])
+        m.check()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedules(self, seed):
+        edges = erdos_renyi(60, 220, seed=5)
+        m = ParallelOrderMaintainer(
+            DynamicGraph(edges), num_workers=4, schedule="random", seed=seed
+        )
+        m.remove_edges(edges[-70:])
+        m.check()
+
+    def test_uniform_core_graph(self):
+        edges = barabasi_albert(200, 3, seed=6)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=8)
+        m.remove_edges(edges[-90:])
+        m.check()
+
+    def test_skewed_graph(self):
+        edges = rmat(8, 3, seed=7)
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=6)
+        m.remove_edges(edges[-80:])
+        m.check()
+
+    def test_remove_then_insert_roundtrip(self):
+        edges = erdos_renyi(60, 200, seed=8)
+        batch = edges[-60:]
+        m = ParallelOrderMaintainer(DynamicGraph(edges), num_workers=4)
+        before = m.cores()
+        m.remove_edges(batch)
+        m.insert_edges(batch)
+        m.check()
+        assert m.cores() == before  # cores depend only on the final graph

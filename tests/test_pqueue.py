@@ -1,0 +1,129 @@
+"""Tests for the version-stamped priority queue (Appendix E)."""
+
+from repro.core.state import OrderState
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel.pqueue import VersionedPQ
+
+
+def mk_state(edges=None):
+    return OrderState.from_graph(
+        DynamicGraph(edges or erdos_renyi(30, 80, seed=1))
+    )
+
+
+class TestBasics:
+    def test_enqueue_dequeue_in_order(self):
+        s = mk_state()
+        ko = s.korder
+        k = max(ko.core.values())
+        seq = ko.sequence(k)
+        pq = VersionedPQ(ko, k)
+        for v in reversed(seq):
+            pq.enqueue(v)
+        fronts = []
+        while len(pq):
+            v = pq.front()
+            fronts.append(v)
+            pq.remove(v)
+        assert fronts == seq
+
+    def test_enqueue_idempotent(self):
+        s = mk_state()
+        ko = s.korder
+        seq = ko.full_sequence()
+        pq = VersionedPQ(ko, 0)
+        pq.enqueue(seq[0])
+        pq.enqueue(seq[0])
+        assert len(pq) == 1
+
+    def test_contains_and_remove(self):
+        s = mk_state()
+        ko = s.korder
+        seq = ko.full_sequence()
+        pq = VersionedPQ(ko, 0)
+        pq.enqueue(seq[0])
+        assert seq[0] in pq
+        pq.remove(seq[0])
+        assert seq[0] not in pq
+        pq.remove(seq[0])  # idempotent
+        assert pq.front() is None
+
+    def test_recorded_status_snapshot(self):
+        s = mk_state()
+        ko = s.korder
+        v = ko.full_sequence()[0]
+        pq = VersionedPQ(ko, ko.core[v])
+        pq.enqueue(v)
+        s0 = pq.recorded_status(v)
+        assert s0 == ko.status(v)
+
+
+class TestStaleness:
+    def test_status_mismatch_detectable_after_move(self):
+        """A queued vertex that gets re-threaded has a changed status
+        counter — the dequeuer's check (Algorithm 13 line 6)."""
+        s = mk_state()
+        ko = s.korder
+        k = max(ko.core.values())
+        seq = ko.sequence(k)
+        assert len(seq) >= 3
+        pq = VersionedPQ(ko, k)
+        for v in seq:
+            pq.enqueue(v)
+        ko.move_after_vertex(seq[-1], seq[0])  # move the front to the back
+        assert ko.status(seq[0]) != pq.recorded_status(seq[0])
+
+    def test_update_version_refreshes_snapshots(self):
+        s = mk_state()
+        ko = s.korder
+        k = max(ko.core.values())
+        seq = ko.sequence(k)
+        pq = VersionedPQ(ko, k)
+        for v in seq:
+            pq.enqueue(v)
+        ko.move_after_vertex(seq[-1], seq[0])
+        pq.ver = None
+        n = pq.update_version()
+        assert n == len(seq)
+        assert pq.recorded_status(seq[0]) == ko.status(seq[0])
+        # front now agrees with the new order
+        fronts = []
+        while len(pq):
+            v = pq.front()
+            fronts.append(v)
+            pq.remove(v)
+        assert fronts == ko.sequence(k)
+
+    def test_enqueue_detects_version_skew(self):
+        s = mk_state()
+        ko = s.korder
+        seq = ko.full_sequence()
+        pq = VersionedPQ(ko, 0)
+        pq.ver = pq.ver - 1 if pq.ver else None  # simulate a missed relabel
+        pq.enqueue(seq[0])
+        assert pq.ver is None  # flagged for delayed re-version
+
+    def test_relabel_storm_then_update(self):
+        """Force OM relabels while vertices sit in the queue; after
+        update_version the queue must agree with the true order."""
+        s = mk_state([(i, i + 1) for i in range(40)])  # all core 1
+        ko = s.korder
+        seq = ko.sequence(1)
+        pq = VersionedPQ(ko, 1)
+        for v in seq[:10]:
+            pq.enqueue(v)
+        # hammer insertions at the segment head to trigger splits/rebalances
+        for i in range(200):
+            s.ensure_vertex(f"x{i}")
+        ver_before = pq.ver
+        if ko.version != ver_before:
+            pq.ver = None
+            pq.update_version()
+        fronts = []
+        while len(pq):
+            v = pq.front()
+            fronts.append(v)
+            pq.remove(v)
+        true_order = [v for v in ko.sequence(1) if v in set(seq[:10])]
+        assert fronts == true_order

@@ -1,0 +1,150 @@
+"""Tests for the core-number query helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_decomposition
+from repro.core.queries import (
+    all_subcores,
+    core_components,
+    degeneracy,
+    degeneracy_ordering,
+    innermost_core,
+    k_core_subgraph,
+    k_core_vertices,
+    k_shell,
+    subcore,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+
+
+def fresh(edges):
+    g = DynamicGraph(edges)
+    return g, dict(core_decomposition(g).core)
+
+
+class TestKCore:
+    def test_k_core_vertices(self):
+        g, core = fresh([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert k_core_vertices(core, 2) == {0, 1, 2}
+        assert k_core_vertices(core, 1) == {0, 1, 2, 3}
+        assert k_core_vertices(core, 3) == set()
+
+    def test_k_core_subgraph_min_degree_property(self):
+        """Definition 3.1: every vertex of G_k has degree >= k inside G_k."""
+        g, core = fresh(erdos_renyi(80, 320, seed=1))
+        for k in range(1, degeneracy(core) + 1):
+            sub = k_core_subgraph(g, core, k)
+            for u in sub.vertices():
+                assert sub.degree(u) >= k
+
+    def test_nesting(self):
+        g, core = fresh(erdos_renyi(80, 320, seed=2))
+        prev = set(g.vertices())
+        for k in range(0, degeneracy(core) + 1):
+            cur = k_core_vertices(core, k)
+            assert cur <= prev
+            prev = cur
+
+    def test_zero_core_is_everything(self):
+        g, core = fresh([(0, 1)])
+        g.add_vertex(7)
+        core[7] = 0
+        assert k_core_vertices(core, 0) == {0, 1, 7}
+
+
+class TestShells:
+    def test_shells_partition(self):
+        g, core = fresh(erdos_renyi(60, 200, seed=3))
+        total = 0
+        for k in range(degeneracy(core) + 1):
+            total += len(k_shell(core, k))
+        assert total == g.num_vertices
+
+    def test_innermost(self):
+        g, core = fresh([(0, 1), (1, 2), (0, 2), (2, 3)])
+        kmax, members = innermost_core(core)
+        assert kmax == 2
+        assert members == {0, 1, 2}
+
+    def test_innermost_empty(self):
+        assert innermost_core({}) == (0, set())
+
+
+class TestSubcores:
+    def test_subcore_connected_same_core(self):
+        g, core = fresh(powerlaw_cluster(80, 3, 0.5, seed=4))
+        for u in list(g.vertices())[:15]:
+            sc = subcore(g, core, u)
+            assert u in sc
+            assert all(core[v] == core[u] for v in sc)
+
+    def test_subcore_maximality(self):
+        """No same-core neighbor outside the subcore."""
+        g, core = fresh(erdos_renyi(60, 200, seed=5))
+        u = next(iter(g.vertices()))
+        sc = subcore(g, core, u)
+        for w in sc:
+            for v in g.neighbors(w):
+                if core[v] == core[u]:
+                    assert v in sc
+
+    def test_all_subcores_partition(self):
+        g, core = fresh(erdos_renyi(60, 200, seed=6))
+        parts = all_subcores(g, core)
+        union = set().union(*parts)
+        assert union == set(g.vertices())
+        assert sum(len(p) for p in parts) == g.num_vertices
+
+    def test_two_triangles_are_separate_subcores(self, two_triangles_bridge):
+        g = two_triangles_bridge
+        core = dict(core_decomposition(g).core)
+        # bridge vertex 2/3 connect the triangles; all vertices core 2 ->
+        # the whole graph is one 2-subcore (connected via 2-3)
+        assert len(all_subcores(g, core)) == 1
+
+
+class TestDegeneracy:
+    def test_degeneracy_value(self):
+        g, core = fresh([(0, 1), (1, 2), (0, 2)])
+        assert degeneracy(core) == 2
+        assert degeneracy({}) == 0
+
+    def test_degeneracy_ordering_property(self):
+        g, core = fresh(erdos_renyi(60, 240, seed=7))
+        order = degeneracy_ordering(g, core)
+        pos = {u: i for i, u in enumerate(order)}
+        d = degeneracy(core)
+        for u in g.vertices():
+            later = sum(1 for v in g.neighbors(u) if pos[v] > pos[u])
+            assert later <= d
+
+
+class TestComponents:
+    def test_disconnected_dense_regions(self):
+        g, core = fresh(
+            [(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12), (2, 10)]
+        )
+        comps = core_components(g, core, 2)
+        # one component: 2-10 bridge is between two core-2 vertices
+        assert len(comps) == 1
+        g.remove_edge(2, 10)
+        comps = core_components(g, core, 2)
+        assert len(comps) == 2
+
+    def test_empty_level(self):
+        g, core = fresh([(0, 1)])
+        assert core_components(g, core, 5) == []
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_kcore_subgraph_is_fixed_point(seed):
+    """G_k recomputed on itself returns the same vertex set (maximality)."""
+    g, core = fresh(erdos_renyi(30, 80, seed=seed))
+    k = max(1, degeneracy(core))
+    sub = k_core_subgraph(g, core, k)
+    sub_core = core_decomposition(sub).core
+    assert {u for u, c in sub_core.items() if c >= k} == set(sub.vertices())

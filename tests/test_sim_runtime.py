@@ -1,0 +1,266 @@
+"""Tests for the discrete-event simulated machine and lock primitives."""
+
+import pytest
+
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import (
+    SimDeadlockError,
+    SimMachine,
+    cond_acquire,
+    lock_pair,
+    release_all,
+)
+
+C = CostModel()
+
+
+def run(machine, *bodies):
+    return machine.run(list(bodies))
+
+
+class TestTicks:
+    def test_single_worker_clock(self):
+        def w():
+            yield ("tick", 5.0)
+            yield ("tick", 7.0)
+
+        rep = run(SimMachine(1), w())
+        assert rep.makespan == 12.0
+        assert rep.total_work == 12.0
+        assert rep.worker_clocks == [12.0]
+
+    def test_parallel_independent_work(self):
+        def w(cost):
+            def body():
+                yield ("tick", cost)
+
+            return body()
+
+        rep = run(SimMachine(2), w(10.0), w(4.0))
+        assert rep.makespan == 10.0
+        assert rep.total_work == 14.0
+
+    def test_empty_bodies(self):
+        rep = SimMachine(4).run([])
+        assert rep.makespan == 0.0
+
+    def test_more_bodies_than_workers_rejected(self):
+        def w():
+            yield ("tick", 1.0)
+
+        with pytest.raises(ValueError):
+            SimMachine(1).run([w(), w()])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            SimMachine(0)
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            SimMachine(1, schedule="bogus")
+
+
+class TestLocks:
+    def test_try_acquire_free_lock(self):
+        got = {}
+
+        def w():
+            got["ok"] = yield ("try", "L")
+            yield ("release", "L")
+
+        rep = run(SimMachine(1), w())
+        assert got["ok"] is True
+        assert rep.lock_acquires == 1
+
+    def test_contention_blocks_second_worker(self):
+        order = []
+
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 100.0)
+            order.append("holder-done")
+            yield ("release", "L")
+
+        def waiter():
+            while not (yield ("try", "L")):
+                yield ("spin",)
+            order.append("waiter-got-it")
+            yield ("release", "L")
+
+        rep = run(SimMachine(2), holder(), waiter())
+        assert order == ["holder-done", "waiter-got-it"]
+        assert rep.lock_failures > 0
+        assert rep.spin_time > 0
+
+    def test_release_not_held_raises(self):
+        def w():
+            yield ("release", "L")
+
+        with pytest.raises(RuntimeError):
+            run(SimMachine(1), w())
+
+    def test_reacquire_own_lock_raises(self):
+        def w():
+            yield ("try", "L")
+            yield ("try", "L")
+
+        with pytest.raises(RuntimeError):
+            run(SimMachine(1), w())
+
+    def test_unknown_event_raises(self):
+        def w():
+            yield ("frobnicate",)
+
+        with pytest.raises(RuntimeError):
+            run(SimMachine(1), w())
+
+
+class TestHelpers:
+    def test_lock_pair_acquires_both(self):
+        def w():
+            yield from lock_pair("A", "B")
+            yield from release_all(["A", "B"])
+
+        rep = run(SimMachine(1), w())
+        assert rep.lock_acquires == 2
+
+    def test_lock_pair_backs_off_completely(self):
+        """If the second lock is held, the first is released before
+        retrying — no hold-and-wait."""
+        trace = []
+
+        def hog():
+            yield ("try", "B")
+            yield ("tick", 50.0)
+            yield ("release", "B")
+
+        def pairer():
+            yield ("tick", 1.0)  # let hog get B first
+            yield from lock_pair("A", "B")
+            trace.append("got-both")
+            yield from release_all(["A", "B"])
+
+        def prober():
+            # while pairer is backing off, A must be observable as free
+            yield ("tick", 10.0)
+            ok = yield ("try", "A")
+            trace.append(("probe", ok))
+            if ok:
+                yield ("release", "A")
+
+        rep = run(SimMachine(3), hog(), pairer(), prober())
+        assert ("probe", True) in trace
+        assert "got-both" in trace
+
+    def test_cond_acquire_true_condition(self):
+        def w():
+            ok = yield from cond_acquire("L", lambda: True)
+            assert ok
+            yield ("release", "L")
+
+        run(SimMachine(1), w())
+
+    def test_cond_acquire_false_condition_returns_immediately(self):
+        res = {}
+
+        def w():
+            res["ok"] = yield from cond_acquire("L", lambda: False)
+
+        rep = run(SimMachine(1), w())
+        assert res["ok"] is False
+        assert rep.lock_acquires == 0
+
+    def test_cond_acquire_gives_up_when_condition_flips(self):
+        """Algorithm 2's point: a waiter spinning on a held lock exits as
+        soon as the condition becomes false."""
+        flag = {"v": True}
+        res = {}
+
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 50.0)
+            flag["v"] = False  # condition flips while still holding L
+            yield ("tick", 50.0)
+            yield ("release", "L")
+
+        def waiter():
+            yield ("tick", 1.0)
+            res["ok"] = yield from cond_acquire("L", lambda: flag["v"])
+
+        run(SimMachine(2), holder(), waiter())
+        assert res["ok"] is False
+
+    def test_cond_acquire_released_if_condition_flipped_after_lock(self):
+        calls = {"n": 0}
+
+        def cond():
+            calls["n"] += 1
+            return calls["n"] == 1  # true on first check, false after lock
+
+        res = {}
+
+        def w():
+            res["ok"] = yield from cond_acquire("L", cond)
+            # lock must have been released: we can take it again
+            res["again"] = yield ("try", "L")
+
+        run(SimMachine(1), w())
+        assert res["ok"] is False
+        assert res["again"] is True
+
+
+class TestScheduling:
+    def test_min_clock_deterministic(self):
+        def mk():
+            def w(n):
+                def body():
+                    for _ in range(n):
+                        yield ("tick", 1.0)
+
+                return body()
+
+            return [w(5), w(3), w(8)]
+
+        r1 = SimMachine(3).run(mk())
+        r2 = SimMachine(3).run(mk())
+        assert r1.worker_clocks == r2.worker_clocks
+        assert r1.events == r2.events
+
+    def test_random_schedule_seeded(self):
+        def mk():
+            def w():
+                for _ in range(10):
+                    yield ("tick", 1.0)
+
+            return [w(), w()]
+
+        a = SimMachine(2, schedule="random", seed=1).run(mk())
+        b = SimMachine(2, schedule="random", seed=1).run(mk())
+        assert a.worker_clocks == b.worker_clocks
+
+    def test_deadlock_detection(self):
+        """Classic hold-and-wait cycle must be detected, not spin forever."""
+
+        def w1():
+            yield ("try", "A")
+            while not (yield ("try", "B")):
+                yield ("spin",)
+
+        def w2():
+            yield ("try", "B")
+            while not (yield ("try", "A")):
+                yield ("spin",)
+
+        machine = SimMachine(2, max_stall_events=2000)
+        with pytest.raises(SimDeadlockError):
+            machine.run([w1(), w2()])
+
+    def test_costs_respected(self):
+        costs = CostModel(lock_acquire=10.0, lock_release=3.0)
+
+        def w():
+            yield ("try", "L")
+            yield ("release", "L")
+
+        rep = SimMachine(1, costs=costs).run([w()])
+        assert rep.makespan == 13.0

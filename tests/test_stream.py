@@ -1,0 +1,109 @@
+"""Tests for the mixed-stream batch driver."""
+
+import random
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel.stream import StreamProcessor
+
+
+class TestBuffering:
+    def test_homogeneous_run_buffers(self):
+        sp = StreamProcessor(DynamicGraph([(0, 1)]), num_workers=2)
+        sp.insert(1, 2)
+        sp.insert(2, 3)
+        assert sp.pending() == 2
+        reports = sp.flush()
+        assert len(reports) == 1
+        assert sp.graph.has_edge(2, 3)
+
+    def test_kind_switch_flushes(self):
+        sp = StreamProcessor(DynamicGraph([(0, 1)]), num_workers=2)
+        sp.insert(1, 2)
+        sp.remove(0, 1)  # different kind on a different edge -> flush inserts
+        assert sp.graph.has_edge(1, 2)
+        assert sp.pending() == 1
+        sp.flush()
+        assert not sp.graph.has_edge(0, 1)
+
+    def test_opposite_op_cancels(self):
+        sp = StreamProcessor(DynamicGraph([(0, 1)]), num_workers=2)
+        sp.insert(1, 2)
+        sp.remove(2, 1)  # cancels the queued insert
+        assert sp.pending() == 0
+        sp.flush()
+        assert not sp.graph.has_edge(1, 2)
+
+    def test_duplicate_same_kind_coalesces(self):
+        sp = StreamProcessor(DynamicGraph([(0, 1)]), num_workers=2)
+        sp.insert(1, 2)
+        sp.insert(2, 1)
+        assert sp.pending() == 1
+
+    def test_auto_flush_at_max_batch(self):
+        sp = StreamProcessor(DynamicGraph(), num_workers=2, max_batch=3)
+        sp.insert(0, 1)
+        sp.insert(1, 2)
+        sp.insert(2, 3)
+        assert sp.pending() == 0  # hit the threshold -> executed
+        assert sp.graph.num_edges == 3
+
+    def test_validation(self):
+        sp = StreamProcessor(DynamicGraph([(0, 1)]), num_workers=2)
+        with pytest.raises(ValueError):
+            sp.insert(0, 1)
+        with pytest.raises(KeyError):
+            sp.remove(5, 6)
+        with pytest.raises(ValueError):
+            sp.insert(3, 3)
+        with pytest.raises(ValueError):
+            StreamProcessor(DynamicGraph(), max_batch=0)
+
+    def test_flush_returns_and_clears_reports(self):
+        sp = StreamProcessor(DynamicGraph(), num_workers=2)
+        sp.insert(0, 1)
+        reports = sp.flush()
+        assert len(reports) == 1
+        assert sp.flush() == []
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_mixed_stream_matches_bz(self, seed):
+        rng = random.Random(seed)
+        base = erdos_renyi(50, 120, seed=seed)
+        sp = StreamProcessor(DynamicGraph(base), num_workers=4, max_batch=17)
+        present = set(base)
+        universe = [(u, v) for u in range(50) for v in range(u + 1, 50)]
+        for _ in range(300):
+            if rng.random() < 0.5:
+                absent = [e for e in universe if e not in present]
+                if not absent:
+                    continue
+                e = absent[rng.randrange(len(absent))]
+                # skip ops that would conflict with a pending opposite run
+                try:
+                    sp.insert(*e)
+                    present.add(e)
+                except (ValueError, KeyError):
+                    pass
+            else:
+                if not present:
+                    continue
+                e = rng.choice(sorted(present))
+                try:
+                    sp.remove(*e)
+                    present.discard(e)
+                except (ValueError, KeyError):
+                    pass
+        sp.check()
+        assert {e for e in sp.graph.edges()} == present
+
+    def test_core_queries_after_flush(self):
+        sp = StreamProcessor(DynamicGraph([(0, 1), (1, 2)]), num_workers=2)
+        sp.insert(0, 2)
+        sp.flush()
+        assert sp.core(0) == 2
+        assert max(sp.cores().values()) == 2

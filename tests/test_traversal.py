@@ -1,0 +1,198 @@
+"""Unit tests for the Traversal baseline (TI/TR) and its memoization."""
+
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.core.maintainer import TraversalMaintainer
+from repro.core.traversal import (
+    TraversalMemo,
+    traversal_insert_edge,
+    traversal_remove_edge,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+from tests.conftest import assert_cores_match_bz
+
+
+class TestMemo:
+    def _setup(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        core = dict(core_decomposition(g).core)
+        return g, core
+
+    def test_mcd_definition(self):
+        g, core = self._setup()
+        memo = TraversalMemo(g, core)
+        assert memo.mcd(3) == 1  # neighbor 2 has core 2 >= 1
+        assert memo.mcd(0) == 2  # both triangle partners
+
+    def test_pcd_definition(self):
+        g, core = self._setup()
+        memo = TraversalMemo(g, core)
+        # pcd(0): neighbors 1,2 have core == 2; counted iff their mcd > 2
+        assert memo.pcd(0) == sum(1 for w in (1, 2) if memo.mcd(w) > 2)
+
+    def test_cache_hit_is_cheaper(self):
+        g, core = self._setup()
+        memo = TraversalMemo(g, core)
+        memo.mcd(0)
+        w1 = memo.work
+        memo.mcd(0)
+        assert memo.work - w1 < g.degree(0)
+
+    def test_transient_memo_clears_between_ops(self):
+        g, core = self._setup()
+        memo = TraversalMemo(g, core, persistent=False)
+        memo.mcd(0)
+        memo.reset_op()
+        assert memo._mcd == {}
+
+    def test_persistent_memo_survives_reset(self):
+        g, core = self._setup()
+        memo = TraversalMemo(g, core, persistent=True)
+        memo.mcd(0)
+        memo.reset_op()
+        assert 0 in memo._mcd
+
+    def test_invalidation_evicts_changed_neighborhood(self):
+        g, core = self._setup()
+        memo = TraversalMemo(g, core, persistent=True)
+        for u in g.vertices():
+            memo.mcd(u)
+            memo.pcd(u)
+        memo.invalidate_after_op((0, 1), (2,))
+        assert 2 not in memo._mcd        # changed vertex
+        assert 0 not in memo._mcd        # endpoint
+        assert 3 not in memo._mcd        # neighbor of changed vertex
+        assert 3 not in memo._pcd        # 2-hop dependent
+
+
+class TestInsert:
+    def test_triangle_completion(self):
+        g = DynamicGraph([(0, 1), (1, 2)])
+        core = dict(core_decomposition(g).core)
+        stats = traversal_insert_edge(g, core, 0, 2)
+        assert sorted(stats.v_star) == [0, 1, 2]
+        assert core == core_decomposition(g).core
+
+    def test_duplicate_raises(self):
+        g = DynamicGraph([(0, 1)])
+        core = dict(core_decomposition(g).core)
+        with pytest.raises(ValueError):
+            traversal_insert_edge(g, core, 1, 0)
+
+    def test_new_vertices_registered(self):
+        g = DynamicGraph([(0, 1)])
+        core = dict(core_decomposition(g).core)
+        traversal_insert_edge(g, core, 5, 6)
+        assert core[5] == core[6] == 1
+
+    def test_work_is_positive_and_grows_with_vplus(self):
+        g = DynamicGraph(powerlaw_cluster(60, 3, 0.6, seed=1))
+        core = dict(core_decomposition(g).core)
+        extra = [e for e in erdos_renyi(60, 400, seed=2) if not g.has_edge(*e)]
+        works = []
+        vplus = []
+        for e in extra[:40]:
+            s = traversal_insert_edge(g, core, *e)
+            works.append(s.work)
+            vplus.append(len(s.v_plus))
+        assert all(w > 0 for w in works)
+        # bigger searches cost more (coarse monotonicity on the extremes)
+        hi = works[vplus.index(max(vplus))]
+        lo = works[vplus.index(min(vplus))]
+        assert hi >= lo
+
+    def test_vplus_superset_vstar(self):
+        g = DynamicGraph(erdos_renyi(40, 110, seed=3))
+        core = dict(core_decomposition(g).core)
+        extra = [e for e in erdos_renyi(40, 300, seed=4) if not g.has_edge(*e)]
+        for e in extra[:50]:
+            s = traversal_insert_edge(g, core, *e)
+            assert set(s.v_star) <= set(s.v_plus)
+        assert core == core_decomposition(g).core
+
+
+class TestRemove:
+    def test_break_triangle(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+        core = dict(core_decomposition(g).core)
+        stats = traversal_remove_edge(g, core, 0, 1)
+        assert sorted(stats.v_star) == [0, 1, 2]
+        assert core == core_decomposition(g).core
+
+    def test_missing_raises(self):
+        g = DynamicGraph([(0, 1)])
+        core = dict(core_decomposition(g).core)
+        with pytest.raises(KeyError):
+            traversal_remove_edge(g, core, 0, 9)
+
+    def test_random_removals_correct(self):
+        g = DynamicGraph(erdos_renyi(40, 120, seed=5))
+        core = dict(core_decomposition(g).core)
+        for e in list(g.edges())[:60]:
+            traversal_remove_edge(g, core, *e)
+        assert core == core_decomposition(g).core
+
+
+class TestMaintainerFacade:
+    def test_mixed_workload(self, rng):
+        g = DynamicGraph(erdos_renyi(40, 100, seed=6))
+        m = TraversalMaintainer(g)
+        absent = [e for e in erdos_renyi(40, 300, seed=7) if not g.has_edge(*e)]
+        present = list(g.edges())
+        for _ in range(200):
+            if absent and (not present or rng.random() < 0.5):
+                e = absent.pop(rng.randrange(len(absent)))
+                m.insert_edge(*e)
+                present.append(e)
+            else:
+                e = present.pop(rng.randrange(len(present)))
+                m.remove_edge(*e)
+                absent.append(e)
+        m.check()
+        assert_cores_match_bz(m)
+
+    def test_batch_helpers(self):
+        g = DynamicGraph([(0, 1), (1, 2)])
+        m = TraversalMaintainer(g)
+        m.insert_edges([(0, 2), (0, 3)])
+        m.remove_edges([(0, 3)])
+        m.check()
+
+
+class TestPersistentMemoCorrectness:
+    """The JEI/JER batching mechanism: persistent memo + conservative
+    invalidation must never change results."""
+
+    def test_insert_batch_same_cores_with_and_without_memo(self):
+        base = erdos_renyi(50, 130, seed=8)
+        extra = [e for e in erdos_renyi(50, 500, seed=9) if e not in set(base)][:80]
+
+        g1 = DynamicGraph(base)
+        c1 = dict(core_decomposition(g1).core)
+        memo = TraversalMemo(g1, c1, persistent=True)
+        for e in extra:
+            traversal_insert_edge(g1, c1, *e, memo=memo)
+
+        g2 = DynamicGraph(base)
+        c2 = dict(core_decomposition(g2).core)
+        for e in extra:
+            traversal_insert_edge(g2, c2, *e)
+
+        assert c1 == c2 == core_decomposition(g1).core
+
+    def test_memo_saves_work(self):
+        base = powerlaw_cluster(80, 4, 0.5, seed=10)
+        g = DynamicGraph(base)
+        core = dict(core_decomposition(g).core)
+        extra = [e for e in erdos_renyi(80, 600, seed=11) if not g.has_edge(*e)][:60]
+
+        g1, c1 = DynamicGraph(base), dict(core)
+        memo = TraversalMemo(g1, c1, persistent=True)
+        with_memo = sum(
+            traversal_insert_edge(g1, c1, *e, memo=memo).work for e in extra
+        )
+        g2, c2 = DynamicGraph(base), dict(core)
+        without = sum(traversal_insert_edge(g2, c2, *e).work for e in extra)
+        assert with_memo < without

