@@ -1,0 +1,37 @@
+"""Concurrency analysis for the parallel maintenance protocols.
+
+Two cooperating layers (see ``docs/analysis.md``):
+
+* **Dynamic race detection** (:mod:`repro.analysis.races` +
+  :mod:`repro.analysis.trace`): Eraser-style candidate locksets combined
+  with vector-clock happens-before tracking, layered onto the event
+  streams of :class:`~repro.parallel.runtime.SimMachine` and the
+  real-thread backend.  Shared vertex state (core numbers, ``d_out``,
+  ``mcd``), OM order positions and PQ versions are traced through cheap
+  wrappers; accesses the paper *designs* to be racy (Algorithm 4 order
+  reads, the t protocol, ∅-invalidation wipes) are annotated *relaxed*
+  and every other unsynchronized conflicting pair is reported with both
+  access sites, the schedule step and the (empty) common lockset.
+
+* **Static lock-discipline lint** (:mod:`repro.analysis.lint`): an
+  AST checker for worker-generator code — try results must be consumed,
+  acquired keys must reach a release on the function text, pair
+  acquisition must go through ``lock_pair``/``cond_acquire``, event
+  tuples must be well-formed.  Run as ``python -m repro.analysis.lint
+  src/`` (or the ``repro-lint`` console script).
+
+Instrumentation is strictly opt-in: no detector attached means the
+algorithms run on plain dicts with zero tracing overhead.
+"""
+
+from repro.analysis.races import Access, Race, RaceDetector, RaceReport
+from repro.analysis.trace import TracedDict, instrument_state
+
+__all__ = [
+    "Access",
+    "Race",
+    "RaceDetector",
+    "RaceReport",
+    "TracedDict",
+    "instrument_state",
+]

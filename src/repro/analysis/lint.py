@@ -1,0 +1,422 @@
+"""Static lock-discipline lint for the worker event protocol.
+
+The parallel workers talk to their machine exclusively through yielded
+event tuples (see :mod:`repro.parallel.runtime`), which makes the lock
+discipline *visible in the AST*: every acquisition, release and shared
+access of a worker generator is a literal ``yield ("...", ...)`` or a
+``yield from`` of one of the blessed protocol helpers.  This checker
+walks that surface and enforces the rules the runtime cannot check until
+a schedule happens to hit the bug:
+
+``RL001``
+    The result of ``yield ("try", key)`` must be consumed.  A discarded
+    try-result means the worker proceeds whether or not it got the lock —
+    the classic unchecked-CAS bug.
+``RL002``
+    Every acquired key (raw consumed ``try``, ``lock_pair`` or
+    ``cond_acquire``) must reach a ``("release", key)`` or be added to a
+    lockset that is passed to ``release_all``.  Keys are matched
+    *textually* (the expression source), which is exact for the
+    paper-style workers where a lock variable names one vertex.
+``RL003``
+    Acquiring two different keys with raw ``("try", ...)`` yields in one
+    worker is hand-rolled multi-lock acquisition; it must go through
+    ``lock_pair`` (back-off, no hold-and-wait) or ``cond_acquire``
+    (Algorithm 2) so the deadlock-freedom arguments apply.
+``RL004``
+    Event tuples must be well-formed: a known kind string with the right
+    arity (``tick``/``try``/``release`` take one operand, ``spin`` none,
+    ``read``/``write`` a location plus optional site).
+
+Only *protocol generators* are checked — functions that yield at least
+one event tuple or ``yield from`` a protocol helper — so ordinary
+generators yielding data tuples are never flagged.  Nested worker
+helpers (``forward``, ``dequeue``, …) are analyzed together with their
+enclosing function because they share its lockset through closure
+variables.  The blessed primitives themselves (``lock_pair``,
+``cond_acquire``, ``release_all``) are skipped: they are the one place
+raw multi-lock yields are supposed to live.
+
+Suppress a finding by putting ``# lint: ok`` (any rule) or
+``# lint: ok[RL002]`` (specific rules, comma-separated) on the reported
+line.
+
+Run as ``python -m repro.analysis.lint src/`` (or the ``repro-lint``
+console script); ``--format json`` emits machine-readable findings.
+Exit status is 0 when clean, 1 when findings remain, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Finding", "check_source", "check_file", "check_paths", "main"]
+
+RULES = {
+    "RL001": 'result of yield ("try", ...) must be consumed',
+    "RL002": "acquired lock must reach a release or release_all",
+    "RL003": "multi-lock acquisition must use lock_pair/cond_acquire",
+    "RL004": "event tuple must be well-formed",
+}
+
+# kind -> (min tuple length, max tuple length)
+EVENT_ARITY = {
+    "tick": (2, 2),
+    "try": (2, 2),
+    "release": (2, 2),
+    "spin": (1, 1),
+    "read": (2, 3),
+    "write": (2, 3),
+}
+
+# Protocol helpers whose bodies ARE the blessed raw-yield patterns.
+BLESSED = {"lock_pair", "cond_acquire", "release_all"}
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ok(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# per-function analysis
+# ----------------------------------------------------------------------
+class _Acquire:
+    __slots__ = ("key", "line", "col", "via")
+
+    def __init__(self, key: str, line: int, col: int, via: str) -> None:
+        self.key = key
+        self.line = line
+        self.col = col
+        self.via = via  # "try" | "lock_pair" | "cond_acquire"
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    f = call.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
+def _event_tuple(node: ast.expr) -> Optional[Tuple[str, int]]:
+    """``("kind", ...)`` literal -> (kind, tuple length), else None."""
+    if not isinstance(node, ast.Tuple) or not node.elts:
+        return None
+    head = node.elts[0]
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        return head.value, len(node.elts)
+    return None
+
+
+def _own_nodes(func: ast.FunctionDef):
+    """Every AST node of ``func``, with nested (non-blessed) function
+    bodies folded in — nested worker helpers share the enclosing
+    function's lockset via closures.  Each node is yielded exactly once;
+    the nested ``def`` nodes themselves are skipped."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name not in BLESSED:
+                stack.extend(node.body)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FunctionChecker:
+    """Check one top-level function (plus its nested helpers)."""
+
+    def __init__(self, path: str, func: ast.FunctionDef) -> None:
+        self.path = path
+        self.func = func
+        self.findings: List[Finding] = []
+        self.acquired: List[_Acquire] = []
+        self.released: Set[str] = set()
+        self.released_vars: Set[str] = set()
+        self.lockset_contents: Dict[str, Set[str]] = {}
+        self.raw_try_keys: List[Tuple[str, int, int]] = []
+        self.is_protocol = False
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    # -- lockset variables ---------------------------------------------
+    def _set_literal_keys(self, node: ast.expr) -> Optional[Set[str]]:
+        if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+            return {ast.unparse(e) for e in node.elts}
+        if isinstance(node, ast.Call) and _call_name(node) in ("set", "list"):
+            return set()
+        return None
+
+    def _note_assign(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        keys = self._set_literal_keys(value)
+        if keys is not None:
+            self.lockset_contents.setdefault(target.id, set()).update(keys)
+
+    def _note_call(self, call: ast.Call) -> None:
+        name = _call_name(call)
+        if (
+            name in ("add", "update", "append", "extend")
+            and isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.args
+        ):
+            var = call.func.value.id
+            self.lockset_contents.setdefault(var, set()).update(
+                ast.unparse(a) for a in call.args
+            )
+
+    # -- yields ---------------------------------------------------------
+    def _note_yield(self, node: ast.Yield, parents: Dict[ast.AST, ast.AST]) -> None:
+        ev = _event_tuple(node.value) if node.value is not None else None
+        if ev is None:
+            return
+        kind, arity = ev
+        bounds = EVENT_ARITY.get(kind)
+        if bounds is None:
+            # Only a finding when the function is otherwise a protocol
+            # generator — data generators may yield tagged tuples freely.
+            self._emit(node, "RL004", f"unknown event kind {kind!r}")
+            return
+        self.is_protocol = True
+        lo, hi = bounds
+        if not (lo <= arity <= hi):
+            self._emit(
+                node,
+                "RL004",
+                f"event {kind!r} takes {lo - 1}"
+                + (f"..{hi - 1}" if hi != lo else "")
+                + f" operand(s), got {arity - 1}",
+            )
+            return
+        assert isinstance(node.value, ast.Tuple)
+        if kind == "try":
+            key = ast.unparse(node.value.elts[1])
+            parent = parents.get(node)
+            if isinstance(parent, ast.Expr):
+                self._emit(
+                    node,
+                    "RL001",
+                    f'result of yield ("try", {key}) is discarded — the '
+                    "worker cannot know whether it holds the lock",
+                )
+                return
+            self.acquired.append(
+                _Acquire(key, node.lineno, node.col_offset, "try")
+            )
+            self.raw_try_keys.append((key, node.lineno, node.col_offset))
+        elif kind == "release":
+            self.released.add(ast.unparse(node.value.elts[1]))
+
+    def _note_yield_from(self, node: ast.YieldFrom) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        call = node.value
+        name = _call_name(call)
+        if name == "lock_pair" and len(call.args) >= 2:
+            self.is_protocol = True
+            for arg in call.args[:2]:
+                self.acquired.append(
+                    _Acquire(
+                        ast.unparse(arg), node.lineno, node.col_offset, "lock_pair"
+                    )
+                )
+        elif name == "cond_acquire" and call.args:
+            self.is_protocol = True
+            self.acquired.append(
+                _Acquire(
+                    ast.unparse(call.args[0]),
+                    node.lineno,
+                    node.col_offset,
+                    "cond_acquire",
+                )
+            )
+        elif name == "release_all" and call.args:
+            self.is_protocol = True
+            arg = call.args[0]
+            keys = self._set_literal_keys(arg)
+            if keys is not None:
+                self.released.update(keys)
+            elif isinstance(arg, ast.Name):
+                self.released_vars.add(arg.id)
+
+    # -- driver ---------------------------------------------------------
+    def run(self) -> List[Finding]:
+        if self.func.name in BLESSED:
+            return []
+        nodes = list(_own_nodes(self.func))
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in nodes:
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in nodes:
+            if isinstance(node, ast.Yield):
+                self._note_yield(node, parents)
+            elif isinstance(node, ast.YieldFrom):
+                self._note_yield_from(node)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    self._note_assign(t, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._note_assign(node.target, node.value)
+            elif isinstance(node, ast.Call):
+                self._note_call(node)
+        if not self.is_protocol:
+            # Not a worker generator: only RL004-style findings (already
+            # gated on is_protocol) could exist, so nothing to report.
+            return []
+        released = set(self.released)
+        for var in self.released_vars:
+            released.update(self.lockset_contents.get(var, ()))
+        for acq in self.acquired:
+            if acq.key in released:
+                continue
+            # acquired into a lockset that is never released?
+            hint = ""
+            for var, keys in self.lockset_contents.items():
+                if acq.key in keys and var not in self.released_vars:
+                    hint = f" (added to {var!r}, which never reaches release_all)"
+                    break
+            self.findings.append(
+                Finding(
+                    self.path,
+                    acq.line,
+                    acq.col,
+                    "RL002",
+                    f"lock {acq.key!r} acquired via {acq.via} but never "
+                    f"released{hint}",
+                )
+            )
+        distinct = []
+        for key, line, col in self.raw_try_keys:
+            if key not in [k for k, _l, _c in distinct]:
+                distinct.append((key, line, col))
+        if len(distinct) >= 2:
+            key, line, col = distinct[1]
+            self.findings.append(
+                Finding(
+                    self.path,
+                    line,
+                    col,
+                    "RL003",
+                    f"raw try of {key!r} alongside "
+                    f"{distinct[0][0]!r} — use lock_pair/cond_acquire for "
+                    "multi-lock acquisition",
+                )
+            )
+        return self.findings
+
+
+# ----------------------------------------------------------------------
+# file / tree drivers
+# ----------------------------------------------------------------------
+def _suppressed(finding: Finding, source_lines: List[str]) -> bool:
+    if not (1 <= finding.line <= len(source_lines)):
+        return False
+    m = _PRAGMA_RE.search(source_lines[finding.line - 1])
+    if m is None:
+        return False
+    rules = m.group(1)
+    if rules is None:
+        return True
+    return finding.rule in {r.strip() for r in rules.split(",")}
+
+
+def check_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one source string; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 0, exc.offset or 0, "RL000",
+                    f"syntax error: {exc.msg}")
+        ]
+    findings: List[Finding] = []
+    # Analyze outermost functions only: nested worker helpers are folded
+    # into their enclosing function (they share its lockset via closures)
+    # and must not be re-analyzed standalone.
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(_FunctionChecker(path, child).run())
+            else:
+                visit(child)
+
+    visit(tree)
+    lines = source.splitlines()
+    return [f for f in findings if not _suppressed(f, lines)]
+
+
+def check_file(path: Path) -> List[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding(str(path), 0, 0, "RL000", f"cannot read: {exc}")]
+    return check_source(source, str(path))
+
+
+def check_paths(paths: Iterable[str]) -> List[Finding]:
+    files: List[Path] = []
+    for p in paths:
+        pp = Path(p)
+        if pp.is_dir():
+            files.extend(sorted(pp.rglob("*.py")))
+        else:
+            files.append(pp)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(check_file(f))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Lock-discipline lint for repro worker protocols.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+    findings = check_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps([asdict(f) for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Lockset / happens-before data-race detection for the worker protocols.
+
+The detector watches two information streams during a simulated (or
+threaded) run:
+
+* **synchronization events** from the machine — every successful lock
+  acquire and every release.  Releases publish the worker's vector clock
+  into the lock; acquires join it back, building the happens-before
+  partial order exactly as in FastTrack/ThreadSanitizer.
+* **shared accesses** from the traced state wrappers
+  (:mod:`repro.analysis.trace`) — plain or *relaxed* reads and writes of
+  abstract locations such as ``("core", u)``, ``("d_out", u)``,
+  ``("order", u)``.
+
+A pair of accesses to the same location by different workers, at least
+one of them a write, is reported as a race **unless**
+
+* the accesses are ordered by happens-before (vector clocks), or
+* the workers held a common lock around both accesses (locksets), or
+* either access is annotated *relaxed* — the paper's designed benign
+  races: Algorithm 4 order reads validated by status counters, the
+  t-protocol's atomics, and ∅-invalidation wipes of lazy counters.
+
+Combining both suppressions makes the detector conservative (it can
+miss races a pure happens-before tool would flag on a lucky schedule)
+but free of false positives on the paper's protocol, which is what lets
+the clean-run regression gate assert *zero* races across many seeds.
+
+Each reported :class:`Race` carries both access sites (resolved to
+``file:line`` in the algorithm code), the workers, the schedule step and
+the per-side locksets, so a protocol regression points at the exact
+unprotected statement instead of a differential-test mismatch several
+layers later.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+Loc = Tuple
+Key = Hashable
+
+__all__ = ["Access", "Race", "RaceDetector", "RaceReport"]
+
+
+# Frames inside these files are instrumentation plumbing, not access
+# sites; site resolution walks past them to the algorithm code.
+_PLUMBING_SUFFIXES = (
+    "repro/analysis/races.py",
+    "repro/analysis/trace.py",
+    "repro/core/state.py",
+    "repro/core/korder.py",
+)
+
+
+def _short_site(filename: str, lineno: int) -> str:
+    parts = filename.replace("\\", "/").rsplit("/", 2)
+    return f"{'/'.join(parts[-2:])}:{lineno}"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One side of a reported race."""
+
+    worker: int
+    op: str            # "read" | "write"
+    site: str          # file:line in the algorithm code
+    lockset: frozenset
+    step: int          # machine event count when the access happened
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unsynchronized conflicting access pair."""
+
+    loc: Loc
+    a: Access          # the earlier (stored) access
+    b: Access          # the access that completed the race
+    common_lockset: frozenset = frozenset()
+
+    def describe(self) -> str:
+        return (
+            f"data race on {self.loc!r}: "
+            f"{self.a.op} at {self.a.site} by worker {self.a.worker} "
+            f"(locks {set(self.a.lockset) or '{}'}) vs "
+            f"{self.b.op} at {self.b.site} by worker {self.b.worker} "
+            f"(locks {set(self.b.lockset) or '{}'}) "
+            f"at step {self.b.step}; common lockset "
+            f"{set(self.common_lockset) or '{}'}"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Summary of one detection run (see :meth:`RaceDetector.report`)."""
+
+    races: List[Race] = field(default_factory=list)
+    accesses_traced: int = 0
+    relaxed_accesses: int = 0
+    sync_ops: int = 0
+    locations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.races
+
+    def counters(self) -> Dict[str, int]:
+        """Machine-readable counters (consumed by the bench reporting)."""
+        return {
+            "races": len(self.races),
+            "accesses_traced": self.accesses_traced,
+            "relaxed_accesses": self.relaxed_accesses,
+            "sync_ops": self.sync_ops,
+            "locations": self.locations,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"{len(self.races)} race(s); "
+            f"{self.accesses_traced} accesses traced "
+            f"({self.relaxed_accesses} relaxed), "
+            f"{self.sync_ops} sync ops, {self.locations} locations"
+        ]
+        lines.extend(r.describe() for r in self.races)
+        return "\n".join(lines)
+
+
+class _LocState:
+    """Last plain access per (worker, op) for one location."""
+
+    __slots__ = ("writes", "reads")
+
+    def __init__(self) -> None:
+        # wid -> (own_clock, lockset, site, step)
+        self.writes: Dict[int, tuple] = {}
+        self.reads: Dict[int, tuple] = {}
+
+
+class RaceDetector:
+    """Online lockset + vector-clock race detector.
+
+    One instance observes one run (or one sequence of runs on the same
+    worker count — clocks persist across batches, which is correct: the
+    sequential gap between batches orders them).  Attach it via
+    ``ParallelOrderMaintainer(..., detector=...)`` or pass it straight
+    to :class:`~repro.parallel.runtime.SimMachine`.
+
+    Parameters
+    ----------
+    max_races:
+        Stop recording new races after this many distinct reports
+        (counters keep accumulating).
+    """
+
+    def __init__(self, max_races: int = 64) -> None:
+        self.max_races = max_races
+        self.races: List[Race] = []
+        self.accesses_traced = 0
+        self.relaxed_accesses = 0
+        self.sync_ops = 0
+        self.step = 0
+        # worker the machine is currently advancing (sim backend)
+        self.current: Optional[int] = None
+        self._vc: List[List[int]] = []
+        self._held: List[Set[Key]] = []
+        self._held_frozen: List[frozenset] = []
+        self._lock_clocks: Dict[Key, List[int]] = {}
+        self._locs: Dict[Loc, _LocState] = {}
+        self._seen_pairs: Set[tuple] = set()
+        self._threads: Dict[int, int] = {}
+        self._mutex: Optional[threading.Lock] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # machine hooks
+    # ------------------------------------------------------------------
+    def begin(self, num_workers: int, threads: bool = False) -> None:
+        """Called by the machine before a run.  Re-entrant: a second run
+        with the same worker count keeps clocks (batches are ordered)."""
+        if self._started and len(self._vc) == num_workers:
+            if threads and self._mutex is None:
+                self._mutex = threading.Lock()
+            return
+        # own components start at 1 so that two never-synchronized
+        # workers are NOT vacuously happens-before ordered (a stored
+        # epoch is always >= 1; an observer knows 0 of a stranger)
+        self._vc = [[0] * num_workers for _ in range(num_workers)]
+        for i in range(num_workers):
+            self._vc[i][i] = 1
+        if self._started:
+            # worker count changed: stored epochs are incomparable with
+            # the fresh clocks, so drop the cross-run access tables
+            self._locs = {}
+        self._held = [set() for _ in range(num_workers)]
+        self._held_frozen = [frozenset() for _ in range(num_workers)]
+        self._lock_clocks = {}
+        self._mutex = threading.Lock() if threads else None
+        self._started = True
+
+    def register_thread(self, wid: int) -> None:
+        """Thread backend: bind the calling thread to worker ``wid``."""
+        self._threads[threading.get_ident()] = wid
+
+    def on_acquire(self, wid: int, key: Key) -> None:
+        """Successful CAS: join the lock's release clock into the worker."""
+        if self._mutex is not None:
+            with self._mutex:
+                self._on_acquire(wid, key)
+        else:
+            self._on_acquire(wid, key)
+
+    def _on_acquire(self, wid: int, key: Key) -> None:
+        self.sync_ops += 1
+        lc = self._lock_clocks.get(key)
+        if lc is not None:
+            vc = self._vc[wid]
+            for i, c in enumerate(lc):
+                if c > vc[i]:
+                    vc[i] = c
+        self._held[wid].add(key)
+        self._held_frozen[wid] = frozenset(self._held[wid])
+
+    def on_release(self, wid: int, key: Key) -> None:
+        """Release: publish the worker's clock into the lock."""
+        if self._mutex is not None:
+            with self._mutex:
+                self._on_release(wid, key)
+        else:
+            self._on_release(wid, key)
+
+    def _on_release(self, wid: int, key: Key) -> None:
+        self.sync_ops += 1
+        vc = self._vc[wid]
+        lc = self._lock_clocks.get(key)
+        if lc is None:
+            self._lock_clocks[key] = list(vc)
+        else:
+            for i, c in enumerate(vc):
+                if c > lc[i]:
+                    lc[i] = c
+        vc[wid] += 1
+        self._held[wid].discard(key)
+        self._held_frozen[wid] = frozenset(self._held[wid])
+
+    # ------------------------------------------------------------------
+    # access recording (called by the traced wrappers / event protocol)
+    # ------------------------------------------------------------------
+    def _wid(self) -> Optional[int]:
+        if self.current is not None:
+            return self.current
+        return self._threads.get(threading.get_ident())
+
+    def read(self, loc: Loc, relaxed: bool = False, site: Optional[str] = None) -> None:
+        self._access("read", loc, relaxed, site)
+
+    def write(self, loc: Loc, relaxed: bool = False, site: Optional[str] = None) -> None:
+        self._access("write", loc, relaxed, site)
+
+    def _access(
+        self, op: str, loc: Loc, relaxed: bool, site: Optional[str]
+    ) -> None:
+        wid = self._wid()
+        if wid is None or not self._started:
+            return  # access outside a run (prologue, invariant checks)
+        if self._mutex is not None:
+            with self._mutex:
+                self._record(wid, op, loc, relaxed, site)
+        else:
+            self._record(wid, op, loc, relaxed, site)
+
+    def _record(
+        self, wid: int, op: str, loc: Loc, relaxed: bool, site: Optional[str]
+    ) -> None:
+        self.accesses_traced += 1
+        if relaxed:
+            # Annotated benign: never part of a race pair, so neither
+            # checked nor stored — tracing stays cheap on the hot paths.
+            self.relaxed_accesses += 1
+            return
+        if site is None:
+            site = self._resolve_site()
+        clk = self._vc[wid][wid]
+        lockset = self._held_frozen[wid]
+        st = self._locs.get(loc)
+        if st is None:
+            st = self._locs[loc] = _LocState()
+        my_vc = self._vc[wid]
+        against = (st.writes,) if op == "read" else (st.writes, st.reads)
+        for table in against:
+            other_op = "write" if table is st.writes else "read"
+            for w2, (c2, ls2, site2, step2) in table.items():
+                if w2 == wid:
+                    continue
+                if my_vc[w2] >= c2:
+                    continue  # happens-before ordered
+                if ls2 & lockset:
+                    continue  # consistently locked
+                self._report(
+                    loc,
+                    Access(w2, other_op, site2, ls2, step2),
+                    Access(wid, op, site, lockset, self.step),
+                )
+        table = st.reads if op == "read" else st.writes
+        table[wid] = (clk, lockset, site, self.step)
+
+    def _report(self, loc: Loc, a: Access, b: Access) -> None:
+        key = (loc[0] if loc else loc, a.site, b.site, a.op, b.op)
+        if key in self._seen_pairs or len(self.races) >= self.max_races:
+            return
+        self._seen_pairs.add(key)
+        self.races.append(
+            Race(loc=loc, a=a, b=b, common_lockset=a.lockset & b.lockset)
+        )
+
+    @staticmethod
+    def _resolve_site() -> str:
+        f = sys._getframe(2)
+        while f is not None:
+            fn = f.f_code.co_filename.replace("\\", "/")
+            if not fn.endswith(_PLUMBING_SUFFIXES):
+                return _short_site(fn, f.f_lineno)
+            f = f.f_back
+        return "<unknown>"
+
+    # ------------------------------------------------------------------
+    def report(self) -> RaceReport:
+        return RaceReport(
+            races=list(self.races),
+            accesses_traced=self.accesses_traced,
+            relaxed_accesses=self.relaxed_accesses,
+            sync_ops=self.sync_ops,
+            locations=len(self._locs),
+        )

@@ -1,0 +1,86 @@
+"""Shared-access tracing: cheap wrappers that feed the race detector.
+
+The parallel algorithms read and write shared state through plain dicts
+(``state.d_out``, ``state.mcd``, ``korder.core``) and through
+:class:`~repro.core.korder.KOrder` methods (order comparisons, moves).
+:func:`instrument_state` swaps the dicts for :class:`TracedDict`
+instances and attaches the detector as the ``trace`` hook that the
+KOrder / OrderState accessors consult, so that every shared access is
+reported to the :class:`~repro.analysis.races.RaceDetector` with the
+current worker's lockset and vector clock:
+
+* dict item reads/writes → plain accesses on ``(name, key)`` locations;
+* order comparisons and splices → ``("order", v)`` accesses recorded by
+  ``KOrder`` itself (plain for lock-protected ``precedes``/moves,
+  *relaxed* for the Algorithm 4 ``precedes_concurrent`` protocol);
+* t-protocol atomics and ∅-invalidation wipes → relaxed accesses
+  recorded by the ``OrderState`` accessors;
+* PQ version snapshots → relaxed ``("om", "version")`` reads recorded
+  by :class:`~repro.parallel.pqueue.VersionedPQ`.
+
+When no detector is attached nothing is wrapped and the per-access cost
+is zero (the hot paths only pay an attribute-is-None test where an
+accessor exists at all).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.races import RaceDetector
+    from repro.core.state import OrderState
+
+__all__ = ["TracedDict", "instrument_state"]
+
+
+class TracedDict(dict):
+    """A dict that reports item accesses to the race detector.
+
+    Only the operations the maintenance algorithms use are traced
+    (``[]`` reads/writes, ``get``, ``in``); everything else falls back
+    to plain dict behavior.  Compound statements such as
+    ``d[k] += 1`` naturally record a read followed by a write.
+    """
+
+    __slots__ = ("_det", "_name")
+
+    def __init__(self, name: str, detector: "RaceDetector", data: dict) -> None:
+        super().__init__(data)
+        self._name = name
+        self._det = detector
+
+    def __getitem__(self, key):
+        self._det.read((self._name, key))
+        return dict.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        self._det.read((self._name, key))
+        return dict.get(self, key, default)
+
+    def __contains__(self, key) -> bool:
+        self._det.read((self._name, key))
+        return dict.__contains__(self, key)
+
+    def __setitem__(self, key, value) -> None:
+        self._det.write((self._name, key))
+        dict.__setitem__(self, key, value)
+
+
+def instrument_state(state: "OrderState", detector: "RaceDetector") -> "OrderState":
+    """Wire ``state`` (and its k-order) into ``detector``.
+
+    Replaces the shared counter dicts with :class:`TracedDict` wrappers
+    and sets the ``trace`` hooks that the relaxed-access accessors
+    consult.  Idempotent per (state, detector) pair; call before the
+    first parallel batch.
+    """
+    if getattr(state, "trace", None) is detector:
+        return state
+    state.trace = detector
+    state.d_out = TracedDict("d_out", detector, state.d_out)
+    state.mcd = TracedDict("mcd", detector, state.mcd)
+    ko = state.korder
+    ko.trace = detector
+    ko.core = TracedDict("core", detector, ko.core)
+    return state

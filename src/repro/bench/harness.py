@@ -56,16 +56,27 @@ def run_remove_insert(
     algo: str = "Our",
     seed: int = 0,
     check: bool = False,
+    trace_races: bool = False,
 ) -> Dict[str, object]:
     """One experiment cell: build the full stand-in graph, remove the
     sampled batch, then insert it back (Section 5.2's protocol).
 
     Returns simulated makespans, total work, wall-clock seconds, and the
-    per-edge instrumentation of both phases.
+    per-edge instrumentation of both phases.  With ``trace_races`` a
+    :class:`repro.analysis.RaceDetector` watches the run (``Our`` only)
+    and its counters land in the ``analysis`` key; tracing perturbs
+    wall-clock, so it is off by default and never affects makespans.
     """
     edges, batch = dataset_workload(dataset, batch_size, seed=seed)
     graph = DynamicGraph(edges)
-    m = ALGORITHMS[algo](graph, workers)
+    detector = None
+    if trace_races and algo == "Our":
+        from repro.analysis import RaceDetector
+
+        detector = RaceDetector()
+        m = ParallelOrderMaintainer(graph, num_workers=workers, detector=detector)
+    else:
+        m = ALGORITHMS[algo](graph, workers)
     t0 = time.perf_counter()
     rem = m.remove_edges(batch)
     t1 = time.perf_counter()
@@ -73,7 +84,7 @@ def run_remove_insert(
     t2 = time.perf_counter()
     if check:
         m.check()
-    return {
+    cell: Dict[str, object] = {
         "dataset": dataset,
         "algo": algo,
         "workers": workers,
@@ -86,6 +97,9 @@ def run_remove_insert(
         "remove_stats": rem.stats,
         "insert_stats": ins.stats,
     }
+    if detector is not None:
+        cell["analysis"] = detector.report().counters()
+    return cell
 
 
 def sequential_traversal_times(

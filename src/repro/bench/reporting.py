@@ -9,7 +9,13 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["render_table", "render_series", "render_histogram", "render_log_plot"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_histogram",
+    "render_log_plot",
+    "render_analysis_stats",
+]
 
 
 def render_table(rows: Sequence[Mapping], columns: Optional[List[str]] = None) -> str:
@@ -90,6 +96,35 @@ def render_log_plot(
     legend = "  ".join(f"{m}={name}" for name, m in markers.items())
     lines.append(" " * 12 + legend)
     return "\n".join(lines)
+
+
+def render_analysis_stats(cells: Sequence[Mapping]) -> str:
+    """Render the race-detector counters of benchmark cells run with
+    ``trace_races=True`` (see :func:`repro.bench.harness.run_remove_insert`).
+
+    One row per cell: races found (0 is the expected steady state),
+    accesses traced and how many were annotated relaxed, plus the
+    synchronization-event count the happens-before clocks were built
+    from.  Cells without an ``analysis`` key are skipped."""
+    rows = []
+    for cell in cells:
+        a = cell.get("analysis")
+        if a is None:
+            continue
+        rows.append(
+            {
+                "dataset": cell.get("dataset", "?"),
+                "P": cell.get("workers", "?"),
+                "races": a["races"],
+                "accesses": a["accesses_traced"],
+                "relaxed": a["relaxed_accesses"],
+                "sync_ops": a["sync_ops"],
+                "locations": a["locations"],
+            }
+        )
+    if not rows:
+        return "(no analysis data — run with trace_races=True)"
+    return render_table(rows)
 
 
 def render_histogram(

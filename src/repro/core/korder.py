@@ -53,7 +53,7 @@ class _Anchor:
 class KOrder:
     """Single-list k-order with per-core anchors + authoritative core map."""
 
-    __slots__ = ("om", "core", "items", "anchors", "max_level", "mutex")
+    __slots__ = ("om", "core", "items", "anchors", "max_level", "mutex", "trace")
 
     def __init__(self, capacity: int = 64) -> None:
         self.om = ParallelOMList(capacity=capacity)
@@ -67,6 +67,11 @@ class KOrder:
         # comparisons stay lock-free (status-counter protocol), as in the
         # paper.  Under the step-atomic simulator it stays None.
         self.mutex = None
+        # Optional RaceDetector hook (repro.analysis.instrument_state):
+        # order positions are traced as ("order", v) locations — plain
+        # for lock-protected comparisons and moves, relaxed for the
+        # Algorithm 4 status-validated protocol reads.
+        self.trace = None
         self._ensure_level(0)
 
     # ------------------------------------------------------------------
@@ -126,14 +131,38 @@ class KOrder:
         return self.items[u]
 
     def status(self, u: Vertex) -> int:
-        """The vertex's status counter ``u.s`` (paper Algorithm 4/5)."""
+        """The vertex's status counter ``u.s`` (paper Algorithm 4/5).
+        A relaxed read for the race detector: status counters exist
+        precisely to validate racy observations."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("order", u), relaxed=True)
         return self.items[u].s
+
+    def core_relaxed(self, u: Vertex, default: Optional[int] = None) -> Optional[int]:
+        """Racy read of an (unlocked) vertex's core number.
+
+        The parallel algorithms read neighbor cores without locks by
+        design — conditional locks (Algorithm 2) and the t protocol
+        re-validate whatever was observed — so these reads are recorded
+        as *relaxed* for the race detector instead of through the traced
+        ``core`` dict."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("core", u), relaxed=True)
+        return dict.get(self.core, u, default)
 
     def precedes(self, u: Vertex, v: Vertex) -> bool:
         """Strict k-order comparison ``u < v``: pure label comparison on the
-        global list (the paper's ``Order``)."""
+        global list (the paper's ``Order``).  Callers in parallel code
+        must hold both vertices' locks (use :meth:`precedes_concurrent`
+        otherwise); the race detector checks exactly that."""
         if u == v:
             return False
+        tr = self.trace
+        if tr is not None:
+            tr.read(("order", u))
+            tr.read(("order", v))
         return self.om.order(self.items[u], self.items[v])
 
     def precedes_concurrent(
@@ -142,10 +171,18 @@ class KOrder:
         """Algorithm 4: order comparison safe against in-flight moves."""
         if u == v:
             return False
+        tr = self.trace
+        if tr is not None:
+            tr.read(("order", u), relaxed=True)
+            tr.read(("order", v), relaxed=True)
         return self.om.order_concurrent(self.items[u], self.items[v], on_spin)
 
     def labels(self, u: Vertex) -> tuple:
-        """Current ``(top, bottom)`` OM labels of ``u``."""
+        """Current ``(top, bottom)`` OM labels of ``u`` (relaxed read:
+        consumers re-validate via the status/version protocol)."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("order", u), relaxed=True)
         it = self.items[u]
         return it.group.label, it.label  # type: ignore[union-attr]
 
@@ -172,7 +209,22 @@ class KOrder:
         return out
 
     def count_post(self, graph: DynamicGraph, u: Vertex) -> int:
-        """Steady-state remaining out-degree: ``|{v in adj : u < v}|``."""
+        """Steady-state remaining out-degree: ``|{v in adj : u < v}|``.
+
+        Parallel callers hold ``u``'s lock but scan *unlocked* neighbors;
+        the laziness discipline (materialize under lock, invalidate on
+        change) tolerates the staleness, so the neighbor comparisons are
+        relaxed reads for the race detector."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("order", u), relaxed=True)
+            items, order = self.items, self.om.order
+            n = 0
+            for v in graph.neighbors(u):
+                tr.read(("order", v), relaxed=True)
+                if order(items[u], items[v]):
+                    n += 1
+            return n
         return sum(1 for v in graph.neighbors(u) if self.precedes(u, v))
 
     def sequence(self, k: int) -> List[Vertex]:
@@ -207,6 +259,11 @@ class KOrder:
     # under the simulated/thread machines can detect moves)
     # ------------------------------------------------------------------
     def _move(self, u: Vertex, action) -> None:
+        tr = self.trace
+        if tr is not None:
+            # a splice is a write of u's order position; the mover must
+            # hold u's lock (checked by the detector's lockset analysis)
+            tr.write(("order", u))
         item = self.items[u]
         if self.mutex is not None:
             with self.mutex:

@@ -68,7 +68,7 @@ class RemoveStats:
 class OrderState:
     """The state block shared by all order-based maintenance algorithms."""
 
-    __slots__ = ("graph", "korder", "d_out", "mcd", "t", "t_mutex")
+    __slots__ = ("graph", "korder", "d_out", "mcd", "t", "t_mutex", "trace")
 
     def __init__(self, graph: DynamicGraph, korder: KOrder, d_out: Dict[Vertex, int]):
         self.graph = graph
@@ -79,13 +79,23 @@ class OrderState:
         # Set by the thread backend to make t-transitions genuinely atomic
         # (the simulator's step-atomicity makes plain ops equivalent).
         self.t_mutex = None
+        # Optional RaceDetector hook (repro.analysis); None means no
+        # tracing and zero overhead beyond the is-None tests below.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # t-protocol primitives (Algorithm 6); the simulator runs them as one
     # atomic step, the thread backend serializes them through t_mutex.
+    # All t accesses are *relaxed* for the race detector: the t protocol
+    # is the paper's own synchronization mechanism (atomics + CAS), so
+    # its racy reads are designed-in, not defects.
     # ------------------------------------------------------------------
     def t_add(self, v: Vertex, delta: int) -> int:
         """Atomically add ``delta`` to ``t[v]`` and return the new value."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("t", v), relaxed=True)
+            tr.write(("t", v), relaxed=True)
         if self.t_mutex is None:
             new = self.t.get(v, 0) + delta
             self.t[v] = new
@@ -97,6 +107,10 @@ class OrderState:
 
     def t_cas(self, v: Vertex, old: int, new: int) -> bool:
         """CAS on ``t[v]`` (paper's ``CAS(v.t, 1, 3)``)."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("t", v), relaxed=True)
+            tr.write(("t", v), relaxed=True)
         if self.t_mutex is None:
             if self.t.get(v, 0) == old:
                 self.t[v] = new
@@ -107,6 +121,40 @@ class OrderState:
                 self.t[v] = new
                 return True
             return False
+
+    def t_set(self, v: Vertex, value: int) -> None:
+        """Atomic store to ``t[v]`` (the drop-time ``t ← 2`` publish)."""
+        tr = self.trace
+        if tr is not None:
+            tr.write(("t", v), relaxed=True)
+        self.t[v] = value
+
+    def t_relaxed(self, v: Vertex) -> int:
+        """Racy read of ``t[v]`` (CheckMCD's unlocked neighbor probe)."""
+        tr = self.trace
+        if tr is not None:
+            tr.read(("t", v), relaxed=True)
+        return self.t.get(v, 0)
+
+    # ------------------------------------------------------------------
+    # ∅-invalidation wipes: the one place a worker writes a counter of a
+    # vertex it has NOT locked.  Safe by design — the written value is
+    # only ever the "unknown, recompute under lock" sentinel, which every
+    # reader must tolerate anyway — hence relaxed for the race detector.
+    # ------------------------------------------------------------------
+    def d_out_wipe(self, v: Vertex) -> None:
+        """Invalidate ``d_out[v]`` without holding ``v``'s lock."""
+        tr = self.trace
+        if tr is not None:
+            tr.write(("d_out", v), relaxed=True)
+        dict.__setitem__(self.d_out, v, None)
+
+    def mcd_wipe(self, v: Vertex) -> None:
+        """Invalidate ``mcd[v]`` without holding ``v``'s lock."""
+        tr = self.trace
+        if tr is not None:
+            tr.write(("mcd", v), relaxed=True)
+        dict.__setitem__(self.mcd, v, None)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -82,6 +82,11 @@ class ParallelOrderMaintainer:
         ``"min-clock"`` (timing) or ``"random"`` (interleaving stress).
     seed:
         Seed for the random schedule.
+    detector:
+        Optional :class:`repro.analysis.RaceDetector`.  When given, the
+        shared state is instrumented (``repro.analysis.trace``) and every
+        batch feeds read/write/lock events to it; off by default so the
+        timing path pays nothing.
     """
 
     def __init__(
@@ -93,12 +98,18 @@ class ParallelOrderMaintainer:
         seed: int = 0,
         strategy: str = "small-degree-first",
         capacity: int = 64,
+        detector=None,
     ) -> None:
         self.state = OrderState.from_graph(graph, strategy=strategy, capacity=capacity)
         self.num_workers = num_workers
         self.costs = costs or CostModel()
         self.schedule = schedule
         self.seed = seed
+        self.detector = detector
+        if detector is not None:
+            from repro.analysis.trace import instrument_state
+
+            instrument_state(self.state, detector)
 
     # ------------------------------------------------------------------
     @property
@@ -144,7 +155,8 @@ class ParallelOrderMaintainer:
             for chunk, out in zip(chunks, outs)
         ]
         machine = SimMachine(
-            self.num_workers, self.costs, self.schedule, self.seed
+            self.num_workers, self.costs, self.schedule, self.seed,
+            detector=self.detector,
         )
         report = machine.run(bodies)
         stats = [s for out in outs for s in out]
@@ -160,7 +172,8 @@ class ParallelOrderMaintainer:
             for chunk, out in zip(chunks, outs)
         ]
         machine = SimMachine(
-            self.num_workers, self.costs, self.schedule, self.seed
+            self.num_workers, self.costs, self.schedule, self.seed,
+            detector=self.detector,
         )
         report = machine.run(bodies)
         stats = [s for out in outs for s in out]

@@ -112,7 +112,7 @@ def insert_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
             yield ("tick", C.per_neighbor() + C.order_cmp)
             # benign racy read of an unlocked neighbor's core; the
             # dequeuer's conditional lock re-validates it
-            if ko.core.get(x) == K and ko.precedes_concurrent(w, x):
+            if ko.core_relaxed(x) == K and ko.precedes_concurrent(w, x):
                 if x not in pq:
                     pq.enqueue(x)
                     yield ("tick", C.heap_op)
@@ -185,7 +185,7 @@ def insert_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
                 pq.remove(w)
                 yield ("tick", C.heap_op)
                 return w
-            got = yield from cond_acquire(w, lambda ww=w: ko.core[ww] == K)
+            got = yield from cond_acquire(w, lambda ww=w: ko.core_relaxed(ww) == K)
             if not got:
                 pq.remove(w)  # promoted meanwhile; skip (Alg. 13 line 5)
                 yield ("tick", C.heap_op)
@@ -253,7 +253,9 @@ def insert_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
         state.d_out[x] = cnt
         state.mcd[x] = None
         for y in graph.neighbors(x):
-            state.mcd[y] = None
+            # neighbors are unlocked: ∅-invalidate through the wipe
+            # accessor (a relaxed write for the race detector)
+            state.mcd_wipe(y)
         yield ("tick", C.counter_op)
     yield from release_all(locked)
     return stats

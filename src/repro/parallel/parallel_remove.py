@@ -71,18 +71,18 @@ def remove_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
         cnt = 0
         for y in list(graph.neighbors(x)):
             yield ("tick", C.per_neighbor() + C.counter_op)
-            cy = ko.core.get(y, 0)
+            cy = ko.core_relaxed(y, 0)
             if cy >= cu:
                 cnt += 1
             elif cy == cu - 1:
-                ty = state.t.get(y, 0)
+                ty = state.t_relaxed(y)
                 if ty > 0:
                     cnt += 1
                     if y != visitor and ty == 1:
                         # CAS(y.t, 1, 3): force y's owner to re-propagate
                         # so the support we just counted gets repaid.
                         state.t_cas(y, 1, 3)
-                    if state.t.get(y, 0) == 0:
+                    if state.t_relaxed(y) == 0:
                         cnt -= 1  # dropped to done mid-read (threads only)
         state.mcd[x] = cnt
 
@@ -93,7 +93,7 @@ def remove_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
         before = _relabel_count(state)
         # t is published *before* the core drop so concurrent CheckMCD
         # readers never observe (core=K-1, t=0) for an unfinished drop.
-        state.t[x] = 2
+        state.t_set(x, 2)
         ko.demote_tail(x, K - 1)
         state.mcd[x] = None
         r.append(x)
@@ -139,9 +139,9 @@ def remove_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
             yield ("tick", C.counter_op)
             for x in list(graph.neighbors(w)):
                 yield ("tick", C.per_neighbor())
-                if x in a_set or ko.core.get(x) != K:
+                if x in a_set or ko.core_relaxed(x) != K:
                     continue
-                got = yield from cond_acquire(x, lambda xx=x: ko.core[xx] == K)
+                got = yield from cond_acquire(x, lambda xx=x: ko.core_relaxed(xx) == K)
                 if not got:
                     continue  # dropped by another worker meanwhile
                 locked.add(x)
@@ -161,8 +161,10 @@ def remove_edge_par(state: OrderState, a: Vertex, b: Vertex, C: CostModel):
         state.d_out[w] = None
         for x in list(graph.neighbors(w)):
             yield ("tick", C.per_neighbor())
-            if ko.core.get(x) == K:
-                state.d_out[x] = None
+            if ko.core_relaxed(x) == K:
+                # x is unlocked: ∅-invalidate through the wipe accessor
+                # (a relaxed write for the race detector)
+                state.d_out_wipe(x)
     stats.v_star = v_star
     yield from release_all(locked)
     return stats

@@ -69,18 +69,27 @@ class VersionedPQ:
             if self.ko.status(v) == s:
                 return labels, s
 
+    def _version_relaxed(self) -> int:
+        """Read ``O.ver`` — a designed racy read (Appendix E): staleness
+        is detected by the re-read after snapshotting, so the race
+        detector sees it as a relaxed ``("om", "version")`` access."""
+        tr = self.ko.trace
+        if tr is not None:
+            tr.read(("om", "version"), relaxed=True)
+        return self.ko.version
+
     def enqueue(self, v: Vertex) -> None:
         """Algorithm 12: snapshot and insert; go stale on any inconsistency."""
         if v in self._rec:
             return
-        ver0 = self.ko.version
+        ver0 = self._version_relaxed()
         labels, s0 = self._stable_labels(v)
         self._rec[v] = (labels, s0, ver0)
         self._push(v, labels)
         if (
             s0 % 2 == 1
             or s0 != self.ko.status(v)
-            or ver0 != self.ko.version
+            or ver0 != self._version_relaxed()
             or self.ver is None
             or ver0 != self.ver
         ):
@@ -95,7 +104,7 @@ class VersionedPQ:
         in the step-atomic simulator each attempt succeeds first try).
         """
         while True:
-            ver2 = self.ko.version
+            ver2 = self._version_relaxed()
             if self.ko.relabels_in_progress:
                 continue
             fresh: Dict[Vertex, Tuple[tuple, int, int]] = {}
@@ -103,7 +112,7 @@ class VersionedPQ:
             for v in self._rec:
                 labels, s = self._stable_labels(v)
                 fresh[v] = (labels, s, ver2)
-            if not ok or ver2 != self.ko.version or self.ko.relabels_in_progress:
+            if not ok or ver2 != self._version_relaxed() or self.ko.relabels_in_progress:
                 continue
             self._rec = fresh
             self._heap = []

@@ -3,14 +3,16 @@
 Workers are Python generators that *yield events* and receive results via
 ``send``:
 
-===================  =======================  ==========================
-yield                 meaning                  value sent back
-===================  =======================  ==========================
-``("tick", c)``       compute for c units      ``None``
-``("try", key)``      CAS-acquire lock *key*   ``True``/``False``
-``("release", key)``  release lock *key*       ``None``
-``("spin",)``         one busy-wait iteration  ``None``
-===================  =======================  ==========================
+=====================  ==========================  ==========================
+yield                   meaning                     value sent back
+=====================  ==========================  ==========================
+``("tick", c)``         compute for c units         ``None``
+``("try", key)``        CAS-acquire lock *key*      ``True``/``False``
+``("release", key)``    release lock *key*          ``None``
+``("spin",)``           one busy-wait iteration     ``None``
+``("read", loc)``       shared read of *loc*        ``None``
+``("write", loc)``      shared write of *loc*       ``None``
+=====================  ==========================  ==========================
 
 The scheduler always advances the runnable worker with the smallest local
 clock (a conservative discrete-event simulation), so shared-state mutation
@@ -20,10 +22,23 @@ exactly the granularity at which the paper's locking protocol has to work,
 and it makes logical races (stale reads across steps) reproducible and
 testable instead of timing-dependent.
 
+``read``/``write`` events (optionally ``("read", loc, site)``) cost no
+time; they declare shared accesses to an attached
+:class:`~repro.analysis.races.RaceDetector` for lockset/happens-before
+race checking.  Most instrumentation does not go through the event
+protocol at all: the traced state wrappers
+(:func:`repro.analysis.trace.instrument_state`) report accesses to the
+detector directly, attributed to whichever worker the machine is
+currently advancing.
+
 Locks are pure spin locks (the paper builds everything from CAS,
-Algorithm 2); blocked workers burn ``spin`` events.  Livelock/deadlock is
-detected by watching for a long window with no lock-state change while
-waiters exist.
+Algorithm 2); blocked workers burn ``spin`` events.  Deadlock is caught
+by a waits-for-graph cycle detector: a failed ``try`` adds a waits-for
+edge from the worker to the lock holder, and a cycle whose members have
+all been stalled for ``deadlock_window`` events is reported with the
+cycle spelled out.  A stall-window fallback still catches cycle-free
+livelock (no lock-state change for ``max_stall_events`` while locks are
+held) and reports both holders and waiters.
 
 A ``schedule="random"`` policy (seeded) replaces min-clock selection with
 uniform random choice among runnable workers, exploring far more
@@ -57,17 +72,40 @@ __all__ = [
 
 
 class SimDeadlockError(RuntimeError):
-    """Raised when no worker can make progress (all spinning/blocked)."""
+    """Raised when workers can no longer make progress.
+
+    Attributes
+    ----------
+    holders:
+        ``{lock_key: worker}`` for every currently held lock.
+    waiters:
+        ``{worker: lock_key}`` for every worker spinning on a held lock.
+    cycle:
+        The waits-for cycle as ``[(worker, key, holder), ...]`` when one
+        was found (true deadlock), else ``[]`` (livelock fallback).
+    """
+
+    def __init__(self, message: str, holders=None, waiters=None, cycle=None):
+        super().__init__(message)
+        self.holders = dict(holders or {})
+        self.waiters = dict(waiters or {})
+        self.cycle = list(cycle or [])
 
 
 @dataclass
 class SimReport:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    Time accounting: every event charges exactly one bucket, so
+    ``total_work + spin_time + contended_time == sum(worker_clocks)``
+    holds for every run (asserted in the test suite).
+    """
 
     makespan: float = 0.0           # max worker clock = parallel time
     worker_clocks: List[float] = field(default_factory=list)
-    total_work: float = 0.0         # sum of tick costs = sequential work
+    total_work: float = 0.0         # sum of tick/acquire/release costs
     spin_time: float = 0.0          # total time burnt busy-waiting
+    contended_time: float = 0.0     # total time burnt on failed CAS
     lock_acquires: int = 0
     lock_failures: int = 0          # failed CAS attempts
     events: int = 0
@@ -100,9 +138,20 @@ class SimMachine:
     seed:
         Seed for the random schedule.
     max_stall_events:
-        Progress window for livelock detection: if this many consecutive
-        events happen with at least one lock held and no lock state
-        change, a :class:`SimDeadlockError` is raised.
+        Fallback livelock window: if this many consecutive events happen
+        with at least one lock held and no lock state change (and no
+        waits-for cycle explains it), a :class:`SimDeadlockError` is
+        raised listing holders and waiters.
+    deadlock_window:
+        A waits-for cycle is reported as deadlock once every worker in
+        the cycle has been continuously blocked for this many machine
+        events — long enough for conditional waiters
+        (:func:`cond_acquire`) to notice a flipped condition and give
+        up, so only genuinely stuck cycles are reported.
+    detector:
+        Optional :class:`~repro.analysis.races.RaceDetector`; receives
+        every acquire/release (happens-before edges) plus all shared
+        accesses from traced state and ``read``/``write`` events.
     """
 
     def __init__(
@@ -112,6 +161,8 @@ class SimMachine:
         schedule: str = "min-clock",
         seed: int = 0,
         max_stall_events: int = 200_000,
+        deadlock_window: int = 1_000,
+        detector=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -122,6 +173,8 @@ class SimMachine:
         self.schedule = schedule
         self.seed = seed
         self.max_stall_events = max_stall_events
+        self.deadlock_window = deadlock_window
+        self.detector = detector
 
     # ------------------------------------------------------------------
     def run(
@@ -139,6 +192,7 @@ class SimMachine:
         C = self.costs
         rng = random.Random(self.seed)
         report = SimReport()
+        det = self.detector
         gens = list(worker_bodies)
         n = len(gens)
         clocks = [0.0] * n
@@ -146,12 +200,55 @@ class SimMachine:
         sendvals: List[object] = [None] * n
         locks: Dict[Key, _Lock] = {}
         stall = 0  # events since last lock-state change
+        # waits-for bookkeeping: which key each worker is blocked on, and
+        # the machine event count when it entered the blocked state
+        waiting_for: Dict[int, Key] = {}
+        waiting_since: Dict[int, int] = {}
+        if det is not None:
+            det.begin(n)
 
         def lock_of(key: Key) -> _Lock:
             lk = locks.get(key)
             if lk is None:
                 lk = locks[key] = _Lock()
             return lk
+
+        def find_cycle(start: int):
+            """Walk worker → awaited key → holder …; return the cycle as
+            ``[(worker, key, holder), ...]`` if the walk revisits a
+            worker whose members are all past the deadlock window."""
+            path: List[Tuple[int, Key, int]] = []
+            seen: Dict[int, int] = {}
+            w = start
+            while True:
+                key = waiting_for.get(w)
+                if key is None:
+                    return None
+                holder = locks[key].holder
+                if holder is None or holder == w:
+                    return None
+                if w in seen:
+                    cycle = path[seen[w]:]
+                    if all(
+                        report.events - waiting_since.get(cw, report.events)
+                        >= self.deadlock_window
+                        for cw, _k, _h in cycle
+                    ):
+                        return cycle
+                    return None
+                seen[w] = len(path)
+                path.append((w, key, holder))
+                w = holder
+
+        def deadlock_state():
+            holders = {
+                k: lk.holder for k, lk in locks.items() if lk.holder is not None
+            }
+            waiters = {
+                w: k for w, k in waiting_for.items()
+                if not done[w] and locks[k].holder is not None
+            }
+            return holders, waiters
 
         while True:
             runnable = [i for i in range(n) if not done[i]]
@@ -163,11 +260,19 @@ class SimMachine:
                 wid = min(runnable, key=lambda i: (clocks[i], i))
             gen = gens[wid]
             val, sendvals[wid] = sendvals[wid], None
+            if det is not None:
+                det.current = wid
+                det.step = report.events
             try:
                 ev = gen.send(val)
             except StopIteration:
                 done[wid] = True
+                waiting_for.pop(wid, None)
+                waiting_since.pop(wid, None)
                 continue
+            finally:
+                if det is not None:
+                    det.current = None
             report.events += 1
             stall += 1
             kind = ev[0]
@@ -175,6 +280,8 @@ class SimMachine:
                 cost = ev[1]
                 clocks[wid] += cost
                 report.total_work += cost
+                waiting_for.pop(wid, None)
+                waiting_since.pop(wid, None)
             elif kind == "try":
                 lk = lock_of(ev[1])
                 if lk.holder is None:
@@ -184,14 +291,35 @@ class SimMachine:
                     report.lock_acquires += 1
                     sendvals[wid] = True
                     stall = 0
+                    waiting_for.pop(wid, None)
+                    waiting_since.pop(wid, None)
+                    if det is not None:
+                        det.on_acquire(wid, ev[1])
                 else:
                     if lk.holder == wid:
                         raise RuntimeError(
                             f"worker {wid} re-acquiring its own lock {ev[1]!r}"
                         )
                     clocks[wid] += C.cas_fail
+                    report.contended_time += C.cas_fail
                     report.lock_failures += 1
                     sendvals[wid] = False
+                    if waiting_for.get(wid) != ev[1]:
+                        waiting_for[wid] = ev[1]
+                        waiting_since[wid] = report.events
+                    cycle = find_cycle(wid)
+                    if cycle is not None:
+                        holders, waiters = deadlock_state()
+                        desc = " -> ".join(
+                            f"worker {w} awaits {k!r} (held by worker {h})"
+                            for w, k, h in cycle
+                        )
+                        raise SimDeadlockError(
+                            f"deadlock: waits-for cycle [{desc}]",
+                            holders=holders,
+                            waiters=waiters,
+                            cycle=cycle,
+                        )
             elif kind == "release":
                 lk = lock_of(ev[1])
                 if lk.holder != wid:
@@ -202,21 +330,35 @@ class SimMachine:
                 clocks[wid] += C.lock_release
                 report.total_work += C.lock_release
                 stall = 0
+                waiting_for.pop(wid, None)
+                waiting_since.pop(wid, None)
+                if det is not None:
+                    det.on_release(wid, ev[1])
             elif kind == "spin":
                 clocks[wid] += C.spin
                 report.spin_time += C.spin
+            elif kind == "read":
+                if det is not None:
+                    det.current = wid
+                    det.read(ev[1], site=ev[2] if len(ev) > 2 else "<event>")
+                    det.current = None
+            elif kind == "write":
+                if det is not None:
+                    det.current = wid
+                    det.write(ev[1], site=ev[2] if len(ev) > 2 else "<event>")
+                    det.current = None
             else:  # pragma: no cover - protocol error
                 raise RuntimeError(f"unknown event {ev!r} from worker {wid}")
 
             if stall > self.max_stall_events and any(
                 lk.holder is not None for lk in locks.values()
             ):
-                holders = {
-                    k: lk.holder for k, lk in locks.items() if lk.holder is not None
-                }
+                holders, waiters = deadlock_state()
                 raise SimDeadlockError(
-                    f"no lock-state change in {stall} events; "
-                    f"held locks: {holders}"
+                    f"livelock: no lock-state change in {stall} events; "
+                    f"held locks: {holders}; waiters: {waiters}",
+                    holders=holders,
+                    waiters=waiters,
                 )
 
         report.worker_clocks = clocks

@@ -53,10 +53,17 @@ class ThreadReport:
 
 
 class ThreadMachine:
-    """Drive worker generators with real threads."""
+    """Drive worker generators with real threads.
 
-    def __init__(self, num_workers: int) -> None:
+    When a :class:`repro.analysis.RaceDetector` is attached, the same
+    read/write/acquire/release events the simulator reports are mirrored
+    here — worker identity is resolved per thread (``register_thread``),
+    and the detector's internal lock serializes its bookkeeping.
+    """
+
+    def __init__(self, num_workers: int, detector=None) -> None:
         self.num_workers = num_workers
+        self.detector = detector
         self._locks: Dict[Key, threading.Lock] = {}
         self._registry = threading.Lock()
 
@@ -67,7 +74,10 @@ class ThreadMachine:
                 lk = self._locks.setdefault(key, threading.Lock())
         return lk
 
-    def _drive(self, gen, errors: List[BaseException]) -> None:
+    def _drive(self, gen, errors: List[BaseException], wid: int) -> None:
+        det = self.detector
+        if det is not None:
+            det.register_thread(wid)
         val = None
         try:
             while True:
@@ -80,11 +90,23 @@ class ThreadMachine:
                     val = None
                 elif kind == "try":
                     val = self._lock_of(ev[1]).acquire(blocking=False)
+                    if val and det is not None:
+                        det.on_acquire(wid, ev[1])
                 elif kind == "release":
+                    if det is not None:
+                        det.on_release(wid, ev[1])
                     self._lock_of(ev[1]).release()
                     val = None
                 elif kind == "spin":
                     time.sleep(0)  # yield the GIL
+                    val = None
+                elif kind == "read":
+                    if det is not None:
+                        det.read(ev[1], site=ev[2] if len(ev) > 2 else "<event>")
+                    val = None
+                elif kind == "write":
+                    if det is not None:
+                        det.write(ev[1], site=ev[2] if len(ev) > 2 else "<event>")
                     val = None
                 else:  # pragma: no cover - protocol error
                     raise RuntimeError(f"unknown event {ev!r}")
@@ -93,9 +115,11 @@ class ThreadMachine:
 
     def run(self, bodies: Sequence) -> ThreadReport:
         report = ThreadReport(workers=len(bodies))
+        if self.detector is not None:
+            self.detector.begin(len(bodies), threads=True)
         threads = [
-            threading.Thread(target=self._drive, args=(gen, report.errors))
-            for gen in bodies
+            threading.Thread(target=self._drive, args=(gen, report.errors, wid))
+            for wid, gen in enumerate(bodies)
         ]
         t0 = time.perf_counter()
         for t in threads:
@@ -115,12 +139,19 @@ class ThreadedOrderMaintainer:
     but returns :class:`ThreadReport` objects (wall time, no makespan).
     """
 
-    def __init__(self, graph: DynamicGraph, num_workers: int = 4) -> None:
+    def __init__(
+        self, graph: DynamicGraph, num_workers: int = 4, detector=None
+    ) -> None:
         self.state = OrderState.from_graph(graph)
         self.state.korder.mutex = threading.Lock()
         self.state.t_mutex = threading.Lock()
         self.num_workers = num_workers
         self.costs = CostModel()
+        self.detector = detector
+        if detector is not None:
+            from repro.analysis.trace import instrument_state
+
+            instrument_state(self.state, detector)
 
     # ------------------------------------------------------------------
     @property
@@ -173,7 +204,7 @@ class ThreadedOrderMaintainer:
             out: List[InsertStats] = []
             outs.append(out)
             bodies.append(insert_worker(self.state, chunk, self.costs, out))
-        report = ThreadMachine(self.num_workers).run(bodies)
+        report = ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
         self._fix_edge_counter()
         return report
 
@@ -186,6 +217,6 @@ class ThreadedOrderMaintainer:
             out: List[RemoveStats] = []
             outs.append(out)
             bodies.append(remove_worker(self.state, chunk, self.costs, out))
-        report = ThreadMachine(self.num_workers).run(bodies)
+        report = ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
         self._fix_edge_counter()
         return report

@@ -1,0 +1,230 @@
+"""Tests for the lock-discipline lint (repro.analysis.lint)."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import RULES, check_paths, check_source, main
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestRepoIsClean:
+    def test_lint_passes_on_src(self):
+        findings = check_paths([str(SRC)])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_main_exit_zero_on_src(self, capsys):
+        assert main([str(SRC)]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestRL001UnusedTryResult:
+    def test_discarded_try_result_flagged(self):
+        src = (
+            "def worker(k):\n"
+            "    yield ('try', k)\n"
+            "    yield ('release', k)\n"
+        )
+        findings = check_source(src)
+        assert rules_of(findings) == ["RL001"]
+        assert findings[0].line == 2
+
+    def test_consumed_try_result_clean(self):
+        src = (
+            "def worker(k):\n"
+            "    while not (yield ('try', k)):\n"
+            "        yield ('spin',)\n"
+            "    yield ('release', k)\n"
+        )
+        assert check_source(src) == []
+
+
+class TestRL002LeakedLock:
+    def test_leaked_lock_pair_flagged(self):
+        src = (
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    yield ('tick', 1.0)\n"
+            "    yield ('release', a)\n"
+        )
+        findings = check_source(src)
+        assert rules_of(findings) == ["RL002"]
+        assert "'b'" in findings[0].message
+
+    def test_leaked_cond_acquire_flagged(self):
+        src = (
+            "def worker(k):\n"
+            "    got = yield from cond_acquire(k, lambda: True)\n"
+            "    yield ('tick', 1.0)\n"
+        )
+        assert rules_of(check_source(src)) == ["RL002"]
+
+    def test_release_all_over_lockset_variable_clean(self):
+        src = (
+            "def worker(a, b, c):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    locked = {a, b}\n"
+            "    got = yield from cond_acquire(c, lambda: True)\n"
+            "    if got:\n"
+            "        locked.add(c)\n"
+            "    yield from release_all(locked)\n"
+        )
+        assert check_source(src) == []
+
+    def test_lockset_never_released_carries_hint(self):
+        src = (
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    locked = {a, b}\n"
+            "    yield ('tick', 1.0)\n"
+        )
+        findings = check_source(src)
+        assert rules_of(findings) == ["RL002", "RL002"]
+        assert "'locked'" in findings[0].message
+
+    def test_nested_helper_shares_enclosing_lockset(self):
+        """Acquisition in a nested helper, release in the outer function
+        (the OurI dequeue pattern) must not be flagged."""
+        src = (
+            "def worker(edges):\n"
+            "    locked = set()\n"
+            "    def dequeue(w):\n"
+            "        got = yield from cond_acquire(w, lambda: True)\n"
+            "        if got:\n"
+            "            locked.add(w)\n"
+            "    yield from dequeue(1)\n"
+            "    yield from release_all(locked)\n"
+        )
+        assert check_source(src) == []
+
+
+class TestRL003RawPairAcquisition:
+    def test_two_raw_tries_flagged(self):
+        src = (
+            "def worker(a, b):\n"
+            "    ok = yield ('try', a)\n"
+            "    ok2 = yield ('try', b)\n"
+            "    yield ('release', a)\n"
+            "    yield ('release', b)\n"
+        )
+        assert "RL003" in rules_of(check_source(src))
+
+    def test_single_raw_try_spin_loop_clean(self):
+        src = (
+            "def worker(k):\n"
+            "    while not (yield ('try', k)):\n"
+            "        yield ('spin',)\n"
+            "    yield ('release', k)\n"
+        )
+        assert check_source(src) == []
+
+    def test_lock_pair_is_the_blessed_route(self):
+        src = (
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    yield from release_all([a, b])\n"
+        )
+        assert check_source(src) == []
+
+
+class TestRL004EventShape:
+    def test_unknown_kind_flagged(self):
+        src = (
+            "def worker(k):\n"
+            "    ok = yield ('try', k)\n"
+            "    yield ('lock', k)\n"
+            "    yield ('release', k)\n"
+        )
+        assert "RL004" in rules_of(check_source(src))
+
+    def test_wrong_arity_flagged(self):
+        src = (
+            "def worker(k):\n"
+            "    ok = yield ('try', k)\n"
+            "    yield ('tick',)\n"
+            "    yield ('release', k)\n"
+        )
+        findings = [f for f in check_source(src) if f.rule == "RL004"]
+        assert len(findings) == 1
+        assert "tick" in findings[0].message
+
+    def test_data_generators_ignored(self):
+        """A generator yielding tagged data tuples is not a protocol
+        worker and must not be linted."""
+        src = (
+            "def stream():\n"
+            "    yield ('alpha', 1)\n"
+            "    yield ('beta',)\n"
+        )
+        assert check_source(src) == []
+
+
+class TestPragma:
+    def test_bare_pragma_suppresses(self):
+        src = (
+            "def worker(k):\n"
+            "    yield ('try', k)  # lint: ok\n"
+            "    yield ('release', k)\n"
+        )
+        assert check_source(src) == []
+
+    def test_rule_scoped_pragma(self):
+        src = (
+            "def worker(k):\n"
+            "    yield ('try', k)  # lint: ok[RL001]\n"
+            "    yield ('release', k)\n"
+        )
+        assert check_source(src) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = (
+            "def worker(k):\n"
+            "    yield ('try', k)  # lint: ok[RL002]\n"
+            "    yield ('release', k)\n"
+        )
+        assert rules_of(check_source(src)) == ["RL001"]
+
+
+class TestCli:
+    def _leaky(self, tmp_path):
+        p = tmp_path / "leaky.py"
+        p.write_text(
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    yield ('tick', 1.0)\n",
+            encoding="utf-8",
+        )
+        return p
+
+    def test_exit_one_on_leaky_fixture(self, tmp_path, capsys):
+        assert main([str(self._leaky(tmp_path))]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out
+        assert "finding(s)" in out
+
+    def test_json_format_machine_readable(self, tmp_path, capsys):
+        assert main(["--format", "json", str(self._leaky(tmp_path))]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and len(data) == 2
+        assert set(data[0]) == {"path", "line", "col", "rule", "message"}
+        assert {d["rule"] for d in data} == {"RL002"}
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        p = tmp_path / "broken.py"
+        p.write_text("def worker(:\n", encoding="utf-8")
+        findings = check_paths([str(p)])
+        assert rules_of(findings) == ["RL000"]
+
+    def test_directory_recursion(self, tmp_path, capsys):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        self._leaky(sub)
+        (sub / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+
+    def test_rules_table_documented(self):
+        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004"}

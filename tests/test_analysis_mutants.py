@@ -1,0 +1,217 @@
+"""Protocol mutants: the race detector must catch broken lock discipline.
+
+Mutants are *event-stream wrappers* around the unmodified worker
+generators: eliding a lock (granting ``try`` without acquiring, and
+swallowing the matching release) is exactly what deleting the
+acquisition from the code would produce, without maintaining mutated
+copies of the algorithms.  Each mutant must be flagged by the detector
+under a seeded random schedule on at least one seed; the unmutated
+algorithms must stay race-free on every seed (the regression gate the
+whole subsystem exists for).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import RaceDetector
+from repro.analysis.trace import instrument_state
+from repro.core.state import OrderState
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel.batch import ParallelOrderMaintainer, partition_batch
+from repro.parallel.costs import CostModel
+from repro.parallel.parallel_insert import insert_worker
+from repro.parallel.parallel_remove import remove_worker
+from repro.parallel.runtime import SimDeadlockError, SimMachine
+
+SEEDS = range(10)
+
+
+# ----------------------------------------------------------------------
+# mutants (event-stream wrappers)
+# ----------------------------------------------------------------------
+def elide_locks(gen):
+    """Grant every ``try`` without acquiring; swallow the releases the
+    worker then believes it owes.  Equivalent to deleting all locking
+    from this worker's code."""
+    elided = {}
+    val = None
+    while True:
+        try:
+            ev = gen.send(val)
+        except StopIteration:
+            return
+        kind = ev[0]
+        if kind == "try":
+            elided[ev[1]] = elided.get(ev[1], 0) + 1
+            val = True
+            continue
+        if kind == "release" and elided.get(ev[1], 0):
+            elided[ev[1]] -= 1
+            val = None
+            continue
+        val = yield ev
+
+
+def swallow_releases(gen):
+    """Drop every ``release``: the worker holds its locks forever."""
+    val = None
+    while True:
+        try:
+            ev = gen.send(val)
+        except StopIteration:
+            return
+        if ev[0] == "release":
+            val = None
+            continue
+        val = yield ev
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def _graph_and_batch(seed, n=40, m=130, batch_size=40):
+    edges = erdos_renyi(n, m, seed=seed)
+    return edges[:-batch_size], edges[-batch_size:]
+
+
+def _run_mutated(
+    worker_factory, base, batch, seed, mutate, inserting,
+    catch=(Exception,), **mk,
+):
+    """Run one mutated batch under a random schedule; return the race
+    report.  Crashes in ``catch`` are tolerated — a mutant may corrupt
+    state (or deadlock downstream workers) after the detector has
+    already recorded the races online."""
+    state = OrderState.from_graph(DynamicGraph(base))
+    det = RaceDetector()
+    instrument_state(state, det)
+    if inserting:
+        for u, v in batch:
+            state.ensure_vertex(u)
+            state.ensure_vertex(v)
+    chunks = partition_batch(batch, 4)
+    outs = [[] for _ in chunks]
+    bodies = [
+        worker_factory(state, chunk, CostModel(), out)
+        for chunk, out in zip(chunks, outs)
+    ]
+    bodies[0] = mutate(bodies[0])
+    machine = SimMachine(
+        4, schedule="random", seed=seed, detector=det, **mk
+    )
+    try:
+        machine.run(bodies)
+    except catch:
+        pass
+    return det.report()
+
+
+class TestMutantsAreFlagged:
+    def test_lock_elision_in_insertion_races(self):
+        flagged = []
+        for seed in SEEDS:
+            base, batch = _graph_and_batch(seed)
+            rep = _run_mutated(
+                insert_worker, base, batch, seed, elide_locks, inserting=True
+            )
+            flagged.append(not rep.ok)
+        assert any(flagged), (
+            "eliding all locks from one insertion worker was never "
+            "flagged as a race on any seed"
+        )
+
+    def test_lock_elision_in_removal_races(self):
+        flagged = []
+        for seed in SEEDS:
+            edges = erdos_renyi(40, 150, seed=100 + seed)
+            base, batch = edges, edges[-45:]
+            rep = _run_mutated(
+                remove_worker, base, batch, seed, elide_locks, inserting=False
+            )
+            flagged.append(not rep.ok)
+        assert any(flagged)
+
+    def test_race_report_names_algorithm_sites(self):
+        """A flagged mutant points at real algorithm lines, not at the
+        instrumentation plumbing."""
+        for seed in SEEDS:
+            base, batch = _graph_and_batch(seed)
+            rep = _run_mutated(
+                insert_worker, base, batch, seed, elide_locks, inserting=True
+            )
+            if rep.races:
+                r = rep.races[0]
+                for site in (r.a.site, r.b.site):
+                    assert "analysis" not in site, site
+                    assert ":" in site
+                return
+        pytest.fail("no seed produced a race to inspect")
+
+    def test_swallowed_releases_halt_the_machine(self):
+        """A worker that never releases is caught by the runtime itself:
+        either it re-acquires a lock it silently kept (protocol error) or
+        the machine reports deadlock/livelock — never a silent pass.
+        (:class:`SimDeadlockError` subclasses RuntimeError, so both
+        diagnoses are covered.)"""
+        base, batch = _graph_and_batch(0)
+        with pytest.raises(RuntimeError) as ei:
+            for seed in SEEDS:
+                _run_mutated(
+                    insert_worker, base, batch, seed, swallow_releases,
+                    inserting=True, catch=(), max_stall_events=3000,
+                )
+        assert "lock" in str(ei.value)
+
+
+class TestCleanRunsStayClean:
+    def test_parallel_insert_remove_zero_races_across_seeds(self):
+        """ISSUE acceptance: OurI/OurR race-free on >= 10 random-schedule
+        seeds, with cores still correct."""
+        for seed in SEEDS:
+            edges = erdos_renyi(40, 130, seed=200 + seed)
+            base, batch = edges[:-40], edges[-40:]
+            det = RaceDetector()
+            m = ParallelOrderMaintainer(
+                DynamicGraph(base),
+                num_workers=4,
+                schedule="random",
+                seed=seed,
+                detector=det,
+            )
+            m.insert_edges(batch)
+            m.remove_edges(batch[:15])
+            m.check()
+            rep = det.report()
+            assert rep.ok, f"seed {seed}:\n{rep.format()}"
+            assert rep.accesses_traced > 0
+            assert rep.relaxed_accesses > 0
+            assert rep.sync_ops > 0
+
+    def test_threaded_backend_zero_races(self):
+        from repro.parallel.threads import ThreadedOrderMaintainer
+
+        for seed in range(3):
+            edges = erdos_renyi(30, 90, seed=300 + seed)
+            base, batch = edges[:-25], edges[-25:]
+            det = RaceDetector()
+            m = ThreadedOrderMaintainer(
+                DynamicGraph(base), num_workers=4, detector=det
+            )
+            m.insert_edges(batch)
+            m.remove_edges(batch[:10])
+            m.check()
+            rep = det.report()
+            assert rep.ok, f"seed {seed}:\n{rep.format()}"
+            assert rep.accesses_traced > 0
+
+    def test_detector_overhead_is_opt_in(self):
+        """Without a detector nothing is wrapped or traced."""
+        edges = erdos_renyi(30, 90, seed=7)
+        m = ParallelOrderMaintainer(DynamicGraph(edges[:-20]), num_workers=4)
+        assert m.detector is None
+        assert type(m.state.d_out) is dict
+        assert type(m.state.korder.core) is dict
+        m.insert_edges(edges[-20:])
+        m.check()

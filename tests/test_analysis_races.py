@@ -1,0 +1,254 @@
+"""Unit tests for the lockset / happens-before race detector."""
+
+import pytest
+
+from repro.analysis import RaceDetector
+from repro.analysis.trace import TracedDict, instrument_state
+from repro.core.state import OrderState
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.runtime import SimMachine
+
+
+def run2(*bodies, detector=None):
+    return SimMachine(len(bodies), detector=detector).run(list(bodies))
+
+
+def writer(loc, site):
+    yield ("write", loc, site)
+    yield ("tick", 1.0)
+
+
+def reader(loc, site):
+    yield ("read", loc, site)
+    yield ("tick", 1.0)
+
+
+class TestConflicts:
+    def test_unsynchronized_write_write_is_a_race(self):
+        det = RaceDetector()
+        run2(writer(("x", 1), "a.py:1"), writer(("x", 1), "b.py:2"), detector=det)
+        rep = det.report()
+        assert not rep.ok
+        assert len(rep.races) == 1
+        r = rep.races[0]
+        assert r.loc == ("x", 1)
+        assert {r.a.site, r.b.site} == {"a.py:1", "b.py:2"}
+        assert not r.common_lockset
+        assert "data race" in r.describe()
+
+    def test_unsynchronized_read_write_is_a_race(self):
+        det = RaceDetector()
+        run2(reader(("x", 1), "a.py:1"), writer(("x", 1), "b.py:2"), detector=det)
+        assert len(det.report().races) == 1
+
+    def test_read_read_is_not_a_race(self):
+        det = RaceDetector()
+        run2(reader(("x", 1), "a.py:1"), reader(("x", 1), "b.py:2"), detector=det)
+        assert det.report().ok
+
+    def test_different_locations_do_not_conflict(self):
+        det = RaceDetector()
+        run2(writer(("x", 1), "a.py:1"), writer(("x", 2), "b.py:2"), detector=det)
+        assert det.report().ok
+
+    def test_race_carries_step_and_locksets(self):
+        det = RaceDetector()
+        run2(writer(("x", 1), "a.py:1"), writer(("x", 1), "b.py:2"), detector=det)
+        r = det.report().races[0]
+        assert r.b.step >= r.a.step >= 0
+        assert isinstance(r.a.lockset, frozenset)
+
+    def test_duplicate_pairs_reported_once(self):
+        def many(site):
+            for _ in range(5):
+                yield ("write", ("x", 1), site)
+                yield ("tick", 1.0)
+
+        det = RaceDetector()
+        run2(many("a.py:1"), many("b.py:2"), detector=det)
+        # same (loc kind, sites, ops) pair: one report, not 25
+        assert len(det.report().races) <= 2  # a-vs-b and b-vs-a orderings
+
+
+class TestSuppressions:
+    def test_common_lock_suppresses(self):
+        def locked_writer(site):
+            while not (yield ("try", "L")):
+                yield ("spin",)
+            yield ("write", ("x", 1), site)
+            yield ("release", "L")
+
+        det = RaceDetector()
+        run2(locked_writer("a.py:1"), locked_writer("b.py:2"), detector=det)
+        rep = det.report()
+        assert rep.ok
+        assert rep.sync_ops == 4
+
+    def test_release_acquire_orders_accesses(self):
+        """An access before a release happens-before accesses after the
+        next acquire of the same lock — even when the access itself is
+        outside the critical section."""
+
+        def first():
+            yield ("write", ("x", 1), "a.py:1")
+            yield ("try", "H")
+            yield ("release", "H")
+
+        def second():
+            yield ("tick", 5.0)  # run after first under min-clock
+            while not (yield ("try", "H")):
+                yield ("spin",)
+            yield ("release", "H")
+            yield ("write", ("x", 1), "b.py:2")
+
+        det = RaceDetector()
+        run2(first(), second(), detector=det)
+        assert det.report().ok
+
+    def test_disjoint_locks_do_not_suppress(self):
+        def locked_writer(lock, site):
+            while not (yield ("try", lock)):
+                yield ("spin",)
+            yield ("write", ("x", 1), site)
+            yield ("release", lock)
+
+        det = RaceDetector()
+        run2(locked_writer("L1", "a.py:1"), locked_writer("L2", "b.py:2"),
+             detector=det)
+        assert len(det.report().races) == 1
+
+    def test_relaxed_access_never_races(self):
+        # feed relaxed accesses directly through the API: begin + manual
+        # worker attribution
+        det = RaceDetector()
+        det.begin(2)
+        det.current = 0
+        det.write(("x", 1), relaxed=True)
+        det.current = 1
+        det.write(("x", 1), relaxed=True)
+        det.write(("x", 1), site="b.py:2")  # plain vs earlier relaxed
+        det.current = None
+        rep = det.report()
+        assert rep.ok
+        assert rep.relaxed_accesses == 2
+        assert rep.accesses_traced == 3
+
+    def test_same_worker_never_races_with_itself(self):
+        def w():
+            yield ("write", ("x", 1), "a.py:1")
+            yield ("tick", 1.0)
+            yield ("write", ("x", 1), "a.py:2")
+
+        det = RaceDetector()
+        run2(w(), detector=det)
+        assert det.report().ok
+
+
+class TestPlumbing:
+    def test_access_outside_run_ignored(self):
+        det = RaceDetector()
+        det.write(("x", 1))  # no begin, no current worker
+        assert det.report().accesses_traced == 0
+
+    def test_same_site_pair_deduped_across_location_family(self):
+        """100 vertices racing through the same statement pair is one
+        logical bug — one report."""
+
+        def many(site):
+            for i in range(100):
+                yield ("write", ("x", i), site)
+                yield ("tick", 1.0)
+
+        det = RaceDetector()
+        run2(many("a.py:1"), many("b.py:2"), detector=det)
+        assert len(det.report().races) == 1
+
+    def test_max_races_caps_reports(self):
+        def many(tag):
+            for i in range(100):
+                yield ("write", ("x", i), f"{tag}:{i}")
+                yield ("tick", 1.0)
+
+        det = RaceDetector(max_races=3)
+        run2(many("a.py"), many("b.py"), detector=det)
+        assert len(det.report().races) == 3
+
+    def test_counters_shape(self):
+        det = RaceDetector()
+        run2(writer(("x", 1), "a.py:1"), writer(("x", 1), "b.py:2"), detector=det)
+        c = det.report().counters()
+        assert set(c) == {
+            "races", "accesses_traced", "relaxed_accesses", "sync_ops",
+            "locations",
+        }
+        assert c["races"] == 1
+        assert c["locations"] == 1
+
+    def test_format_lists_races(self):
+        det = RaceDetector()
+        run2(writer(("x", 1), "a.py:1"), writer(("x", 1), "b.py:2"), detector=det)
+        text = det.report().format()
+        assert "1 race(s)" in text
+        assert "a.py:1" in text
+
+
+class TestTracedState:
+    def _state(self):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+        return OrderState.from_graph(g)
+
+    def test_instrument_state_wraps_dicts(self):
+        state = self._state()
+        det = RaceDetector()
+        instrument_state(state, det)
+        assert isinstance(state.d_out, TracedDict)
+        assert isinstance(state.mcd, TracedDict)
+        assert isinstance(state.korder.core, TracedDict)
+        assert state.trace is det
+        assert state.korder.trace is det
+
+    def test_instrument_state_idempotent(self):
+        state = self._state()
+        det = RaceDetector()
+        instrument_state(state, det)
+        d_out = state.d_out
+        instrument_state(state, det)
+        assert state.d_out is d_out  # not re-wrapped
+
+    def test_traced_dict_records_attributed_accesses(self):
+        state = self._state()
+        det = RaceDetector()
+        instrument_state(state, det)
+        det.begin(1)
+        det.current = 0
+        _ = state.d_out[0]
+        state.d_out[0] = 3
+        _ = state.mcd.get(1)
+        assert 2 in state.korder.core
+        det.current = None
+        assert det.report().accesses_traced == 4
+
+    def test_traced_dict_silent_without_worker(self):
+        """Sequential access (prologue, invariant checks) is not traced."""
+        state = self._state()
+        det = RaceDetector()
+        instrument_state(state, det)
+        det.begin(1)
+        _ = state.d_out[0]
+        state.check_invariants()
+        assert det.report().accesses_traced == 0
+
+    def test_wipes_are_relaxed(self):
+        state = self._state()
+        det = RaceDetector()
+        instrument_state(state, det)
+        det.begin(2)
+        det.current = 0
+        state.d_out_wipe(1)
+        state.mcd_wipe(1)
+        det.current = 1
+        state.d_out_wipe(1)
+        det.current = None
+        rep = det.report()
+        assert rep.ok
+        assert rep.relaxed_accesses == 3

@@ -255,6 +255,89 @@ class TestScheduling:
         with pytest.raises(SimDeadlockError):
             machine.run([w1(), w2()])
 
+    def test_deadlock_names_the_cycle(self):
+        """The waits-for detector must spell out who waits on whom."""
+
+        def w1():
+            yield ("try", "A")
+            while not (yield ("try", "B")):
+                yield ("spin",)
+
+        def w2():
+            yield ("try", "B")
+            while not (yield ("try", "A")):
+                yield ("spin",)
+
+        machine = SimMachine(2, deadlock_window=50)
+        with pytest.raises(SimDeadlockError) as ei:
+            machine.run([w1(), w2()])
+        err = ei.value
+        assert "waits-for cycle" in str(err)
+        assert {w for w, _k, _h in err.cycle} == {0, 1}
+        assert {k for _w, k, _h in err.cycle} == {"A", "B"}
+        assert err.holders == {"A": 0, "B": 1}
+        assert err.waiters == {0: "B", 1: "A"}
+
+    def test_three_worker_cycle_detected(self):
+        def w(mine, want):
+            def body():
+                yield ("try", mine)
+                while not (yield ("try", want)):
+                    yield ("spin",)
+
+            return body()
+
+        machine = SimMachine(3, deadlock_window=50)
+        with pytest.raises(SimDeadlockError) as ei:
+            machine.run([w("A", "B"), w("B", "C"), w("C", "A")])
+        assert len(ei.value.cycle) == 3
+
+    def test_cycle_not_reported_before_window(self):
+        """A transient cycle that resolves before ``deadlock_window``
+        events (the cond_acquire give-up pattern) must not be reported."""
+        flag = {"v": True}
+
+        def w1():
+            yield ("try", "A")
+            # conditional-waiter shape: give up when the flag flips
+            while flag["v"]:
+                if (yield ("try", "B")):
+                    yield ("release", "B")
+                    break
+                yield ("spin",)
+            yield ("release", "A")
+
+        def w2():
+            yield ("try", "B")
+            for _ in range(20):  # hold briefly, then give way
+                yield ("spin",)
+            flag["v"] = False
+            yield ("release", "B")
+
+        rep = SimMachine(2, deadlock_window=10_000).run([w1(), w2()])
+        assert rep.lock_failures > 0  # there WAS a transient wait
+
+    def test_livelock_fallback_reports_holders_and_waiters(self):
+        """A worker that finishes while holding a lock leaves no cycle —
+        the stall-window fallback must still fire and name both sides."""
+
+        def hog():
+            yield ("try", "L")
+            # ends still holding L
+
+        def waiter():
+            while not (yield ("try", "L")):
+                yield ("spin",)
+
+        machine = SimMachine(2, max_stall_events=500)
+        with pytest.raises(SimDeadlockError) as ei:
+            machine.run([hog(), waiter()])
+        err = ei.value
+        assert err.holders == {"L": 0}
+        assert err.waiters == {1: "L"}
+        assert err.cycle == []
+        assert "waiters" in str(err)
+
     def test_costs_respected(self):
         costs = CostModel(lock_acquire=10.0, lock_release=3.0)
 
@@ -264,3 +347,88 @@ class TestScheduling:
 
         rep = SimMachine(1, costs=costs).run([w()])
         assert rep.makespan == 13.0
+
+
+def assert_buckets_reconcile(rep):
+    """SimReport invariant: every event charges exactly one bucket."""
+    assert rep.total_work + rep.spin_time + rep.contended_time == pytest.approx(
+        sum(rep.worker_clocks)
+    )
+
+
+class TestAccounting:
+    def test_buckets_reconcile_under_contention(self):
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 50.0)
+            yield ("release", "L")
+
+        def waiter():
+            while not (yield ("try", "L")):
+                yield ("spin",)
+            yield ("release", "L")
+
+        rep = SimMachine(2).run([holder(), waiter()])
+        assert rep.contended_time > 0
+        assert rep.spin_time > 0
+        assert_buckets_reconcile(rep)
+
+    def test_contended_time_counts_failed_cas(self):
+        costs = CostModel(cas_fail=7.0)
+
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 10.0)
+            yield ("release", "L")
+
+        def prober():
+            yield ("try", "L")  # one failed CAS, then give up
+
+        rep = SimMachine(2, costs=costs).run([holder(), prober()])
+        assert rep.lock_failures == 1
+        assert rep.contended_time == 7.0
+        assert_buckets_reconcile(rep)
+
+    def test_buckets_reconcile_on_real_parallel_batches(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.graph.generators import erdos_renyi
+        from repro.parallel.batch import ParallelOrderMaintainer
+
+        edges = erdos_renyi(35, 110, seed=5)
+        base, batch = edges[:-35], edges[-35:]
+        for schedule, seed in (("min-clock", 0), ("random", 1), ("random", 2)):
+            m = ParallelOrderMaintainer(
+                DynamicGraph(base), num_workers=4, schedule=schedule, seed=seed
+            )
+            r1 = m.insert_edges(batch)
+            r2 = m.remove_edges(batch[:12])
+            assert_buckets_reconcile(r1.report)
+            assert_buckets_reconcile(r2.report)
+            m.check()
+
+
+class TestSharedAccessEvents:
+    def test_read_write_events_are_free_noops_without_detector(self):
+        def w():
+            yield ("read", ("x", 1))
+            yield ("write", ("x", 1), "me.py:1")
+            yield ("tick", 2.0)
+
+        rep = SimMachine(1).run([w()])
+        assert rep.makespan == 2.0  # read/write cost nothing
+        assert rep.events == 3
+        assert_buckets_reconcile(rep)
+
+    def test_read_write_events_feed_detector(self):
+        from repro.analysis import RaceDetector
+
+        det = RaceDetector()
+
+        def w(site):
+            yield ("write", ("x", 1), site)
+            yield ("tick", 1.0)
+
+        SimMachine(2, detector=det).run([w("a.py:1"), w("b.py:2")])
+        rep = det.report()
+        assert rep.accesses_traced == 2
+        assert len(rep.races) == 1
