@@ -12,7 +12,11 @@ Order-Based Core Maintenance in Dynamic Graphs*, ICPP 2023:
 * the prior-art baselines: sequential Traversal (TI/TR), Join-Edge-Set
   (JEI/JER) and Matching (MI/MR) parallel batch algorithms;
 * graph generators, dataset stand-ins, and a benchmark harness
-  regenerating every table and figure of the paper's evaluation.
+  regenerating every table and figure of the paper's evaluation;
+* a streaming serving engine (:mod:`repro.service`): adaptive
+  micro-batching over the parallel algorithms, snapshot-isolated reads
+  against committed epochs, admission control, and a metrics surface
+  (``repro-serve`` CLI).
 
 Quick start::
 
@@ -45,10 +49,12 @@ from repro.core.decomposition import (
 from repro.core.history import CoreHistory
 from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
 from repro.core.queries import (
+    in_k_core,
     innermost_core,
     k_core_subgraph,
     k_core_vertices,
     k_shell,
+    shell_histogram,
     subcore,
 )
 from repro.parallel.batch import BatchResult, ParallelOrderMaintainer
@@ -58,6 +64,13 @@ from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
 from repro.baselines.matching import MatchingMaintainer
 from repro.parallel.stream import StreamProcessor
 from repro.parallel.threads import ThreadedOrderMaintainer
+from repro.service import (
+    Engine,
+    EngineConfig,
+    Request,
+    Response,
+    SnapshotView,
+)
 from repro.weighted import (
     WeightedCoreMaintainer,
     WeightedDynamicGraph,
@@ -87,6 +100,8 @@ __all__ = [
     "k_core_vertices",
     "k_core_subgraph",
     "k_shell",
+    "in_k_core",
+    "shell_histogram",
     "innermost_core",
     "subcore",
     "ParallelOrderMaintainer",
@@ -99,6 +114,11 @@ __all__ = [
     "MatchingMaintainer",
     "StreamProcessor",
     "ThreadedOrderMaintainer",
+    "Engine",
+    "EngineConfig",
+    "Request",
+    "Response",
+    "SnapshotView",
     "WeightedDynamicGraph",
     "WeightedCoreMaintainer",
     "weighted_core_decomposition",

@@ -7,6 +7,7 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench fig4  --datasets BA --workers 1 4 16 --batch 300
     python -m repro.bench table2 --datasets BA RMAT
     python -m repro.bench fig5 fig6 fig7
+    python -m repro.bench service --datasets BA --ops 500 --query-rate 0.3
     python -m repro.bench all   --batch 200
 
 Output is the same paper-style text the benchmark suite writes to
@@ -20,10 +21,17 @@ import sys
 from typing import List
 
 from repro.bench import harness
-from repro.bench.reporting import render_histogram, render_series, render_table
+from repro.bench.reporting import (
+    render_histogram,
+    render_series,
+    render_service_metrics,
+    render_table,
+)
 
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
-EXPERIMENTS = ("table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7")
+EXPERIMENTS = (
+    "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -41,6 +49,10 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", nargs="+", type=int, default=[1, 4, 16])
     p.add_argument("--batch", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ops", type=int, default=500,
+                   help="service workload: trace length")
+    p.add_argument("--query-rate", type=float, default=0.25,
+                   help="service workload: fraction of queries in the trace")
     return p
 
 
@@ -113,6 +125,21 @@ def main(argv: List[str] | None = None) -> int:
                 }
                 print(f"\n--- {ds} (insert-time ratios) ---")
                 print(render_series(series, title="algo \\ batch", value_fmt="{:.2f}"))
+        elif exp == "service":
+            for ds in args.datasets:
+                cell = harness.run_service(
+                    ds,
+                    ops=args.ops,
+                    workers=max(args.workers),
+                    query_rate=args.query_rate,
+                    seed=args.seed,
+                    max_batch=max(1, args.batch // 4),
+                )
+                print(f"\n--- {ds} ---")
+                print(render_service_metrics(cell["metrics"]))
+                if not cell["invariant_ok"]:
+                    print("!! accounting invariant VIOLATED")
+                    return 1
         elif exp == "fig7":
             out = harness.fig7_stability(
                 args.datasets[:2],

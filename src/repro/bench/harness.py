@@ -25,7 +25,7 @@ from repro.core.maintainer import TraversalMaintainer
 from repro.graph.datasets import DATASETS
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.parallel.batch import ParallelOrderMaintainer
-from repro.bench.workloads import dataset_workload, disjoint_batches
+from repro.bench.workloads import dataset_workload, disjoint_batches, service_trace
 
 Edge = Tuple[int, int]
 
@@ -39,6 +39,7 @@ __all__ = [
     "fig5_locked_vertices",
     "fig6_scalability",
     "fig7_stability",
+    "run_service",
 ]
 
 # name -> factory(graph, workers) -> maintainer with {insert,remove}_edges
@@ -100,6 +101,72 @@ def run_remove_insert(
     if detector is not None:
         cell["analysis"] = detector.report().counters()
     return cell
+
+
+def run_service(
+    dataset: str,
+    ops: int = 500,
+    workers: int = 4,
+    query_rate: float = 0.25,
+    seed: int = 0,
+    max_batch: int = 64,
+    max_delay: Optional[float] = 20_000.0,
+    query_pressure: Optional[int] = 32,
+    max_pending: Optional[int] = None,
+    schedule: str = "min-clock",
+    check: bool = False,
+) -> Dict[str, object]:
+    """The ``service`` workload: drive the serving engine with an
+    interleaved insert/remove/query trace over a dataset stand-in and
+    report its metrics surface.
+
+    The returned dict carries the engine metrics (``metrics``), the
+    wall-clock seconds spent and whether the quiescence accounting
+    invariant ``admitted == committed + quarantined + timed_out`` held
+    after the final drain (``invariant_ok`` — asserted by the CI smoke
+    job).
+    """
+    from repro.service import Engine, EngineConfig
+
+    initial, trace = service_trace(dataset, ops, query_rate=query_rate, seed=seed)
+    eng = Engine(
+        DynamicGraph(initial),
+        EngineConfig(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            query_pressure=query_pressure,
+            max_pending=max_pending,
+            num_workers=workers,
+            schedule=schedule,
+            seed=seed,
+        ),
+    )
+    t0 = time.perf_counter()
+    for item in trace:
+        if item[0] == "query":
+            eng.query(item[1], *item[2])
+        elif item[0] == "insert":
+            eng.insert(item[1], item[2])
+        else:
+            eng.remove(item[1], item[2])
+    eng.flush()
+    wall = time.perf_counter() - t0
+    if check:
+        eng.check()
+    m = eng.metrics()
+    c = m["counters"]
+    invariant_ok = (
+        c["admitted"] == c["committed"] + c["quarantined"] + c["timed_out"]
+        and c["in_flight"] == 0
+    )
+    return {
+        "dataset": dataset,
+        "workers": workers,
+        "ops": len(trace),
+        "wall_s": wall,
+        "metrics": m,
+        "invariant_ok": invariant_ok,
+    }
 
 
 def sequential_traversal_times(

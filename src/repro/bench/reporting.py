@@ -15,6 +15,7 @@ __all__ = [
     "render_histogram",
     "render_log_plot",
     "render_analysis_stats",
+    "render_service_metrics",
 ]
 
 
@@ -125,6 +126,68 @@ def render_analysis_stats(cells: Sequence[Mapping]) -> str:
     if not rows:
         return "(no analysis data — run with trace_races=True)"
     return render_table(rows)
+
+
+def render_service_metrics(metrics: Mapping, max_epochs: int = 8) -> str:
+    """Render the serving engine's metrics dict (see
+    ``repro.service.metrics``) as the paper-style text block the
+    ``service`` bench experiment and ``repro-serve`` print.
+
+    Shows the request accounting (with the quiescence invariant spelled
+    out), cut-reason counters, queue depths, latency percentiles per
+    request class, the folded simulation totals, and the head of the
+    per-epoch commit log."""
+    c = metrics["counters"]
+    lines = [
+        f"simulated time {metrics['now']:.0f}  epochs {metrics['epoch']}",
+        (
+            f"admitted {c['admitted']} == committed {c['committed']} "
+            f"+ quarantined {c['quarantined']} + timed_out {c['timed_out']} "
+            f"(in flight {c['in_flight']}, rejected {c['rejected']})"
+        ),
+        (
+            f"updates committed {c['committed_updates']}  "
+            f"queries answered {c['committed_queries']}  "
+            f"coalesced {c['coalesced']}  cancelled {c['cancelled']}"
+        ),
+        "cuts: " + "  ".join(f"{k}={v}" for k, v in metrics["cuts"].items()),
+        (
+            f"queue: pending {metrics['queues']['pending_depth']}  "
+            f"max {metrics['queues']['max_pending_depth']}  "
+            f"capacity {metrics['queues']['ingress_capacity']}"
+        ),
+    ]
+    for cls in ("update", "query"):
+        lat = metrics["latency"][cls]
+        lines.append(
+            f"{cls} latency (sim units): n={lat['count']} mean={lat['mean']:.1f} "
+            f"p50={lat['p50']:.1f} p90={lat['p90']:.1f} p99={lat['p99']:.1f} "
+            f"max={lat['max']:.1f}"
+        )
+    sim = metrics["sim"]
+    lines.append(
+        f"sim: batches={sim['batches']} makespan={sim['makespan']:.0f} "
+        f"work={sim['total_work']:.0f} spin={sim['spin_time']:.0f} "
+        f"contended={sim['contended_time']:.0f} "
+        f"locks={sim['lock_acquires']}/{sim['lock_failures']} (ok/failed)"
+    )
+    epochs = metrics.get("epochs", [])
+    if epochs:
+        rows = [
+            {
+                "epoch": e["epoch"],
+                "kind": e["kind"],
+                "batch": e["batch_size"],
+                "makespan": f"{e['makespan']:.0f}",
+                "p50": f"{e['latency']['p50']:.0f}",
+                "p99": f"{e['latency']['p99']:.0f}",
+            }
+            for e in epochs[:max_epochs]
+        ]
+        lines.append(render_table(rows))
+        if len(epochs) > max_epochs:
+            lines.append(f"... and {len(epochs) - max_epochs} more epochs")
+    return "\n".join(lines)
 
 
 def render_histogram(

@@ -16,7 +16,13 @@ from repro.graph.datasets import DATASETS, Dataset
 
 Edge = Tuple[int, int]
 
-__all__ = ["sample_batch", "dataset_workload", "disjoint_batches"]
+__all__ = [
+    "sample_batch",
+    "dataset_workload",
+    "disjoint_batches",
+    "trace_from_edges",
+    "service_trace",
+]
 
 
 def sample_batch(edges: Sequence[Edge], size: int, seed: int = 0) -> List[Edge]:
@@ -59,3 +65,97 @@ def disjoint_batches(
     rng = random.Random(seed)
     pool = rng.sample(list(edges), groups * size)
     return [pool[i * size : (i + 1) * size] for i in range(groups)]
+
+
+# ----------------------------------------------------------------------
+# Serving workload (repro.service)
+# ----------------------------------------------------------------------
+def trace_from_edges(
+    edges: Sequence[Edge],
+    ops: int,
+    query_rate: float = 0.25,
+    seed: int = 0,
+    initial_fraction: float = 0.8,
+):
+    """Build an interleaved insert/remove/query trace over an edge list.
+
+    A fraction of the (deduped, canonicalized) edges forms the initial
+    graph; the rest is a pool for insertions.  The trace is *sequentially
+    valid*: every insert targets an absent edge, every remove a present
+    one, so any divergence the serving engine reports is the engine's
+    fault, not the workload's.  Queries draw from the engine's snapshot
+    kinds (``core``, ``in_k_core``, ``k_shell``, ``degeneracy``,
+    ``shell_histogram``).
+
+    Returns ``(initial_edges, trace)`` where trace items are
+    ``("insert", u, v)``, ``("remove", u, v)`` or
+    ``("query", kind, args)``.
+    """
+    if not 0.0 <= query_rate <= 1.0:
+        raise ValueError("query_rate must be in [0, 1]")
+    from repro.graph.generators import dedupe_edges
+
+    rng = random.Random(seed)
+    pool = dedupe_edges(edges)
+    if not pool:
+        raise ValueError("need at least one edge to build a service trace")
+    rng.shuffle(pool)
+    split = max(1, int(len(pool) * initial_fraction))
+    initial, absent = pool[:split], pool[split:]
+    vertices = sorted({u for e in pool for u in e})
+    # present-set with O(1) removal: list + index map (swap-pop)
+    present = list(initial)
+    index = {e: i for i, e in enumerate(present)}
+
+    def take_present(e: Edge) -> None:
+        i = index.pop(e)
+        last = present.pop()
+        if i < len(present):
+            present[i] = last
+            index[last] = i
+
+    def add_present(e: Edge) -> None:
+        index[e] = len(present)
+        present.append(e)
+
+    trace = []
+    for _ in range(ops):
+        r = rng.random()
+        if r < query_rate or (not absent and not present):
+            kind = rng.choice(
+                ["core", "in_k_core", "k_shell", "degeneracy", "shell_histogram"]
+            )
+            if kind == "core":
+                args = (rng.choice(vertices),)
+            elif kind == "in_k_core":
+                args = (rng.choice(vertices), rng.randint(1, 4))
+            elif kind == "k_shell":
+                args = (rng.randint(0, 4),)
+            else:
+                args = ()
+            trace.append(("query", kind, args))
+        elif absent and (not present or rng.random() < 0.5):
+            e = absent.pop(rng.randrange(len(absent)))
+            add_present(e)
+            trace.append(("insert", e[0], e[1]))
+        else:
+            e = present[rng.randrange(len(present))]
+            take_present(e)
+            absent.append(e)
+            trace.append(("remove", e[0], e[1]))
+    return initial, trace
+
+
+def service_trace(
+    name: str,
+    ops: int,
+    query_rate: float = 0.25,
+    seed: int = 0,
+    initial_fraction: float = 0.8,
+):
+    """:func:`trace_from_edges` over a registered dataset stand-in."""
+    ds: Dataset = DATASETS[name]
+    return trace_from_edges(
+        ds.edges(seed), ops, query_rate=query_rate, seed=seed + 13,
+        initial_fraction=initial_fraction,
+    )

@@ -69,6 +69,27 @@ class CoreHistory:
             self._record(w, self.m.core(w))
         return stats
 
+    def record_epoch(self, touched) -> int:
+        """Advance one logical step and record the *current* core of every
+        vertex in ``touched``.
+
+        This is the batch-commit entry point used by the serving engine
+        (:mod:`repro.service`): the engine applies a whole parallel batch
+        through its maintainer, collects the touched vertices (batch
+        endpoints plus every ``V*``), and records them here as a single
+        delta — one epoch per batch instead of one time step per edge.
+        Vertices the maintainer no longer knows are skipped.  Returns the
+        new logical time (== the committed epoch number).
+        """
+        self.t += 1
+        for w in touched:
+            try:
+                k = self.m.core(w)
+            except KeyError:
+                continue
+            self._record(w, k)
+        return self.t
+
     def record_marker(self, label: object) -> None:
         """Attach an application timestamp/label to the current time."""
         self._markers.append((self.t, label))
@@ -84,6 +105,18 @@ class CoreHistory:
         if i < 0:
             return None
         return self._values[u][i]
+
+    def cores_at(self, t: int) -> Dict[Vertex, int]:
+        """The full core map right after logical time ``t`` — an
+        epoch-versioned snapshot materialized from the per-vertex deltas.
+        Vertices first seen after ``t`` are absent (they did not exist in
+        that snapshot)."""
+        out: Dict[Vertex, int] = {}
+        for u in self._times:
+            k = self.core_at(u, t)
+            if k is not None:
+                out[u] = k
+        return out
 
     def series(self, u: Vertex) -> List[Tuple[int, int]]:
         """The full (time, core) change series of u."""

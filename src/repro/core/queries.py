@@ -26,6 +26,8 @@ __all__ = [
     "k_core_vertices",
     "k_core_subgraph",
     "k_shell",
+    "in_k_core",
+    "shell_histogram",
     "innermost_core",
     "subcore",
     "all_subcores",
@@ -38,6 +40,23 @@ __all__ = [
 def k_core_vertices(core: Dict[Vertex, int], k: int) -> Set[Vertex]:
     """Vertices of the k-core: everyone with core number >= k."""
     return {u for u, c in core.items() if c >= k}
+
+
+def in_k_core(core: Dict[Vertex, int], u: Vertex, k: int) -> bool:
+    """k-core membership test for a single vertex (the point query the
+    serving engine answers without materializing the whole k-core).
+    Unknown vertices are in no core."""
+    c = core.get(u)
+    return c is not None and c >= k
+
+
+def shell_histogram(core: Dict[Vertex, int]) -> Dict[int, int]:
+    """``{k: |k-shell|}`` over the given core map — the Figure 3 quantity
+    computed from a snapshot instead of a fresh decomposition."""
+    out: Dict[int, int] = {}
+    for c in core.values():
+        out[c] = out.get(c, 0) + 1
+    return dict(sorted(out.items()))
 
 
 def k_core_subgraph(graph: DynamicGraph, core: Dict[Vertex, int], k: int) -> DynamicGraph:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import IO, Iterable, List, Tuple, Union
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.graph.generators import dedupe_edges
 
@@ -33,23 +33,50 @@ def _open(path: PathLike, mode: str) -> IO:
     return open(path, mode)
 
 
-def read_edge_list(path: PathLike, dedupe: bool = True) -> List[Edge]:
+def read_edge_list(
+    path: PathLike,
+    dedupe: bool = True,
+    strict: bool = True,
+    counters: Optional[Dict[str, int]] = None,
+) -> List[Edge]:
     """Read a SNAP/KONECT-style edge list.
 
     Lines starting with ``#`` or ``%`` are comments.  Only the first two
     columns are used; extra columns (weights, timestamps) are ignored.
     With ``dedupe`` (the default, matching the paper's preprocessing),
     self-loops and repeated edges are dropped and edges canonicalized.
+
+    With ``strict=False``, malformed lines (fewer than two columns or
+    non-integer endpoints) and self-loops are *counted and skipped*
+    instead of raising — the file-level twin of the serving engine's
+    request quarantine (:mod:`repro.service`).  Pass a ``counters`` dict
+    to receive the tallies: ``kept`` (edge lines parsed), ``malformed``
+    and ``self_loops`` (both always 0 under ``strict=True``, which raises
+    on the first malformed line instead).
     """
     edges: List[Edge] = []
+    malformed = 0
+    self_loops = 0
     with _open(path, "r") as fh:
         for line in fh:
             line = line.strip()
             if not line or line[0] in "#%":
                 continue
             parts = line.split()
-            u, v = int(parts[0]), int(parts[1])
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except (ValueError, IndexError):
+                if strict:
+                    raise
+                malformed += 1
+                continue
+            if not strict and u == v:
+                self_loops += 1
+                continue
             edges.append((u, v))
+    if counters is not None:
+        counters.update(kept=len(edges), malformed=malformed,
+                        self_loops=self_loops)
     return dedupe_edges(edges) if dedupe else edges
 
 

@@ -31,7 +31,12 @@ from repro.parallel.runtime import SimMachine, SimReport
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
-__all__ = ["ParallelOrderMaintainer", "BatchResult", "partition_batch"]
+__all__ = [
+    "ParallelOrderMaintainer",
+    "BatchResult",
+    "partition_batch",
+    "validate_batch",
+]
 
 
 @dataclass
@@ -49,6 +54,29 @@ class BatchResult:
     def v_plus_sizes(self) -> List[int]:
         """``|V+|`` per processed edge — the paper's Figure 5 data."""
         return [len(s.v_plus) for s in self.stats]
+
+
+def validate_batch(graph: DynamicGraph, edges: Sequence[Edge], inserting: bool) -> None:
+    """Reject a malformed homogeneous batch before any mutation.
+
+    Raises ``ValueError`` for self-loops, in-batch duplicates and
+    insertions of present edges; ``KeyError`` for removals of absent
+    edges.  Shared by the maintainer and by the serving engine's
+    pre-apply guard (:mod:`repro.service.engine`), so both layers reject
+    exactly the same inputs.
+    """
+    seen = set()
+    for u, v in edges:
+        if u == v:
+            raise ValueError(f"self-loop in batch: {u!r}")
+        e = canonical_edge(u, v)
+        if e in seen:
+            raise ValueError(f"duplicate edge in batch: {e!r}")
+        seen.add(e)
+        if inserting and graph.has_edge(u, v):
+            raise ValueError(f"edge already in graph: {e!r}")
+        if not inserting and not graph.has_edge(u, v):
+            raise KeyError(f"edge not in graph: {e!r}")
 
 
 def partition_batch(edges: Sequence[Edge], parts: int) -> List[List[Edge]]:
@@ -128,19 +156,7 @@ class ParallelOrderMaintainer:
 
     # ------------------------------------------------------------------
     def _validate_batch(self, edges: Sequence[Edge], inserting: bool) -> None:
-        seen = set()
-        g = self.state.graph
-        for u, v in edges:
-            if u == v:
-                raise ValueError(f"self-loop in batch: {u!r}")
-            e = canonical_edge(u, v)
-            if e in seen:
-                raise ValueError(f"duplicate edge in batch: {e!r}")
-            seen.add(e)
-            if inserting and g.has_edge(u, v):
-                raise ValueError(f"edge already in graph: {e!r}")
-            if not inserting and not g.has_edge(u, v):
-                raise KeyError(f"edge not in graph: {e!r}")
+        validate_batch(self.state.graph, edges, inserting)
 
     def insert_edges(self, edges: Sequence[Edge]) -> BatchResult:
         """Parallel-InsertEdges(G, O, ΔE): insert a batch with P workers."""

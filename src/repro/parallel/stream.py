@@ -11,6 +11,16 @@ Duplicate-within-run operations are coalesced: inserting an edge already
 queued for insertion is dropped; removing an edge queued for insertion
 cancels both (the paper's preprocessing would do the same).
 
+Since the serving engine landed, this class is a thin compatibility shim
+over :class:`repro.service.Engine`: the coalescing/cancellation buffer
+lives in :class:`repro.service.batcher.PendingOps`, the homogeneous-run
+cut policy in :class:`~repro.service.batcher.AdaptiveBatcher`, and this
+wrapper only restores the historical raise-on-bad-input surface
+(``ValueError``/``KeyError`` instead of quarantine responses) and the
+``flush() -> [BatchResult]`` signature.  New code should use the engine
+directly — it adds snapshot reads, deadlines, admission control and
+metrics.
+
 >>> from repro import DynamicGraph
 >>> from repro.parallel.stream import StreamProcessor
 >>> sp = StreamProcessor(DynamicGraph([(0, 1), (1, 2)]), num_workers=4)
@@ -25,9 +35,15 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
-from repro.parallel.batch import BatchResult, ParallelOrderMaintainer
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import BatchResult
 from repro.parallel.costs import CostModel
+from repro.service.engine import Engine, EngineConfig
+from repro.service.requests import (
+    E_EDGE_MISSING,
+    STATUS_QUARANTINED,
+    Response,
+)
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -37,12 +53,12 @@ __all__ = ["StreamProcessor"]
 
 class StreamProcessor:
     """Buffers a mixed edge stream and applies it as homogeneous parallel
-    batches through a :class:`ParallelOrderMaintainer`.
+    batches — compatibility shim over :class:`repro.service.Engine`.
 
     Parameters
     ----------
     graph:
-        Initial graph (ownership transfers to the maintainer).
+        Initial graph (ownership transfers to the engine's maintainer).
     num_workers, costs, schedule, seed:
         Forwarded to the parallel maintainer.
     max_batch:
@@ -59,90 +75,66 @@ class StreamProcessor:
         seed: int = 0,
         max_batch: int = 10_000,
     ) -> None:
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        self.maintainer = ParallelOrderMaintainer(
-            graph, num_workers=num_workers, costs=costs,
-            schedule=schedule, seed=seed,
+        self.engine = Engine(
+            graph,
+            EngineConfig(
+                max_batch=max_batch,
+                num_workers=num_workers,
+                costs=costs,
+                schedule=schedule,
+                seed=seed,
+                # historical surface: no clock, no deadlines, no limits
+                ingest_cost=0.0,
+                query_cost=0.0,
+            ),
         )
-        self.max_batch = max_batch
-        self._pending_kind: Optional[str] = None  # "+" | "-"
-        self._pending: Dict[Edge, None] = {}
-        self._reports: List[BatchResult] = []
 
     # ------------------------------------------------------------------
     @property
+    def maintainer(self):
+        return self.engine.maintainer
+
+    @property
     def graph(self) -> DynamicGraph:
-        return self.maintainer.graph
+        return self.engine.graph
 
     def core(self, u: Vertex) -> int:
         """Core number of ``u`` (pending operations NOT yet applied —
         call :meth:`flush` first for exact answers)."""
-        return self.maintainer.core(u)
+        return self.engine.maintainer.core(u)
 
     def cores(self) -> Dict[Vertex, int]:
-        return self.maintainer.cores()
+        return self.engine.maintainer.cores()
 
     def pending(self) -> int:
         """Number of buffered, un-flushed operations."""
-        return len(self._pending)
+        return self.engine.pending_ops()
 
     # ------------------------------------------------------------------
     def insert(self, u: Vertex, v: Vertex) -> None:
         """Queue an edge insertion."""
-        self._push("+", u, v)
+        self._raise_on_quarantine(self.engine.insert(u, v))
 
     def remove(self, u: Vertex, v: Vertex) -> None:
         """Queue an edge removal."""
-        self._push("-", u, v)
+        self._raise_on_quarantine(self.engine.remove(u, v))
 
-    def _push(self, kind: str, u: Vertex, v: Vertex) -> None:
-        if u == v:
-            raise ValueError(f"self-loop: {u!r}")
-        e = canonical_edge(u, v)
-        if self._pending_kind not in (None, kind):
-            if e in self._pending:
-                # opposite op on a queued edge cancels both: the edge
-                # returns to its pre-queue state
-                del self._pending[e]
-                if not self._pending:
-                    self._pending_kind = None
-                return
-            self._flush_pending()
-        self._pending_kind = kind
-        if e in self._pending:
-            return  # duplicate same-kind op coalesces
-        # validate against the post-flush graph state
-        has = self.graph.has_edge(*e)
-        if kind == "+" and has:
-            raise ValueError(f"edge already present: {e!r}")
-        if kind == "-" and not has:
-            raise KeyError(f"edge not present: {e!r}")
-        self._pending[e] = None
-        if len(self._pending) >= self.max_batch:
-            self._flush_pending()
-
-    def _flush_pending(self) -> None:
-        if not self._pending:
+    @staticmethod
+    def _raise_on_quarantine(resp: Response) -> None:
+        if resp.status != STATUS_QUARANTINED:
             return
-        batch = list(self._pending)
-        kind = self._pending_kind
-        self._pending.clear()
-        self._pending_kind = None
-        if kind == "+":
-            self._reports.append(self.maintainer.insert_edges(batch))
-        else:
-            self._reports.append(self.maintainer.remove_edges(batch))
+        code = (resp.error or {}).get("code")
+        message = (resp.error or {}).get("message", "invalid operation")
+        if code == E_EDGE_MISSING:
+            raise KeyError(message)
+        raise ValueError(message)
 
     def flush(self) -> List[BatchResult]:
         """Apply everything buffered; return (and clear) the accumulated
         batch reports since the last flush."""
-        self._flush_pending()
-        out = self._reports
-        self._reports = []
-        return out
+        self.engine.flush()
+        return self.engine.take_batch_results()
 
     def check(self) -> None:
         """Flush, then assert all invariants."""
-        self.flush()
-        self.maintainer.check()
+        self.engine.check()

@@ -1,0 +1,41 @@
+"""repro.service — a streaming core-maintenance serving engine.
+
+The library's batch algorithms answer "apply ΔE with P workers"; this
+package answers "serve an interleaved stream of updates and queries":
+
+* :class:`Engine` / :class:`EngineConfig` — the serving engine: adaptive
+  micro-batching over OurI/OurR, snapshot-isolated reads, admission
+  control, structured partial-failure reporting, metrics;
+* :class:`PendingOps` / :class:`AdaptiveBatcher` — the coalescing /
+  cancellation run buffer (factored out of the old ``StreamProcessor``)
+  plus the size/time/pressure cut policy;
+* :class:`SnapshotStore` / :class:`SnapshotView` — epoch-versioned core
+  views built on :class:`~repro.core.history.CoreHistory` deltas;
+* :class:`Request` / :class:`Response` — the request envelope and
+  structured results;
+* :class:`ServiceMetrics` — counters, queue depths, per-epoch latency
+  percentiles and folded simulation reports.
+
+See ``docs/service.md`` for the architecture tour and the metrics
+glossary, and ``repro-serve`` (``python -m repro.service``) for the CLI.
+"""
+
+from repro.service.batcher import AdaptiveBatcher, PendingOps
+from repro.service.engine import Engine, EngineConfig
+from repro.service.metrics import ServiceMetrics, percentile, summarize_latencies
+from repro.service.requests import Request, Response
+from repro.service.snapshots import SnapshotStore, SnapshotView
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "PendingOps",
+    "AdaptiveBatcher",
+    "SnapshotStore",
+    "SnapshotView",
+    "Request",
+    "Response",
+    "ServiceMetrics",
+    "percentile",
+    "summarize_latencies",
+]

@@ -1,0 +1,539 @@
+"""The streaming core-maintenance engine.
+
+:class:`Engine` turns the batch library into a serving system: it accepts
+an interleaved stream of ``insert`` / ``remove`` / ``query`` requests
+(with per-request ids and deadlines) and keeps three promises:
+
+1. **Homogeneous micro-batches.**  Updates accumulate in an adaptive
+   micro-batcher (:mod:`repro.service.batcher`) and are applied through
+   :class:`~repro.parallel.batch.ParallelOrderMaintainer` — the paper's
+   OurI/OurR — when a cut policy fires (size, elapsed simulated time,
+   query pressure, a kind conflict, or an explicit flush).
+
+2. **Snapshot-isolated reads.**  Queries never touch the live maintainer
+   state: they answer against the last committed epoch through
+   :class:`~repro.service.snapshots.SnapshotStore`, so a read issued
+   while a batch is pending returns the previous epoch's values in
+   bounded time — it can never block on, or observe, an in-flight batch.
+
+3. **No escaping exceptions.**  Admission control bounds the ingress
+   queue (backpressure → ``rejected``), malformed or duplicate requests
+   are quarantined with structured errors, and per-request deadlines
+   produce ``timed_out`` responses — a partial-failure report per batch —
+   instead of raising.
+
+Time is simulated (work units, see :mod:`repro.parallel.costs`): the
+engine clock advances by a small ingest/query cost per request and by
+each batch's simulated makespan at commit, which is what makes latency
+percentiles and deadline semantics deterministic and testable.
+
+>>> from repro.graph.dynamic_graph import DynamicGraph
+>>> from repro.service import Engine
+>>> eng = Engine(DynamicGraph([(0, 1), (1, 2), (0, 2)]))
+>>> eng.query("core", 0).value
+2
+>>> eng.insert(0, 3).status
+'pending'
+>>> eng.query("core", 3).value is None   # snapshot: not committed yet
+True
+>>> _ = eng.flush()
+>>> eng.query("core", 3).value
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.parallel.batch import (
+    BatchResult,
+    ParallelOrderMaintainer,
+    validate_batch,
+)
+from repro.parallel.costs import CostModel
+from repro.service.batcher import (
+    CANCEL,
+    COALESCE,
+    CONFLICT,
+    AdaptiveBatcher,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import (
+    E_BACKPRESSURE,
+    E_BAD_REQUEST,
+    E_BATCH_FAILED,
+    E_DEADLINE,
+    E_DUPLICATE_ID,
+    E_EDGE_EXISTS,
+    E_EDGE_MISSING,
+    E_SELF_LOOP,
+    E_UNKNOWN_QUERY,
+    E_UNKNOWN_VERTEX,
+    STATUS_COMMITTED,
+    STATUS_PENDING,
+    STATUS_QUARANTINED,
+    STATUS_REJECTED,
+    STATUS_TIMED_OUT,
+    Request,
+    Response,
+    make_error,
+)
+from repro.service.snapshots import SnapshotStore, SnapshotView
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["Engine", "EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable knobs of the serving engine.
+
+    Batching: ``max_batch`` / ``max_delay`` / ``query_pressure`` are the
+    micro-batcher cut triggers (see :class:`AdaptiveBatcher`).  Admission:
+    ``max_pending`` bounds the ingress queue — an update arriving while
+    that many operations are pending is rejected (backpressure);
+    ``None`` disables the bound.  Costs: ``ingest_cost`` / ``query_cost``
+    advance the simulated clock per request.  The remaining fields are
+    forwarded to :class:`ParallelOrderMaintainer`.
+    """
+
+    max_batch: int = 512
+    max_delay: Optional[float] = None
+    query_pressure: Optional[int] = None
+    max_pending: Optional[int] = None
+    ingest_cost: float = 1.0
+    query_cost: float = 5.0
+    num_workers: int = 4
+    costs: Optional[CostModel] = None
+    schedule: str = "min-clock"
+    seed: int = 0
+    snapshot_cache: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1 or None")
+        if self.ingest_cost < 0 or self.query_cost < 0:
+            raise ValueError("costs must be non-negative")
+
+
+@dataclass
+class _Tracked:
+    """A pending update request attached to a queued edge."""
+
+    request: Request
+    admitted_at: float
+
+
+class Engine:
+    """Streaming core-maintenance engine.  See module docstring.
+
+    Parameters
+    ----------
+    graph:
+        Initial committed graph (epoch 0).  Ownership transfers to the
+        maintainer.
+    config:
+        An :class:`EngineConfig`; keyword overrides are applied on top,
+        so ``Engine(g, max_batch=64)`` works too.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        config: Optional[EngineConfig] = None,
+        **overrides,
+    ) -> None:
+        cfg = config or EngineConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        self.config = cfg
+        self.maintainer = ParallelOrderMaintainer(
+            graph,
+            num_workers=cfg.num_workers,
+            costs=cfg.costs,
+            schedule=cfg.schedule,
+            seed=cfg.seed,
+        )
+        self.snapshots = SnapshotStore(self.maintainer, cache_epochs=cfg.snapshot_cache)
+        self.batcher = AdaptiveBatcher(
+            max_batch=cfg.max_batch,
+            max_delay=cfg.max_delay,
+            query_pressure=cfg.query_pressure,
+        )
+        self.metrics_collector = ServiceMetrics(ingress_capacity=cfg.max_pending)
+        self.now: float = 0.0
+        self._seq = 0
+        self._seen_ids: set = set()
+        self._edge_reqs: Dict[Edge, List[_Tracked]] = {}
+        self._completed: List[Response] = []
+        self._batch_results: List[BatchResult] = []
+        self._query_kinds: Dict[str, Callable[[SnapshotView, Tuple], Any]] = {
+            "core": lambda view, a: view.core(*a),
+            "cores": lambda view, a: view.cores(),
+            "k_core": lambda view, a: view.k_core(*a),
+            "k_shell": lambda view, a: view.k_shell(*a),
+            "in_k_core": lambda view, a: view.in_k_core(*a),
+            "degeneracy": lambda view, a: view.degeneracy(),
+            "innermost": lambda view, a: view.innermost(),
+            "shell_histogram": lambda view, a: view.shell_histogram(),
+        }
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The committed graph (pending operations not applied)."""
+        return self.maintainer.graph
+
+    @property
+    def epoch(self) -> int:
+        """The last committed epoch."""
+        return self.snapshots.epoch
+
+    def pending_ops(self) -> int:
+        """Number of buffered, uncommitted update operations."""
+        return len(self.batcher)
+
+    def view(self, epoch: Optional[int] = None) -> SnapshotView:
+        """A snapshot-isolated read view (default: latest committed)."""
+        return self.snapshots.view(epoch)
+
+    def core(self, u: Vertex) -> Optional[int]:
+        """Committed-epoch core number of ``u``."""
+        return self.view().core(u)
+
+    def cores(self) -> Dict[Vertex, int]:
+        """Committed-epoch core map."""
+        return self.view().cores()
+
+    def insert(self, u: Vertex, v: Vertex, *, id: Optional[str] = None,
+               deadline: Optional[float] = None,
+               timeout: Optional[float] = None) -> Response:
+        """Submit an edge insertion (``timeout`` is relative to now)."""
+        return self.submit(Request("insert", u=u, v=v, id=id,
+                                   deadline=self._abs(deadline, timeout)))
+
+    def remove(self, u: Vertex, v: Vertex, *, id: Optional[str] = None,
+               deadline: Optional[float] = None,
+               timeout: Optional[float] = None) -> Response:
+        """Submit an edge removal."""
+        return self.submit(Request("remove", u=u, v=v, id=id,
+                                   deadline=self._abs(deadline, timeout)))
+
+    def query(self, kind: str, *args, id: Optional[str] = None,
+              deadline: Optional[float] = None,
+              timeout: Optional[float] = None) -> Response:
+        """Submit a snapshot query; the response carries the value and
+        the epoch it was answered against."""
+        return self.submit(Request("query", kind=kind, args=tuple(args), id=id,
+                                   deadline=self._abs(deadline, timeout)))
+
+    def submit(self, request: Request) -> Response:
+        """Admit and process one request; never raises for bad input."""
+        rid = self._assign_id(request)
+        if rid is None:  # duplicate id
+            return self._quarantine_direct(
+                request, request.id, E_DUPLICATE_ID,
+                f"request id {request.id!r} already seen",
+            )
+        if request.op == "query":
+            return self._submit_query(request, rid)
+        if request.op in ("insert", "remove"):
+            return self._submit_update(request, rid)
+        return self._quarantine_direct(
+            request, rid, E_BAD_REQUEST, f"unknown op {request.op!r}"
+        )
+
+    def flush(self) -> List[Response]:
+        """Force-cut the pending run and return every update response
+        that became terminal since the last drain."""
+        self._cut("flush")
+        return self.take_completed()
+
+    def take_completed(self) -> List[Response]:
+        """Drain the asynchronously-completed update responses."""
+        out = self._completed
+        self._completed = []
+        return out
+
+    def take_batch_results(self) -> List[BatchResult]:
+        """Drain the per-batch :class:`BatchResult` reports (the
+        compatibility surface ``StreamProcessor.flush`` returns)."""
+        out = self._batch_results
+        self._batch_results = []
+        return out
+
+    def metrics(self) -> Dict:
+        """The full metrics surface as a plain dict."""
+        return self.metrics_collector.as_dict(
+            pending_depth=len(self.batcher), now=self.now, epoch=self.epoch
+        )
+
+    def check(self) -> None:
+        """Flush, then assert maintainer, snapshot and accounting
+        invariants."""
+        self.flush()
+        self.maintainer.check()
+        self.snapshots.history.check()
+        self.metrics_collector.assert_invariant()
+
+    # ------------------------------------------------------------------
+    # submission paths
+    # ------------------------------------------------------------------
+    def _abs(self, deadline: Optional[float], timeout: Optional[float]) -> Optional[float]:
+        if timeout is not None:
+            return self.now + timeout
+        return deadline
+
+    def _assign_id(self, request: Request) -> Optional[str]:
+        rid = request.id
+        if rid is None:
+            rid = f"r{self._seq}"
+            self._seq += 1
+        elif rid in self._seen_ids:
+            return None
+        self._seen_ids.add(rid)
+        return rid
+
+    def _submit_update(self, request: Request, rid: str) -> Response:
+        cfg = self.config
+        # admission control: bounded ingress queue -> backpressure
+        if cfg.max_pending is not None and len(self.batcher) >= cfg.max_pending:
+            self.metrics_collector.rejected += 1
+            return Response(
+                id=rid, op=request.op, status=STATUS_REJECTED,
+                error=make_error(
+                    E_BACKPRESSURE,
+                    f"ingress queue full ({cfg.max_pending} pending)",
+                ),
+            )
+        self.metrics_collector.admitted += 1
+        self.now += cfg.ingest_cost
+        u, v = request.u, request.v
+        if u == v or u is None or v is None:
+            return self._quarantine(
+                request, rid, E_SELF_LOOP, f"self-loop or missing endpoint: {u!r}"
+            )
+        if request.deadline is not None and request.deadline < self.now:
+            return self._timeout_direct(request, rid)
+        kind = "+" if request.op == "insert" else "-"
+        action, e = self.batcher.classify(kind, u, v)
+        if action == CONFLICT:
+            # homogeneity: opposite-kind op on a fresh edge cuts the run
+            self._cut("conflict")
+            action = "queue"
+        if action == CANCEL:
+            # opposite op on a queued edge annihilates the pair: both
+            # sides commit as a net no-op at the current epoch
+            self.batcher.drop(e)
+            for tr in self._edge_reqs.pop(e, []):
+                self._finish_async(tr, STATUS_COMMITTED, detail="cancelled")
+            self.metrics_collector.cancelled += 1
+            return self._commit_direct(request, rid, detail="cancelled")
+        if action == COALESCE:
+            self._edge_reqs[e].append(_Tracked(request=replace(request, id=rid),
+                                               admitted_at=self.now))
+            self.metrics_collector.coalesced += 1
+            return Response(id=rid, op=request.op, status=STATUS_PENDING,
+                            detail="coalesced")
+        # fresh op: validate against the committed graph (the pending run
+        # is same-kind, so it cannot make this op valid or invalid)
+        has = self.graph.has_edge(*e)
+        if kind == "+" and has:
+            return self._quarantine(
+                request, rid, E_EDGE_EXISTS, f"edge already present: {e!r}"
+            )
+        if kind == "-" and not has:
+            return self._quarantine(
+                request, rid, E_EDGE_MISSING, f"edge not present: {e!r}"
+            )
+        self.batcher.queue(kind, e, self.now)
+        self._edge_reqs.setdefault(e, []).append(
+            _Tracked(request=replace(request, id=rid), admitted_at=self.now)
+        )
+        self.metrics_collector.note_depth(len(self.batcher))
+        reason = self.batcher.cut_reason(self.now)
+        if reason is not None:
+            self._cut(reason)
+        return Response(id=rid, op=request.op, status=STATUS_PENDING)
+
+    def _submit_query(self, request: Request, rid: str) -> Response:
+        self.metrics_collector.admitted += 1
+        self.now += self.config.query_cost
+        latency = self.config.query_cost
+        if request.deadline is not None and request.deadline < self.now:
+            return self._timeout_direct(request, rid)
+        handler = self._query_kinds.get(request.kind or "")
+        if handler is None:
+            return self._quarantine(
+                request, rid, E_UNKNOWN_QUERY,
+                f"unknown query kind {request.kind!r} "
+                f"(known: {sorted(self._query_kinds)})",
+            )
+        view = self.view()
+        try:
+            value = handler(view, request.args)
+        except TypeError as exc:
+            return self._quarantine(request, rid, E_BAD_REQUEST,
+                                    f"bad arguments for {request.kind!r}: {exc}")
+        if request.kind == "core" and value is None:
+            resp = self._quarantine(
+                request, rid, E_UNKNOWN_VERTEX,
+                f"vertex {request.args[0]!r} unknown at epoch {view.epoch}",
+            )
+        else:
+            self.metrics_collector.committed += 1
+            self.metrics_collector.committed_queries += 1
+            self.metrics_collector.note_latency("query", latency)
+            resp = Response(
+                id=rid, op="query", status=STATUS_COMMITTED, value=value,
+                epoch=view.epoch, latency=latency,
+            )
+        # staleness pressure: enough reads against an old epoch -> cut
+        self.batcher.note_query()
+        if self.batcher.cut_reason(self.now) == "pressure":
+            self._cut("pressure")
+        return resp
+
+    # ------------------------------------------------------------------
+    # commit path
+    # ------------------------------------------------------------------
+    def _cut(self, reason: str) -> None:
+        kind, edges = self.batcher.cut()
+        if not edges:
+            return
+        self.metrics_collector.cuts[reason] += 1
+        # deadline pass: expired requests are timed out and detached;
+        # an edge with no live requester left is dropped from the batch
+        live: Dict[Edge, List[_Tracked]] = {}
+        for e in edges:
+            trackers = self._edge_reqs.pop(e, [])
+            alive = []
+            for tr in trackers:
+                dl = tr.request.deadline
+                if dl is not None and dl < self.now:
+                    self._finish_async(tr, STATUS_TIMED_OUT)
+                else:
+                    alive.append(tr)
+            if alive:
+                live[e] = alive
+        if not live:
+            return
+        batch = list(live)
+        inserting = kind == "+"
+        try:
+            # defensive re-validation: submission-time checks make this
+            # unreachable, but an engine bug must surface as a structured
+            # partial failure, not an exception escaping to the caller
+            validate_batch(self.graph, batch, inserting)
+            result = (
+                self.maintainer.insert_edges(batch)
+                if inserting
+                else self.maintainer.remove_edges(batch)
+            )
+        except (ValueError, KeyError) as exc:
+            for trackers in live.values():
+                for tr in trackers:
+                    self._finish_async(
+                        tr, STATUS_QUARANTINED,
+                        error=make_error(E_BATCH_FAILED, str(exc)),
+                    )
+            return
+        self.now += result.makespan
+        self._batch_results.append(result)
+        self.metrics_collector.fold_report(result.report)
+        touched = {w for e in batch for w in e}
+        for s in result.stats:
+            touched.update(s.v_star)
+        epoch = self.snapshots.commit(touched)
+        latencies: List[float] = []
+        for trackers in live.values():
+            for tr in trackers:
+                lat = self.now - tr.admitted_at
+                latencies.append(lat)
+                self._finish_async(tr, STATUS_COMMITTED, epoch=epoch, latency=lat)
+        self.metrics_collector.record_epoch(
+            epoch=epoch, kind=kind, batch_size=len(batch),
+            makespan=result.makespan, committed_at=self.now,
+            update_latencies=latencies,
+        )
+
+    # ------------------------------------------------------------------
+    # response bookkeeping
+    # ------------------------------------------------------------------
+    def _finish_async(
+        self,
+        tracked: _Tracked,
+        status: str,
+        *,
+        epoch: Optional[int] = None,
+        latency: Optional[float] = None,
+        error: Optional[Dict[str, str]] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        req = tracked.request
+        if status == STATUS_TIMED_OUT and error is None:
+            error = make_error(
+                E_DEADLINE,
+                f"deadline {req.deadline} passed before commit (now {self.now})",
+            )
+        if latency is None:
+            latency = self.now - tracked.admitted_at
+        resp = Response(id=req.id, op=req.op, status=status, error=error,
+                        epoch=epoch, latency=latency, detail=detail)
+        self._count_terminal(resp)
+        self._completed.append(resp)
+
+    def _commit_direct(self, request: Request, rid: str,
+                       detail: Optional[str] = None) -> Response:
+        resp = Response(id=rid, op=request.op, status=STATUS_COMMITTED,
+                        epoch=self.epoch, latency=0.0, detail=detail)
+        self._count_terminal(resp)
+        return resp
+
+    def _quarantine(self, request: Request, rid: str, code: str,
+                    message: str) -> Response:
+        resp = Response(id=rid, op=request.op, status=STATUS_QUARANTINED,
+                        error=make_error(code, message))
+        self._count_terminal(resp)
+        return resp
+
+    def _quarantine_direct(self, request: Request, rid: Optional[str],
+                           code: str, message: str) -> Response:
+        # duplicate-id / bad-op quarantine: the request *was* admitted
+        self.metrics_collector.admitted += 1
+        return self._quarantine(request, rid or "?", code, message)
+
+    def _timeout_direct(self, request: Request, rid: str) -> Response:
+        resp = Response(
+            id=rid, op=request.op, status=STATUS_TIMED_OUT,
+            error=make_error(
+                E_DEADLINE,
+                f"deadline {request.deadline} already passed at admission "
+                f"(now {self.now})",
+            ),
+            latency=0.0,
+        )
+        self._count_terminal(resp)
+        return resp
+
+    def _count_terminal(self, resp: Response) -> None:
+        m = self.metrics_collector
+        if resp.status == STATUS_COMMITTED:
+            m.committed += 1
+            if resp.op == "query":
+                m.committed_queries += 1
+            else:
+                m.committed_updates += 1
+                m.note_latency(resp.op, resp.latency)
+        elif resp.status == STATUS_QUARANTINED:
+            m.quarantined += 1
+        elif resp.status == STATUS_TIMED_OUT:
+            m.timed_out += 1

@@ -1,0 +1,186 @@
+"""Metrics surface of the serving engine.
+
+Everything the engine can report is collected here and exported as plain
+dicts (:meth:`ServiceMetrics.as_dict`) so the bench harness and the
+``repro-serve`` CLI can render or JSON-dump it without touching engine
+internals.  Glossary (see also ``docs/service.md``):
+
+counters
+    ``admitted`` — requests accepted past admission control;
+    ``rejected`` — refused at the door by backpressure (never admitted);
+    ``committed`` — terminal successes (updates applied or netted out,
+    queries answered); ``quarantined`` — malformed/duplicate requests
+    ended with a structured error; ``timed_out`` — deadline passed before
+    commit; ``coalesced``/``cancelled`` — duplicate-op merges and
+    insert/remove annihilations inside a pending run; ``in_flight`` —
+    admitted but not yet terminal.  At quiescence::
+
+        admitted == committed + quarantined + timed_out
+
+cuts
+    Why each micro-batch was cut: ``size``, ``time``, ``pressure``,
+    ``conflict``, ``flush`` (see :mod:`repro.service.batcher`).
+
+epochs
+    One row per commit: batch size/kind, simulated makespan, commit time
+    and the latency percentiles of the updates it carried.
+
+sim
+    The folded :class:`~repro.parallel.runtime.SimReport` totals across
+    all batches (work, spin, contention, lock traffic).
+
+latency
+    Simulated admission→terminal latency percentiles, split by class
+    (updates vs queries).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.runtime import SimReport
+from repro.service.batcher import CUT_REASONS
+
+__all__ = ["ServiceMetrics", "percentile", "summarize_latencies"]
+
+
+def percentile(sorted_data: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (``p`` in [0, 100]) of pre-sorted data."""
+    if not sorted_data:
+        return 0.0
+    if p <= 0:
+        return float(sorted_data[0])
+    rank = math.ceil(p / 100.0 * len(sorted_data))
+    return float(sorted_data[min(len(sorted_data), max(1, rank)) - 1])
+
+
+def summarize_latencies(data: Sequence[float]) -> Dict[str, float]:
+    """count/mean/p50/p90/p99/max summary of a latency sample."""
+    if not data:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    s = sorted(data)
+    return {
+        "count": len(s),
+        "mean": sum(s) / len(s),
+        "p50": percentile(s, 50),
+        "p90": percentile(s, 90),
+        "p99": percentile(s, 99),
+        "max": float(s[-1]),
+    }
+
+
+class ServiceMetrics:
+    """Mutable collector; the engine is the only writer."""
+
+    def __init__(self, ingress_capacity: Optional[int] = None) -> None:
+        self.ingress_capacity = ingress_capacity
+        self.admitted = 0
+        self.rejected = 0
+        self.committed = 0
+        self.quarantined = 0
+        self.timed_out = 0
+        self.committed_updates = 0
+        self.committed_queries = 0
+        self.coalesced = 0
+        self.cancelled = 0
+        self.cuts: Dict[str, int] = {r: 0 for r in CUT_REASONS}
+        self.max_queue_depth = 0
+        self.query_latencies: List[float] = []
+        self.update_latencies: List[float] = []
+        self.epoch_log: List[Dict[str, object]] = []
+        self.sim: Dict[str, float] = {
+            "makespan": 0.0,
+            "total_work": 0.0,
+            "spin_time": 0.0,
+            "contended_time": 0.0,
+            "lock_acquires": 0,
+            "lock_failures": 0,
+            "batches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.admitted - self.committed - self.quarantined - self.timed_out
+
+    def note_depth(self, depth: int) -> None:
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def note_latency(self, op: str, latency: Optional[float]) -> None:
+        if latency is None:
+            return
+        if op == "query":
+            self.query_latencies.append(latency)
+        else:
+            self.update_latencies.append(latency)
+
+    def fold_report(self, report: SimReport) -> None:
+        """Accumulate one batch's :class:`SimReport` into the totals."""
+        self.sim["makespan"] += report.makespan
+        self.sim["total_work"] += report.total_work
+        self.sim["spin_time"] += report.spin_time
+        self.sim["contended_time"] += report.contended_time
+        self.sim["lock_acquires"] += report.lock_acquires
+        self.sim["lock_failures"] += report.lock_failures
+        self.sim["batches"] += 1
+
+    def record_epoch(
+        self,
+        epoch: int,
+        kind: Optional[str],
+        batch_size: int,
+        makespan: float,
+        committed_at: float,
+        update_latencies: Sequence[float],
+    ) -> None:
+        self.epoch_log.append(
+            {
+                "epoch": epoch,
+                "kind": kind,
+                "batch_size": batch_size,
+                "makespan": makespan,
+                "committed_at": committed_at,
+                "latency": summarize_latencies(update_latencies),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def assert_invariant(self) -> None:
+        """The quiescence accounting identity checked by CI."""
+        assert self.in_flight == 0, (
+            f"admitted != committed + quarantined + timed_out: "
+            f"{self.admitted} != {self.committed} + {self.quarantined} "
+            f"+ {self.timed_out}"
+        )
+
+    def as_dict(self, pending_depth: int = 0, now: float = 0.0, epoch: int = 0) -> Dict:
+        return {
+            "now": now,
+            "epoch": epoch,
+            "counters": {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "committed": self.committed,
+                "quarantined": self.quarantined,
+                "timed_out": self.timed_out,
+                "committed_updates": self.committed_updates,
+                "committed_queries": self.committed_queries,
+                "coalesced": self.coalesced,
+                "cancelled": self.cancelled,
+                "in_flight": self.in_flight,
+            },
+            "cuts": dict(self.cuts),
+            "queues": {
+                "pending_depth": pending_depth,
+                "max_pending_depth": self.max_queue_depth,
+                "ingress_capacity": self.ingress_capacity,
+            },
+            "latency": {
+                "update": summarize_latencies(self.update_latencies),
+                "query": summarize_latencies(self.query_latencies),
+            },
+            "sim": dict(self.sim),
+            "epochs": [dict(e) for e in self.epoch_log],
+        }

@@ -1,0 +1,126 @@
+"""Request/response envelope of the serving engine.
+
+Every interaction with :class:`repro.service.engine.Engine` is a
+:class:`Request` in and one or more :class:`Response` objects out.  The
+engine never raises for bad input — malformed, duplicate, rejected and
+late requests all come back as structured responses so a serving loop can
+keep draining its stream (the ISSUE's "partial-failure report instead of
+an exception escaping the engine").
+
+Lifecycle
+---------
+An update request is either **rejected** at the door (ingress queue full,
+it was never admitted), or admitted and then finished in exactly one of
+three terminal states: **committed** (applied in some epoch, or netted
+out by a cancelling opposite operation), **quarantined** (malformed or
+duplicate — structured error attached), or **timed_out** (its deadline
+passed before its micro-batch was cut).  A query is admitted and answered
+immediately against the last committed epoch, so its only terminal states
+are committed / quarantined / timed_out.  That yields the accounting
+invariant checked by CI::
+
+    admitted == committed + quarantined + timed_out      (at quiescence)
+
+Deadlines are *absolute simulated times* (the engine clock advances by
+ingest/query costs and batch makespans, see ``repro.parallel.costs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+Vertex = Hashable
+
+__all__ = [
+    "Request",
+    "Response",
+    "STATUS_PENDING",
+    "STATUS_COMMITTED",
+    "STATUS_QUARANTINED",
+    "STATUS_REJECTED",
+    "STATUS_TIMED_OUT",
+    "E_SELF_LOOP",
+    "E_DUPLICATE_ID",
+    "E_EDGE_EXISTS",
+    "E_EDGE_MISSING",
+    "E_UNKNOWN_QUERY",
+    "E_UNKNOWN_VERTEX",
+    "E_BACKPRESSURE",
+    "E_DEADLINE",
+    "E_BATCH_FAILED",
+    "E_BAD_REQUEST",
+]
+
+# terminal + transient statuses
+STATUS_PENDING = "pending"          # admitted update, waiting for its batch
+STATUS_COMMITTED = "committed"      # applied (or answered, for queries)
+STATUS_QUARANTINED = "quarantined"  # malformed/duplicate, never applied
+STATUS_REJECTED = "rejected"        # backpressure: never admitted
+STATUS_TIMED_OUT = "timed_out"      # deadline passed before commit
+
+# structured error codes
+E_SELF_LOOP = "self-loop"
+E_DUPLICATE_ID = "duplicate-id"
+E_EDGE_EXISTS = "edge-exists"
+E_EDGE_MISSING = "edge-missing"
+E_UNKNOWN_QUERY = "unknown-query"
+E_UNKNOWN_VERTEX = "unknown-vertex"
+E_BACKPRESSURE = "backpressure"
+E_DEADLINE = "deadline-exceeded"
+E_BATCH_FAILED = "batch-failed"
+E_BAD_REQUEST = "bad-request"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One item of the interleaved insert/remove/query stream.
+
+    ``op`` is ``"insert"``/``"remove"`` (with ``u``, ``v``) or ``"query"``
+    (with ``kind`` and positional ``args``).  ``id`` must be unique per
+    engine; leave it ``None`` to have the engine assign a sequence id.
+    ``deadline`` is an absolute simulated time; ``None`` means no bound.
+    """
+
+    op: str
+    u: Optional[Vertex] = None
+    v: Optional[Vertex] = None
+    kind: Optional[str] = None
+    args: Tuple = ()
+    id: Optional[str] = None
+    deadline: Optional[float] = None
+
+
+@dataclass
+class Response:
+    """Outcome (possibly interim) of one request.
+
+    ``error`` is ``{"code": ..., "message": ...}`` for quarantined /
+    rejected / timed-out responses.  ``epoch`` is the epoch the request
+    committed in (for queries: the epoch it was answered against).
+    ``latency`` is simulated time from admission to the terminal state.
+    ``detail`` carries coalescing notes (``"coalesced"``, ``"cancelled"``).
+    """
+
+    id: str
+    op: str
+    status: str
+    value: Any = None
+    error: Optional[Dict[str, str]] = None
+    epoch: Optional[int] = None
+    latency: Optional[float] = None
+    detail: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True while the request is pending or ended committed."""
+        return self.status in (STATUS_PENDING, STATUS_COMMITTED)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status != STATUS_PENDING
+
+
+def make_error(code: str, message: str) -> Dict[str, str]:
+    """The structured error payload attached to failure responses."""
+    return {"code": code, "message": message}

@@ -1,0 +1,156 @@
+"""Epoch-versioned, snapshot-isolated core views.
+
+The serving engine commits updates in micro-batches; each commit is an
+**epoch**.  Readers never look at the maintainer's live state — they get
+a :class:`SnapshotView` pinned to a committed epoch, so a query issued
+while a batch is pending (or, in a real deployment, mid-application)
+answers against the last *consistent* core assignment.  This is the
+asynchronous-reads serving shape of Liu et al. (arXiv 2401.08015) mapped
+onto our order-based maintainer.
+
+Storage is delta-based, not copy-based: :class:`SnapshotStore` records
+each commit's touched vertices into a :class:`repro.core.history.CoreHistory`
+(O(|V*|) per epoch), and materializes a full core map per epoch lazily,
+with a small LRU cache so the common case — many queries against the
+latest epoch — pays the materialization once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.core.history import CoreHistory
+from repro.core.queries import (
+    degeneracy,
+    in_k_core,
+    innermost_core,
+    k_core_vertices,
+    k_shell,
+    shell_histogram,
+)
+
+Vertex = Hashable
+
+__all__ = ["SnapshotStore", "SnapshotView"]
+
+
+class SnapshotView:
+    """An immutable core-number view pinned to one committed epoch.
+
+    All answers come from the frozen ``cores`` map via the helpers of
+    :mod:`repro.core.queries`; the view never touches the maintainer, so
+    reading can never block on (or observe) an in-flight batch.
+    """
+
+    __slots__ = ("epoch", "_cores")
+
+    def __init__(self, epoch: int, cores: Dict[Vertex, int]) -> None:
+        self.epoch = epoch
+        self._cores = cores
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._cores
+
+    def core(self, u: Vertex) -> Optional[int]:
+        """Core number of ``u`` at this epoch (None if unknown then)."""
+        return self._cores.get(u)
+
+    def cores(self) -> Dict[Vertex, int]:
+        """A copy of the full core map at this epoch."""
+        return dict(self._cores)
+
+    def k_core(self, k: int) -> Set[Vertex]:
+        return k_core_vertices(self._cores, k)
+
+    def k_shell(self, k: int) -> Set[Vertex]:
+        return k_shell(self._cores, k)
+
+    def in_k_core(self, u: Vertex, k: int) -> bool:
+        return in_k_core(self._cores, u, k)
+
+    def degeneracy(self) -> int:
+        return degeneracy(self._cores)
+
+    def innermost(self) -> Tuple[int, Set[Vertex]]:
+        return innermost_core(self._cores)
+
+    def shell_histogram(self) -> Dict[int, int]:
+        return shell_histogram(self._cores)
+
+
+class SnapshotStore:
+    """Epoch ledger over a maintainer: commit deltas in, views out.
+
+    Parameters
+    ----------
+    maintainer:
+        Anything exposing ``core(u)`` / ``cores()`` — the engine passes
+        its :class:`~repro.parallel.batch.ParallelOrderMaintainer`.
+    cache_epochs:
+        How many materialized epoch maps to keep (LRU).  Evicted epochs
+        stay answerable — they are rebuilt from the history deltas.
+    """
+
+    def __init__(self, maintainer, cache_epochs: int = 8) -> None:
+        if cache_epochs < 1:
+            raise ValueError("cache_epochs must be >= 1")
+        self.history = CoreHistory(maintainer)
+        self._cache: "OrderedDict[int, Dict[Vertex, int]]" = OrderedDict()
+        self._cache_epochs = cache_epochs
+        self._cache[0] = dict(maintainer.cores())
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The last committed epoch (0 = the initial graph)."""
+        return self.history.t
+
+    def commit(self, touched: Iterable[Vertex]) -> int:
+        """Record a batch commit: ``touched`` is every vertex whose core
+        may have changed (batch endpoints plus all ``V*``).  Returns the
+        new epoch number."""
+        prev = self._cache.get(self.history.t)
+        touched = set(touched)
+        epoch = self.history.record_epoch(touched)
+        if prev is not None:
+            # incremental materialization: patch the previous epoch's map
+            cur = dict(prev)
+            for w in touched:
+                k = self.history.core_at(w, epoch)
+                if k is not None:
+                    cur[w] = k
+            self._remember(epoch, cur)
+        return epoch
+
+    def view(self, epoch: Optional[int] = None) -> SnapshotView:
+        """A read view at ``epoch`` (default: the last committed one)."""
+        e = self.epoch if epoch is None else epoch
+        if e < 0 or e > self.epoch:
+            raise ValueError(f"epoch {e} out of range [0, {self.epoch}]")
+        cores = self._cache.get(e)
+        if cores is None:
+            cores = self.history.cores_at(e)
+            self._remember(e, cores)
+        else:
+            self._cache.move_to_end(e)
+        return SnapshotView(e, cores)
+
+    def _remember(self, epoch: int, cores: Dict[Vertex, int]) -> None:
+        self._cache[epoch] = cores
+        self._cache.move_to_end(epoch)
+        while len(self._cache) > self._cache_epochs:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """History-vs-maintainer consistency (valid at quiescence)."""
+        self.history.check()
+        live = self.view().cores()
+        for u, k in self.history.m.cores().items():
+            assert live.get(u) == k, (
+                f"snapshot of {u!r} out of sync: {live.get(u)} != {k}"
+            )

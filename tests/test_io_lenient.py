@@ -1,0 +1,66 @@
+"""Tests for read_edge_list strict=False (ISSUE 2 satellite): malformed
+lines and self-loops are counted and skipped instead of raising."""
+
+import pytest
+
+from repro.graph.io import read_edge_list
+
+MESSY = """\
+# comment
+% also a comment
+1 2
+2 3 17.5 999
+3 3
+oops
+4
+5 six
+2 1
+
+4 5
+"""
+
+
+@pytest.fixture
+def messy_file(tmp_path):
+    p = tmp_path / "messy.txt"
+    p.write_text(MESSY)
+    return p
+
+
+class TestLenientMode:
+    def test_counts_and_skips(self, messy_file):
+        counters = {}
+        edges = read_edge_list(messy_file, strict=False, counters=counters)
+        assert edges == [(1, 2), (2, 3), (4, 5)]
+        assert counters == {"kept": 4, "malformed": 3, "self_loops": 1}
+
+    def test_no_dedupe_keeps_raw_lines(self, messy_file):
+        edges = read_edge_list(messy_file, strict=False, dedupe=False)
+        # (2, 1) survives undeduped; the self-loop is still dropped
+        assert edges == [(1, 2), (2, 3), (2, 1), (4, 5)]
+
+    def test_counters_optional(self, messy_file):
+        assert read_edge_list(messy_file, strict=False) == [
+            (1, 2), (2, 3), (4, 5)
+        ]
+
+
+class TestStrictMode:
+    def test_malformed_still_raises(self, messy_file):
+        with pytest.raises((ValueError, IndexError)):
+            read_edge_list(messy_file)  # strict is the default
+
+    def test_clean_file_counters_report_zero(self, tmp_path):
+        p = tmp_path / "clean.txt"
+        p.write_text("1 2\n2 3\n")
+        counters = {}
+        edges = read_edge_list(p, counters=counters)
+        assert edges == [(1, 2), (2, 3)]
+        assert counters == {"kept": 2, "malformed": 0, "self_loops": 0}
+
+    def test_strict_keeps_self_loop_for_dedupe(self, tmp_path):
+        # strict mode defers self-loop handling to dedupe, as before
+        p = tmp_path / "loop.txt"
+        p.write_text("1 1\n1 2\n")
+        assert read_edge_list(p) == [(1, 2)]
+        assert read_edge_list(p, dedupe=False) == [(1, 1), (1, 2)]

@@ -1,0 +1,88 @@
+"""Tests for the factored-out coalescing buffer and the adaptive cut
+policy (repro.service.batcher)."""
+
+import pytest
+
+from repro.service.batcher import AdaptiveBatcher, PendingOps
+
+
+class TestPendingOps:
+    def test_queue_and_cut(self):
+        p = PendingOps()
+        assert len(p) == 0 and p.kind is None
+        assert p.classify("+", 1, 2) == ("queue", (1, 2))
+        p.queue("+", (1, 2))
+        p.queue("+", (2, 3))
+        assert len(p) == 2 and p.kind == "+"
+        assert (2, 1) in p  # canonicalized containment
+        kind, edges = p.cut()
+        assert kind == "+" and edges == [(1, 2), (2, 3)]
+        assert len(p) == 0 and p.kind is None
+
+    def test_coalesce_same_kind_duplicate(self):
+        p = PendingOps()
+        p.queue("+", (1, 2))
+        assert p.classify("+", 2, 1) == ("coalesce", (1, 2))
+
+    def test_cancel_opposite_on_queued_edge(self):
+        p = PendingOps()
+        p.queue("+", (1, 2))
+        action, e = p.classify("-", 2, 1)
+        assert action == "cancel" and e == (1, 2)
+        p.drop(e)
+        assert len(p) == 0 and p.kind is None  # empty run resets kind
+
+    def test_conflict_opposite_on_fresh_edge(self):
+        p = PendingOps()
+        p.queue("+", (1, 2))
+        assert p.classify("-", 3, 4) == ("conflict", (3, 4))
+
+    def test_queue_wrong_kind_raises(self):
+        p = PendingOps()
+        p.queue("+", (1, 2))
+        with pytest.raises(ValueError):
+            p.queue("-", (3, 4))
+
+
+class TestAdaptiveBatcher:
+    def test_size_trigger(self):
+        b = AdaptiveBatcher(max_batch=2)
+        b.queue("+", (0, 1), now=0.0)
+        assert b.cut_reason(0.0) is None
+        b.queue("+", (1, 2), now=1.0)
+        assert b.cut_reason(1.0) == "size"
+
+    def test_time_trigger(self):
+        b = AdaptiveBatcher(max_batch=100, max_delay=10.0)
+        b.queue("+", (0, 1), now=5.0)
+        assert b.cut_reason(14.9) is None
+        assert b.cut_reason(15.0) == "time"
+        # cutting resets the age clock
+        b.cut()
+        b.queue("+", (1, 2), now=20.0)
+        assert b.cut_reason(25.0) is None
+
+    def test_pressure_trigger(self):
+        b = AdaptiveBatcher(max_batch=100, query_pressure=3)
+        b.queue("+", (0, 1), now=0.0)
+        for _ in range(2):
+            b.note_query()
+            assert b.cut_reason(0.0) is None
+        b.note_query()
+        assert b.cut_reason(0.0) == "pressure"
+        b.cut()  # resets the query counter
+        b.queue("+", (1, 2), now=0.0)
+        assert b.cut_reason(0.0) is None
+
+    def test_empty_run_never_cuts(self):
+        b = AdaptiveBatcher(max_batch=1, max_delay=0.1, query_pressure=1)
+        b.note_query()
+        assert b.cut_reason(1e9) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(max_delay=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(query_pressure=0)
