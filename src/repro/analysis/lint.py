@@ -27,6 +27,15 @@ a schedule happens to hit the bug:
     Event tuples must be well-formed: a known kind string with the right
     arity (``tick``/``try``/``release`` take one operand, ``spin`` none,
     ``read``/``write`` a location plus optional site).
+``RL005``
+    Adjacency storage is private to :mod:`repro.graph`.  Outside that
+    package, reaching into another object's ``.adj`` / ``._adj`` bypasses
+    the :class:`~repro.graph.core.GraphCore` surface (and the interner
+    boundary with it); use ``neighbors()`` / ``degree()`` / ``has_edge()``
+    or the sanctioned ``adjacency_lists()`` accessor instead.  ``self``
+    access is exempt — a class managing its own adjacency is implementing
+    a substrate, not poking through one.  Unlike the other rules this is
+    a whole-module pass, not limited to protocol generators.
 
 Only *protocol generators* are checked — functions that yield at least
 one event tuple or ``yield from`` a protocol helper — so ordinary
@@ -64,7 +73,14 @@ RULES = {
     "RL002": "acquired lock must reach a release or release_all",
     "RL003": "multi-lock acquisition must use lock_pair/cond_acquire",
     "RL004": "event tuple must be well-formed",
+    "RL005": "adjacency storage is private to repro.graph",
 }
+
+# Attribute names that constitute reaching into adjacency storage (RL005).
+_ADJ_ATTRS = {"adj", "_adj"}
+
+# Path fragments (posix-normalized) whose files own adjacency storage.
+_GRAPH_PACKAGE = "repro/graph/"
 
 # kind -> (min tuple length, max tuple length)
 EVENT_ARITY = {
@@ -333,6 +349,38 @@ class _FunctionChecker:
 
 
 # ----------------------------------------------------------------------
+# module-level passes
+# ----------------------------------------------------------------------
+def _check_adjacency_privacy(tree: ast.AST, path: str) -> List[Finding]:
+    """RL005: flag ``<expr>.adj`` / ``<expr>._adj`` outside repro.graph.
+
+    ``self._adj`` is exempt (a class implementing its own substrate);
+    everything else is a caller bypassing the GraphCore surface.
+    """
+    if _GRAPH_PACKAGE in path.replace("\\", "/"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Attribute) and node.attr in _ADJ_ATTRS):
+            continue
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            continue
+        owner = ast.unparse(node.value)
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                node.col_offset,
+                "RL005",
+                f"direct adjacency access {owner}.{node.attr} bypasses the "
+                "GraphCore surface — use neighbors()/degree()/has_edge() or "
+                "adjacency_lists()",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # file / tree drivers
 # ----------------------------------------------------------------------
 def _suppressed(finding: Finding, source_lines: List[str]) -> bool:
@@ -368,6 +416,7 @@ def check_source(source: str, path: str = "<string>") -> List[Finding]:
                 visit(child)
 
     visit(tree)
+    findings.extend(_check_adjacency_privacy(tree, path))
     lines = source.splitlines()
     return [f for f in findings if not _suppressed(f, lines)]
 

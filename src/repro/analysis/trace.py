@@ -27,11 +27,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.graph.storage import IntSlotMap
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.races import RaceDetector
     from repro.core.state import OrderState
 
-__all__ = ["TracedDict", "instrument_state"]
+__all__ = ["TracedDict", "TracedSlotMap", "instrument_state"]
 
 
 class TracedDict(dict):
@@ -67,6 +69,48 @@ class TracedDict(dict):
         dict.__setitem__(self, key, value)
 
 
+class TracedSlotMap(IntSlotMap):
+    """Slot-map twin of :class:`TracedDict` for the array substrate.
+
+    The relaxed accessors (``core_relaxed``, the ∅-invalidation wipes)
+    bypass these overrides via :func:`repro.graph.storage.raw_get` /
+    ``raw_set``, exactly as they bypass ``TracedDict`` with raw ``dict``
+    calls.
+    """
+
+    __slots__ = ("_det", "_name")
+
+    def __init__(self, name: str, detector: "RaceDetector", data: IntSlotMap) -> None:
+        # copy the backing slots directly: going through __setitem__ here
+        # would report construction-time writes to the detector
+        self._slots = list(data.slots())
+        self._count = len(data)
+        self._name = name
+        self._det = detector
+
+    def __getitem__(self, key):
+        self._det.read((self._name, key))
+        return IntSlotMap.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        self._det.read((self._name, key))
+        return IntSlotMap.get(self, key, default)
+
+    def __contains__(self, key) -> bool:
+        self._det.read((self._name, key))
+        return IntSlotMap.__contains__(self, key)
+
+    def __setitem__(self, key, value) -> None:
+        self._det.write((self._name, key))
+        IntSlotMap.__setitem__(self, key, value)
+
+
+def _traced(name: str, detector: "RaceDetector", data):
+    if isinstance(data, IntSlotMap):
+        return TracedSlotMap(name, detector, data)
+    return TracedDict(name, detector, data)
+
+
 def instrument_state(state: "OrderState", detector: "RaceDetector") -> "OrderState":
     """Wire ``state`` (and its k-order) into ``detector``.
 
@@ -78,9 +122,9 @@ def instrument_state(state: "OrderState", detector: "RaceDetector") -> "OrderSta
     if getattr(state, "trace", None) is detector:
         return state
     state.trace = detector
-    state.d_out = TracedDict("d_out", detector, state.d_out)
-    state.mcd = TracedDict("mcd", detector, state.mcd)
+    state.d_out = _traced("d_out", detector, state.d_out)
+    state.mcd = _traced("mcd", detector, state.mcd)
     ko = state.korder
     ko.trace = detector
-    ko.core = TracedDict("core", detector, ko.core)
+    ko.core = _traced("core", detector, ko.core)
     return state

@@ -8,6 +8,7 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench table2 --datasets BA RMAT
     python -m repro.bench fig5 fig6 fig7
     python -m repro.bench service --datasets BA --ops 500 --query-rate 0.3
+    python -m repro.bench representation --datasets BA ER --assert-speedup 0.9
     python -m repro.bench all   --batch 200
 
 Output is the same paper-style text the benchmark suite writes to
@@ -31,6 +32,7 @@ from repro.bench.reporting import (
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
+    "representation",
 )
 
 
@@ -53,6 +55,14 @@ def _parser() -> argparse.ArgumentParser:
                    help="service workload: trace length")
     p.add_argument("--query-rate", type=float, default=0.25,
                    help="service workload: fraction of queries in the trace")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="representation workload: wall-clock best-of repeats")
+    p.add_argument("--assert-speedup", type=float, default=None, metavar="X",
+                   help="representation workload: exit 1 unless the "
+                        "array-over-dict speedup is >= X on every dataset")
+    p.add_argument("--json", type=str, default=None, metavar="PATH",
+                   help="representation workload: also write the cells to "
+                        "PATH as JSON")
     return p
 
 
@@ -139,6 +149,49 @@ def main(argv: List[str] | None = None) -> int:
                 print(render_service_metrics(cell["metrics"]))
                 if not cell["invariant_ok"]:
                     print("!! accounting invariant VIOLATED")
+                    return 1
+        elif exp == "representation":
+            import json as _json
+
+            cells = [
+                harness.run_representation(
+                    ds,
+                    batch_size=args.batch,
+                    seed=args.seed,
+                    repeats=args.repeats,
+                )
+                for ds in args.datasets
+            ]
+            rows = [
+                {
+                    "dataset": c["dataset"],
+                    "n": c["n"],
+                    "m": c["m"],
+                    "dict decomp (s)": round(c["dict_decomp_s"], 4),
+                    "array decomp (s)": round(c["array_decomp_s"], 4),
+                    "decomp x": round(c["decomp_speedup"], 2),
+                    "dict maint (s)": round(c["dict_maint_s"], 4),
+                    "array maint (s)": round(c["array_maint_s"], 4),
+                    "maint x": round(c["maint_speedup"], 2),
+                    "speedup": round(c["speedup"], 2),
+                }
+                for c in cells
+            ]
+            print(render_table(rows))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(cells, fh, indent=2)
+                print(f"wrote {args.json}")
+            if args.assert_speedup is not None:
+                slow = [
+                    c for c in cells if c["speedup"] < args.assert_speedup
+                ]
+                if slow:
+                    for c in slow:
+                        print(
+                            f"!! {c['dataset']}: array-over-dict speedup "
+                            f"{c['speedup']:.2f} < {args.assert_speedup}"
+                        )
                     return 1
         elif exp == "fig7":
             out = harness.fig7_stability(

@@ -21,8 +21,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.baselines.join_edge_set import JoinEdgeSetMaintainer
 from repro.baselines.matching import MatchingMaintainer
 from repro.core.decomposition import core_decomposition, core_histogram
-from repro.core.maintainer import TraversalMaintainer
+from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
 from repro.graph.datasets import DATASETS
+from repro.graph.dictgraph import DictGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.parallel.batch import ParallelOrderMaintainer
 from repro.bench.workloads import dataset_workload, disjoint_batches, service_trace
@@ -40,6 +41,7 @@ __all__ = [
     "fig6_scalability",
     "fig7_stability",
     "run_service",
+    "run_representation",
 ]
 
 # name -> factory(graph, workers) -> maintainer with {insert,remove}_edges
@@ -166,6 +168,85 @@ def run_service(
         "wall_s": wall,
         "metrics": m,
         "invariant_ok": invariant_ok,
+    }
+
+
+def run_representation(
+    dataset: str,
+    batch_size: int = 300,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Graph-representation workload: dict-backed vs array-backed substrate.
+
+    Times the two sequential hot paths on both substrates and reports the
+    array/dict speedups:
+
+    * *decomposition* — a full BZ peel of the dataset stand-in: the
+      generic hash-keyed kernel over :class:`DictGraph` against the
+      flat-array kernel over the interned :class:`DynamicGraph`;
+    * *maintenance* — the Section 5.2 protocol run sequentially through
+      :class:`OrderMaintainer` (remove the sampled batch edge by edge,
+      insert it back), exercising the k-order, ``d_out``/``mcd`` storage
+      and the graph mutation paths end to end.
+
+    Wall-clock is the best of ``repeats`` runs, with the two substrates
+    *interleaved* inside each repeat so machine-load drift hits both
+    equally; graph construction is excluded (both substrates build from
+    the same edge list).  The CI smoke job asserts the combined
+    ``speedup`` stays above a floor so the array substrate can never
+    silently regress behind the dict baseline it replaced.
+    """
+    edges, batch = dataset_workload(dataset, batch_size, seed=seed)
+
+    def best_interleaved(pairs) -> List[float]:
+        """pairs: [(make, run), ...]; returns best wall-clock per pair."""
+        times: List[List[float]] = [[] for _ in pairs]
+        for _ in range(repeats):
+            for i, (make, run) in enumerate(pairs):
+                subject = make()
+                t0 = time.perf_counter()
+                run(subject)
+                times[i].append(time.perf_counter() - t0)
+        return [min(ts) for ts in times]
+
+    def drive(m: OrderMaintainer) -> None:
+        for u, v in batch:
+            m.remove_edge(u, v)
+        for u, v in batch:
+            m.insert_edge(u, v)
+
+    dict_decomp, array_decomp = best_interleaved(
+        [
+            (lambda: DictGraph(edges), core_decomposition),
+            (lambda: DynamicGraph(edges), core_decomposition),
+        ]
+    )
+    dict_maint, array_maint = best_interleaved(
+        [
+            (lambda: OrderMaintainer(DictGraph(edges)), drive),
+            (lambda: OrderMaintainer(DynamicGraph(edges)), drive),
+        ]
+    )
+
+    g = DynamicGraph(edges)
+    decomp_speedup = dict_decomp / max(array_decomp, 1e-9)
+    maint_speedup = dict_maint / max(array_maint, 1e-9)
+    return {
+        "dataset": dataset,
+        "n": g.num_vertices,
+        "m": g.num_edges,
+        "batch": len(batch),
+        "repeats": repeats,
+        "dict_decomp_s": dict_decomp,
+        "array_decomp_s": array_decomp,
+        "decomp_speedup": decomp_speedup,
+        "dict_maint_s": dict_maint,
+        "array_maint_s": array_maint,
+        "maint_speedup": maint_speedup,
+        # headline metric (geometric mean of the two phases) — what the
+        # CI smoke gate asserts against
+        "speedup": (decomp_speedup * maint_speedup) ** 0.5,
     }
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.storage import make_vertex_map, raw_get, raw_map
 from repro.om.list_labels import OMItem
 from repro.om.parallel_om import ParallelOMList
 
@@ -83,10 +84,16 @@ class KOrder:
         core: Dict[Vertex, int],
         order: List[Vertex],
         capacity: int = 64,
+        graph=None,
     ) -> "KOrder":
-        """Build the order from a BZ peel sequence (non-decreasing cores)."""
+        """Build the order from a BZ peel sequence (non-decreasing cores).
+
+        ``graph`` selects the per-vertex storage: flat slot maps over an
+        array substrate, plain dicts otherwise (or when omitted).
+        """
         ko = cls(capacity=capacity)
-        ko.core = dict(core)
+        ko.core = make_vertex_map(graph, core)
+        ko.items = make_vertex_map(graph)
         for u in order:
             ku = ko.core[u]
             ko._ensure_levels_through(ku)
@@ -150,7 +157,7 @@ class KOrder:
         tr = self.trace
         if tr is not None:
             tr.read(("core", u), relaxed=True)
-        return dict.get(self.core, u, default)
+        return raw_get(self.core, u, default)
 
     def precedes(self, u: Vertex, v: Vertex) -> bool:
         """Strict k-order comparison ``u < v``: pure label comparison on the
@@ -163,7 +170,9 @@ class KOrder:
         if tr is not None:
             tr.read(("order", u))
             tr.read(("order", v))
-        return self.om.order(self.items[u], self.items[v])
+            return self.om.order(self.items[u], self.items[v])
+        items = raw_map(self.items)
+        return self.om.order(items[u], items[v])
 
     def precedes_concurrent(
         self, u: Vertex, v: Vertex, on_spin: Optional[Callable[[], None]] = None
@@ -189,6 +198,18 @@ class KOrder:
     def post(self, graph: DynamicGraph, u: Vertex, k: Optional[int] = None) -> List[Vertex]:
         """DAG successors of ``u``: neighbors ordered after ``u``,
         optionally filtered to core number ``k``."""
+        if self.trace is None:
+            # Hot path: index the raw storage directly (neighbors always
+            # have core/items entries; u is never its own neighbor).
+            core, items, order = raw_map(self.core), raw_map(self.items), self.om.order
+            it_u = items[u]
+            if k is None:
+                return [v for v in graph.neighbors(u) if order(it_u, items[v])]
+            return [
+                v
+                for v in graph.neighbors(u)
+                if core[v] == k and order(it_u, items[v])
+            ]
         out = []
         for v in graph.neighbors(u):
             if k is not None and self.core[v] != k:
@@ -200,6 +221,16 @@ class KOrder:
     def pre(self, graph: DynamicGraph, u: Vertex, k: Optional[int] = None) -> List[Vertex]:
         """DAG predecessors of ``u``: neighbors ordered before ``u``,
         optionally filtered to core number ``k``."""
+        if self.trace is None:
+            core, items, order = raw_map(self.core), raw_map(self.items), self.om.order
+            it_u = items[u]
+            if k is None:
+                return [v for v in graph.neighbors(u) if order(items[v], it_u)]
+            return [
+                v
+                for v in graph.neighbors(u)
+                if core[v] == k and order(items[v], it_u)
+            ]
         out = []
         for v in graph.neighbors(u):
             if k is not None and self.core[v] != k:
@@ -225,7 +256,9 @@ class KOrder:
                 if order(items[u], items[v]):
                     n += 1
             return n
-        return sum(1 for v in graph.neighbors(u) if self.precedes(u, v))
+        items, order = raw_map(self.items), self.om.order
+        it_u = items[u]
+        return sum(1 for v in graph.neighbors(u) if order(it_u, items[v]))
 
     def sequence(self, k: int) -> List[Vertex]:
         """The vertices of segment ``O_k`` in order."""

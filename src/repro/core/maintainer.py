@@ -24,12 +24,14 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Tuple
 
+from repro.core.boundary import Boundary
 from repro.core.decomposition import core_decomposition
 from repro.core.order_insert import order_insert_edge
 from repro.core.order_remove import order_remove_edge
 from repro.core.state import InsertStats, OrderState, RemoveStats
 from repro.core.traversal import traversal_insert_edge, traversal_remove_edge
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.storage import make_vertex_map
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -58,35 +60,44 @@ class OrderMaintainer:
         capacity: int = 64,
         seed: int = 0,
     ) -> None:
+        # External ids are interned once here at the boundary; the
+        # algorithms below run int-natively over the array substrate.
+        self.boundary = Boundary(graph)
         self.state = OrderState.from_graph(
-            graph, strategy=strategy, capacity=capacity, seed=seed
+            self.boundary.substrate, strategy=strategy, capacity=capacity, seed=seed
         )
 
     # ------------------------------------------------------------------
     @property
     def graph(self) -> DynamicGraph:
-        return self.state.graph
+        return self.boundary.public
 
     def core(self, u: Vertex) -> int:
         """Current core number of ``u``."""
-        return self.state.korder.core[u]
+        return self.state.korder.core[self.boundary.vertex_in(u)]
 
     def cores(self) -> Dict[Vertex, int]:
-        """Snapshot of all core numbers."""
-        return dict(self.state.korder.core)
+        """Snapshot of all core numbers (external ids)."""
+        return self.boundary.core_map_out(self.state.korder.core)
 
     def korder_sequence(self, k: int) -> List[Vertex]:
-        """The current O_k sequence (diagnostics)."""
-        return self.state.korder.sequence(k)
+        """The current O_k sequence (diagnostics, external ids)."""
+        return self.boundary.vertices_out(self.state.korder.sequence(k))
 
     # ------------------------------------------------------------------
     def insert_edge(self, u: Vertex, v: Vertex) -> InsertStats:
         """Insert one edge; cores/k-order repaired in O(|E+| log |E+|)."""
-        return order_insert_edge(self.state, u, v)
+        b = self.boundary
+        return b.stats_out(
+            order_insert_edge(self.state, b.vertex_in(u), b.vertex_in(v))
+        )
 
     def remove_edge(self, u: Vertex, v: Vertex) -> RemoveStats:
         """Remove one edge; cores/k-order repaired in O(|E*|)."""
-        return order_remove_edge(self.state, u, v)
+        b = self.boundary
+        return b.stats_out(
+            order_remove_edge(self.state, b.vertex_in(u), b.vertex_in(v))
+        )
 
     def insert_edges(self, edges: Iterable[Edge]) -> List[InsertStats]:
         """Insert a batch sequentially (the paper's 1-worker OI)."""
@@ -106,22 +117,37 @@ class TraversalMaintainer:
     """Sequential Traversal core maintenance (the paper's TI + TR)."""
 
     def __init__(self, graph: DynamicGraph) -> None:
-        self.graph = graph
-        self._core: Dict[Vertex, int] = dict(core_decomposition(graph).core)
+        self.boundary = Boundary(graph)
+        sub = self.boundary.substrate
+        self._core = make_vertex_map(sub, core_decomposition(sub).core)
 
     # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        return self.boundary.public
+
     def core(self, u: Vertex) -> int:
-        return self._core[u]
+        return self._core[self.boundary.vertex_in(u)]
 
     def cores(self) -> Dict[Vertex, int]:
-        return dict(self._core)
+        return self.boundary.core_map_out(self._core)
 
     # ------------------------------------------------------------------
     def insert_edge(self, u: Vertex, v: Vertex) -> InsertStats:
-        return traversal_insert_edge(self.graph, self._core, u, v)
+        b = self.boundary
+        return b.stats_out(
+            traversal_insert_edge(
+                b.substrate, self._core, b.vertex_in(u), b.vertex_in(v)
+            )
+        )
 
     def remove_edge(self, u: Vertex, v: Vertex) -> RemoveStats:
-        return traversal_remove_edge(self.graph, self._core, u, v)
+        b = self.boundary
+        return b.stats_out(
+            traversal_remove_edge(
+                b.substrate, self._core, b.vertex_in(u), b.vertex_in(v)
+            )
+        )
 
     def insert_edges(self, edges: Iterable[Edge]) -> List[InsertStats]:
         return [self.insert_edge(u, v) for u, v in edges]
@@ -132,8 +158,9 @@ class TraversalMaintainer:
     # ------------------------------------------------------------------
     def check(self) -> None:
         """Differential check against a fresh BZ decomposition."""
-        fresh = core_decomposition(self.graph).core
-        for u in self.graph.vertices():
+        sub = self.boundary.substrate
+        fresh = core_decomposition(sub).core
+        for u in sub.vertices():
             assert self._core[u] == fresh[u], (
                 f"core[{u!r}]={self._core[u]} != BZ {fresh[u]}"
             )

@@ -21,87 +21,25 @@ Ending phase: survivors get ``core = K+1``, are spliced (in V*-insertion
 order) at the *head* of ``O_{K+1}``, and their ``d_out^+`` is recomputed
 from the new order.  All ``d_in*`` provably return to 0.
 
-The module also provides :class:`KOrderPQ`, the label-keyed priority queue:
-entries are re-keyed lazily when Backward moved a queued vertex (the
-sequential analogue of the paper's version-stamped queue of Appendix E).
+The traversal uses :class:`~repro.core.pqueue.KOrderPQ`, the sequential
+variant of the label-keyed priority queue (re-exported here for backward
+compatibility): entries are re-keyed lazily when Backward moved a queued
+vertex — the sequential analogue of the paper's version-stamped queue of
+Appendix E, which lives beside it in :mod:`repro.core.pqueue`.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Optional, Set
 
+from repro.core.pqueue import KOrderPQ
 from repro.core.state import InsertStats, OrderState
+from repro.graph.storage import raw_map
 
 Vertex = Hashable
 
 __all__ = ["order_insert_edge", "KOrderPQ"]
-
-
-class KOrderPQ:
-    """Min-priority queue over vertices keyed by current k-order labels.
-
-    Two kinds of staleness can hit queued keys:
-
-    * *moves* — Backward re-threads a queued vertex to a later position:
-      its key only grows, so re-validating on pop (pop, compare with fresh
-      labels, re-push if changed) restores the order;
-    * *relabels* — an OM split/rebalance may rewrite labels wholesale,
-      possibly *decreasing* some, which per-entry checks cannot repair.
-      We therefore record the O_K list version at key time and rebuild the
-      whole heap when it changed — exactly the paper's Appendix E rule
-      ("if O_k triggers a relabel operation ... make the heap again").
-    """
-
-    __slots__ = ("_korder", "_heap", "_members", "_seq", "_version")
-
-    def __init__(self, korder) -> None:
-        self._korder = korder
-        self._heap: List[Tuple[tuple, int, Vertex]] = []
-        self._members: Set[Vertex] = set()
-        self._seq = 0
-        self._version = korder.version
-
-    def __contains__(self, v: Vertex) -> bool:
-        return v in self._members
-
-    def __len__(self) -> int:
-        return len(self._members)
-
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
-
-    def push(self, v: Vertex) -> None:
-        if v in self._members:
-            return
-        self._members.add(v)
-        heapq.heappush(self._heap, (self._korder.labels(v), self._next_seq(), v))
-
-    def _rebuild(self) -> None:
-        self._heap = [
-            (self._korder.labels(v), self._next_seq(), v) for v in self._members
-        ]
-        heapq.heapify(self._heap)
-        self._version = self._korder.version
-
-    def pop(self) -> Optional[Vertex]:
-        """Pop the member with the minimum current k-order, or None."""
-        while self._members:
-            if self._korder.version != self._version:
-                self._rebuild()
-            labels, _seq, v = heapq.heappop(self._heap)
-            if v not in self._members:
-                continue  # superseded entry
-            fresh = self._korder.labels(v)
-            if fresh != labels:
-                # v was re-threaded while queued; re-key and retry
-                heapq.heappush(self._heap, (fresh, self._next_seq(), v))
-                continue
-            self._members.discard(v)
-            return v
-        return None
 
 
 def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
@@ -115,9 +53,16 @@ def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
     if graph.has_edge(a, b):
         raise ValueError(f"edge already present: ({a!r}, {b!r})")
 
+    # Every registered vertex has core/mcd/d_out entries, so the kernel
+    # indexes the raw storage when untraced (C-speed on both substrates).
+    if state.trace is None:
+        core, mcd, d_out = raw_map(ko.core), raw_map(state.mcd), raw_map(state.d_out)
+    else:
+        core, mcd, d_out = ko.core, state.mcd, state.d_out
+
     # Orient the edge u -> v with u the k-order-earlier endpoint.
     u, v = (a, b) if ko.precedes(a, b) else (b, a)
-    K = ko.core[u]
+    K = core[u]
 
     # Materialize d_out^+(u) *before* the edge exists — a post-insertion
     # recompute would already count v and the +1 below would double-count.
@@ -126,12 +71,12 @@ def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
     graph.add_edge(u, v)
     # Incremental mcd upkeep for the new edge (Definition 3.8); core
     # changes below re-invalidate whatever this touches.
-    if state.mcd.get(u) is not None and ko.core[v] >= K:
-        state.mcd[u] += 1  # type: ignore[operator]
-    if state.mcd.get(v) is not None and K >= ko.core[v]:
-        state.mcd[v] += 1  # type: ignore[operator]
+    if mcd[u] is not None and core[v] >= K:
+        mcd[u] += 1  # type: ignore[operator]
+    if mcd[v] is not None and K >= core[v]:
+        mcd[v] += 1  # type: ignore[operator]
 
-    state.d_out[u] = new_dout
+    d_out[u] = new_dout
     stats = InsertStats()
     if new_dout <= K:
         return stats  # Algorithm 7 line 3: nothing to maintain
@@ -159,8 +104,8 @@ def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
         V* lose one remaining out-degree."""
         for x in ko.pre(graph, w, k=K):
             if x in v_star:
-                state.d_out[x] -= 1
-                if d_in.get(x, 0) + state.d_out[x] <= K and x not in in_r:
+                d_out[x] -= 1
+                if d_in.get(x, 0) + d_out[x] <= K and x not in in_r:
                     r.append(x)
                     in_r.add(x)
 
@@ -172,7 +117,7 @@ def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
                 d_in[x] -= 1
                 if (
                     x in v_star
-                    and d_in[x] + state.d_out[x] <= K
+                    and d_in[x] + d_out[x] <= K
                     and x not in in_r
                 ):
                     r.append(x)
@@ -185,7 +130,7 @@ def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
         r: deque = deque()
         in_r: Set[Vertex] = set()
         do_pre(w, r, in_r)
-        state.d_out[w] += d_in.get(w, 0)
+        d_out[w] += d_in.get(w, 0)
         d_in[w] = 0
         while r:
             x = r.popleft()
@@ -195,7 +140,7 @@ def order_insert_edge(state: OrderState, a: Vertex, b: Vertex) -> InsertStats:
             do_post(x, r, in_r)
             ko.move_after_vertex(anchor, x)
             anchor = x
-            state.d_out[x] += d_in.get(x, 0)
+            d_out[x] += d_in.get(x, 0)
             d_in[x] = 0
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from collections import deque
 from typing import Hashable, Set
 
 from repro.core.state import OrderState, RemoveStats
+from repro.graph.storage import raw_map
 
 Vertex = Hashable
 
@@ -43,7 +44,14 @@ def order_remove_edge(state: OrderState, a: Vertex, b: Vertex) -> RemoveStats:
     if not graph.has_edge(a, b):
         raise KeyError(f"edge not present: ({a!r}, {b!r})")
 
-    ca, cb = ko.core[a], ko.core[b]
+    # Every registered vertex has core/mcd/d_out entries, so the kernel
+    # indexes the raw storage when untraced (C-speed on both substrates).
+    if state.trace is None:
+        core, mcd, d_out = raw_map(ko.core), raw_map(state.mcd), raw_map(state.d_out)
+    else:
+        core, mcd, d_out = ko.core, state.mcd, state.d_out
+
+    ca, cb = core[a], core[b]
     K = min(ca, cb)
 
     # Materialize endpoint mcds *before* the removal (Algorithm 6 line 3),
@@ -54,14 +62,14 @@ def order_remove_edge(state: OrderState, a: Vertex, b: Vertex) -> RemoveStats:
     # d_out^+ upkeep for the removed edge: the earlier endpoint loses one
     # successor (when materialized; order must be read before mutation).
     first = a if ko.precedes(a, b) else b
-    if state.d_out.get(first) is not None:
-        state.d_out[first] -= 1  # type: ignore[operator]
+    if d_out[first] is not None:
+        d_out[first] -= 1  # type: ignore[operator]
 
     graph.remove_edge(a, b)
     if cb >= ca:
-        state.mcd[a] -= 1  # type: ignore[operator]
+        mcd[a] -= 1  # type: ignore[operator]
     if ca >= cb:
-        state.mcd[b] -= 1  # type: ignore[operator]
+        mcd[b] -= 1  # type: ignore[operator]
 
     stats = RemoveStats()
     r: deque = deque()
@@ -77,14 +85,14 @@ def order_remove_edge(state: OrderState, a: Vertex, b: Vertex) -> RemoveStats:
         :meth:`repro.core.korder.KOrder.demote_tail`).
         """
         ko.demote_tail(x, K - 1)
-        state.mcd[x] = None   # out of date; recomputed on demand later
+        mcd[x] = None   # out of date; recomputed on demand later
         v_star.append(x)
         r.append(x)
         pending.add(x)
 
     # Seed: an endpoint drops if it sat at level K and lost support.
     for x in (a, b):
-        if ko.core[x] == K and state.mcd[x] < K:  # type: ignore[operator]
+        if core[x] == K and mcd[x] < K:  # type: ignore[operator]
             drop(x)
 
     # Propagation (Algorithm 10 lines 5-9).
@@ -92,11 +100,11 @@ def order_remove_edge(state: OrderState, a: Vertex, b: Vertex) -> RemoveStats:
         w = r.popleft()
         pending.discard(w)
         for x in list(graph.neighbors(w)):
-            if ko.core[x] != K:
+            if core[x] != K:
                 continue  # dropped vertices are already at K-1
             state.ensure_mcd(x, pending=pending, visitor=w)
-            state.mcd[x] -= 1  # type: ignore[operator]
-            if state.mcd[x] < K:  # type: ignore[operator]
+            mcd[x] -= 1  # type: ignore[operator]
+            if mcd[x] < K:  # type: ignore[operator]
                 drop(x)
 
     # Ending phase (the O_{K-1} moves already happened at drop time):
@@ -105,9 +113,9 @@ def order_remove_edge(state: OrderState, a: Vertex, b: Vertex) -> RemoveStats:
     # needed — see the d_out discussion in ``repro.core.state``).
     if v_star:
         for w in v_star:
-            state.d_out[w] = None
+            d_out[w] = None
             for x in graph.neighbors(w):
-                if ko.core[x] == K:
-                    state.d_out[x] = None
+                if core[x] == K:
+                    d_out[x] = None
         stats.v_star = v_star
     return stats

@@ -1,0 +1,244 @@
+"""Label-keyed priority queues over the k-order — both staleness policies.
+
+Every order-based insertion walks affected vertices "in k-order" using a
+min-priority queue keyed by current OM labels.  Labels are not stable
+keys: Backward re-threads queued vertices (keys grow) and OM
+splits/rebalances rewrite labels wholesale (keys may *shrink*), so a
+plain heap silently misorders.  Both queues here share the same
+lazy-rekey machinery (:class:`_LabelHeap`: a heap of
+``(labels, seq, vertex)`` entries where superseded entries are discarded
+on inspection) and differ only in how staleness is detected:
+
+* :class:`KOrderPQ` — the sequential policy: compare an entry's labels
+  with fresh ones at pop time (moves only ever grow keys between the
+  caller's operations, so pop-revalidate-repush restores order) and
+  rebuild the whole heap when the OM list version changed (a relabel may
+  shrink keys, which per-entry checks cannot repair);
+* :class:`VersionedPQ` — the concurrent policy of the paper's Appendix E
+  (Algorithms 11-13): each entry snapshots ``[labels, v.s, ver]`` at
+  enqueue time; the status field detects concurrent moves, the version
+  stamp detects relabels, and ``update_version`` re-snapshots every
+  member to one consistent version before the next ``front``.
+
+``repro.parallel.pqueue`` re-exports :class:`VersionedPQ` for backward
+compatibility; this module is the single implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+Vertex = Hashable
+
+__all__ = ["KOrderPQ", "VersionedPQ"]
+
+
+class _LabelHeap:
+    """Shared lazy-rekey core: a min-heap of ``(labels, seq, vertex)``.
+
+    The monotone ``seq`` tie-breaks equal labels by insertion order and
+    keeps vertices themselves out of comparisons (they may be unordered
+    types).  Entries are never removed in place — subclasses detect and
+    discard superseded entries when they surface at the top.
+    """
+
+    __slots__ = ("ko", "_heap", "_seq")
+
+    def __init__(self, korder) -> None:
+        self.ko = korder
+        self._heap: List[Tuple[tuple, int, Vertex]] = []
+        self._seq = 0
+
+    def _push(self, v: Vertex, labels: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (labels, self._seq, v))
+
+    def _rebuild(self, entries) -> None:
+        """Re-key the whole heap from ``(vertex, labels)`` pairs."""
+        self._heap = []
+        self._seq = 0
+        for v, labels in entries:
+            self._seq += 1
+            self._heap.append((labels, self._seq, v))
+        heapq.heapify(self._heap)
+
+
+class KOrderPQ(_LabelHeap):
+    """Sequential min-priority queue keyed by current k-order labels.
+
+    Two kinds of staleness can hit queued keys:
+
+    * *moves* — Backward re-threads a queued vertex to a later position:
+      its key only grows, so re-validating on pop (pop, compare with fresh
+      labels, re-push if changed) restores the order;
+    * *relabels* — an OM split/rebalance may rewrite labels wholesale,
+      possibly *decreasing* some, which per-entry checks cannot repair.
+      We therefore record the O_K list version at key time and rebuild the
+      whole heap when it changed — exactly the paper's Appendix E rule
+      ("if O_k triggers a relabel operation ... make the heap again").
+    """
+
+    __slots__ = ("_members", "_version")
+
+    def __init__(self, korder) -> None:
+        super().__init__(korder)
+        self._members: Set[Vertex] = set()
+        self._version = korder.version
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def push(self, v: Vertex) -> None:
+        if v in self._members:
+            return
+        self._members.add(v)
+        self._push(v, self.ko.labels(v))
+
+    def pop(self) -> Optional[Vertex]:
+        """Pop the member with the minimum current k-order, or None."""
+        while self._members:
+            if self.ko.version != self._version:
+                self._rebuild((v, self.ko.labels(v)) for v in self._members)
+                self._version = self.ko.version
+            labels, _seq, v = heapq.heappop(self._heap)
+            if v not in self._members:
+                continue  # superseded entry
+            fresh = self.ko.labels(v)
+            if fresh != labels:
+                # v was re-threaded while queued; re-key and retry
+                self._push(v, fresh)
+                continue
+            self._members.discard(v)
+            return v
+        return None
+
+
+class VersionedPQ(_LabelHeap):
+    """Worker-private priority queue with the Appendix E version protocol.
+
+    Used by the parallel insertion (Algorithm 5) to dequeue affected
+    vertices in k-order while other workers concurrently re-thread
+    vertices and trigger OM relabels.  Each entry snapshots
+    ``[L_b(v), L_t(v), v.s, ver]`` at enqueue time:
+
+    * an entry's *status* ``v.s`` detects that ``v`` moved after
+      enqueueing (Algorithm 13 lines 6-7): the dequeuer unlocks and
+      forces a re-version;
+    * the *version* stamp detects OM relabels, which may rewrite labels
+      non-monotonically: whenever the queue's version is stale
+      (``ver = ∅``), :meth:`update_version` re-snapshots every member
+      (Algorithm 11) before the next ``front``.
+
+    The lock-and-check dance of Algorithm 13 itself lives in
+    ``repro.parallel.parallel_insert`` because it owns lock bookkeeping;
+    this class provides the queue state and the version protocol.
+    """
+
+    __slots__ = ("k", "ver", "_rec")
+
+    def __init__(self, korder, k: int) -> None:
+        super().__init__(korder)
+        self.k = k
+        self.ver: Optional[int] = korder.version
+        # member -> (labels, status, version) snapshot
+        self._rec: Dict[Vertex, Tuple[tuple, int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rec)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._rec
+
+    # ------------------------------------------------------------------
+    def _stable_labels(self, v: Vertex):
+        """Read (labels, status) surviving concurrent moves.  Under the
+        step-atomic simulator this returns first try; under threads it
+        retries through torn reads (mover's status bump guarantees
+        progress)."""
+        while True:
+            s = self.ko.status(v)
+            if s % 2 == 1:
+                continue
+            try:
+                labels = self.ko.labels(v)
+            except AttributeError:
+                continue
+            if self.ko.status(v) == s:
+                return labels, s
+
+    def _version_relaxed(self) -> int:
+        """Read ``O.ver`` — a designed racy read (Appendix E): staleness
+        is detected by the re-read after snapshotting, so the race
+        detector sees it as a relaxed ``("om", "version")`` access."""
+        tr = self.ko.trace
+        if tr is not None:
+            tr.read(("om", "version"), relaxed=True)
+        return self.ko.version
+
+    def enqueue(self, v: Vertex) -> None:
+        """Algorithm 12: snapshot and insert; go stale on any inconsistency."""
+        if v in self._rec:
+            return
+        ver0 = self._version_relaxed()
+        labels, s0 = self._stable_labels(v)
+        self._rec[v] = (labels, s0, ver0)
+        self._push(v, labels)
+        if (
+            s0 % 2 == 1
+            or s0 != self.ko.status(v)
+            or ver0 != self._version_relaxed()
+            or self.ver is None
+            or ver0 != self.ver
+        ):
+            self.ver = None  # delayed re-version at next dequeue
+
+    def update_version(self) -> int:
+        """Algorithm 11: bring every member to one consistent version.
+
+        Returns the number of members re-snapshotted (the dequeuer charges
+        that as heap-rebuild cost).  Spins while a relabel is in flight or
+        a member is mid-move (only observable under the thread backend;
+        in the step-atomic simulator each attempt succeeds first try).
+        """
+        while True:
+            ver2 = self._version_relaxed()
+            if self.ko.relabels_in_progress:
+                continue
+            fresh: Dict[Vertex, Tuple[tuple, int, int]] = {}
+            ok = True
+            for v in self._rec:
+                labels, s = self._stable_labels(v)
+                fresh[v] = (labels, s, ver2)
+            if not ok or ver2 != self._version_relaxed() or self.ko.relabels_in_progress:
+                continue
+            self._rec = fresh
+            self._rebuild((v, rec[0]) for v, rec in fresh.items())
+            self.ver = ver2
+            return len(fresh)
+
+    def front(self) -> Optional[Vertex]:
+        """The member with the minimum snapshotted labels (no removal).
+
+        Callers must have refreshed the version first (``ver`` not None).
+        """
+        while self._heap:
+            labels, _seq, v = self._heap[0]
+            rec = self._rec.get(v)
+            if rec is None or rec[0] != labels:
+                heapq.heappop(self._heap)  # superseded entry
+                continue
+            return v
+        return None
+
+    def remove(self, v: Vertex) -> None:
+        """Drop ``v`` from the queue (entry removal is lazy)."""
+        self._rec.pop(v, None)
+
+    def recorded_status(self, v: Vertex) -> int:
+        """The status snapshot taken when ``v`` was (re)recorded."""
+        return self._rec[v][1]

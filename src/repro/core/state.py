@@ -32,6 +32,7 @@ from typing import Dict, Hashable, Iterable, Optional
 from repro.core.decomposition import core_decomposition
 from repro.core.korder import KOrder
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.storage import make_vertex_map, raw_map, raw_set
 
 Vertex = Hashable
 
@@ -73,9 +74,11 @@ class OrderState:
     def __init__(self, graph: DynamicGraph, korder: KOrder, d_out: Dict[Vertex, int]):
         self.graph = graph
         self.korder = korder
-        self.d_out: Dict[Vertex, Optional[int]] = dict(d_out)
-        self.mcd: Dict[Vertex, Optional[int]] = {u: None for u in korder.core}
-        self.t: Dict[Vertex, int] = {}
+        # Storage follows the substrate: flat slots over IntGraph, plain
+        # dicts over hashable-id graphs (see repro.graph.storage).
+        self.d_out = make_vertex_map(graph, d_out)
+        self.mcd = make_vertex_map(graph, {u: None for u in korder.core})
+        self.t = make_vertex_map(graph)
         # Set by the thread backend to make t-transitions genuinely atomic
         # (the simulator's step-atomicity makes plain ops equivalent).
         self.t_mutex = None
@@ -147,14 +150,14 @@ class OrderState:
         tr = self.trace
         if tr is not None:
             tr.write(("d_out", v), relaxed=True)
-        dict.__setitem__(self.d_out, v, None)
+        raw_set(self.d_out, v, None)
 
     def mcd_wipe(self, v: Vertex) -> None:
         """Invalidate ``mcd[v]`` without holding ``v``'s lock."""
         tr = self.trace
         if tr is not None:
             tr.write(("mcd", v), relaxed=True)
-        dict.__setitem__(self.mcd, v, None)
+        raw_set(self.mcd, v, None)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -167,8 +170,10 @@ class OrderState:
     ) -> "OrderState":
         """Initialize cores, k-order and d_out^+ with BZ (paper Algorithm 1)."""
         decomp = core_decomposition(graph, strategy=strategy, seed=seed)
-        korder = KOrder.from_decomposition(decomp.core, decomp.order, capacity=capacity)
-        return cls(graph, korder, dict(decomp.d_out))
+        korder = KOrder.from_decomposition(
+            decomp.core, decomp.order, capacity=capacity, graph=graph
+        )
+        return cls(graph, korder, decomp.d_out)
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -201,33 +206,49 @@ class OrderState:
           imminent ``DoMCD`` decrement must see itself counted — the
           paper's ``v = w`` special case).
         """
-        cur = self.mcd.get(x)
+        # Registered vertices always have core/mcd entries, so when
+        # untraced the loop indexes raw storage (C-speed on both
+        # substrates).
+        if self.trace is None:
+            mcd, core = raw_map(self.mcd), raw_map(self.korder.core)
+            cur = mcd[x]
+        else:
+            mcd, core = self.mcd, self.korder.core
+            cur = mcd.get(x)
         if cur is not None:
             return cur
-        cx = self.korder.core[x]
+        cx = core[x]
         pend = set(pending)
         cnt = 0
         for v in self.graph.neighbors(x):
-            cv = self.korder.core[v]
+            cv = core[v]
             if cv >= cx:
                 cnt += 1
             elif cv == cx - 1 and (v in pend or v == visitor):
                 cnt += 1
-        self.mcd[x] = cnt
+        mcd[x] = cnt
         return cnt
 
     def invalidate_mcd_around(self, vertices: Iterable[Vertex]) -> None:
         """Drop cached mcd for ``vertices`` and all their neighbors — used
         after insertions change core numbers."""
+        mcd = raw_map(self.mcd) if self.trace is None else self.mcd
         for w in vertices:
-            self.mcd[w] = None
+            mcd[w] = None
             for x in self.graph.neighbors(w):
-                self.mcd[x] = None
+                mcd[x] = None
 
     def ensure_d_out(self, u: Vertex) -> int:
         """Materialize ``d_out^+[u]`` (count of k-order successors among
         neighbors) if unknown and return it.  Callers in the parallel
         algorithms must hold u's lock."""
+        if self.trace is None:
+            d_out = raw_map(self.d_out)
+            cur = d_out[u]
+            if cur is None:
+                cur = self.korder.count_post(self.graph, u)
+                d_out[u] = cur
+            return cur
         cur = self.d_out.get(u)
         if cur is None:
             cur = self.korder.count_post(self.graph, u)

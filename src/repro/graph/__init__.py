@@ -8,7 +8,12 @@ evaluation; :mod:`repro.graph.datasets` provides scaled stand-ins for the
 SNAP/KONECT datasets of the paper's Table 1.
 """
 
+from repro.graph.core import GraphCore, canonical_edge
+from repro.graph.dictgraph import DictGraph
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.interning import VertexInterner
+from repro.graph.intgraph import IntGraph
+from repro.graph.storage import IntSlotMap, make_vertex_map
 from repro.graph.generators import (
     erdos_renyi,
     barabasi_albert,
@@ -21,6 +26,13 @@ from repro.graph.datasets import DATASETS, load_dataset, dataset_names
 
 __all__ = [
     "DynamicGraph",
+    "DictGraph",
+    "IntGraph",
+    "IntSlotMap",
+    "GraphCore",
+    "VertexInterner",
+    "canonical_edge",
+    "make_vertex_map",
     "erdos_renyi",
     "barabasi_albert",
     "rmat",

@@ -1,0 +1,77 @@
+"""The ``GraphCore`` protocol: the exact graph surface algorithms may use.
+
+Every maintenance algorithm in :mod:`repro` (decomposition, the
+sequential OI/OR kernels, the parallel OurI/OurR workers, the traversal
+baseline) touches the graph through six operations only.  This module
+pins those down as a :class:`typing.Protocol` so that
+
+* new algorithms are written against the protocol, not a concrete
+  substrate — they then run unchanged over the dict-of-sets
+  :class:`~repro.graph.dictgraph.DictGraph`, the array-backed
+  :class:`~repro.graph.intgraph.IntGraph`, and the public
+  :class:`~repro.graph.dynamic_graph.DynamicGraph` wrapper;
+* the boundary is lintable: ``repro-lint`` rule RL005 flags any module
+  outside :mod:`repro.graph` that reaches past the protocol into raw
+  adjacency storage (``g._adj[...]`` / ``g.adj[...]``).
+
+The protocol is deliberately minimal.  Convenience operations
+(``copy``, ``subgraph``, ``connected_component``) are substrate-specific
+and not part of the contract algorithms may assume.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Protocol, Tuple, runtime_checkable
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["GraphCore", "Vertex", "Edge", "canonical_edge"]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of an undirected edge.
+
+    Canonicalization lets edge batches be deduplicated and compared
+    regardless of endpoint order.  Falls back to a repr-based order for
+    mixed-type vertices that do not support ``<``.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@runtime_checkable
+class GraphCore(Protocol):
+    """Minimal graph surface the core-maintenance algorithms rely on.
+
+    ``neighbors`` must return a *live* view: iterating it reflects
+    concurrent mutation, and algorithms snapshot (``list(...)``) where
+    the paper's pseudocode requires a frozen scan.  ``add_edge`` and
+    ``remove_edge`` are strict (raise on duplicate insert / missing
+    remove) so drivers cannot silently desynchronize from the
+    core-number state they carry.
+    """
+
+    @property
+    def num_vertices(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def vertices(self) -> Iterator[Vertex]: ...
+
+    def neighbors(self, u: Vertex) -> Iterable[Vertex]: ...
+
+    def degree(self, u: Vertex) -> int: ...
+
+    def has_vertex(self, u: Vertex) -> bool: ...
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool: ...
+
+    def add_vertex(self, u: Vertex) -> None: ...
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None: ...
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None: ...

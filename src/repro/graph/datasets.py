@@ -56,8 +56,15 @@ class Dataset:
         return self._edge_fn(seed)
 
     def graph(self, seed: int = 0) -> DynamicGraph:
-        """Build the full stand-in graph."""
-        return DynamicGraph(self.edges(seed))
+        """Build the full stand-in graph.
+
+        Generator output is already deduplicated dense-int edges, so the
+        graph is built through the interned
+        :meth:`~repro.graph.dynamic_graph.DynamicGraph.from_int_edges`
+        fast path: an identity interner over ``0..n-1`` and a bulk
+        adjacency build with no per-edge hashing or duplicate checks.
+        """
+        return DynamicGraph.from_int_edges(self.edges(seed))
 
 
 def _temporal_edges(n: int, m: int, burst: float) -> Callable[[int], List[Edge]]:

@@ -1,0 +1,226 @@
+"""Dict-of-sets graph substrate (the legacy representation).
+
+This is the original storage behind :class:`DynamicGraph` before the
+integer-interned refactor: adjacency as ``dict[vertex, set[vertex]]``
+over arbitrary hashable vertex ids.  It is kept as a first-class
+substrate because
+
+* it is the differential-testing twin of the array-backed
+  :class:`~repro.graph.intgraph.IntGraph` — the representation
+  differential tests assert both produce identical core numbers and
+  k-orders on random dynamic workloads;
+* the ``repro-bench representation`` workload measures the array
+  backend's speedup against it (the committed ``BENCH_*.json`` entries
+  track that ratio over time);
+* algorithms written against the :class:`~repro.graph.core.GraphCore`
+  protocol can be exercised over a hashable-id substrate directly,
+  without an interner in the loop.
+
+Sets give O(1) membership checks for the ``has_edge`` pre-checks and
+O(deg) neighbor scans, matching the paper's cost model.  All mutating
+operations are *strict*: inserting an existing edge or removing a
+missing one raises, so maintenance drivers cannot silently
+desynchronize from the core-number state they carry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.graph.core import canonical_edge
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["DictGraph"]
+
+
+class DictGraph:
+    """An undirected simple graph over hashable ids, stored as dict-of-sets.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs used to initialize the graph.
+        Self-loops raise; duplicate edges (in either orientation) are
+        ignored during bulk construction, mirroring the paper's dataset
+        preprocessing ("all of the self-loops and repeated edges are
+        removed").
+
+    Examples
+    --------
+    >>> g = DictGraph([(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> g.add_edge(0, 2)
+    >>> sorted(g.neighbors(2))
+    [0, 1]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                if u == v:
+                    raise ValueError(f"self-loop not allowed: {u!r}")
+                if not self.has_edge(u, v):
+                    self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently present (including isolated ones)."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once (canonical form)."""
+        seen: Set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                e = canonical_edge(u, v)
+                if e not in seen:
+                    seen.add(e)
+                    yield e
+
+    def neighbors(self, u: Vertex) -> Set[Vertex]:
+        """The adjacency set ``u.adj`` of the paper.
+
+        Returns the live set; callers that mutate the graph while iterating
+        must copy it first (the maintenance algorithms snapshot where the
+        paper's pseudocode requires it).
+        """
+        return self._adj[u]
+
+    def degree(self, u: Vertex) -> int:
+        """``u.deg = |u.adj|``."""
+        return len(self._adj[u])
+
+    def has_vertex(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, u: Vertex) -> None:
+        """Ensure ``u`` exists (idempotent)."""
+        if u not in self._adj:
+            self._adj[u] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        ValueError
+            If ``u == v`` (self-loop) or the edge already exists.
+        """
+        if u == v:
+            raise ValueError(f"self-loop not allowed: {u!r}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            raise ValueError(f"edge already present: ({u!r}, {v!r})")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge not present: ({u!r}, {v!r})")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, u: Vertex) -> None:
+        """Remove ``u`` and all incident edges.
+
+        The paper treats vertex removal as a sequence of edge removals; this
+        helper exists for graph construction and tests.
+        """
+        for v in list(self._adj[u]):
+            self.remove_edge(u, v)
+        del self._adj[u]
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def copy(self) -> "DictGraph":
+        """Deep copy of the adjacency structure."""
+        g = DictGraph()
+        g._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "DictGraph":
+        """Induced subgraph on ``vertices`` (used by the Traversal baseline
+        and by tests that check subcore definitions)."""
+        vs = set(vertices)
+        g = DictGraph()
+        for u in vs:
+            g.add_vertex(u)
+        for u in vs:
+            for v in self._adj.get(u, ()):  # tolerate absent vertices
+                if v in vs and not g.has_edge(u, v):
+                    g.add_edge(u, v)
+        return g
+
+    def average_degree(self) -> float:
+        """``2m / n`` — the "AvgDeg" column of the paper's Table 1."""
+        n = self.num_vertices
+        return (2.0 * self._num_edges / n) if n else 0.0
+
+    def connected_component(self, start: Vertex) -> Set[Vertex]:
+        """Vertices reachable from ``start`` (BFS)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        return seen
+
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DictGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DictGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("DictGraph is mutable and unhashable")

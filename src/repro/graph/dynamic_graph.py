@@ -1,27 +1,36 @@
-"""Undirected, unweighted, simple dynamic graph.
+"""Undirected, unweighted, simple dynamic graph — the public facade.
 
 This is the substrate mutated by every core-maintenance algorithm in the
 library.  The paper (Section 3) assumes graphs with no self-loops and no
 repeated edges; directed inputs are symmetrized on load.  Vertices are
 arbitrary hashable IDs (the evaluation uses dense integers).
 
-Design notes
-------------
-* Adjacency is a ``dict[vertex, set[vertex]]``.  Sets give O(1) membership
-  checks, which the maintenance algorithms rely on for the ``has_edge``
-  pre-checks, and O(deg) neighbor scans, matching the paper's cost model
-  (it stores adjacency as arrays; see the JER discussion in Section 5.2
-  about array storage vs. binary search trees).
-* All mutating operations are *strict*: inserting an existing edge or
-  removing a missing one raises, so maintenance drivers cannot silently
-  desynchronize from the core-number state they carry.
-* ``add_edge``/``remove_edge`` are intentionally free of any core-number
-  logic; maintainers wrap them.
+Since the representation refactor (see ``docs/representation.md``),
+``DynamicGraph`` is a thin compatibility wrapper over the array-backed
+:class:`~repro.graph.intgraph.IntGraph` plus a
+:class:`~repro.graph.interning.VertexInterner`:
+
+* external hashable ids are interned to dense ints **once**, on first
+  mention, at this boundary;
+* all storage and all hot loops run on int ids (maintenance facades
+  unwrap ``g.ig``/``g.interner`` and work int-natively);
+* results are un-interned on the way back out, so the public API is
+  unchanged — arbitrary hashable vertex ids in, the same ids out.
+
+``neighbors`` returns a live set-like *view* (:class:`_NbrView`) over
+the int adjacency, preserving the legacy contract that the returned
+object reflects later mutation.  The previous dict-of-sets storage
+survives as :class:`~repro.graph.dictgraph.DictGraph` for differential
+testing and the representation benchmark.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+from typing import Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.graph.core import canonical_edge
+from repro.graph.interning import VertexInterner
+from repro.graph.intgraph import IntGraph
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -29,17 +38,42 @@ Edge = Tuple[Vertex, Vertex]
 __all__ = ["DynamicGraph", "Vertex", "Edge", "canonical_edge"]
 
 
-def canonical_edge(u: Vertex, v: Vertex) -> Edge:
-    """Return the canonical (sorted) form of an undirected edge.
+class _NbrView:
+    """Live, set-like view of one vertex's adjacency in external-id terms.
 
-    Canonicalization lets edge batches be deduplicated and compared
-    regardless of endpoint order.  Falls back to a repr-based order for
-    mixed-type vertices that do not support ``<``.
+    Iteration, membership and ``len`` reflect the graph's current state;
+    the view must not be mutated.  Algorithms snapshot (``list(view)``)
+    where the paper's pseudocode requires a frozen scan.
     """
-    try:
-        return (u, v) if u <= v else (v, u)
-    except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    __slots__ = ("_ig", "_interner", "_iu")
+
+    def __init__(self, ig: IntGraph, interner: VertexInterner, iu: int) -> None:
+        self._ig = ig
+        self._interner = interner
+        self._iu = iu
+
+    def __iter__(self) -> Iterator[Vertex]:
+        ext = self._interner.external
+        return (ext(i) for i in self._ig.neighbors(self._iu))
+
+    def __contains__(self, x: object) -> bool:
+        i = self._interner.lookup_default(x)
+        return i is not None and self._ig.has_edge(self._iu, i)
+
+    def __len__(self) -> int:
+        return self._ig.degree(self._iu)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{{{', '.join(repr(v) for v in self)}}}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_NbrView, set, frozenset)):
+            return set(self) == set(other)
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("neighbor views are live and unhashable")
 
 
 class DynamicGraph:
@@ -64,11 +98,14 @@ class DynamicGraph:
     [0, 1]
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("ig", "interner")
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
-        self._adj: Dict[Vertex, Set[Vertex]] = {}
-        self._num_edges = 0
+        #: The array-backed substrate; maintenance facades run on it
+        #: int-natively.  Treat as read-only outside ``repro``.
+        self.ig = IntGraph()
+        #: The external-id ↔ int-id mapping shared with :attr:`ig`.
+        self.interner = VertexInterner()
         if edges is not None:
             for u, v in edges:
                 if u == v:
@@ -76,60 +113,95 @@ class DynamicGraph:
                 if not self.has_edge(u, v):
                     self.add_edge(u, v)
 
+    @classmethod
+    def _wrap(cls, ig: IntGraph, interner: VertexInterner) -> "DynamicGraph":
+        """Wrap existing substrate objects without copying (in-package)."""
+        g = cls.__new__(cls)
+        g.ig = ig
+        g.interner = interner
+        return g
+
+    @classmethod
+    def from_int_edges(
+        cls, edges: Iterable[Tuple[int, int]], n: Optional[int] = None
+    ) -> "DynamicGraph":
+        """Fast build from *deduplicated, self-loop-free* int edges.
+
+        Generator/dataset output (dense int vertices, already
+        canonicalized by ``dedupe_edges``) skips the per-edge hashable
+        round-trip: the interner is the identity on ``0..n-1`` and
+        adjacency is bulk-appended.  No duplicate checks are performed.
+        """
+        edges = edges if isinstance(edges, list) else list(edges)
+        if n is None:
+            n = 1 + max((u if u > v else v for u, v in edges), default=-1)
+        g = cls.__new__(cls)
+        g.ig = IntGraph.from_canonical_edges(edges, n=n)
+        g.interner = VertexInterner(range(g.ig.n_slots))
+        return g
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
         """Number of vertices currently present (including isolated ones)."""
-        return len(self._adj)
+        return self.ig.num_vertices
 
     @property
     def num_edges(self) -> int:
-        """Number of undirected edges."""
-        return self._num_edges
+        """Number of undirected edges (derived from adjacency — stays
+        correct under the thread backend, no post-run fixups)."""
+        return self.ig.num_edges
 
     def vertices(self) -> Iterator[Vertex]:
-        """Iterate over all vertices."""
-        return iter(self._adj)
+        """Iterate over all vertices (external ids, in first-seen order)."""
+        ext = self.interner.external
+        return (ext(i) for i in self.ig.vertices())
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over each undirected edge exactly once (canonical form)."""
-        seen: Set[Edge] = set()
-        for u, nbrs in self._adj.items():
-            for v in nbrs:
-                e = canonical_edge(u, v)
-                if e not in seen:
-                    seen.add(e)
-                    yield e
+        ext = self.interner.external
+        for i, j in self.ig.edges():
+            yield canonical_edge(ext(i), ext(j))
 
-    def neighbors(self, u: Vertex) -> Set[Vertex]:
+    def neighbors(self, u: Vertex) -> _NbrView:
         """The adjacency set ``u.adj`` of the paper.
 
-        Returns the live set; callers that mutate the graph while iterating
-        must copy it first (the maintenance algorithms snapshot where the
-        paper's pseudocode requires it).
+        Returns a live set-like view; callers that mutate the graph while
+        iterating must copy it first (the maintenance algorithms snapshot
+        where the paper's pseudocode requires it).
         """
-        return self._adj[u]
+        i = self.interner.lookup_default(u)
+        if i is None or not self.ig.has_vertex(i):
+            raise KeyError(u)
+        return _NbrView(self.ig, self.interner, i)
 
     def degree(self, u: Vertex) -> int:
         """``u.deg = |u.adj|``."""
-        return len(self._adj[u])
+        i = self.interner.lookup_default(u)
+        if i is None or not self.ig.has_vertex(i):
+            raise KeyError(u)
+        return self.ig.degree(i)
 
     def has_vertex(self, u: Vertex) -> bool:
-        return u in self._adj
+        i = self.interner.lookup_default(u)
+        return i is not None and self.ig.has_vertex(i)
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
-        nbrs = self._adj.get(u)
-        return nbrs is not None and v in nbrs
+        it = self.interner
+        i = it.lookup_default(u)
+        if i is None:
+            return False
+        j = it.lookup_default(v)
+        return j is not None and self.ig.has_edge(i, j)
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add_vertex(self, u: Vertex) -> None:
         """Ensure ``u`` exists (idempotent)."""
-        if u not in self._adj:
-            self._adj[u] = set()
+        self.ig.add_vertex(self.interner.intern(u))
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Insert the undirected edge ``(u, v)``.
@@ -141,13 +213,10 @@ class DynamicGraph:
         """
         if u == v:
             raise ValueError(f"self-loop not allowed: {u!r}")
-        self.add_vertex(u)
-        self.add_vertex(v)
-        if v in self._adj[u]:
+        if self.has_edge(u, v):
             raise ValueError(f"edge already present: ({u!r}, {v!r})")
-        self._adj[u].add(v)
-        self._adj[v].add(u)
-        self._num_edges += 1
+        it = self.interner
+        self.ig.add_edge(it.intern(u), it.intern(v))
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``(u, v)``.
@@ -159,29 +228,27 @@ class DynamicGraph:
         """
         if not self.has_edge(u, v):
             raise KeyError(f"edge not present: ({u!r}, {v!r})")
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
-        self._num_edges -= 1
+        it = self.interner
+        self.ig.remove_edge(it.lookup(u), it.lookup(v))
 
     def remove_vertex(self, u: Vertex) -> None:
         """Remove ``u`` and all incident edges.
 
         The paper treats vertex removal as a sequence of edge removals; this
-        helper exists for graph construction and tests.
+        helper exists for graph construction and tests.  The int id stays
+        reserved: re-adding the same external id revives the same slot.
         """
-        for v in list(self._adj[u]):
-            self.remove_edge(u, v)
-        del self._adj[u]
+        i = self.interner.lookup_default(u)
+        if i is None or not self.ig.has_vertex(i):
+            raise KeyError(u)
+        self.ig.remove_vertex(i)
 
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
     def copy(self) -> "DynamicGraph":
-        """Deep copy of the adjacency structure."""
-        g = DynamicGraph()
-        g._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
-        g._num_edges = self._num_edges
-        return g
+        """Deep copy of the adjacency structure (interner ids preserved)."""
+        return DynamicGraph._wrap(self.ig.copy(), self.interner.copy())
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "DynamicGraph":
         """Induced subgraph on ``vertices`` (used by the Traversal baseline
@@ -191,35 +258,30 @@ class DynamicGraph:
         for u in vs:
             g.add_vertex(u)
         for u in vs:
-            for v in self._adj.get(u, ()):  # tolerate absent vertices
+            if not self.has_vertex(u):
+                continue  # tolerate absent vertices
+            for v in self.neighbors(u):
                 if v in vs and not g.has_edge(u, v):
                     g.add_edge(u, v)
         return g
 
     def average_degree(self) -> float:
         """``2m / n`` — the "AvgDeg" column of the paper's Table 1."""
-        n = self.num_vertices
-        return (2.0 * self._num_edges / n) if n else 0.0
+        return self.ig.average_degree()
 
     def connected_component(self, start: Vertex) -> Set[Vertex]:
         """Vertices reachable from ``start`` (BFS)."""
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            nxt = []
-            for u in frontier:
-                for v in self._adj[u]:
-                    if v not in seen:
-                        seen.add(v)
-                        nxt.append(v)
-            frontier = nxt
-        return seen
+        i = self.interner.lookup_default(start)
+        if i is None or not self.ig.has_vertex(i):
+            raise KeyError(start)
+        ext = self.interner.external
+        return {ext(j) for j in self.ig.connected_component(i)}
 
     def __contains__(self, u: Vertex) -> bool:
-        return u in self._adj
+        return self.has_vertex(u)
 
     def __len__(self) -> int:
-        return len(self._adj)
+        return self.ig.num_vertices
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"
@@ -227,7 +289,13 @@ class DynamicGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DynamicGraph):
             return NotImplemented
-        return self._adj == other._adj
+        mine = set(self.vertices())
+        if mine != set(other.vertices()):
+            return False
+        for u in mine:
+            if set(self.neighbors(u)) != set(other.neighbors(u)):
+                return False
+        return True
 
     def __hash__(self) -> None:  # type: ignore[override]
         raise TypeError("DynamicGraph is mutable and unhashable")

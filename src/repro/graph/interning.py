@@ -1,0 +1,128 @@
+"""Vertex interning: stable external-id ↔ dense-int mapping.
+
+The paper's C++ implementation (Section 5.2) stores adjacency, core
+numbers and the ``d_out^+``/``d_in*`` counters in flat arrays indexed by
+dense integer vertex ids, and credits array storage over tree/hash
+storage for JER's speed.  Python callers, however, want to use arbitrary
+hashable vertex ids (user ids, string labels, tuples).  The
+:class:`VertexInterner` bridges the two worlds: every external id is
+interned **once** at the library boundary and becomes a dense int id
+``0..n-1`` that every internal layer — :class:`~repro.graph.intgraph.IntGraph`
+adjacency, :class:`~repro.core.state.OrderState` counters, OM labels,
+lock tables — can use as a direct array index.
+
+Stability rules (relied on by the maintenance algorithms and by the
+snapshot/history layers):
+
+* ids are assigned in first-seen order and **never reused or remapped** —
+  removing a vertex from a graph does not free its id, and re-adding the
+  same external id yields the same int id;
+* the mapping only grows; ``len(interner)`` is the id space size, which
+  is exactly the slot count every array-backed structure must cover.
+
+The *identity regime* is tracked as an optimization: as long as every
+interned external id is the int equal to its assigned id (the common
+case for generator/dataset graphs with vertices ``0..n-1`` inserted in
+order), translation is skipped entirely by the
+:class:`~repro.graph.dynamic_graph.DynamicGraph` wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+Vertex = Hashable
+
+__all__ = ["VertexInterner"]
+
+
+class VertexInterner:
+    """Growable, serializable external-id ↔ dense-int-id mapping."""
+
+    __slots__ = ("_to_int", "_to_ext", "identity")
+
+    def __init__(self, externals: Iterable[Vertex] = ()) -> None:
+        self._to_int: Dict[Vertex, int] = {}
+        self._to_ext: List[Vertex] = []
+        #: True while every interned id is an int equal to its slot index,
+        #: letting wrappers skip translation entirely.
+        self.identity = True
+        for x in externals:
+            self.intern(x)
+
+    # ------------------------------------------------------------------
+    # core mapping
+    # ------------------------------------------------------------------
+    def intern(self, x: Vertex) -> int:
+        """Return the int id of ``x``, assigning the next free id if new."""
+        i = self._to_int.get(x)
+        if i is None:
+            i = len(self._to_ext)
+            self._to_int[x] = i
+            self._to_ext.append(x)
+            if self.identity and x != i:
+                self.identity = False
+        return i
+
+    def intern_many(self, xs: Iterable[Vertex]) -> List[int]:
+        """Intern a sequence of external ids (boundary bulk helper)."""
+        intern = self.intern
+        return [intern(x) for x in xs]
+
+    def lookup(self, x: Vertex) -> int:
+        """The int id of ``x``; raises ``KeyError`` if never interned."""
+        return self._to_int[x]
+
+    def lookup_default(self, x: Vertex, default=None):
+        """The int id of ``x``, or ``default`` if never interned."""
+        return self._to_int.get(x, default)
+
+    def external(self, i: int) -> Vertex:
+        """The external id owning int id ``i``."""
+        return self._to_ext[i]
+
+    def externals(self, ids: Iterable[int]) -> List[Vertex]:
+        """Map int ids back to external ids (boundary bulk helper)."""
+        ext = self._to_ext
+        return [ext[i] for i in ids]
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._to_ext)
+
+    def __contains__(self, x: Vertex) -> bool:
+        return x in self._to_int
+
+    def __iter__(self) -> Iterator[Vertex]:
+        """External ids in id order (id ``i`` is the i-th yielded)."""
+        return iter(self._to_ext)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = " identity" if self.identity else ""
+        return f"VertexInterner(n={len(self._to_ext)}{tag})"
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_list(self) -> List[Vertex]:
+        """The external-id table; element ``i`` owns int id ``i``."""
+        return list(self._to_ext)
+
+    @classmethod
+    def from_list(cls, externals: Iterable[Vertex]) -> "VertexInterner":
+        """Rebuild from :meth:`to_list` output (ids preserved)."""
+        it = cls()
+        for x in externals:
+            it.intern(x)
+        if len(it._to_ext) != len(it._to_int):
+            raise ValueError("duplicate external id in interner table")
+        return it
+
+    def copy(self) -> "VertexInterner":
+        it = VertexInterner()
+        it._to_int = dict(self._to_int)
+        it._to_ext = list(self._to_ext)
+        it.identity = self.identity
+        return it

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.graph.generators import dedupe_edges
+from repro.graph.interning import VertexInterner
 
 Edge = Tuple[int, int]
 PathLike = Union[str, Path]
@@ -38,6 +39,7 @@ def read_edge_list(
     dedupe: bool = True,
     strict: bool = True,
     counters: Optional[Dict[str, int]] = None,
+    interner: Optional[VertexInterner] = None,
 ) -> List[Edge]:
     """Read a SNAP/KONECT-style edge list.
 
@@ -53,10 +55,22 @@ def read_edge_list(
     to receive the tallies: ``kept`` (edge lines parsed), ``malformed``
     and ``self_loops`` (both always 0 under ``strict=True``, which raises
     on the first malformed line instead).
+
+    Pass an ``interner`` to translate file ids into dense int ids *at
+    the parse boundary*: the returned edges are then interner ids, ready
+    for :meth:`~repro.graph.dynamic_graph.DynamicGraph.from_int_edges`
+    without a second pass over the edge list.  SNAP/KONECT files often
+    use sparse or one-based vertex ids, so interning here is also what
+    keeps downstream array storage dense.  With ``counters``, the tallies
+    gain ``interner_hits`` (endpoint already interned) and
+    ``interner_misses`` (endpoint newly assigned an id); both are 0 when
+    no interner is given.
     """
     edges: List[Edge] = []
     malformed = 0
     self_loops = 0
+    interner_hits = 0
+    interner_misses = 0
     with _open(path, "r") as fh:
         for line in fh:
             line = line.strip()
@@ -73,10 +87,22 @@ def read_edge_list(
             if not strict and u == v:
                 self_loops += 1
                 continue
+            if interner is not None:
+                if u in interner:
+                    interner_hits += 1
+                else:
+                    interner_misses += 1
+                if v in interner:
+                    interner_hits += 1
+                else:
+                    interner_misses += 1
+                u, v = interner.intern(u), interner.intern(v)
             edges.append((u, v))
     if counters is not None:
         counters.update(kept=len(edges), malformed=malformed,
-                        self_loops=self_loops)
+                        self_loops=self_loops,
+                        interner_hits=interner_hits,
+                        interner_misses=interner_misses)
     return dedupe_edges(edges) if dedupe else edges
 
 

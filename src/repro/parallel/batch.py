@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.core.boundary import Boundary
 from repro.core.state import InsertStats, OrderState, RemoveStats
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.costs import CostModel
@@ -128,7 +129,12 @@ class ParallelOrderMaintainer:
         capacity: int = 64,
         detector=None,
     ) -> None:
-        self.state = OrderState.from_graph(graph, strategy=strategy, capacity=capacity)
+        # Intern-once boundary: external ids become dense ints here, the
+        # workers and all shared state run int-natively underneath.
+        self.boundary = Boundary(graph)
+        self.state = OrderState.from_graph(
+            self.boundary.substrate, strategy=strategy, capacity=capacity
+        )
         self.num_workers = num_workers
         self.costs = costs or CostModel()
         self.schedule = schedule
@@ -142,13 +148,13 @@ class ParallelOrderMaintainer:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> DynamicGraph:
-        return self.state.graph
+        return self.boundary.public
 
     def core(self, u: Vertex) -> int:
-        return self.state.korder.core[u]
+        return self.state.korder.core[self.boundary.vertex_in(u)]
 
     def cores(self) -> Dict[Vertex, int]:
-        return dict(self.state.korder.core)
+        return self.boundary.core_map_out(self.state.korder.core)
 
     def check(self) -> None:
         """Assert all steady-state invariants (differential vs. BZ)."""
@@ -156,11 +162,14 @@ class ParallelOrderMaintainer:
 
     # ------------------------------------------------------------------
     def _validate_batch(self, edges: Sequence[Edge], inserting: bool) -> None:
-        validate_batch(self.state.graph, edges, inserting)
+        # validated against the public graph so error messages carry the
+        # caller's external ids
+        validate_batch(self.boundary.public, edges, inserting)
 
     def insert_edges(self, edges: Sequence[Edge]) -> BatchResult:
         """Parallel-InsertEdges(G, O, ΔE): insert a batch with P workers."""
         self._validate_batch(edges, inserting=True)
+        edges = self.boundary.edges_in(edges)
         for u, v in edges:  # sequential prologue: register new vertices
             self.state.ensure_vertex(u)
             self.state.ensure_vertex(v)
@@ -175,12 +184,13 @@ class ParallelOrderMaintainer:
             detector=self.detector,
         )
         report = machine.run(bodies)
-        stats = [s for out in outs for s in out]
+        stats = self.boundary.stats_out([s for out in outs for s in out])
         return BatchResult(report=report, stats=stats)
 
     def remove_edges(self, edges: Sequence[Edge]) -> BatchResult:
         """Parallel-RemoveEdges(G, O, ΔE): remove a batch with P workers."""
         self._validate_batch(edges, inserting=False)
+        edges = self.boundary.edges_in(edges)
         chunks = partition_batch(edges, self.num_workers)
         outs: List[List[RemoveStats]] = [[] for _ in chunks]
         bodies = [
@@ -192,5 +202,5 @@ class ParallelOrderMaintainer:
             detector=self.detector,
         )
         report = machine.run(bodies)
-        stats = [s for out in outs for s in out]
+        stats = self.boundary.stats_out([s for out in outs for s in out])
         return BatchResult(report=report, stats=stats)

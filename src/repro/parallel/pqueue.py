@@ -1,146 +1,13 @@
-"""Version-stamped min-priority queue over k-order labels (Appendix E).
+"""Compatibility shim: the version-stamped queue moved to ``repro.core.pqueue``.
 
-Worker-private queue ``Q_p`` used by the parallel insertion (Algorithm 5)
-to dequeue affected vertices in k-order while other workers concurrently
-re-thread vertices and trigger OM relabels.  Each entry snapshots
-``[L_b(v), L_t(v), v.s, ver]`` at enqueue time:
-
-* an entry's *status* ``v.s`` detects that ``v`` moved after enqueueing
-  (Algorithm 13 lines 6-7): the dequeuer unlocks and forces a re-version;
-* the *version* stamp detects OM relabels, which may rewrite labels
-  non-monotonically: whenever the queue's version is stale (``ver = ∅``),
-  :meth:`update_version` re-snapshots every member (Algorithm 11) before
-  the next ``front``.
-
-The lock-and-check dance of Algorithm 13 itself lives in
-``repro.parallel.parallel_insert`` because it owns lock bookkeeping; this
-class provides the queue state and the version protocol.
+:class:`~repro.core.pqueue.VersionedPQ` and the sequential
+:class:`~repro.core.pqueue.KOrderPQ` now share one lazy-rekey
+implementation; this module re-exports the concurrent variant so existing
+imports (``from repro.parallel.pqueue import VersionedPQ``) keep working.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, Hashable, List, Optional, Tuple
-
-Vertex = Hashable
+from repro.core.pqueue import VersionedPQ
 
 __all__ = ["VersionedPQ"]
-
-
-class VersionedPQ:
-    """Worker-private priority queue with the Appendix E version protocol."""
-
-    __slots__ = ("ko", "k", "ver", "_heap", "_rec", "_seq")
-
-    def __init__(self, korder, k: int) -> None:
-        self.ko = korder
-        self.k = k
-        self.ver: Optional[int] = korder.version
-        self._heap: List[Tuple[tuple, int, Vertex]] = []
-        # member -> (labels, status, version) snapshot
-        self._rec: Dict[Vertex, Tuple[tuple, int, int]] = {}
-        self._seq = 0
-
-    # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._rec)
-
-    def __contains__(self, v: Vertex) -> bool:
-        return v in self._rec
-
-    def _push(self, v: Vertex, labels: tuple) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (labels, self._seq, v))
-
-    # ------------------------------------------------------------------
-    def _stable_labels(self, v: Vertex):
-        """Read (labels, status) surviving concurrent moves.  Under the
-        step-atomic simulator this returns first try; under threads it
-        retries through torn reads (mover's status bump guarantees
-        progress)."""
-        while True:
-            s = self.ko.status(v)
-            if s % 2 == 1:
-                continue
-            try:
-                labels = self.ko.labels(v)
-            except AttributeError:
-                continue
-            if self.ko.status(v) == s:
-                return labels, s
-
-    def _version_relaxed(self) -> int:
-        """Read ``O.ver`` — a designed racy read (Appendix E): staleness
-        is detected by the re-read after snapshotting, so the race
-        detector sees it as a relaxed ``("om", "version")`` access."""
-        tr = self.ko.trace
-        if tr is not None:
-            tr.read(("om", "version"), relaxed=True)
-        return self.ko.version
-
-    def enqueue(self, v: Vertex) -> None:
-        """Algorithm 12: snapshot and insert; go stale on any inconsistency."""
-        if v in self._rec:
-            return
-        ver0 = self._version_relaxed()
-        labels, s0 = self._stable_labels(v)
-        self._rec[v] = (labels, s0, ver0)
-        self._push(v, labels)
-        if (
-            s0 % 2 == 1
-            or s0 != self.ko.status(v)
-            or ver0 != self._version_relaxed()
-            or self.ver is None
-            or ver0 != self.ver
-        ):
-            self.ver = None  # delayed re-version at next dequeue
-
-    def update_version(self) -> int:
-        """Algorithm 11: bring every member to one consistent version.
-
-        Returns the number of members re-snapshotted (the dequeuer charges
-        that as heap-rebuild cost).  Spins while a relabel is in flight or
-        a member is mid-move (only observable under the thread backend;
-        in the step-atomic simulator each attempt succeeds first try).
-        """
-        while True:
-            ver2 = self._version_relaxed()
-            if self.ko.relabels_in_progress:
-                continue
-            fresh: Dict[Vertex, Tuple[tuple, int, int]] = {}
-            ok = True
-            for v in self._rec:
-                labels, s = self._stable_labels(v)
-                fresh[v] = (labels, s, ver2)
-            if not ok or ver2 != self._version_relaxed() or self.ko.relabels_in_progress:
-                continue
-            self._rec = fresh
-            self._heap = []
-            self._seq = 0
-            for v, (labels, _s, _ver) in fresh.items():
-                self._push(v, labels)
-            heapq.heapify(self._heap)
-            self.ver = ver2
-            return len(fresh)
-
-    def front(self) -> Optional[Vertex]:
-        """The member with the minimum snapshotted labels (no removal).
-
-        Callers must have refreshed the version first (``ver`` not None).
-        """
-        while self._heap:
-            labels, _seq, v = self._heap[0]
-            rec = self._rec.get(v)
-            if rec is None or rec[0] != labels:
-                heapq.heappop(self._heap)  # superseded entry
-                continue
-            return v
-        return None
-
-    def remove(self, v: Vertex) -> None:
-        """Drop ``v`` from the queue (entry removal is lazy)."""
-        self._rec.pop(v, None)
-
-    def recorded_status(self, v: Vertex) -> int:
-        """The status snapshot taken when ``v`` was (re)recorded."""
-        return self._rec[v][1]

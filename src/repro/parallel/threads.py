@@ -19,10 +19,11 @@ atomicity the C implementation gets for free):
 * ``OrderState.t_mutex`` — makes the t-protocol's CAS/decrements atomic;
 * a registry lock for creating per-vertex locks.
 
-``DynamicGraph``'s edge counter is recomputed after the run (the counter
-increment is intentionally unsynchronized, as it is performance-neutral
-bookkeeping; adjacency-set mutations themselves are always protected by
-the endpoint locks the algorithms hold).
+The graph's edge count needs no post-run repair: ``IntGraph`` derives
+``num_edges`` from adjacency lengths instead of keeping a mutable counter,
+so it cannot be corrupted by unsynchronized increments (adjacency
+mutations themselves are always protected by the endpoint locks the
+algorithms hold).
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Sequence
 
+from repro.core.boundary import Boundary
 from repro.core.state import InsertStats, OrderState, RemoveStats
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.costs import CostModel
@@ -142,7 +144,8 @@ class ThreadedOrderMaintainer:
     def __init__(
         self, graph: DynamicGraph, num_workers: int = 4, detector=None
     ) -> None:
-        self.state = OrderState.from_graph(graph)
+        self.boundary = Boundary(graph)
+        self.state = OrderState.from_graph(self.boundary.substrate)
         self.state.korder.mutex = threading.Lock()
         self.state.t_mutex = threading.Lock()
         self.num_workers = num_workers
@@ -156,13 +159,13 @@ class ThreadedOrderMaintainer:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> DynamicGraph:
-        return self.state.graph
+        return self.boundary.public
 
     def core(self, u) -> int:
-        return self.state.korder.core[u]
+        return self.state.korder.core[self.boundary.vertex_in(u)]
 
     def cores(self) -> Dict:
-        return dict(self.state.korder.core)
+        return self.boundary.core_map_out(self.state.korder.core)
 
     def check(self) -> None:
         self.state.check_invariants()
@@ -173,13 +176,9 @@ class ThreadedOrderMaintainer:
 
         return partition_batch(list(edges), self.num_workers)
 
-    def _fix_edge_counter(self) -> None:
-        g = self.state.graph
-        g._num_edges = sum(len(g.neighbors(u)) for u in g.vertices()) // 2
-
     def _validate(self, edges, inserting: bool) -> None:
         seen = set()
-        g = self.state.graph
+        g = self.boundary.public
         for u, v in edges:
             if u == v:
                 raise ValueError(f"self-loop in batch: {u!r}")
@@ -195,6 +194,7 @@ class ThreadedOrderMaintainer:
     def insert_edges(self, edges) -> ThreadReport:
         edges = list(edges)
         self._validate(edges, inserting=True)
+        edges = self.boundary.edges_in(edges)
         for u, v in edges:
             self.state.ensure_vertex(u)
             self.state.ensure_vertex(v)
@@ -204,19 +204,16 @@ class ThreadedOrderMaintainer:
             out: List[InsertStats] = []
             outs.append(out)
             bodies.append(insert_worker(self.state, chunk, self.costs, out))
-        report = ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
-        self._fix_edge_counter()
-        return report
+        return ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
 
     def remove_edges(self, edges) -> ThreadReport:
         edges = list(edges)
         self._validate(edges, inserting=False)
+        edges = self.boundary.edges_in(edges)
         outs: List[List[RemoveStats]] = []
         bodies = []
         for chunk in self._partition(edges):
             out: List[RemoveStats] = []
             outs.append(out)
             bodies.append(remove_worker(self.state, chunk, self.costs, out))
-        report = ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
-        self._fix_edge_counter()
-        return report
+        return ThreadMachine(self.num_workers, detector=self.detector).run(bodies)

@@ -102,7 +102,7 @@ class WeightedDynamicGraph:
 
     def copy(self) -> "WeightedDynamicGraph":
         g = WeightedDynamicGraph()
-        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}  # lint: ok[RL005]
         g._num_edges = self._num_edges
         return g
 

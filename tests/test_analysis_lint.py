@@ -163,6 +163,63 @@ class TestRL004EventShape:
         assert check_source(src) == []
 
 
+class TestRL005AdjacencyPrivacy:
+    def test_direct_adj_read_flagged(self):
+        src = (
+            "def degree_sum(g):\n"
+            "    return sum(len(g.adj[u]) for u in g.adj)\n"
+        )
+        findings = [f for f in check_source(src) if f.rule == "RL005"]
+        assert len(findings) == 2
+        assert all(f.line == 2 for f in findings)
+
+    def test_private_adj_write_flagged(self):
+        src = (
+            "def hack(g, u, v):\n"
+            "    g._adj[u].append(v)\n"
+        )
+        assert "RL005" in rules_of(check_source(src))
+
+    def test_self_access_is_exempt(self):
+        src = (
+            "class MyGraph:\n"
+            "    def neighbors(self, u):\n"
+            "        return self._adj[u]\n"
+        )
+        assert check_source(src) == []
+
+    def test_graph_package_is_exempt(self):
+        src = (
+            "def kernel(g):\n"
+            "    return g._adj\n"
+        )
+        assert check_source(src, path="src/repro/graph/intgraph.py") == []
+        assert "RL005" in rules_of(
+            check_source(src, path="src/repro/core/kernel.py")
+        )
+
+    def test_sanctioned_accessors_clean(self):
+        src = (
+            "def degree_sum(g):\n"
+            "    return sum(len(nbrs) for nbrs in g.adjacency_lists())\n"
+        )
+        assert check_source(src) == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def copy_adj(g):\n"
+            "    return dict(g._adj)  # lint: ok[RL005]\n"
+        )
+        assert check_source(src) == []
+
+    def test_unrelated_attribute_named_adjacent_clean(self):
+        src = (
+            "def f(cfg):\n"
+            "    return cfg.adjust\n"
+        )
+        assert check_source(src) == []
+
+
 class TestPragma:
     def test_bare_pragma_suppresses(self):
         src = (
@@ -227,4 +284,4 @@ class TestCli:
         assert main([str(tmp_path)]) == 1
 
     def test_rules_table_documented(self):
-        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004"}
+        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}

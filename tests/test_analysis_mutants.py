@@ -208,10 +208,13 @@ class TestCleanRunsStayClean:
 
     def test_detector_overhead_is_opt_in(self):
         """Without a detector nothing is wrapped or traced."""
+        from repro.analysis.trace import TracedDict, TracedSlotMap
+
         edges = erdos_renyi(30, 90, seed=7)
         m = ParallelOrderMaintainer(DynamicGraph(edges[:-20]), num_workers=4)
         assert m.detector is None
-        assert type(m.state.d_out) is dict
-        assert type(m.state.korder.core) is dict
+        assert not isinstance(m.state.d_out, (TracedDict, TracedSlotMap))
+        assert not isinstance(m.state.korder.core, (TracedDict, TracedSlotMap))
+        assert m.state.trace is None and m.state.korder.trace is None
         m.insert_edges(edges[-20:])
         m.check()

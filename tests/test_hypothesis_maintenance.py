@@ -158,7 +158,8 @@ class MaintenanceMachine(RuleBasedStateMachine):
     @invariant()
     def mcd_dominates_core(self):
         for u in self.m.graph.vertices():
-            cached = self.m.state.mcd.get(u)
+            # state maps are int-keyed; translate at the facade boundary
+            cached = self.m.state.mcd.get(self.m.boundary.vertex_in(u))
             if cached is not None:
                 assert cached >= self.m.core(u)
 

@@ -1,0 +1,137 @@
+"""Property tests for vertex interning (PR 3 tentpole).
+
+The interner is the single translation point between arbitrary hashable
+external ids and the dense int ids every array-backed structure indexes
+by, so its stability rules — first-seen order, ids never reused or
+remapped, remove/re-add preserves the id — are load-bearing for the
+whole representation layer.  Hypothesis drives them directly here and
+through the :class:`DynamicGraph` wrapper.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.dictgraph import DictGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.interning import VertexInterner
+
+# Hashables of mixed type: ints (possibly colliding with assigned ids),
+# strings, and tuples.  Ints and their string forms never compare equal,
+# so mixing is safe for dict keys.
+hashables = st.one_of(
+    st.integers(min_value=-5, max_value=30),
+    st.text(alphabet="abcxyz", min_size=1, max_size=3),
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+)
+
+
+def first_seen(xs):
+    seen, order = set(), []
+    for x in xs:
+        if x not in seen:
+            seen.add(x)
+            order.append(x)
+    return order
+
+
+class TestRoundTrip:
+    @given(st.lists(hashables, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_ids_are_dense_first_seen_and_stable(self, xs):
+        it = VertexInterner()
+        ids = it.intern_many(xs)
+        order = first_seen(xs)
+        # dense id space, one id per distinct external
+        assert len(it) == len(order)
+        assert sorted(set(ids)) == list(range(len(order)))
+        # first-seen order assigns ids 0, 1, 2, ...
+        assert it.to_list() == order
+        for x, i in zip(xs, ids):
+            assert it.lookup(x) == i
+            assert it.external(i) == x
+        # re-interning everything is a no-op on the mapping
+        assert it.intern_many(xs) == ids
+        assert len(it) == len(order)
+
+    @given(st.lists(hashables, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_serialization_preserves_ids(self, xs):
+        it = VertexInterner(xs)
+        clone = VertexInterner.from_list(it.to_list())
+        assert clone.to_list() == it.to_list()
+        for x in xs:
+            assert clone.lookup(x) == it.lookup(x)
+        assert clone.identity == it.identity
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_identity_flag_tracks_regime(self, xs):
+        it = VertexInterner(xs)
+        expected = all(x == i for i, x in enumerate(it.to_list()))
+        assert it.identity == expected
+
+
+# One operation of a random graph history: (kind, u, v).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add_edge", "remove_edge", "remove_vertex", "add_vertex"]),
+        hashables,
+        hashables,
+    ),
+    max_size=50,
+)
+
+
+class TestRemoveReAddThroughGraph:
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_wrapper_matches_dict_substrate(self, history):
+        """Same random insert/remove/re-add history on both substrates
+        ends with the same vertex set, edge set and degrees — and every
+        external id keeps the int id it was first assigned."""
+        dg = DynamicGraph()
+        ref = DictGraph()
+        assigned = {}
+        for kind, u, v in history:
+            if kind == "add_vertex":
+                dg.add_vertex(u)
+                ref.add_vertex(u)
+            elif kind == "add_edge":
+                if u == v or ref.has_vertex(u) and ref.has_edge(u, v):
+                    continue
+                dg.add_edge(u, v)
+                ref.add_edge(u, v)
+            elif kind == "remove_edge":
+                if not (ref.has_vertex(u) and ref.has_edge(u, v)):
+                    continue
+                dg.remove_edge(u, v)
+                ref.remove_edge(u, v)
+            else:  # remove_vertex
+                if not ref.has_vertex(u):
+                    continue
+                dg.remove_vertex(u)
+                ref.remove_vertex(u)
+            for x in (u, v):
+                if x in dg.interner:
+                    i = dg.interner.lookup(x)
+                    assert assigned.setdefault(x, i) == i, (
+                        f"id of {x!r} was remapped"
+                    )
+        assert sorted(dg.vertices(), key=repr) == sorted(
+            ref.vertices(), key=repr
+        )
+        dg_edges = {frozenset(e) for e in dg.edges()}
+        ref_edges = {frozenset(e) for e in ref.edges()}
+        assert dg_edges == ref_edges
+        for x in ref.vertices():
+            assert dg.degree(x) == ref.degree(x)
+
+    def test_remove_readd_same_id(self):
+        g = DynamicGraph([("a", "b"), ("b", "c")])
+        ib = g.interner.lookup("b")
+        g.remove_vertex("b")
+        assert not g.has_vertex("b")
+        g.add_vertex("b")
+        assert g.interner.lookup("b") == ib
+        assert g.degree("b") == 0
+        g.add_edge("b", "a")
+        assert g.has_edge("a", "b")

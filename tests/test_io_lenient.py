@@ -32,7 +32,8 @@ class TestLenientMode:
         counters = {}
         edges = read_edge_list(messy_file, strict=False, counters=counters)
         assert edges == [(1, 2), (2, 3), (4, 5)]
-        assert counters == {"kept": 4, "malformed": 3, "self_loops": 1}
+        assert counters == {"kept": 4, "malformed": 3, "self_loops": 1,
+                            "interner_hits": 0, "interner_misses": 0}
 
     def test_no_dedupe_keeps_raw_lines(self, messy_file):
         edges = read_edge_list(messy_file, strict=False, dedupe=False)
@@ -56,7 +57,8 @@ class TestStrictMode:
         counters = {}
         edges = read_edge_list(p, counters=counters)
         assert edges == [(1, 2), (2, 3)]
-        assert counters == {"kept": 2, "malformed": 0, "self_loops": 0}
+        assert counters == {"kept": 2, "malformed": 0, "self_loops": 0,
+                            "interner_hits": 0, "interner_misses": 0}
 
     def test_strict_keeps_self_loop_for_dedupe(self, tmp_path):
         # strict mode defers self-loop handling to dedupe, as before
@@ -64,3 +66,55 @@ class TestStrictMode:
         p.write_text("1 1\n1 2\n")
         assert read_edge_list(p) == [(1, 2)]
         assert read_edge_list(p, dedupe=False) == [(1, 1), (1, 2)]
+
+
+class TestInternerAtParseBoundary:
+    def test_sparse_ids_become_dense(self, tmp_path):
+        from repro.graph.interning import VertexInterner
+
+        p = tmp_path / "sparse.txt"
+        p.write_text("100 200\n200 300\n100 300\n")
+        interner = VertexInterner()
+        counters = {}
+        edges = read_edge_list(p, counters=counters, interner=interner)
+        # first-seen order: 100->0, 200->1, 300->2
+        assert edges == [(0, 1), (1, 2), (0, 2)]
+        assert interner.external(0) == 100
+        assert interner.externals([0, 1, 2]) == [100, 200, 300]
+        # 6 endpoints parsed: 3 new, 3 already interned
+        assert counters["interner_misses"] == 3
+        assert counters["interner_hits"] == 3
+
+    def test_prepopulated_interner_all_hits(self, tmp_path):
+        from repro.graph.interning import VertexInterner
+
+        p = tmp_path / "known.txt"
+        p.write_text("7 8\n8 9\n")
+        interner = VertexInterner([7, 8, 9])
+        counters = {}
+        edges = read_edge_list(p, counters=counters, interner=interner)
+        assert edges == [(0, 1), (1, 2)]
+        assert counters["interner_hits"] == 4
+        assert counters["interner_misses"] == 0
+
+    def test_lenient_skips_do_not_touch_interner(self, messy_file):
+        from repro.graph.interning import VertexInterner
+
+        interner = VertexInterner()
+        counters = {}
+        read_edge_list(messy_file, strict=False, counters=counters,
+                       interner=interner)
+        # malformed lines and self-loops never reach the interner
+        assert sorted(interner.to_list()) == [1, 2, 3, 4, 5]
+        assert counters["interner_hits"] + counters["interner_misses"] == 8
+
+    def test_interned_edges_feed_from_int_edges(self, tmp_path):
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.graph.interning import VertexInterner
+
+        p = tmp_path / "g.txt"
+        p.write_text("10 20\n20 30\n30 10\n")
+        interner = VertexInterner()
+        edges = read_edge_list(p, interner=interner)
+        g = DynamicGraph.from_int_edges(edges)
+        assert g.num_vertices == 3 and g.num_edges == 3
