@@ -11,7 +11,7 @@ import random
 from repro.core.state import OrderState
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.generators import erdos_renyi
-from repro.parallel.pqueue import VersionedPQ
+from repro.core.pqueue import VersionedPQ
 from repro.bench.reporting import render_table
 
 from conftest import save_result

@@ -90,6 +90,7 @@ EVENT_ARITY = {
     "spin": (1, 1),
     "read": (2, 3),
     "write": (2, 3),
+    "wave": (2, 2),
 }
 
 # Protocol helpers whose bodies ARE the blessed raw-yield patterns.

@@ -16,7 +16,7 @@ current worker's lockset and vector clock:
 * t-protocol atomics and ∅-invalidation wipes → relaxed accesses
   recorded by the ``OrderState`` accessors;
 * PQ version snapshots → relaxed ``("om", "version")`` reads recorded
-  by :class:`~repro.parallel.pqueue.VersionedPQ`.
+  by :class:`~repro.core.pqueue.VersionedPQ`.
 
 When no detector is attached nothing is wrapped and the per-access cost
 is zero (the hot paths only pay an attribute-is-None test where an

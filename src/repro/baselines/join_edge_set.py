@@ -57,7 +57,7 @@ class JoinEdgeSetMaintainer:
         self.graph = graph
         self._core: Dict[Vertex, int] = dict(core_decomposition(graph).core)
         self.num_workers = num_workers
-        self.costs = costs or CostModel()
+        self.costs = costs or CostModel.from_env()
 
     # ------------------------------------------------------------------
     def core(self, u: Vertex) -> int:

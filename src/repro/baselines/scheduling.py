@@ -9,7 +9,27 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-__all__ = ["lpt_makespan", "chunk_round_makespan"]
+__all__ = ["lpt_assign", "lpt_makespan", "chunk_round_makespan"]
+
+
+def lpt_assign(task_costs: Sequence[float], workers: int) -> List[List[int]]:
+    """Longest-Processing-Time-first greedy assignment of independent
+    tasks; returns per-worker lists of task *indices* in pickup order.
+
+    Ties (equal costs, equal loads) break on the lower task index and
+    lower worker index, so the assignment is deterministic.  Shared by
+    the JEI/JER level-group model below and the ``lpt`` / in-wave
+    ordering of :mod:`repro.parallel.scheduling`.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    loads = [0.0] * workers
+    groups: List[List[int]] = [[] for _ in range(workers)]
+    for i in sorted(range(len(task_costs)), key=lambda i: (-task_costs[i], i)):
+        w = loads.index(min(loads))
+        loads[w] += task_costs[i]
+        groups[w].append(i)
+    return groups
 
 
 def lpt_makespan(task_costs: Sequence[float], workers: int) -> float:
@@ -20,12 +40,8 @@ def lpt_makespan(task_costs: Sequence[float], workers: int) -> float:
     indivisible task (vertices with one core value can only be processed
     by a single worker at a time — the paper's central criticism).
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    loads = [0.0] * workers
-    for c in sorted(task_costs, reverse=True):
-        i = loads.index(min(loads))
-        loads[i] += c
+    groups = lpt_assign(task_costs, workers)
+    loads = [sum(task_costs[i] for i in g) for g in groups]
     return max(loads) if loads else 0.0
 
 

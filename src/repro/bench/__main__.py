@@ -9,7 +9,11 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench fig5 fig6 fig7
     python -m repro.bench service --datasets BA --ops 500 --query-rate 0.3
     python -m repro.bench representation --datasets BA ER --assert-speedup 0.9
+    python -m repro.bench scheduling --datasets BA --assert-speedup 1.2
     python -m repro.bench all   --batch 200
+
+``--profile`` wraps the run in :mod:`cProfile` and prints the top 25
+functions by cumulative time — the first stop for any hot-path pass.
 
 Output is the same paper-style text the benchmark suite writes to
 ``benchmarks/results/``.
@@ -32,7 +36,7 @@ from repro.bench.reporting import (
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
-    "representation",
+    "representation", "scheduling",
 )
 
 
@@ -56,18 +60,23 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--query-rate", type=float, default=0.25,
                    help="service workload: fraction of queries in the trace")
     p.add_argument("--repeats", type=int, default=3,
-                   help="representation workload: wall-clock best-of repeats")
+                   help="representation/scheduling: wall-clock best-of repeats")
+    p.add_argument("--hubs", type=int, default=8,
+                   help="scheduling workload: number of hub vertices whose "
+                        "incident edges form the contended batch")
     p.add_argument("--assert-speedup", type=float, default=None, metavar="X",
-                   help="representation workload: exit 1 unless the "
-                        "array-over-dict speedup is >= X on every dataset")
+                   help="representation/scheduling: exit 1 unless the "
+                        "headline speedup is >= X on every dataset")
     p.add_argument("--json", type=str, default=None, metavar="PATH",
-                   help="representation workload: also write the cells to "
+                   help="representation/scheduling: also write the cells to "
                         "PATH as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top 25 functions "
+                        "by cumulative time")
     return p
 
 
-def main(argv: List[str] | None = None) -> int:
-    args = _parser().parse_args(argv)
+def _run(args: argparse.Namespace) -> int:
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
 
     fig4_cache = None
@@ -193,6 +202,57 @@ def main(argv: List[str] | None = None) -> int:
                             f"{c['speedup']:.2f} < {args.assert_speedup}"
                         )
                     return 1
+        elif exp == "scheduling":
+            import json as _json
+
+            cells = [
+                harness.run_scheduling(
+                    ds,
+                    batch_size=args.batch,
+                    workers=max(args.workers),
+                    hubs=args.hubs,
+                    seed=args.seed,
+                    thread_repeats=args.repeats,
+                )
+                for ds in args.datasets
+            ]
+            rows = []
+            for c in cells:
+                for policy, r in c["policies"].items():
+                    rows.append(
+                        {
+                            "dataset": c["dataset"],
+                            "policy": policy,
+                            "makespan": round(r["makespan"], 1),
+                            "lock fails": (
+                                r["remove"]["lock_failures"]
+                                + r["insert"]["lock_failures"]
+                            ),
+                            "contended": round(
+                                r["remove"]["contended_time"]
+                                + r["insert"]["contended_time"], 1
+                            ),
+                            "waves": r["insert"]["num_waves"],
+                            "thread (s)": round(r["thread_wall_s"], 4),
+                            "vs fifo": round(r["speedup_vs_fifo"], 2),
+                        }
+                    )
+            print(render_table(rows))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(cells, fh, indent=2)
+                print(f"wrote {args.json}")
+            if args.assert_speedup is not None:
+                slow = [
+                    c for c in cells if c["speedup"] < args.assert_speedup
+                ]
+                if slow:
+                    for c in slow:
+                        print(
+                            f"!! {c['dataset']}: conflict-aware-over-fifo "
+                            f"speedup {c['speedup']:.2f} < {args.assert_speedup}"
+                        )
+                    return 1
         elif exp == "fig7":
             out = harness.fig7_stability(
                 args.datasets[:2],
@@ -209,6 +269,26 @@ def main(argv: List[str] | None = None) -> int:
                         f"remove spread {cell['remove_rel_spread']:.2f}"
                     )
     return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if not args.profile:
+        return _run(args)
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        rc = _run(args)
+    finally:
+        prof.disable()
+        print("\n=== profile (top 25 by cumulative time) ===")
+        pstats.Stats(prof, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(25)
+    return rc
 
 
 if __name__ == "__main__":

@@ -26,7 +26,12 @@ from repro.graph.datasets import DATASETS
 from repro.graph.dictgraph import DictGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.parallel.batch import ParallelOrderMaintainer
-from repro.bench.workloads import dataset_workload, disjoint_batches, service_trace
+from repro.bench.workloads import (
+    contended_batch,
+    dataset_workload,
+    disjoint_batches,
+    service_trace,
+)
 
 Edge = Tuple[int, int]
 
@@ -42,6 +47,7 @@ __all__ = [
     "fig7_stability",
     "run_service",
     "run_representation",
+    "run_scheduling",
 ]
 
 # name -> factory(graph, workers) -> maintainer with {insert,remove}_edges
@@ -247,6 +253,102 @@ def run_representation(
         # headline metric (geometric mean of the two phases) — what the
         # CI smoke gate asserts against
         "speedup": (decomp_speedup * maint_speedup) ** 0.5,
+    }
+
+
+def run_scheduling(
+    dataset: str,
+    batch_size: int = 300,
+    workers: int = 48,
+    hubs: int = 48,
+    seed: int = 0,
+    policies: Sequence[str] = ("fifo", "lpt", "conflict-aware"),
+    thread_repeats: int = 3,
+) -> Dict[str, object]:
+    """Scheduling-policy workload: the contended hub batch under each
+    batch-scheduling policy (see :mod:`repro.parallel.scheduling`).
+
+    For every policy the Section 5.2 protocol runs on a fresh graph
+    (remove the hub-incident batch, insert it back) and the row records
+    the simulated makespans plus the contention counters the policy is
+    supposed to move: ``lock_failures``, ``contended_time``,
+    ``spin_time`` and — for wave-emitting policies — the per-wave
+    breakdown and wave count of the insert phase.
+
+    The thread backend (:class:`ThreadedOrderMaintainer`) is additionally
+    timed per policy (best of ``thread_repeats`` wall-clock runs) so a
+    scheduling win in simulation can be checked against real lock
+    traffic: the conflict-aware plan must never make the threaded path
+    slower.
+
+    The headline ``speedup`` is the fifo/conflict-aware ratio of total
+    simulated makespan (remove + insert) — the CI smoke gate asserts it
+    stays above a floor.
+    """
+    from repro.parallel.threads import ThreadedOrderMaintainer
+
+    edges, batch = contended_batch(dataset, batch_size, hubs=hubs, seed=seed)
+
+    rows: Dict[str, Dict[str, object]] = {}
+    for policy in policies:
+        m = ParallelOrderMaintainer(
+            DynamicGraph(edges), num_workers=workers, policy=policy, seed=seed
+        )
+        rem = m.remove_edges(batch)
+        ins = m.insert_edges(batch)
+
+        def phase(res) -> Dict[str, object]:
+            rep = res.report
+            return {
+                "makespan": rep.makespan,
+                "total_work": rep.total_work,
+                "lock_acquires": rep.lock_acquires,
+                "lock_failures": rep.lock_failures,
+                "contended_time": rep.contended_time,
+                "spin_time": rep.spin_time,
+                "num_waves": res.plan.num_waves,
+                "conflicts": res.plan.conflicts,
+            }
+
+        thread_wall = float("inf")
+        for _ in range(thread_repeats):
+            tm = ThreadedOrderMaintainer(
+                DynamicGraph(edges), num_workers=workers, policy=policy
+            )
+            t0 = time.perf_counter()
+            tm.remove_edges(batch)
+            tm.insert_edges(batch)
+            thread_wall = min(thread_wall, time.perf_counter() - t0)
+
+        rows[policy] = {
+            "remove": phase(rem),
+            "insert": phase(ins),
+            "makespan": rem.makespan + ins.makespan,
+            "wave_contention": {
+                str(k): v for k, v in ins.report.wave_contention.items()
+            },
+            "thread_wall_s": thread_wall,
+        }
+
+    baseline = rows[policies[0]]["makespan"]
+    for row in rows.values():
+        row["speedup_vs_fifo"] = baseline / max(row["makespan"], 1e-9)
+
+    g = DynamicGraph(edges)
+    return {
+        "dataset": dataset,
+        "n": g.num_vertices,
+        "m": g.num_edges,
+        "batch": len(batch),
+        "hubs": hubs,
+        "workers": workers,
+        "policies": rows,
+        # headline metric — what the CI smoke gate asserts against
+        "speedup": (
+            rows["conflict-aware"]["speedup_vs_fifo"]
+            if "conflict-aware" in rows
+            else 1.0
+        ),
     }
 
 

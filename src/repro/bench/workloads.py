@@ -20,6 +20,7 @@ __all__ = [
     "sample_batch",
     "dataset_workload",
     "disjoint_batches",
+    "contended_batch",
     "trace_from_edges",
     "service_trace",
 ]
@@ -65,6 +66,38 @@ def disjoint_batches(
     rng = random.Random(seed)
     pool = rng.sample(list(edges), groups * size)
     return [pool[i * size : (i + 1) * size] for i in range(groups)]
+
+
+def contended_batch(
+    name: str, size: int, hubs: int = 8, seed: int = 0
+) -> Tuple[List[Edge], List[Edge]]:
+    """Return ``(full_edge_list, batch)`` where the batch is deliberately
+    *contended*: existing edges incident to the ``hubs`` highest-degree
+    vertices of the dataset stand-in.
+
+    Hub-incident edges share endpoints (and low-core neighborhoods), so a
+    naive contiguous split hands conflicting edges to different workers
+    simultaneously.  This is the workload the conflict-aware scheduler
+    exists for; uniform samples (:func:`sample_batch`) barely conflict at
+    reproduction scale.
+    """
+    ds: Dataset = DATASETS[name]
+    edges = ds.edges(seed)
+    degree: dict = {}
+    for u, v in edges:
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+    top = sorted(degree, key=lambda x: (-degree[x], x))[:hubs]
+    hub_set = set(top)
+    pool = [e for e in edges if e[0] in hub_set or e[1] in hub_set]
+    if size > len(pool):
+        raise ValueError(
+            f"batch {size} larger than hub-incident pool ({len(pool)} edges)"
+        )
+    rng = random.Random(seed + 17)
+    batch = rng.sample(pool, size)
+    rng.shuffle(batch)
+    return edges, batch
 
 
 # ----------------------------------------------------------------------

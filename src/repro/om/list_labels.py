@@ -144,14 +144,20 @@ class OMList:
     # ------------------------------------------------------------------
     def order(self, x: OMItem, y: OMItem) -> bool:
         """True iff ``x`` strictly precedes ``y`` in the list."""
+        # Hot path of every k-order comparison: same-group compares need
+        # only the bottom labels (group identity substitutes for the top
+        # label equality check — top labels are unique per group), and
+        # the not-in-list guard is folded into the group load.
         if x is y:
             return False
         gx, gy = x.group, y.group
+        if gx is gy:
+            if gx is None:
+                raise ValueError("item not in list")
+            return x.label < y.label
         if gx is None or gy is None:
             raise ValueError("item not in list")
-        if gx.label != gy.label:
-            return gx.label < gy.label
-        return x.label < y.label
+        return gx.label < gy.label
 
     def labels(self, x: OMItem) -> tuple:
         """The ``(top, bottom)`` label pair — the PQ's sort key."""
@@ -306,14 +312,19 @@ class OMList:
             step = _BOT_MAX // (g.size + 1)
             # The sentinel item must keep label 0; it is always first in its
             # group, so starting labels at ``step`` and giving the sentinel
-            # label 0 explicitly preserves that.
+            # label 0 explicitly preserves that.  Direct next-pointer walk
+            # (group chains are None-terminated) — no generator frames on
+            # the relabel hot path.
             label = step
-            for it in g.items():
-                if it is self._sentinel:
+            sentinel = self._sentinel
+            it = g.first
+            while it is not None:
+                if it is sentinel:
                     it.label = 0
-                    continue
-                it.label = label
-                label += step
+                else:
+                    it.label = label
+                    label += step
+                it = it.next
         finally:
             self._end_relabel()
 
@@ -347,16 +358,20 @@ class OMList:
             g.size -= moved
             # splice the new group after g in the top list
             self._insert_group_after(g, new)
-            # respace bottom labels in both halves
+            # respace bottom labels in both halves (direct walk, as in
+            # _relabel_group)
+            sentinel = self._sentinel
             for grp in (g, new):
                 step = _BOT_MAX // (grp.size + 1)
                 label = step
-                for item in grp.items():
-                    if item is self._sentinel:
+                item = grp.first
+                while item is not None:
+                    if item is sentinel:
                         item.label = 0
-                        continue
-                    item.label = label
-                    label += step
+                    else:
+                        item.label = label
+                        label += step
+                    item = item.next
         finally:
             self._end_relabel()
 

@@ -80,6 +80,19 @@ class ParallelOMList(OMList):
         snapshot.  ``on_spin`` is called once per retry so the simulator
         can charge spin cost (and the thread backend can yield).
         """
+        # Fast path: both statuses even, labels read inline, statuses
+        # unchanged after the reads — the overwhelmingly common stable
+        # snapshot, without the method call and exception frame of the
+        # general loop.  Under the simulator this always succeeds.
+        if u is v:
+            return False
+        s, s2 = u.s, v.s
+        if not ((s | s2) & 1):
+            gu, gv = u.group, v.group
+            if gu is not None and gv is not None:
+                r = (u.label < v.label) if gu is gv else (gu.label < gv.label)
+                if s == u.s and s2 == v.s:
+                    return r
         attempts = 0
         while True:
             while True:

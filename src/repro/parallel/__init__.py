@@ -18,7 +18,8 @@ Modules
 -------
 * :mod:`repro.parallel.costs`    — the work-unit cost model
 * :mod:`repro.parallel.runtime`  — the simulated machine and lock primitives
-* :mod:`repro.parallel.pqueue`   — version-stamped priority queue (Appendix E)
+* :mod:`repro.core.pqueue`       — version-stamped priority queue (Appendix E)
+* :mod:`repro.parallel.scheduling` — conflict-aware batch scheduling policies
 * :mod:`repro.parallel.parallel_insert` — OurI (Algorithm 5)
 * :mod:`repro.parallel.parallel_remove` — OurR (Algorithm 6)
 * :mod:`repro.parallel.batch`    — Parallel-InsertEdges / -RemoveEdges (Algorithm 3)
@@ -27,6 +28,15 @@ Modules
 from repro.parallel.costs import CostModel
 from repro.parallel.runtime import SimMachine, SimReport, SimDeadlockError
 from repro.parallel.batch import ParallelOrderMaintainer
+from repro.parallel.scheduling import (
+    POLICIES,
+    ConflictAwarePolicy,
+    FifoPolicy,
+    LptPolicy,
+    Schedule,
+    SchedulingPolicy,
+    get_policy,
+)
 
 __all__ = [
     "CostModel",
@@ -34,4 +44,11 @@ __all__ = [
     "SimReport",
     "SimDeadlockError",
     "ParallelOrderMaintainer",
+    "SchedulingPolicy",
+    "Schedule",
+    "FifoPolicy",
+    "LptPolicy",
+    "ConflictAwarePolicy",
+    "POLICIES",
+    "get_policy",
 ]

@@ -28,6 +28,7 @@ from repro.parallel.costs import CostModel
 from repro.parallel.parallel_insert import insert_worker
 from repro.parallel.parallel_remove import remove_worker
 from repro.parallel.runtime import SimMachine, SimReport
+from repro.parallel.scheduling import Schedule, chunk_contiguous, get_policy
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -46,6 +47,9 @@ class BatchResult:
 
     report: SimReport
     stats: list = field(default_factory=list)
+    #: the schedule that produced this run (worker assignments, waves,
+    #: conflict counters) — None only for legacy constructions
+    plan: Optional[Schedule] = None
 
     @property
     def makespan(self) -> float:
@@ -80,20 +84,10 @@ def validate_batch(graph: DynamicGraph, edges: Sequence[Edge], inserting: bool) 
             raise KeyError(f"edge not in graph: {e!r}")
 
 
-def partition_batch(edges: Sequence[Edge], parts: int) -> List[List[Edge]]:
-    """Split ΔE into ``parts`` contiguous, near-equal chunks (Algorithm 3
-    line 1)."""
-    n = len(edges)
-    if parts < 1:
-        raise ValueError("parts must be >= 1")
-    out: List[List[Edge]] = []
-    base, extra = divmod(n, parts)
-    i = 0
-    for p in range(parts):
-        size = base + (1 if p < extra else 0)
-        out.append(list(edges[i : i + size]))
-        i += size
-    return [c for c in out if c]
+# Contiguous chunking now lives in repro.parallel.scheduling (it is the
+# fifo policy); re-exported here because it is Algorithm 3 line 1 and
+# long-standing callers import it from this module.
+partition_batch = chunk_contiguous
 
 
 class ParallelOrderMaintainer:
@@ -111,6 +105,12 @@ class ParallelOrderMaintainer:
         ``"min-clock"`` (timing) or ``"random"`` (interleaving stress).
     seed:
         Seed for the random schedule.
+    policy:
+        Batch scheduling policy — a name from
+        :data:`repro.parallel.scheduling.POLICIES` (``"fifo"``, ``"lpt"``,
+        ``"conflict-aware"``) or a :class:`SchedulingPolicy` instance.
+        Decides which edges run concurrently; never affects the final
+        cores (differential-tested).
     detector:
         Optional :class:`repro.analysis.RaceDetector`.  When given, the
         shared state is instrumented (``repro.analysis.trace``) and every
@@ -128,6 +128,7 @@ class ParallelOrderMaintainer:
         strategy: str = "small-degree-first",
         capacity: int = 64,
         detector=None,
+        policy="fifo",
     ) -> None:
         # Intern-once boundary: external ids become dense ints here, the
         # workers and all shared state run int-natively underneath.
@@ -136,9 +137,10 @@ class ParallelOrderMaintainer:
             self.boundary.substrate, strategy=strategy, capacity=capacity
         )
         self.num_workers = num_workers
-        self.costs = costs or CostModel()
+        self.costs = costs or CostModel.from_env()
         self.schedule = schedule
         self.seed = seed
+        self.policy = get_policy(policy)
         self.detector = detector
         if detector is not None:
             from repro.analysis.trace import instrument_state
@@ -173,11 +175,16 @@ class ParallelOrderMaintainer:
         for u, v in edges:  # sequential prologue: register new vertices
             self.state.ensure_vertex(u)
             self.state.ensure_vertex(v)
-        chunks = partition_batch(edges, self.num_workers)
-        outs: List[List[InsertStats]] = [[] for _ in chunks]
+        # Scheduling runs after the prologue so footprint estimation sees
+        # every endpoint's slot.
+        plan = self.policy.plan(
+            edges, self.num_workers,
+            state=self.state, costs=self.costs, seed=self.seed,
+        )
+        outs: List[List[InsertStats]] = [[] for _ in plan.assignments]
         bodies = [
-            insert_worker(self.state, chunk, self.costs, out)
-            for chunk, out in zip(chunks, outs)
+            insert_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
+            for w, (chunk, out) in enumerate(zip(plan.assignments, outs))
         ]
         machine = SimMachine(
             self.num_workers, self.costs, self.schedule, self.seed,
@@ -185,17 +192,20 @@ class ParallelOrderMaintainer:
         )
         report = machine.run(bodies)
         stats = self.boundary.stats_out([s for out in outs for s in out])
-        return BatchResult(report=report, stats=stats)
+        return BatchResult(report=report, stats=stats, plan=plan)
 
     def remove_edges(self, edges: Sequence[Edge]) -> BatchResult:
         """Parallel-RemoveEdges(G, O, ΔE): remove a batch with P workers."""
         self._validate_batch(edges, inserting=False)
         edges = self.boundary.edges_in(edges)
-        chunks = partition_batch(edges, self.num_workers)
-        outs: List[List[RemoveStats]] = [[] for _ in chunks]
+        plan = self.policy.plan(
+            edges, self.num_workers,
+            state=self.state, costs=self.costs, seed=self.seed,
+        )
+        outs: List[List[RemoveStats]] = [[] for _ in plan.assignments]
         bodies = [
-            remove_worker(self.state, chunk, self.costs, out)
-            for chunk, out in zip(chunks, outs)
+            remove_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
+            for w, (chunk, out) in enumerate(zip(plan.assignments, outs))
         ]
         machine = SimMachine(
             self.num_workers, self.costs, self.schedule, self.seed,
@@ -203,4 +213,4 @@ class ParallelOrderMaintainer:
         )
         report = machine.run(bodies)
         stats = self.boundary.stats_out([s for out in outs for s in out])
-        return BatchResult(report=report, stats=stats)
+        return BatchResult(report=report, stats=stats, plan=plan)

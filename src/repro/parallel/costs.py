@@ -3,19 +3,42 @@
 Every algorithm (OurI/OurR, the JEI/JER and MI/MR baselines, and the
 sequential OI/OR/TI/TR run as 1-worker configurations) charges its
 operations in the same abstract units, so simulated makespans are directly
-comparable the way the paper's wall-clock milliseconds are.  The default
-magnitudes follow the relative costs of the underlying operations on a
-real machine (a CAS ≈ a couple of cache accesses, an OM splice a handful,
-a relabel a couple dozen); the benchmark conclusions are insensitive to
-the exact values — they shift absolute numbers, not who wins (checked by
+comparable the way the paper's wall-clock milliseconds are.
+
+Calibration
+-----------
+The default magnitudes follow the relative costs of the underlying
+operations on a real machine, using a cache access as the unit: a
+successful CAS is roughly two cache accesses (``lock_acquire=2``), a
+failed CAS stays in-cache (``cas_fail=1``), an OM splice touches a
+handful of nodes (``om_move=5``), a relabel rewrites a couple dozen
+labels (``om_relabel=25``), and a scalar counter bump is half an access
+(``counter_op=0.5``, it usually rides on a line already loaded).  The
+benchmark conclusions are insensitive to the exact values — they shift
+absolute numbers, not who wins (checked by
 ``benchmarks/test_ablation_costs.py``).
+
+Overriding
+----------
+Every constant can be overridden without code changes via environment
+variables named ``REPRO_COST_<FIELD>`` (upper-cased field name), e.g.
+``REPRO_COST_OM_RELABEL=40`` or ``REPRO_COST_NEIGHBOR_LOCKING=1``:
+:meth:`CostModel.from_env` reads them and is what the maintainers, the
+thread backend and the serving engine use to build their default model.
+This is how a deployment recalibrates the simulation against measured
+hardware without forking the table.  Explicitly constructed
+``CostModel(...)`` instances ignore the environment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, fields
 
-__all__ = ["CostModel"]
+__all__ = ["CostModel", "ENV_PREFIX"]
+
+#: Environment-variable prefix for cost overrides (``REPRO_COST_SPIN`` …).
+ENV_PREFIX = "REPRO_COST_"
 
 
 @dataclass(frozen=True)
@@ -51,6 +74,37 @@ class CostModel:
     #: acquire+release pair (a *lower bound* on the real penalty, since it
     #: ignores the extra contention those locks would add)
     neighbor_locking: bool = False
+
+    @classmethod
+    def from_env(cls, env=None) -> "CostModel":
+        """Build a model with ``REPRO_COST_<FIELD>`` overrides applied.
+
+        Unknown/absent variables leave the calibrated defaults; boolean
+        fields accept ``0/1/true/false/yes/no`` (case-insensitive).
+        Malformed values raise ``ValueError`` naming the variable.
+        """
+        env = os.environ if env is None else env
+        overrides = {}
+        for f in fields(cls):
+            raw = env.get(ENV_PREFIX + f.name.upper())
+            if raw is None:
+                continue
+            try:
+                if f.type == "bool" or isinstance(f.default, bool):
+                    low = raw.strip().lower()
+                    if low in ("1", "true", "yes", "on"):
+                        overrides[f.name] = True
+                    elif low in ("0", "false", "no", "off"):
+                        overrides[f.name] = False
+                    else:
+                        raise ValueError(low)
+                else:
+                    overrides[f.name] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad value for {ENV_PREFIX}{f.name.upper()}: {raw!r}"
+                ) from None
+        return cls(**overrides)
 
     def scan(self, degree: int) -> float:
         """Cost of scanning a ``degree``-sized neighborhood."""

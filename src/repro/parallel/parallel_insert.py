@@ -34,11 +34,11 @@ random-schedule differential tests exercise them heavily.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
+from repro.core.pqueue import VersionedPQ
 from repro.core.state import InsertStats, OrderState
 from repro.parallel.costs import CostModel
-from repro.parallel.pqueue import VersionedPQ
 from repro.parallel.runtime import cond_acquire, lock_pair, release_all
 
 Vertex = Hashable
@@ -266,8 +266,24 @@ def insert_worker(
     edges: Iterable[tuple],
     C: CostModel,
     out: List[InsertStats],
+    waves: Optional[Sequence[int]] = None,
 ):
-    """DoInsert_p (Algorithm 3): process this worker's share of ΔE."""
-    for a, b in edges:
-        stats = yield from insert_edge_par(state, a, b, C)
-        out.append(stats)
+    """DoInsert_p (Algorithm 3): process this worker's share of ΔE.
+
+    ``waves`` (from a :class:`~repro.parallel.scheduling.Schedule`) is the
+    per-edge wave index; the worker emits a free ``("wave", i)`` marker
+    whenever it changes so the machine can attribute contention per wave.
+    Unscheduled callers pass ``None`` and pay nothing.
+    """
+    if waves is None:
+        for a, b in edges:
+            stats = yield from insert_edge_par(state, a, b, C)
+            out.append(stats)
+    else:
+        cur = None
+        for (a, b), w in zip(edges, waves):
+            if w != cur:
+                cur = w
+                yield ("wave", w)
+            stats = yield from insert_edge_par(state, a, b, C)
+            out.append(stats)

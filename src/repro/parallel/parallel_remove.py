@@ -29,7 +29,7 @@ vertex is never compared against).
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, List, Set
+from typing import Hashable, Iterable, List, Optional, Sequence, Set
 
 from repro.core.state import OrderState, RemoveStats
 from repro.parallel.costs import CostModel
@@ -175,8 +175,24 @@ def remove_worker(
     edges: Iterable[tuple],
     C: CostModel,
     out: List[RemoveStats],
+    waves: Optional[Sequence[int]] = None,
 ):
-    """DoRemove_p (Algorithm 3's removal counterpart)."""
-    for a, b in edges:
-        stats = yield from remove_edge_par(state, a, b, C)
-        out.append(stats)
+    """DoRemove_p (Algorithm 3's removal counterpart).
+
+    ``waves`` works exactly as in
+    :func:`~repro.parallel.parallel_insert.insert_worker`: per-edge wave
+    indices from a schedule, surfaced to the machine as free
+    ``("wave", i)`` markers.
+    """
+    if waves is None:
+        for a, b in edges:
+            stats = yield from remove_edge_par(state, a, b, C)
+            out.append(stats)
+    else:
+        cur = None
+        for (a, b), w in zip(edges, waves):
+            if w != cur:
+                cur = w
+                yield ("wave", w)
+            stats = yield from remove_edge_par(state, a, b, C)
+            out.append(stats)

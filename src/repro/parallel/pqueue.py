@@ -1,13 +1,24 @@
-"""Compatibility shim: the version-stamped queue moved to ``repro.core.pqueue``.
+"""Deprecated compatibility shim — use :mod:`repro.core.pqueue`.
 
 :class:`~repro.core.pqueue.VersionedPQ` and the sequential
-:class:`~repro.core.pqueue.KOrderPQ` now share one lazy-rekey
-implementation; this module re-exports the concurrent variant so existing
-imports (``from repro.parallel.pqueue import VersionedPQ``) keep working.
+:class:`~repro.core.pqueue.KOrderPQ` share one lazy-rekey implementation
+in :mod:`repro.core.pqueue`; this module re-exports the concurrent
+variant so historical imports (``from repro.parallel.pqueue import
+VersionedPQ``) keep working, but importing it now emits a
+``DeprecationWarning``.  All in-repo code imports the real location.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.pqueue import VersionedPQ
+
+warnings.warn(
+    "repro.parallel.pqueue is deprecated; import VersionedPQ from "
+    "repro.core.pqueue instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["VersionedPQ"]

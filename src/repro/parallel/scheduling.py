@@ -1,0 +1,403 @@
+"""Conflict-aware batch scheduling for the parallel maintainers.
+
+The paper's whole advantage is that Parallel-Order workers contend only
+on the tiny ``V+`` lock sets — but *which* edges run concurrently is the
+dispatcher's choice, and feeding ΔE to workers in arrival order lets
+edges with overlapping neighborhoods pile up on the same vertex locks at
+the same simulated instant.  Batch-parallel k-core systems schedule
+around exactly this structure (Liu & Shun's batched updates exploit
+in-batch conflict structure; the matching baseline of Wang/Jin et al. is
+a conflict-*avoidance* pre-pass taken to the extreme of one matching per
+round).  This module is the middle ground: a cheap pre-pass that keeps
+the paper's lock protocol untouched but orders the work so concurrent
+edges rarely want the same locks.
+
+Every policy implements one method::
+
+    plan(edges, workers, *, state=None, costs=None, seed=0) -> Schedule
+
+and returns per-worker edge lists in execution order.  Three policies
+ship:
+
+``fifo``
+    Arrival order, contiguous chunks (Algorithm 3 line 1) — the
+    historical behaviour and the baseline every benchmark compares
+    against.
+
+``lpt``
+    Longest-estimated-cost-first greedy assignment onto the least
+    loaded worker (the classic LPT heuristic, shared with the JE
+    baseline's schedule in :mod:`repro.baselines.scheduling`).  Balances
+    load but is conflict-blind.
+
+``conflict-aware``
+    The tentpole.  Its shape was fixed by measuring where simulated
+    contention actually lives: instrumenting per-key lock failures on a
+    hub-incident batch shows **every** contended lock is a batch
+    endpoint that recurs across many edges of the batch — the
+    speculative alternative (treating the core-``K`` neighborhoods that
+    propagation may visit as part of the conflict footprint) colors the
+    batch into hundreds of tiny waves whose neighbors all conflict, and
+    *loses* to fifo.  Three steps survive the measurements:
+
+    1. **Footprint estimation** — an endpoint is *hot* when it appears
+       in at least :data:`HOT_THRESHOLD` batch edges; an edge's
+       footprint is its hot endpoints (usually zero or one).  Costs are
+       estimated off the interned adjacency arrays with the endpoint
+       scan *amortized* over the vertex's batch incidence — the first
+       edge at a vertex pays the ``mcd`` materialization scan and the
+       rest hit the cache, so charging every hub edge the full hub
+       degree (the naive estimate) overstates hub work by an order of
+       magnitude and mis-balances everything downstream.
+    2. **Greedy coloring** of the implicit conflict graph (edges
+       conflict iff footprints intersect) into *waves*, cheapest-last.
+       The coloring never materializes the conflict graph: each vertex
+       carries a bitmask of the waves already using it, so an edge's
+       forbidden set is the OR over its footprint and its wave is the
+       lowest zero bit.  Waves order each worker's queue and key the
+       per-wave contention metrics.
+    3. **Hot-group dealing** — edges sharing a primary hot endpoint
+       form a group; a group is dealt to a *team* of
+       ``ceil(load / (SPLIT_FACTOR * ideal))`` least-loaded workers.
+       One worker per team serializes the group's conflicts in program
+       order (free), while capping the team size bounds the imbalance a
+       heavy hub can cause; teams larger than one trade a little
+       intra-team contention for balance, which measures strictly
+       better than either extreme (pure affinity serializes a hub's
+       whole pipeline; pure spreading recreates fifo's lock storms).
+       Cold edges fill remaining capacity longest-first (LPT).
+
+    Workers prefix each wave's edges with a ``("wave", i)`` event, which
+    the simulated machine uses to attribute lock contention per wave
+    (:attr:`~repro.parallel.runtime.SimReport.wave_contention`).  There
+    is **no barrier** between waves — a barrier would trade contention
+    for idle time; grouping already keeps cross-worker conflicts rare.
+
+Scheduling is estimation, not synchronization: the lock protocol stays
+exactly the paper's, so a mis-estimated footprint costs performance,
+never correctness.  The differential tests drive every policy against
+the sequential ground truth to pin that down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = [
+    "Schedule",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "LptPolicy",
+    "ConflictAwarePolicy",
+    "POLICIES",
+    "get_policy",
+    "chunk_contiguous",
+    "HOT_THRESHOLD",
+    "SPLIT_FACTOR",
+]
+
+#: Batch-incidence threshold above which an endpoint counts as *hot*:
+#: a vertex named by this many batch edges is a lock other workers will
+#: queue on.  Vertices below the threshold are locked at most once
+#: concurrently and never showed up in the contention instrumentation.
+HOT_THRESHOLD = 2
+
+#: Group-splitting reluctance: a hot group of estimated load ``L`` is
+#: dealt across ``ceil(L / (SPLIT_FACTOR * total/workers))`` workers.
+#: Smaller values favour balance (more intra-team contention), larger
+#: values favour serialization (a heavy hub becomes the critical path).
+SPLIT_FACTOR = 1.0
+
+
+@dataclass
+class Schedule:
+    """A batch mapped onto workers, in execution order.
+
+    ``assignments[w]`` is worker ``w``'s edge list; ``waves[w]`` (when
+    the policy produces waves) is the parallel list of wave indices, and
+    workers emit a ``("wave", i)`` event whenever the index changes.
+    Empty per-worker lists are dropped, mirroring ``partition_batch``.
+    """
+
+    policy: str
+    assignments: List[List[Edge]]
+    waves: Optional[List[List[int]]] = None
+    num_waves: int = 1
+    #: conflict-graph degree sum observed while coloring (a cheap proxy
+    #: for how contended the batch is; 0 for conflict-blind policies)
+    conflicts: int = 0
+    est_costs: Dict[Edge, float] = field(default_factory=dict)
+
+    def waves_for(self, w: int) -> Optional[List[int]]:
+        return self.waves[w] if self.waves is not None else None
+
+    def all_edges(self) -> List[Edge]:
+        return [e for chunk in self.assignments for e in chunk]
+
+
+def chunk_contiguous(edges: Sequence[Edge], parts: int) -> List[List[Edge]]:
+    """Split ΔE into ``parts`` contiguous, near-equal chunks (Algorithm 3
+    line 1).  Shared by the fifo policy and ``batch.partition_batch``."""
+    n = len(edges)
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    out: List[List[Edge]] = []
+    base, extra = divmod(n, parts)
+    i = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append(list(edges[i : i + size]))
+        i += size
+    return [c for c in out if c]
+
+
+def _batch_incidence(edges: Sequence[Edge]) -> Dict[Vertex, int]:
+    """How many batch edges name each vertex (the contention predictor)."""
+    cnt: Dict[Vertex, int] = {}
+    for u, v in edges:
+        cnt[u] = cnt.get(u, 0) + 1
+        cnt[v] = cnt.get(v, 0) + 1
+    return cnt
+
+
+def _estimate_costs(
+    edges: Sequence[Edge], state, costs, cnt: Optional[Dict[Vertex, int]] = None
+) -> List[float]:
+    """Per-edge work estimate: dispatch overhead plus both endpoint
+    neighborhood scans, *amortized* over each vertex's batch incidence.
+
+    The scans (``mcd``/``d_out`` materialization) are cached per vertex
+    for the duration of a batch, so only the first edge at a vertex pays
+    the full degree; charging it to every edge overstates hub work ~10x
+    and was measured to mis-balance every downstream assignment.  The
+    constant term stands in for the per-edge propagation work the plan
+    cannot see.  Callers that already computed the batch incidence map
+    pass it via ``cnt`` to skip recounting."""
+    if state is None:
+        return [1.0] * len(edges)
+    graph = state.graph
+    per_nbr = costs.per_neighbor() if costs is not None else 1.0
+    overhead = costs.edge_overhead if costs is not None else 3.0
+    if cnt is None:
+        cnt = _batch_incidence(edges)
+    # batch endpoints are guaranteed present, so len(adj) == degree();
+    # reading the array-backed adjacency directly skips a Python-level
+    # presence check per endpoint (this runs 2x per batch edge)
+    adj = getattr(graph, "_adj", None)
+    if adj is not None:
+        return [
+            overhead
+            + per_nbr * (len(adj[u]) / cnt[u] + len(adj[v]) / cnt[v] + 6.0)
+            for u, v in edges
+        ]
+    degree = graph.degree
+    return [
+        overhead + per_nbr * (degree(u) / cnt[u] + degree(v) / cnt[v] + 6.0)
+        for u, v in edges
+    ]
+
+
+class SchedulingPolicy:
+    """Base class: a named strategy mapping a batch onto workers."""
+
+    name = "abstract"
+
+    def plan(
+        self,
+        edges: Sequence[Edge],
+        workers: int,
+        *,
+        state=None,
+        costs=None,
+        seed: int = 0,
+    ) -> Schedule:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Arrival order, contiguous chunks — the historical dispatcher."""
+
+    name = "fifo"
+
+    def plan(self, edges, workers, *, state=None, costs=None, seed=0):
+        return Schedule(
+            policy=self.name, assignments=chunk_contiguous(edges, workers)
+        )
+
+
+class LptPolicy(SchedulingPolicy):
+    """Longest-estimated-cost-first onto the least loaded worker.
+
+    Conflict-blind; exists as the load-balance-only ablation between
+    ``fifo`` and ``conflict-aware`` (same greedy assignment the JE
+    baseline's level schedule uses, via :func:`lpt_assign`)."""
+
+    name = "lpt"
+
+    def plan(self, edges, workers, *, state=None, costs=None, seed=0):
+        # Imported lazily: repro.baselines pulls in the baseline
+        # maintainers, which import repro.parallel.batch — a cycle at
+        # module-import time, fine at call time.
+        from repro.baselines.scheduling import lpt_assign
+
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        edges = list(edges)
+        est = _estimate_costs(edges, state, costs)
+        groups = lpt_assign(est, workers)
+        assignments = [[edges[i] for i in g] for g in groups if g]
+        return Schedule(
+            policy=self.name,
+            assignments=assignments,
+            est_costs=dict(zip(edges, est)),
+        )
+
+
+class ConflictAwarePolicy(SchedulingPolicy):
+    """Hot-endpoint footprints → greedy wave coloring → group dealing."""
+
+    name = "conflict-aware"
+
+    def __init__(
+        self,
+        hot_threshold: int = HOT_THRESHOLD,
+        split_factor: float = SPLIT_FACTOR,
+    ) -> None:
+        self.hot_threshold = hot_threshold
+        self.split_factor = split_factor
+
+    # -- steps 1-3: footprints, coloring, assignment --------------------
+    def plan(self, edges, workers, *, state=None, costs=None, seed=0):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        edges = list(edges)
+        if not edges:
+            return Schedule(policy=self.name, assignments=[], waves=[])
+        cnt = _batch_incidence(edges)
+        est = _estimate_costs(edges, state, costs, cnt=cnt)
+        hot = {v for v, c in cnt.items() if c >= self.hot_threshold}
+        footprints: List[List[Vertex]] = [
+            [x for x in e if x in hot] for e in edges
+        ]
+
+        # Greedy coloring over the implicit conflict graph.  Color the
+        # expensive edges first (Welsh–Powell flavour): they have the
+        # most conflicts, so giving them low wave numbers keeps the
+        # early, well-populated waves conflict-free.
+        order = sorted(range(len(edges)), key=est.__getitem__, reverse=True)
+        used_waves: Dict[Vertex, int] = {}  # vertex -> bitmask of waves
+        wave_of = [0] * len(edges)
+        conflicts = 0
+        num_waves = 1
+        for i in order:
+            forbidden = 0
+            for x in footprints[i]:
+                m = used_waves.get(x)
+                if m:
+                    forbidden |= m
+            if forbidden:
+                conflicts += forbidden.bit_count()
+            # lowest zero bit of ``forbidden``
+            wave = (~forbidden & (forbidden + 1)).bit_length() - 1
+            wave_of[i] = wave
+            if wave + 1 > num_waves:
+                num_waves = wave + 1
+            bit = 1 << wave
+            for x in footprints[i]:
+                used_waves[x] = used_waves.get(x, 0) | bit
+
+        # Hot-group dealing: each group (edges sharing a primary hot
+        # endpoint) goes to a load-proportional team of workers, heavy
+        # groups first while placement is still free.  Cold edges then
+        # fill remaining capacity longest-first.
+        groups: Dict[Vertex, List[int]] = {}
+        cold: List[int] = []
+        for i, fp in enumerate(footprints):
+            if fp:
+                primary = max(fp, key=lambda v: cnt[v])
+                groups.setdefault(primary, []).append(i)
+            else:
+                cold.append(i)
+        ideal = sum(est) / workers
+        chunk = max(self.split_factor * ideal, 1e-9)
+        loads = [0.0] * workers
+        picks: List[List[int]] = [[] for _ in range(workers)]
+        group_loads = {v: sum(est[i] for i in mem) for v, mem in groups.items()}
+        group_order = sorted(
+            groups.items(), key=lambda kv: group_loads[kv[0]], reverse=True
+        )
+        # One persistent (load, worker) heap serves team selection and
+        # the cold fill: every load update flows through it, so entries
+        # are never stale.  (load, worker) tuples break load ties toward
+        # the lowest worker id — the same order a stable sorted()[:k] or
+        # linear min() scan over worker ids produces.
+        wheap = [(0.0, p) for p in range(workers)]
+        for primary, members in group_order:
+            load = group_loads[primary]
+            team_size = min(workers, max(1, -(-int(load) // max(int(chunk), 1))))
+            # pop the team_size least-loaded workers off the shared heap
+            team = [heapq.heappop(wheap) for _ in range(team_size)]
+            members.sort(key=est.__getitem__, reverse=True)
+            # deal within the team via a (load, team-position, worker)
+            # heap: pops the least-loaded member, earliest team position
+            # on ties — the same worker min() found by linear scan
+            theap = [(ld, j, q) for j, (ld, q) in enumerate(team)]
+            heapq.heapify(theap)
+            for i in members:
+                ld, j, q = theap[0]
+                loads[q] = ld + est[i]
+                picks[q].append(i)
+                heapq.heapreplace(theap, (loads[q], j, q))
+            for ld, _, q in theap:
+                heapq.heappush(wheap, (ld, q))
+        # cold fill onto the globally least-loaded worker
+        cold.sort(key=est.__getitem__, reverse=True)
+        for i in cold:
+            ld, p = wheap[0]
+            loads[p] = ld + est[i]
+            picks[p].append(i)
+            heapq.heapreplace(wheap, (loads[p], p))
+
+        assignments: List[List[Edge]] = []
+        waves: List[List[int]] = []
+        for p in range(workers):
+            if not picks[p]:
+                continue
+            # wave order within the queue: interleaves a worker's groups
+            # and keeps the per-wave metrics attribution monotone
+            picks[p].sort(key=lambda i: (wave_of[i], -est[i], i))
+            assignments.append([edges[i] for i in picks[p]])
+            waves.append([wave_of[i] for i in picks[p]])
+        return Schedule(
+            policy=self.name,
+            assignments=assignments,
+            waves=waves,
+            num_waves=num_waves,
+            conflicts=conflicts,
+            est_costs=dict(zip(edges, est)),
+        )
+
+
+POLICIES: Dict[str, SchedulingPolicy] = {
+    p.name: p for p in (FifoPolicy(), LptPolicy(), ConflictAwarePolicy())
+}
+
+
+def get_policy(policy) -> SchedulingPolicy:
+    """Resolve a policy name or pass a :class:`SchedulingPolicy` through."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r} (known: {sorted(POLICIES)})"
+        ) from None

@@ -59,8 +59,9 @@ class StreamProcessor:
     ----------
     graph:
         Initial graph (ownership transfers to the engine's maintainer).
-    num_workers, costs, schedule, seed:
-        Forwarded to the parallel maintainer.
+    num_workers, costs, schedule, seed, policy:
+        Forwarded to the parallel maintainer (``policy`` picks the batch
+        scheduling policy, see :mod:`repro.parallel.scheduling`).
     max_batch:
         Auto-flush threshold: a pending run reaching this size is executed
         immediately (keeps latency bounded on long streams).
@@ -74,6 +75,7 @@ class StreamProcessor:
         schedule: str = "min-clock",
         seed: int = 0,
         max_batch: int = 10_000,
+        policy="fifo",
     ) -> None:
         self.engine = Engine(
             graph,
@@ -83,6 +85,7 @@ class StreamProcessor:
                 costs=costs,
                 schedule=schedule,
                 seed=seed,
+                policy=policy,
                 # historical surface: no clock, no deadlines, no limits
                 ingest_cost=0.0,
                 query_cost=0.0,

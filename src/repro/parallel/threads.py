@@ -39,6 +39,7 @@ from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.costs import CostModel
 from repro.parallel.parallel_insert import insert_worker
 from repro.parallel.parallel_remove import remove_worker
+from repro.parallel.scheduling import get_policy
 
 Key = Hashable
 
@@ -110,6 +111,10 @@ class ThreadMachine:
                     if det is not None:
                         det.write(ev[1], site=ev[2] if len(ev) > 2 else "<event>")
                     val = None
+                elif kind == "wave":
+                    # schedule-wave marker: timing metadata only, nothing
+                    # to do under real threads
+                    val = None
                 else:  # pragma: no cover - protocol error
                     raise RuntimeError(f"unknown event {ev!r}")
         except BaseException as exc:  # noqa: BLE001 - surface to the caller
@@ -142,14 +147,16 @@ class ThreadedOrderMaintainer:
     """
 
     def __init__(
-        self, graph: DynamicGraph, num_workers: int = 4, detector=None
+        self, graph: DynamicGraph, num_workers: int = 4, detector=None,
+        policy="fifo",
     ) -> None:
         self.boundary = Boundary(graph)
         self.state = OrderState.from_graph(self.boundary.substrate)
         self.state.korder.mutex = threading.Lock()
         self.state.t_mutex = threading.Lock()
         self.num_workers = num_workers
-        self.costs = CostModel()
+        self.costs = CostModel.from_env()
+        self.policy = get_policy(policy)
         self.detector = detector
         if detector is not None:
             from repro.analysis.trace import instrument_state
@@ -171,10 +178,10 @@ class ThreadedOrderMaintainer:
         self.state.check_invariants()
 
     # ------------------------------------------------------------------
-    def _partition(self, edges):
-        from repro.parallel.batch import partition_batch
-
-        return partition_batch(list(edges), self.num_workers)
+    def _plan(self, edges):
+        return self.policy.plan(
+            list(edges), self.num_workers, state=self.state, costs=self.costs
+        )
 
     def _validate(self, edges, inserting: bool) -> None:
         seen = set()
@@ -198,22 +205,28 @@ class ThreadedOrderMaintainer:
         for u, v in edges:
             self.state.ensure_vertex(u)
             self.state.ensure_vertex(v)
+        plan = self._plan(edges)
         outs: List[List[InsertStats]] = []
         bodies = []
-        for chunk in self._partition(edges):
+        for w, chunk in enumerate(plan.assignments):
             out: List[InsertStats] = []
             outs.append(out)
-            bodies.append(insert_worker(self.state, chunk, self.costs, out))
+            bodies.append(
+                insert_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
+            )
         return ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
 
     def remove_edges(self, edges) -> ThreadReport:
         edges = list(edges)
         self._validate(edges, inserting=False)
         edges = self.boundary.edges_in(edges)
+        plan = self._plan(edges)
         outs: List[List[RemoveStats]] = []
         bodies = []
-        for chunk in self._partition(edges):
+        for w, chunk in enumerate(plan.assignments):
             out: List[RemoveStats] = []
             outs.append(out)
-            bodies.append(remove_worker(self.state, chunk, self.costs, out))
+            bodies.append(
+                remove_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
+            )
         return ThreadMachine(self.num_workers, detector=self.detector).run(bodies)

@@ -111,6 +111,9 @@ class EngineConfig:
     costs: Optional[CostModel] = None
     schedule: str = "min-clock"
     seed: int = 0
+    #: batch scheduling policy name or instance
+    #: (:data:`repro.parallel.scheduling.POLICIES`)
+    policy: Any = "fifo"
     snapshot_cache: int = 8
 
     def __post_init__(self) -> None:
@@ -159,6 +162,7 @@ class Engine:
             costs=cfg.costs,
             schedule=cfg.schedule,
             seed=cfg.seed,
+            policy=cfg.policy,
         )
         self.snapshots = SnapshotStore(self.maintainer, cache_epochs=cfg.snapshot_cache)
         self.batcher = AdaptiveBatcher(

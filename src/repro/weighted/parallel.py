@@ -81,7 +81,7 @@ class ParallelWeightedMaintainer:
     ) -> None:
         self.inner = WeightedCoreMaintainer(graph)
         self.num_workers = num_workers
-        self.costs = costs or CostModel()
+        self.costs = costs or CostModel.from_env()
         self.schedule = schedule
         self.seed = seed
 

@@ -92,6 +92,38 @@ class TestCostModel:
             CostModel().adj_scan = 5  # type: ignore[misc]
 
 
+class TestCostModelFromEnv:
+    def test_no_overrides_matches_defaults(self):
+        assert CostModel.from_env(env={}) == CostModel()
+
+    def test_numeric_override(self):
+        c = CostModel.from_env(env={"REPRO_COST_OM_RELABEL": "40"})
+        assert c.om_relabel == 40.0
+        assert c.adj_scan == CostModel().adj_scan  # untouched
+
+    def test_bool_override(self):
+        c = CostModel.from_env(env={"REPRO_COST_NEIGHBOR_LOCKING": "true"})
+        assert c.neighbor_locking is True
+        c = CostModel.from_env(env={"REPRO_COST_NEIGHBOR_LOCKING": "0"})
+        assert c.neighbor_locking is False
+
+    def test_malformed_value_names_variable(self):
+        with pytest.raises(ValueError, match="REPRO_COST_SPIN"):
+            CostModel.from_env(env={"REPRO_COST_SPIN": "fast"})
+
+    def test_reads_process_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COST_CAS_FAIL", "2.5")
+        assert CostModel.from_env().cas_fail == 2.5
+
+    def test_maintainer_default_uses_env(self, monkeypatch):
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.parallel.batch import ParallelOrderMaintainer
+
+        monkeypatch.setenv("REPRO_COST_EDGE_OVERHEAD", "9.0")
+        m = ParallelOrderMaintainer(DynamicGraph([(0, 1)]))
+        assert m.costs.edge_overhead == 9.0
+
+
 class TestSimReport:
     def test_speedup_vs_work(self):
         rep = SimReport(makespan=50.0, total_work=200.0)

@@ -122,10 +122,17 @@ class TestTornReadRecovery:
         x, y = items[0], items[1]
         calls = {"n": 0}
         real_order = ParallelOMList.order
+        # Model a mid-splice observation: y's group pointer is torn (None),
+        # which also defeats the inline stable-snapshot fast path, so the
+        # retry loop is what must recover.
+        saved_group = y.group
+        y.group = None
 
         def flaky_order(self, a, b):
             calls["n"] += 1
             if calls["n"] == 1:
+                # the mover finishes its splice, then our read tears
+                b.group = saved_group
                 raise AttributeError("mid-splice read")
             return real_order(self, a, b)
 

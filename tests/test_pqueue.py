@@ -3,7 +3,7 @@
 from repro.core.state import OrderState
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.generators import erdos_renyi
-from repro.parallel.pqueue import VersionedPQ
+from repro.core.pqueue import VersionedPQ
 
 
 def mk_state(edges=None):
@@ -127,3 +127,21 @@ class TestStaleness:
             pq.remove(v)
         true_order = [v for v in ko.sequence(1) if v in set(seq[:10])]
         assert fronts == true_order
+
+
+class TestDeprecatedShim:
+    def test_parallel_pqueue_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.parallel.pqueue", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.parallel.pqueue")
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.core.pqueue" in str(w.message)
+            for w in caught
+        )
+        assert shim.VersionedPQ is VersionedPQ

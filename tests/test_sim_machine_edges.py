@@ -1,0 +1,240 @@
+"""SimMachine edge cases: cond_acquire wake ordering, deadlock payload
+details, zero-worker / empty-batch runs, and wave-marker semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.batch import ParallelOrderMaintainer
+from repro.parallel.costs import CostModel
+from repro.parallel.runtime import SimDeadlockError, SimMachine, cond_acquire
+
+C = CostModel()
+
+
+# ----------------------------------------------------------------------
+# cond_acquire wake ordering
+# ----------------------------------------------------------------------
+class TestCondAcquireWakeOrdering:
+    def _contenders(self, order_log, head_start):
+        """A holder plus two spinners; record who gets the lock when."""
+
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 10.0)
+            yield ("release", "L")
+
+        def spinner(name, delay):
+            def body():
+                if delay:
+                    yield ("tick", delay)
+                got = yield from cond_acquire("L", lambda: True)
+                assert got
+                order_log.append(name)
+                yield ("release", "L")
+
+            return body()
+
+        return [holder(), spinner("slow", head_start), spinner("fast", 0.0)]
+
+    def test_late_arriver_loses_to_waiting_spinner(self):
+        """A worker still computing when the lock is released (head start
+        past the release time) loses to the spinner already waiting, even
+        though the late worker has the lower id."""
+        log = []
+        SimMachine(3).run(self._contenders(log, head_start=30.0))
+        assert log == ["fast", "slow"]
+
+    def test_tie_breaks_on_worker_id(self):
+        """Equal clocks: the lower worker id is advanced first, so the
+        first-listed spinner acquires first."""
+        log = []
+
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 4.0)
+            yield ("release", "L")
+
+        def spinner(name):
+            def body():
+                got = yield from cond_acquire("L", lambda: True)
+                assert got
+                log.append(name)
+                yield ("release", "L")
+
+            return body()
+
+        SimMachine(3).run([holder(), spinner("w1"), spinner("w2")])
+        assert log == ["w1", "w2"]
+
+    def test_waiters_drain_fifo_by_release_time(self):
+        """Three queued waiters all eventually acquire, one per release,
+        with no waiter starved."""
+        log = []
+
+        def holder():
+            yield ("try", "L")
+            yield ("tick", 3.0)
+            yield ("release", "L")
+
+        def spinner(i):
+            def body():
+                got = yield from cond_acquire("L", lambda: True)
+                assert got
+                log.append(i)
+                yield ("tick", 1.0)
+                yield ("release", "L")
+
+            return body()
+
+        SimMachine(4).run([holder()] + [spinner(i) for i in range(3)])
+        assert sorted(log) == [0, 1, 2]
+        assert len(set(log)) == 3
+
+
+# ----------------------------------------------------------------------
+# deadlock report payloads
+# ----------------------------------------------------------------------
+class TestDeadlockPayload:
+    def _two_cycle(self):
+        def w(mine, want):
+            def body():
+                yield ("try", mine)
+                while not (yield ("try", want)):
+                    yield ("spin",)
+
+            return body()
+
+        return [w("A", "B"), w("B", "A")]
+
+    def test_cycle_edges_are_worker_key_holder_triples(self):
+        machine = SimMachine(2, deadlock_window=20)
+        with pytest.raises(SimDeadlockError) as ei:
+            machine.run(self._two_cycle())
+        err = ei.value
+        assert len(err.cycle) == 2
+        for w, key, holder in err.cycle:
+            # each edge is consistent with the holders table
+            assert err.holders[key] == holder
+            assert err.waiters[w] == key
+            assert w != holder
+
+    def test_uninvolved_worker_not_in_waiters(self):
+        """A worker doing independent work never appears in the waits-for
+        report."""
+
+        def bystander():
+            for _ in range(1000):
+                yield ("tick", 1.0)
+
+        machine = SimMachine(3, deadlock_window=20)
+        with pytest.raises(SimDeadlockError) as ei:
+            machine.run(self._two_cycle() + [bystander()])
+        err = ei.value
+        assert 2 not in err.waiters
+        assert set(err.holders) == {"A", "B"}
+
+    def test_livelock_report_has_empty_cycle(self):
+        """The stall fallback (no waits-for cycle) reports holders and
+        waiters but an empty cycle list."""
+
+        def holder():
+            yield ("try", "H")
+            while True:
+                yield ("spin",)
+
+        def waiter():
+            while not (yield ("try", "H")):
+                yield ("spin",)
+
+        machine = SimMachine(2, max_stall_events=500)
+        with pytest.raises(SimDeadlockError) as ei:
+            machine.run([holder(), waiter()])
+        err = ei.value
+        assert err.cycle == []
+        assert err.holders == {"H": 0}
+        assert err.waiters == {1: "H"}
+
+
+# ----------------------------------------------------------------------
+# zero-worker / empty-batch runs
+# ----------------------------------------------------------------------
+class TestEmptyRuns:
+    def test_zero_bodies(self):
+        rep = SimMachine(4).run([])
+        assert rep.makespan == 0.0
+        assert rep.events == 0
+        assert rep.worker_clocks == []
+        assert rep.wave_contention == {}
+
+    def test_zero_bodies_random_schedule(self):
+        rep = SimMachine(4, schedule="random", seed=9).run([])
+        assert rep.makespan == 0.0
+
+    def test_generator_that_yields_nothing(self):
+        def idle():
+            if False:
+                yield  # pragma: no cover
+
+        rep = SimMachine(2).run([idle(), idle()])
+        assert rep.makespan == 0.0
+        assert rep.events == 0
+
+    @pytest.mark.parametrize("policy", ["fifo", "conflict-aware"])
+    def test_maintainer_empty_batches(self, policy):
+        g = DynamicGraph([(0, 1), (1, 2), (0, 2)])
+        m = ParallelOrderMaintainer(g, num_workers=4, policy=policy)
+        ri = m.insert_edges([])
+        rr = m.remove_edges([])
+        assert ri.makespan == 0.0 and rr.makespan == 0.0
+        assert ri.stats == [] and rr.stats == []
+        fresh = core_decomposition(m.graph).core
+        assert m.cores() == fresh
+
+
+# ----------------------------------------------------------------------
+# wave markers
+# ----------------------------------------------------------------------
+class TestWaveMarkers:
+    def test_wave_marker_costs_nothing(self):
+        def w():
+            yield ("wave", 0)
+            yield ("tick", 5.0)
+            yield ("wave", 1)
+            yield ("tick", 2.0)
+
+        rep = SimMachine(1).run([w()])
+        assert rep.makespan == 7.0
+        assert rep.total_work == 7.0
+
+    def test_wave_attribution_of_lock_traffic(self):
+        def holder():
+            yield ("wave", 0)
+            yield ("try", "L")
+            yield ("tick", 5.0)
+            yield ("release", "L")
+
+        def contender():
+            yield ("wave", 1)
+            yield ("tick", 1.0)
+            while not (yield ("try", "L")):
+                yield ("spin",)
+            yield ("release", "L")
+
+        rep = SimMachine(2).run([holder(), contender()])
+        wc = rep.wave_contention
+        assert wc[0]["lock_acquires"] == 1
+        assert wc[1]["lock_acquires"] == 1
+        assert wc[1]["lock_failures"] == rep.lock_failures > 0
+        assert wc[1]["contended_time"] == rep.contended_time
+        assert wc[0]["lock_failures"] == 0
+
+    def test_no_waves_no_table(self):
+        def w():
+            yield ("try", "L")
+            yield ("release", "L")
+
+        rep = SimMachine(1).run([w()])
+        assert rep.wave_contention == {}
