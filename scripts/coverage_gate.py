@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Coverage regression gate for the serving + parallel layers.
+
+Runs the fault/service/parallel test slice under a line tracer and
+fails (exit 1) if statement coverage of ``repro.service`` or
+``repro.parallel`` drops more than ``--slack`` percentage points below
+the committed baseline (``COVERAGE_BASELINE.json``).
+
+The collector is deliberately dependency-free: a ``sys.settrace`` hook
+restricted to the two target packages plus an AST statement count for
+the denominator.  That makes the number identical in every environment
+(the hermetic CI container has no ``coverage`` package), at the price of
+being a *statement* metric, not branch coverage — fine for a ratchet.
+
+Usage::
+
+    python scripts/coverage_gate.py            # gate against baseline
+    python scripts/coverage_gate.py --update   # re-record the baseline
+    python scripts/coverage_gate.py --report   # per-module table only
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+BASELINE_PATH = os.path.join(ROOT, "COVERAGE_BASELINE.json")
+
+#: the packages the gate protects (ISSUE: service durability + the
+#: parallel maintenance core under it)
+TARGETS = {
+    "repro.service": os.path.join(SRC, "repro", "service"),
+    "repro.parallel": os.path.join(SRC, "repro", "parallel"),
+}
+
+#: the deterministic test slice that drives the targets — a fixed list,
+#: so the percentage means the same thing in every run
+GATE_TESTS = [
+    "tests/test_engine_recovery.py",
+    "tests/test_faults_determinism.py",
+    "tests/test_faults_differential.py",
+    "tests/test_service_engine.py",
+    "tests/test_service_batcher.py",
+    "tests/test_service_snapshots.py",
+    "tests/test_service_differential.py",
+    "tests/test_stream.py",
+    "tests/test_parallel_insert.py",
+    "tests/test_parallel_remove.py",
+    "tests/test_parallel_differential.py",
+    "tests/test_parallel_om.py",
+    "tests/test_scheduling.py",
+    "tests/test_sim_runtime.py",
+    "tests/test_sim_machine_edges.py",
+    "tests/test_threads.py",
+    "tests/test_locks_load_bearing.py",
+]
+
+
+def executable_lines(path: str) -> set:
+    """Line numbers of executable statements, approximated from the AST.
+
+    Docstring-expression statements are excluded; ``def``/``class``
+    headers count (they execute at import).  The approximation only has
+    to be *stable*, since baseline and gate use the same function.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    lines = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            continue  # docstring
+        lines.add(node.lineno)
+    return lines
+
+
+def collect(pytest_args):
+    """Run pytest under a targets-only line tracer.
+
+    Returns ``(exit_code, {abspath: covered_line_set})``.
+    """
+    prefixes = tuple(os.path.join(p, "") for p in TARGETS.values())
+    covered = {}
+    #: code objects whose every line has been seen — stop tracing them,
+    #: which removes the per-line overhead from hot loops after warm-up
+    saturated = set()
+    wanted = {}
+
+    def local_factory(code, lines):
+        want = wanted.get(code)
+        if want is None:
+            want = wanted[code] = {
+                ln for _s, _e, ln in code.co_lines() if ln is not None
+            }
+
+        def local(frame, event, arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+                if want <= lines:
+                    saturated.add(code)
+                    return None
+            return local
+        return local
+
+    def tracer(frame, event, arg):
+        code = frame.f_code
+        if code in saturated:
+            return None
+        fn = code.co_filename
+        if not fn.startswith(prefixes):
+            return None
+        lines = covered.setdefault(fn, set())
+        lines.add(frame.f_lineno)
+        return local_factory(code, lines)
+
+    import pytest
+
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        rc = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return rc, covered
+
+
+def measure(covered):
+    """Fold the trace into ``{package: {percent, covered, executable}}``."""
+    out = {}
+    for pkg, pkg_dir in TARGETS.items():
+        total = hit = 0
+        modules = {}
+        for dirpath, _dirnames, filenames in os.walk(pkg_dir):
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                exe = executable_lines(path)
+                got = covered.get(path, set()) & exe
+                total += len(exe)
+                hit += len(got)
+                rel = os.path.relpath(path, SRC)
+                modules[rel] = round(100.0 * len(got) / len(exe), 1) if exe else 100.0
+        out[pkg] = {
+            "percent": round(100.0 * hit / total, 2) if total else 100.0,
+            "covered": hit,
+            "executable": total,
+            "modules": modules,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--update", action="store_true",
+                    help="re-record COVERAGE_BASELINE.json instead of gating")
+    ap.add_argument("--report", action="store_true",
+                    help="print the per-module table and exit 0")
+    ap.add_argument("--slack", type=float, default=2.0,
+                    help="allowed drop in percentage points (default 2.0)")
+    ap.add_argument("pytest_args", nargs="*",
+                    help="extra pytest args appended to the gate slice")
+    args = ap.parse_args(argv)
+
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    os.chdir(ROOT)
+    pytest_args = ["-q", "-p", "no:cacheprovider", *GATE_TESTS,
+                   *args.pytest_args]
+    rc, covered = collect(pytest_args)
+    if rc != 0:
+        print(f"coverage gate: test run failed (pytest exit {rc})")
+        return int(rc) or 1
+    result = measure(covered)
+
+    for pkg, cell in result.items():
+        print(f"{pkg}: {cell['percent']}% "
+              f"({cell['covered']}/{cell['executable']} statements)")
+        if args.report:
+            for mod, pct in sorted(cell["modules"].items()):
+                print(f"    {pct:6.1f}%  {mod}")
+    if args.report:
+        return 0
+
+    if args.update:
+        slim = {
+            pkg: {k: v for k, v in cell.items() if k != "modules"}
+            for pkg, cell in result.items()
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(slim, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {os.path.relpath(BASELINE_PATH, ROOT)}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print("no COVERAGE_BASELINE.json — run with --update first")
+        return 1
+    with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failed = False
+    for pkg, cell in result.items():
+        floor = baseline.get(pkg, {}).get("percent", 0.0) - args.slack
+        verdict = "ok" if cell["percent"] >= floor else "REGRESSED"
+        print(f"{pkg}: {cell['percent']}% vs baseline "
+              f"{baseline.get(pkg, {}).get('percent', '?')}% "
+              f"(floor {floor:.2f}%) -> {verdict}")
+        failed |= verdict != "ok"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,10 @@ class RaceReport:
     relaxed_accesses: int = 0
     sync_ops: int = 0
     locations: int = 0
+    #: injected faults observed during the run, ``[(step, worker, kind)]``
+    #: (see ``repro.faults``) — lets a trace attribute post-crash
+    #: anomalies to their injection point
+    fault_events: List[tuple] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -115,6 +119,7 @@ class RaceReport:
             "relaxed_accesses": self.relaxed_accesses,
             "sync_ops": self.sync_ops,
             "locations": self.locations,
+            "fault_events": len(self.fault_events),
         }
 
     def format(self) -> str:
@@ -159,6 +164,7 @@ class RaceDetector:
         self.max_races = max_races
         self.races: List[Race] = []
         self.accesses_traced = 0
+        self.fault_events: List[tuple] = []
         self.relaxed_accesses = 0
         self.sync_ops = 0
         self.step = 0
@@ -203,6 +209,31 @@ class RaceDetector:
     def register_thread(self, wid: int) -> None:
         """Thread backend: bind the calling thread to worker ``wid``."""
         self._threads[threading.get_ident()] = wid
+
+    def on_fault(self, wid: int, kind: str, step: Optional[int] = None) -> None:
+        """An injected fault hit worker ``wid`` (``repro.faults``).
+
+        Crash semantics for the race analysis: the dead worker's locks
+        are force-released by the runtime *without* publishing its clock
+        into them — whoever acquires an orphaned lock next is NOT
+        happens-after the dead worker's critical section.  That is the
+        honest model (the crash interrupted the section mid-flight), and
+        it is exactly why post-crash state must be rebuilt, not trusted.
+        The fault itself is recorded so race traces can attribute
+        post-crash anomalies to the injection point.
+        """
+        if self._mutex is not None:
+            with self._mutex:
+                self._on_fault(wid, kind, step)
+        else:
+            self._on_fault(wid, kind, step)
+
+    def _on_fault(self, wid: int, kind: str, step: Optional[int]) -> None:
+        self.fault_events.append((step if step is not None else self.step, wid, kind))
+        if wid < len(self._held):
+            # drop locksets without the release-time clock publication
+            self._held[wid] = set()
+            self._held_frozen[wid] = frozenset()
 
     def on_acquire(self, wid: int, key: Key) -> None:
         """Successful CAS: join the lock's release clock into the worker."""
@@ -333,4 +364,5 @@ class RaceDetector:
             relaxed_accesses=self.relaxed_accesses,
             sync_ops=self.sync_ops,
             locations=len(self._locs),
+            fault_events=list(self.fault_events),
         )

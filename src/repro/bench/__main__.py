@@ -8,6 +8,7 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench table2 --datasets BA RMAT
     python -m repro.bench fig5 fig6 fig7
     python -m repro.bench service --datasets BA --ops 500 --query-rate 0.3
+    python -m repro.bench chaos --datasets BA --seed 7 --assert-recovered
     python -m repro.bench representation --datasets BA ER --assert-speedup 0.9
     python -m repro.bench scheduling --datasets BA --assert-speedup 1.2
     python -m repro.bench all   --batch 200
@@ -27,6 +28,7 @@ from typing import List
 
 from repro.bench import harness
 from repro.bench.reporting import (
+    render_chaos,
     render_histogram,
     render_series,
     render_service_metrics,
@@ -36,7 +38,7 @@ from repro.bench.reporting import (
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
-    "representation", "scheduling",
+    "chaos", "representation", "scheduling",
 )
 
 
@@ -67,9 +69,24 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--assert-speedup", type=float, default=None, metavar="X",
                    help="representation/scheduling: exit 1 unless the "
                         "headline speedup is >= X on every dataset")
+    p.add_argument("--crash-rate", type=float, default=0.01,
+                   help="chaos workload: per-event worker crash probability")
+    p.add_argument("--stall-rate", type=float, default=0.01,
+                   help="chaos workload: per-event stall probability")
+    p.add_argument("--timeout-rate", type=float, default=0.01,
+                   help="chaos workload: per-try acquire-timeout probability")
+    p.add_argument("--max-crashes", type=int, default=8,
+                   help="chaos workload: total crash budget per engine")
+    p.add_argument("--restarts", type=int, default=2,
+                   help="chaos workload: simulated process restarts "
+                        "(journal reload) spread over the trace")
+    p.add_argument("--assert-recovered", action="store_true",
+                   help="chaos: exit 1 unless every dataset recovered "
+                        "(cores match the uninterrupted run and the "
+                        "from-scratch oracle, deterministically)")
     p.add_argument("--json", type=str, default=None, metavar="PATH",
-                   help="representation/scheduling: also write the cells to "
-                        "PATH as JSON")
+                   help="representation/scheduling/chaos: also write the "
+                        "cells to PATH as JSON")
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile and print the top 25 functions "
                         "by cumulative time")
@@ -158,6 +175,50 @@ def _run(args: argparse.Namespace) -> int:
                 print(render_service_metrics(cell["metrics"]))
                 if not cell["invariant_ok"]:
                     print("!! accounting invariant VIOLATED")
+                    return 1
+        elif exp == "chaos":
+            import json as _json
+
+            cells = [
+                harness.run_chaos(
+                    ds,
+                    ops=args.ops,
+                    workers=max(args.workers),
+                    query_rate=args.query_rate,
+                    seed=args.seed,
+                    max_batch=max(1, args.batch // 16),
+                    crash_rate=args.crash_rate,
+                    stall_rate=args.stall_rate,
+                    timeout_rate=args.timeout_rate,
+                    max_crashes=args.max_crashes,
+                    restarts=args.restarts,
+                )
+                for ds in args.datasets
+            ]
+            for cell in cells:
+                print(f"\n--- {cell['dataset']} ---")
+                print(render_chaos(cell))
+            if args.json:
+                slim = [
+                    {k: v for k, v in c.items() if k != "metrics"}
+                    | {"faults": c["faults"],
+                       "counters": c["metrics"]["counters"]}
+                    for c in cells
+                ]
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(slim, fh, indent=2)
+                print(f"wrote {args.json}")
+            if args.assert_recovered:
+                bad = [c for c in cells if not c["ok"]]
+                if bad:
+                    for c in bad:
+                        print(
+                            f"!! {c['dataset']}: chaos run DIVERGED "
+                            f"(recovered={c['recovered_ok']} "
+                            f"oracle={c['oracle_ok']} "
+                            f"deterministic={c['determinism_ok']} "
+                            f"invariant={c['invariant_ok']})"
+                        )
                     return 1
         elif exp == "representation":
             import json as _json

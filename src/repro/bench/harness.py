@@ -46,6 +46,7 @@ __all__ = [
     "fig6_scalability",
     "fig7_stability",
     "run_service",
+    "run_chaos",
     "run_representation",
     "run_scheduling",
 ]
@@ -130,9 +131,9 @@ def run_service(
 
     The returned dict carries the engine metrics (``metrics``), the
     wall-clock seconds spent and whether the quiescence accounting
-    invariant ``admitted == committed + quarantined + timed_out`` held
-    after the final drain (``invariant_ok`` — asserted by the CI smoke
-    job).
+    invariant ``admitted == committed + quarantined + timed_out +
+    abandoned`` held after the final drain (``invariant_ok`` — asserted
+    by the CI smoke job).
     """
     from repro.service import Engine, EngineConfig
 
@@ -164,7 +165,8 @@ def run_service(
     m = eng.metrics()
     c = m["counters"]
     invariant_ok = (
-        c["admitted"] == c["committed"] + c["quarantined"] + c["timed_out"]
+        c["admitted"]
+        == c["committed"] + c["quarantined"] + c["timed_out"] + c["abandoned"]
         and c["in_flight"] == 0
     )
     return {
@@ -174,6 +176,164 @@ def run_service(
         "wall_s": wall,
         "metrics": m,
         "invariant_ok": invariant_ok,
+    }
+
+
+def run_chaos(
+    dataset: str,
+    ops: int = 400,
+    workers: int = 4,
+    query_rate: float = 0.2,
+    seed: int = 0,
+    max_batch: int = 16,
+    crash_rate: float = 0.01,
+    stall_rate: float = 0.01,
+    timeout_rate: float = 0.01,
+    max_crashes: Optional[int] = 8,
+    checkpoint_every: int = 4,
+    restarts: int = 2,
+    verify_determinism: bool = True,
+    check: bool = False,
+) -> Dict[str, object]:
+    """The ``chaos`` workload: the serving engine under a seeded fault
+    schedule, with crash recovery and simulated process restarts, judged
+    differentially against an uninterrupted run.
+
+    Three engines see the same trace: a **faulty** engine (fault plane
+    armed, WAL journal, periodic checkpoints, retries sized above the
+    crash budget so nothing is abandoned), a **clean** engine (no
+    faults), and — at ``restarts`` evenly spaced points — the faulty
+    engine is torn down and rebuilt from its journal via
+    :meth:`Engine.from_journal`, continuing the stream where it left
+    off.  Every query answer is compared between the two engines as the
+    stream runs, and at the end:
+
+    * ``recovered_ok`` — the faulty engine's cores equal the clean
+      engine's on every vertex (the ISSUE's headline claim);
+    * ``oracle_ok`` — both equal a from-scratch
+      :func:`~repro.core.decomposition.core_decomposition` of the edge
+      set reconstructed *from the journal alone*;
+    * ``determinism_ok`` (with ``verify_determinism``) — a second
+      faulty run with the same seed reproduced the same journal bytes
+      and the same fault-schedule digest.
+
+    ``max_delay`` is disabled so both engines cut at identical points
+    (retry backoff advances only the faulty engine's clock).
+    """
+    from repro.faults.plane import FaultSpec
+    from repro.service import Engine, EngineConfig
+
+    spec = FaultSpec(
+        crash_rate=crash_rate, stall_rate=stall_rate,
+        timeout_rate=timeout_rate, max_crashes=max_crashes,
+    )
+    budget = max_crashes if max_crashes is not None else 64
+    faulty_cfg = EngineConfig(
+        max_batch=max_batch, num_workers=workers, seed=seed,
+        faults=spec, checkpoint_every=checkpoint_every,
+        max_retries=budget + 1,
+    )
+    clean_cfg = EngineConfig(max_batch=max_batch, num_workers=workers, seed=seed)
+    initial, trace = service_trace(dataset, ops, query_rate=query_rate, seed=seed)
+
+    restart_every = len(trace) // (restarts + 1) if restarts else len(trace) + 1
+
+    def drive(cfg: EngineConfig, do_restarts: bool):
+        eng = Engine(DynamicGraph(initial), cfg)
+        other = Engine(DynamicGraph(initial), clean_cfg)
+        mismatches = 0
+        performed = 0
+        for i, item in enumerate(trace):
+            if do_restarts and restarts and i and i % restart_every == 0:
+                # simulated process crash at a quiescent point: drain
+                # both engines, then resurrect the faulty one from its
+                # journal alone
+                eng.flush()
+                other.flush()
+                eng = Engine.from_journal(eng.journal, cfg)
+                performed += 1
+            if item[0] == "query":
+                a = eng.query(item[1], *item[2])
+                b = other.query(item[1], *item[2])
+                if a.value != b.value or a.epoch != b.epoch:
+                    mismatches += 1
+            elif item[0] == "insert":
+                eng.insert(item[1], item[2])
+                other.insert(item[1], item[2])
+            else:
+                eng.remove(item[1], item[2])
+                other.remove(item[1], item[2])
+        eng.flush()
+        other.flush()
+        return eng, other, mismatches, performed
+
+    t0 = time.perf_counter()
+    faulty, clean, query_mismatches, performed = drive(faulty_cfg, do_restarts=True)
+    wall = time.perf_counter() - t0
+    if check:
+        faulty.check()
+        clean.check()
+
+    fc = faulty.cores()
+    recovered_ok = fc == clean.cores()
+    # independent oracle: a from-scratch decomposition of the edge set
+    # reconstructed from the journal alone.  Vertices that lost their
+    # last edge are absent from the edge list but live on in the engine
+    # with core 0 — they must agree too.
+    oracle = dict(
+        core_decomposition(DictGraph(faulty.journal.final_edges())).core
+    )
+    oracle_ok = (
+        all(fc.get(u) == k for u, k in oracle.items())
+        and all(k == 0 for u, k in fc.items() if u not in oracle)
+    )
+
+    determinism_ok = None
+    if verify_determinism:
+        again, _, _, _ = drive(faulty_cfg, do_restarts=True)
+        determinism_ok = (
+            again.journal.digest() == faulty.journal.digest()
+            and again.faults is not None and faulty.faults is not None
+            and again.faults.digest() == faulty.faults.digest()
+        )
+
+    m = faulty.metrics()
+    c = m["counters"]
+    invariant_ok = (
+        c["admitted"]
+        == c["committed"] + c["quarantined"] + c["timed_out"] + c["abandoned"]
+        and c["in_flight"] == 0
+    )
+    return {
+        "dataset": dataset,
+        "workers": workers,
+        "ops": len(trace),
+        "seed": seed,
+        "spec": {
+            "crash_rate": crash_rate, "stall_rate": stall_rate,
+            "timeout_rate": timeout_rate, "max_crashes": max_crashes,
+        },
+        "restarts": performed,
+        "wall_s": wall,
+        "metrics": m,
+        "faults": dict(m["faults"]),
+        "epoch": faulty.epoch,
+        "journal_records": len(faulty.journal),
+        "journal_digest": faulty.journal.digest(),
+        "schedule_digest": (
+            faulty.faults.digest() if faulty.faults is not None else None
+        ),
+        "query_mismatches": query_mismatches,
+        "recovered_ok": recovered_ok,
+        "oracle_ok": oracle_ok,
+        "determinism_ok": determinism_ok,
+        "invariant_ok": invariant_ok,
+        # headline gate for the CI chaos-smoke job
+        "ok": bool(
+            recovered_ok and oracle_ok and invariant_ok
+            and query_mismatches == 0
+            and (determinism_ok is None or determinism_ok)
+        ),
     }
 
 

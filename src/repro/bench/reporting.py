@@ -16,6 +16,7 @@ __all__ = [
     "render_log_plot",
     "render_analysis_stats",
     "render_service_metrics",
+    "render_chaos",
 ]
 
 
@@ -143,6 +144,7 @@ def render_service_metrics(metrics: Mapping, max_epochs: int = 8) -> str:
         (
             f"admitted {c['admitted']} == committed {c['committed']} "
             f"+ quarantined {c['quarantined']} + timed_out {c['timed_out']} "
+            f"+ abandoned {c.get('abandoned', 0)} "
             f"(in flight {c['in_flight']}, rejected {c['rejected']})"
         ),
         (
@@ -171,6 +173,12 @@ def render_service_metrics(metrics: Mapping, max_epochs: int = 8) -> str:
         f"contended={sim['contended_time']:.0f} "
         f"locks={sim['lock_acquires']}/{sim['lock_failures']} (ok/failed)"
     )
+    flt = metrics.get("faults")
+    if flt and any(flt.values()):
+        lines.append(
+            "faults: "
+            + "  ".join(f"{k}={v}" for k, v in flt.items() if v)
+        )
     epochs = metrics.get("epochs", [])
     if epochs:
         rows = [
@@ -187,6 +195,43 @@ def render_service_metrics(metrics: Mapping, max_epochs: int = 8) -> str:
         lines.append(render_table(rows))
         if len(epochs) > max_epochs:
             lines.append(f"... and {len(epochs) - max_epochs} more epochs")
+    return "\n".join(lines)
+
+
+def render_chaos(cell: Mapping) -> str:
+    """Render one ``run_chaos`` cell (see ``repro.bench.harness``): the
+    fault schedule, the recovery verdicts, and the engine metrics block."""
+    spec = cell["spec"]
+    f = cell["faults"]
+    verdict = "RECOVERED" if cell["ok"] else "DIVERGED"
+    lines = [
+        (
+            f"{cell['dataset']}: {cell['ops']} ops, seed {cell['seed']}, "
+            f"{cell['restarts']} restart(s), "
+            f"crash/stall/timeout rates "
+            f"{spec['crash_rate']}/{spec['stall_rate']}/{spec['timeout_rate']}"
+            f" (budget {spec['max_crashes']})"
+        ),
+        (
+            f"injected: crashes={f['crashes']} stalls={f['stalls_injected']} "
+            f"timeouts={f['timeouts_injected']} orphaned={f['locks_orphaned']}"
+            f"  crashed_batches={f['crashed_batches']} "
+            f"recoveries={f['recoveries']} retries={f['retries']}"
+        ),
+        (
+            f"verdict: {verdict}  cores==clean {cell['recovered_ok']}  "
+            f"cores==oracle {cell['oracle_ok']}  "
+            f"query mismatches {cell['query_mismatches']}  "
+            f"invariant {cell['invariant_ok']}  "
+            f"deterministic {cell['determinism_ok']}"
+        ),
+        (
+            f"journal: {cell['journal_records']} records "
+            f"sha256 {cell['journal_digest'][:16]}  "
+            f"schedule sha256 {(cell['schedule_digest'] or '')[:16]}"
+        ),
+        render_service_metrics(cell["metrics"], max_epochs=4),
+    ]
     return "\n".join(lines)
 
 

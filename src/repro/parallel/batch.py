@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.boundary import Boundary
+from repro.core.korder import KOrder
 from repro.core.state import InsertStats, OrderState, RemoveStats
+from repro.faults.plane import BatchCrashed, as_plane
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.costs import CostModel
 from repro.parallel.parallel_insert import insert_worker
@@ -116,6 +118,13 @@ class ParallelOrderMaintainer:
         shared state is instrumented (``repro.analysis.trace``) and every
         batch feeds read/write/lock events to it; off by default so the
         timing path pays nothing.
+    faults:
+        Optional :class:`repro.faults.FaultSpec` or
+        :class:`~repro.faults.FaultPlane`.  When armed, batches run on a
+        hostile machine that can crash/stall/timeout workers; a batch
+        that loses a worker raises :class:`~repro.faults.BatchCrashed`
+        and the maintainer's state must be discarded (the serving
+        engine rebuilds it from the journal).
     """
 
     def __init__(
@@ -129,6 +138,7 @@ class ParallelOrderMaintainer:
         capacity: int = 64,
         detector=None,
         policy="fifo",
+        faults=None,
     ) -> None:
         # Intern-once boundary: external ids become dense ints here, the
         # workers and all shared state run int-natively underneath.
@@ -142,10 +152,53 @@ class ParallelOrderMaintainer:
         self.seed = seed
         self.policy = get_policy(policy)
         self.detector = detector
+        self.faults = as_plane(faults, seed=seed)
         if detector is not None:
             from repro.analysis.trace import instrument_state
 
             instrument_state(self.state, detector)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        graph: DynamicGraph,
+        cores: Dict[Vertex, int],
+        order: Sequence[Vertex],
+        **kwargs,
+    ) -> "ParallelOrderMaintainer":
+        """Rebuild a maintainer whose k-order is *exactly* ``order``.
+
+        This is the recovery path (:mod:`repro.service.journal`): a
+        checkpoint stores the committed graph, its core numbers and the
+        full OM order; restoring through here reproduces the pre-crash
+        order structure bit-identically, where a fresh BZ bootstrap
+        would only reproduce the cores.  ``d_out^+`` is recomputed from
+        the order (it is a pure function of order + adjacency).
+        """
+        m = cls(DynamicGraph(), **kwargs)
+        for u in order:
+            # isolated vertices (core 0, no incident edges) are in the
+            # order but not in the edge list the graph was rebuilt from
+            graph.add_vertex(u)
+        m.boundary = Boundary(graph)
+        sub = m.boundary.substrate
+        vin = m.boundary.vertex_in
+        core_in = {vin(u): k for u, k in cores.items()}
+        order_in = [vin(u) for u in order]
+        korder = KOrder.from_decomposition(
+            core_in, order_in, capacity=kwargs.get("capacity", 64), graph=sub
+        )
+        pos = {u: i for i, u in enumerate(order_in)}
+        d_out = {
+            u: sum(1 for v in sub.neighbors(u) if pos[v] > pos[u])
+            for u in order_in
+        }
+        m.state = OrderState(sub, korder, d_out)
+        if m.detector is not None:
+            from repro.analysis.trace import instrument_state
+
+            instrument_state(m.state, m.detector)
+        return m
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +210,16 @@ class ParallelOrderMaintainer:
 
     def cores(self) -> Dict[Vertex, int]:
         return self.boundary.core_map_out(self.state.korder.core)
+
+    def order_sequence(self) -> List[Vertex]:
+        """The full OM k-order as external ids — non-decreasing in core.
+
+        This is what a checkpoint stores (:mod:`repro.service.journal`):
+        feeding it back through :meth:`from_checkpoint` reproduces the
+        live order structure bit-identically.
+        """
+        vout = self.boundary.vertex_out
+        return [vout(u) for u in self.state.korder.full_sequence()]
 
     def check(self) -> None:
         """Assert all steady-state invariants (differential vs. BZ)."""
@@ -186,11 +249,8 @@ class ParallelOrderMaintainer:
             insert_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
             for w, (chunk, out) in enumerate(zip(plan.assignments, outs))
         ]
-        machine = SimMachine(
-            self.num_workers, self.costs, self.schedule, self.seed,
-            detector=self.detector,
-        )
-        report = machine.run(bodies)
+        report = self._machine().run(bodies)
+        self._check_faulty(report)
         stats = self.boundary.stats_out([s for out in outs for s in out])
         return BatchResult(report=report, stats=stats, plan=plan)
 
@@ -207,10 +267,24 @@ class ParallelOrderMaintainer:
             remove_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
             for w, (chunk, out) in enumerate(zip(plan.assignments, outs))
         ]
-        machine = SimMachine(
-            self.num_workers, self.costs, self.schedule, self.seed,
-            detector=self.detector,
-        )
-        report = machine.run(bodies)
+        report = self._machine().run(bodies)
+        self._check_faulty(report)
         stats = self.boundary.stats_out([s for out in outs for s in out])
         return BatchResult(report=report, stats=stats, plan=plan)
+
+    # ------------------------------------------------------------------
+    def _machine(self) -> SimMachine:
+        return SimMachine(
+            self.num_workers, self.costs, self.schedule, self.seed,
+            detector=self.detector, faults=self.faults,
+        )
+
+    @staticmethod
+    def _check_faulty(report: SimReport) -> None:
+        if report.faulty:
+            raise BatchCrashed(
+                f"batch lost {report.crashes} worker(s) "
+                f"(+{report.worker_errors} casualties, "
+                f"{report.locks_orphaned} locks orphaned); state corrupt",
+                report=report,
+            )

@@ -59,6 +59,19 @@ current wave in :attr:`SimReport.wave_contention`.  Runs that never emit
 a wave marker pay one boolean check per lock event and report no wave
 table.
 
+A :class:`~repro.faults.FaultPlane` (``faults=``) turns the machine into
+a hostile one: per the plane's seeded schedule a worker can **crash**
+(its generator is closed mid-operation; locks it held are force-released
+and counted in :attr:`SimReport.locks_orphaned`, and shared state it was
+mutating must be presumed corrupt), **stall** (a burst of injected spin
+time, charged to ``spin_time`` so the accounting invariant still holds),
+or suffer an **acquire-timeout** (a ``try`` forced to fail even when the
+lock is free).  Once a crash has been injected, any exception escaping a
+*surviving* worker — the expected downstream symptom of corrupted shared
+state — is recorded as a casualty (:attr:`SimReport.worker_errors`)
+instead of propagating, so a faulty run always yields a report the
+recovery layer (:mod:`repro.service.journal`) can act on.
+
 The helper generators :func:`lock_pair` and :func:`cond_acquire` implement
 the paper's "lock u and v together when both are not locked" and the
 conditional lock of Algorithm 2.
@@ -71,6 +84,7 @@ from dataclasses import dataclass, field
 from heapq import heapify, heappop, heapreplace
 from typing import Callable, Dict, Generator, Hashable, List, Optional, Tuple
 
+from repro.faults.plane import CRASH, STALL, TIMEOUT
 from repro.parallel.costs import CostModel
 
 Key = Hashable
@@ -129,6 +143,19 @@ class SimReport:
     #: emit ``("wave", i)`` markers (conflict-aware schedules); empty for
     #: unscheduled runs.
     wave_contention: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    # fault-injection outcome (all zero on clean runs, see FaultPlane)
+    crashes: int = 0                # workers killed by injected crashes
+    worker_errors: int = 0          # survivors that died of corrupt state
+    stalls_injected: int = 0
+    timeouts_injected: int = 0
+    injected_stall_time: float = 0.0  # also included in spin_time
+    locks_orphaned: int = 0         # locks force-released from the dead
+
+    @property
+    def faulty(self) -> bool:
+        """True when the run lost at least one worker — the shared state
+        must be treated as corrupt by the caller."""
+        return bool(self.crashes or self.worker_errors)
 
     @property
     def speedup_vs_work(self) -> float:
@@ -165,6 +192,11 @@ class SimMachine:
         Optional :class:`~repro.analysis.races.RaceDetector`; receives
         every acquire/release (happens-before edges) plus all shared
         accesses from traced state and ``read``/``write`` events.
+    faults:
+        Optional :class:`~repro.faults.FaultPlane`; consulted on every
+        worker event to inject crash/stall/acquire-timeout faults.
+        ``None`` (the default) keeps the clean-run hot path fault-free
+        at the cost of one ``is None`` test per event.
     """
 
     def __init__(
@@ -176,6 +208,7 @@ class SimMachine:
         max_stall_events: int = 200_000,
         deadlock_window: int = 1_000,
         detector=None,
+        faults=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -188,6 +221,7 @@ class SimMachine:
         self.max_stall_events = max_stall_events
         self.deadlock_window = deadlock_window
         self.detector = detector
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def run(
@@ -231,6 +265,16 @@ class SimMachine:
         track_waves = False
         cur_wave = [0] * n
         wave_stats: Dict[int, Dict[str, float]] = {}
+        # Fault plane: one decision per worker event when armed.
+        plane = self.faults
+        if plane is not None:
+            plane.begin_run()
+        crashes = 0
+        worker_errors = 0
+        stalls_injected = 0
+        timeouts_injected = 0
+        injected_stall_time = 0.0
+        locks_orphaned = 0
         random_sched = self.schedule == "random"
         if random_sched:
             rng = random.Random(self.seed)
@@ -281,6 +325,28 @@ class SimMachine:
                 path.append((w, key, holder))
                 w = holder
 
+        def kill_worker(wid: int) -> int:
+            """Remove a crashed worker: force-release its locks (robust-
+            mutex semantics — survivors must not deadlock on the dead),
+            drop it from the scheduler, count the orphans."""
+            nonlocal alive, stall, heap
+            orphaned = 0
+            for k, h in locks.items():
+                if h == wid:
+                    locks[k] = None
+                    orphaned += 1
+            waiting_for[wid] = None
+            alive -= 1
+            stall = 0  # lock state (potentially) changed
+            if random_sched:
+                runnable.remove(wid)
+            else:
+                heap = [(c, w) for c, w in heap if w != wid]
+                heapify(heap)
+            if det is not None and hasattr(det, "on_fault"):
+                det.on_fault(wid, CRASH, step=events)
+            return orphaned
+
         def deadlock_state():
             holders = {
                 k: h for k, h in locks.items() if h is not None
@@ -313,12 +379,53 @@ class SimMachine:
                 if det is not None:
                     det.current = None
                 continue
+            except Exception:
+                if det is not None:
+                    det.current = None
+                if plane is None or not crashes:
+                    raise
+                # Downstream casualty: an injected crash corrupted shared
+                # state and a *survivor* died of it.  The batch is doomed
+                # either way (report.faulty), so record and march on —
+                # the recovery layer discards this state wholesale.
+                worker_errors += 1
+                kill_worker(wid)
+                continue
             except BaseException:
                 if det is not None:
                     det.current = None
                 raise
             if det is not None:
                 det.current = None
+            if plane is not None:
+                fault = plane.decide(wid, ev[0])
+                if fault is not None:
+                    action, ticks = fault
+                    if action == CRASH:
+                        gen.close()
+                        crashes += 1
+                        locks_orphaned += kill_worker(wid)
+                        continue
+                    if action == STALL:
+                        # burst of descheduled time, then the event is
+                        # serviced normally below
+                        cost = C.spin * ticks
+                        clocks[wid] += cost
+                        spin_time += cost
+                        injected_stall_time += cost
+                        stalls_injected += 1
+                    else:  # TIMEOUT: force this ("try", key) CAS to fail
+                        timeouts_injected += 1
+                        cost = C.cas_fail
+                        contended_time += cost
+                        sendvals[wid] = False
+                        clock = clocks[wid] + cost
+                        clocks[wid] = clock
+                        if not random_sched:
+                            heapreplace(heap, (clock, wid))
+                        events += 1
+                        stall += 1
+                        continue
             events += 1
             stall += 1
             kind = ev[0]
@@ -445,6 +552,12 @@ class SimMachine:
             report.wave_contention = {
                 w: wave_stats[w] for w in sorted(wave_stats)
             }
+        report.crashes = crashes
+        report.worker_errors = worker_errors
+        report.stalls_injected = stalls_injected
+        report.timeouts_injected = timeouts_injected
+        report.injected_stall_time = injected_stall_time
+        report.locks_orphaned = locks_orphaned
         report.worker_clocks = clocks
         report.makespan = max(clocks, default=0.0)
         return report

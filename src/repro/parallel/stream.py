@@ -65,6 +65,11 @@ class StreamProcessor:
     max_batch:
         Auto-flush threshold: a pending run reaching this size is executed
         immediately (keeps latency bounded on long streams).
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` /
+        :class:`~repro.faults.FaultPlane`, forwarded to the engine — a
+        crashed flush is recovered from the engine's journal and retried
+        exactly as in direct engine use.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class StreamProcessor:
         seed: int = 0,
         max_batch: int = 10_000,
         policy="fifo",
+        faults=None,
     ) -> None:
         self.engine = Engine(
             graph,
@@ -86,6 +92,7 @@ class StreamProcessor:
                 schedule=schedule,
                 seed=seed,
                 policy=policy,
+                faults=faults,
                 # historical surface: no clock, no deadlines, no limits
                 ingest_cost=0.0,
                 query_cost=0.0,

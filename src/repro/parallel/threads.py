@@ -35,6 +35,7 @@ from typing import Dict, Hashable, List, Sequence
 
 from repro.core.boundary import Boundary
 from repro.core.state import InsertStats, OrderState, RemoveStats
+from repro.faults.plane import CRASH, STALL, TIMEOUT, BatchCrashed
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.costs import CostModel
 from repro.parallel.parallel_insert import insert_worker
@@ -53,6 +54,17 @@ class ThreadReport:
     wall_s: float = 0.0
     workers: int = 0
     errors: List[BaseException] = field(default_factory=list)
+    # fault-injection outcome (mirrors SimReport's fault block)
+    crashes: int = 0
+    worker_errors: int = 0
+    stalls_injected: int = 0
+    timeouts_injected: int = 0
+    locks_orphaned: int = 0
+
+    @property
+    def faulty(self) -> bool:
+        """True when the run lost a worker (state presumed corrupt)."""
+        return bool(self.crashes or self.worker_errors)
 
 
 class ThreadMachine:
@@ -64,9 +76,10 @@ class ThreadMachine:
     and the detector's internal lock serializes its bookkeeping.
     """
 
-    def __init__(self, num_workers: int, detector=None) -> None:
+    def __init__(self, num_workers: int, detector=None, faults=None) -> None:
         self.num_workers = num_workers
         self.detector = detector
+        self.faults = faults
         self._locks: Dict[Key, threading.Lock] = {}
         self._registry = threading.Lock()
 
@@ -77,10 +90,36 @@ class ThreadMachine:
                 lk = self._locks.setdefault(key, threading.Lock())
         return lk
 
-    def _drive(self, gen, errors: List[BaseException], wid: int) -> None:
+    #: faults armed: a worker burning this many *consecutive* spins is
+    #: declared a casualty (corrupted state can make a conditional wait
+    #: spin forever, and real threads have no livelock detector)
+    SPIN_CAP = 1_000_000
+
+    def _die(self, report: ThreadReport, wid: int, held: List[Key],
+             crashed: bool) -> None:
+        """Terminal bookkeeping for an injected crash or a casualty:
+        release held locks (robust-mutex semantics — survivors must not
+        spin forever on a dead worker's locks) and count the loss."""
         det = self.detector
+        with self._registry:
+            if crashed:
+                report.crashes += 1
+            else:
+                report.worker_errors += 1
+            report.locks_orphaned += len(held)
+        if det is not None and hasattr(det, "on_fault"):
+            det.on_fault(wid, CRASH)
+        for k in held:
+            self._lock_of(k).release()
+        held.clear()
+
+    def _drive(self, gen, report: ThreadReport, wid: int) -> None:
+        det = self.detector
+        plane = self.faults
         if det is not None:
             det.register_thread(wid)
+        held: List[Key] = []
+        spins = 0
         val = None
         try:
             while True:
@@ -89,18 +128,49 @@ class ThreadMachine:
                 except StopIteration:
                     return
                 kind = ev[0]
+                if plane is not None:
+                    fault = plane.decide(wid, kind)
+                    if fault is not None:
+                        action, ticks = fault
+                        if action == CRASH:
+                            gen.close()
+                            self._die(report, wid, held, crashed=True)
+                            return
+                        if action == STALL:
+                            with self._registry:
+                                report.stalls_injected += 1
+                            for _ in range(ticks):
+                                time.sleep(0)
+                        elif action == TIMEOUT and kind == "try":
+                            with self._registry:
+                                report.timeouts_injected += 1
+                            val = False
+                            continue
                 if kind == "tick":
                     val = None
                 elif kind == "try":
+                    spins = 0
                     val = self._lock_of(ev[1]).acquire(blocking=False)
-                    if val and det is not None:
-                        det.on_acquire(wid, ev[1])
+                    if val:
+                        held.append(ev[1])
+                        if det is not None:
+                            det.on_acquire(wid, ev[1])
                 elif kind == "release":
                     if det is not None:
                         det.on_release(wid, ev[1])
                     self._lock_of(ev[1]).release()
+                    try:
+                        held.remove(ev[1])
+                    except ValueError:  # pragma: no cover - protocol error
+                        pass
                     val = None
                 elif kind == "spin":
+                    if plane is not None:
+                        spins += 1
+                        if spins > self.SPIN_CAP:
+                            gen.close()
+                            self._die(report, wid, held, crashed=False)
+                            return
                     time.sleep(0)  # yield the GIL
                     val = None
                 elif kind == "read":
@@ -118,14 +188,21 @@ class ThreadMachine:
                 else:  # pragma: no cover - protocol error
                     raise RuntimeError(f"unknown event {ev!r}")
         except BaseException as exc:  # noqa: BLE001 - surface to the caller
-            errors.append(exc)
+            if plane is not None and report.crashes:
+                # downstream casualty of an injected crash: corrupted
+                # state killed a survivor — count it, free its locks
+                self._die(report, wid, held, crashed=False)
+                return
+            report.errors.append(exc)
 
     def run(self, bodies: Sequence) -> ThreadReport:
         report = ThreadReport(workers=len(bodies))
         if self.detector is not None:
             self.detector.begin(len(bodies), threads=True)
+        if self.faults is not None:
+            self.faults.begin_run()
         threads = [
-            threading.Thread(target=self._drive, args=(gen, report.errors, wid))
+            threading.Thread(target=self._drive, args=(gen, report, wid))
             for wid, gen in enumerate(bodies)
         ]
         t0 = time.perf_counter()
@@ -148,7 +225,7 @@ class ThreadedOrderMaintainer:
 
     def __init__(
         self, graph: DynamicGraph, num_workers: int = 4, detector=None,
-        policy="fifo",
+        policy="fifo", faults=None,
     ) -> None:
         self.boundary = Boundary(graph)
         self.state = OrderState.from_graph(self.boundary.substrate)
@@ -158,6 +235,7 @@ class ThreadedOrderMaintainer:
         self.costs = CostModel.from_env()
         self.policy = get_policy(policy)
         self.detector = detector
+        self.faults = faults
         if detector is not None:
             from repro.analysis.trace import instrument_state
 
@@ -214,7 +292,7 @@ class ThreadedOrderMaintainer:
             bodies.append(
                 insert_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
             )
-        return ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
+        return self._run(bodies)
 
     def remove_edges(self, edges) -> ThreadReport:
         edges = list(edges)
@@ -229,4 +307,16 @@ class ThreadedOrderMaintainer:
             bodies.append(
                 remove_worker(self.state, chunk, self.costs, out, plan.waves_for(w))
             )
-        return ThreadMachine(self.num_workers, detector=self.detector).run(bodies)
+        return self._run(bodies)
+
+    def _run(self, bodies) -> ThreadReport:
+        report = ThreadMachine(
+            self.num_workers, detector=self.detector, faults=self.faults
+        ).run(bodies)
+        if report.faulty:
+            raise BatchCrashed(
+                f"threaded batch lost {report.crashes} worker(s) "
+                f"(+{report.worker_errors} casualties); state corrupt",
+                report=report,
+            )
+        return report

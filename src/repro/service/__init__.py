@@ -14,7 +14,10 @@ package answers "serve an interleaved stream of updates and queries":
 * :class:`Request` / :class:`Response` — the request envelope and
   structured results;
 * :class:`ServiceMetrics` — counters, queue depths, per-epoch latency
-  percentiles and folded simulation reports.
+  percentiles and folded simulation reports;
+* :class:`EdgeJournal` — the write-ahead edge journal + checkpoint
+  records behind crash recovery and ``Engine.from_journal`` (see
+  ``docs/faults.md``).
 
 See ``docs/service.md`` for the architecture tour and the metrics
 glossary, and ``repro-serve`` (``python -m repro.service``) for the CLI.
@@ -22,6 +25,7 @@ glossary, and ``repro-serve`` (``python -m repro.service``) for the CLI.
 
 from repro.service.batcher import AdaptiveBatcher, PendingOps
 from repro.service.engine import Engine, EngineConfig
+from repro.service.journal import EdgeJournal, Replay
 from repro.service.metrics import ServiceMetrics, percentile, summarize_latencies
 from repro.service.requests import Request, Response
 from repro.service.snapshots import SnapshotStore, SnapshotView
@@ -29,6 +33,8 @@ from repro.service.snapshots import SnapshotStore, SnapshotView
 __all__ = [
     "Engine",
     "EngineConfig",
+    "EdgeJournal",
+    "Replay",
     "PendingOps",
     "AdaptiveBatcher",
     "SnapshotStore",

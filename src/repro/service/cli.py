@@ -59,6 +59,26 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", choices=("min-clock", "random"),
                    default="min-clock")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-rate", type=float, default=0.0,
+                   help="fault injection: per-event worker crash "
+                   "probability (0 disables the fault plane)")
+    p.add_argument("--stall-rate", type=float, default=0.0,
+                   help="fault injection: per-event stall probability")
+    p.add_argument("--timeout-rate", type=float, default=0.0,
+                   help="fault injection: per-try acquire-timeout "
+                   "probability")
+    p.add_argument("--max-crashes", type=int, default=8,
+                   help="fault injection: total crash budget")
+    p.add_argument("--max-retries", type=int, default=16,
+                   help="crashed-batch retries before abandonment")
+    p.add_argument("--journal", metavar="PATH",
+                   help="persist the write-ahead journal to this file")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="journal checkpoint cadence in epochs (0 = never)")
+    p.add_argument("--recover-from", metavar="PATH",
+                   help="restart from a journal file written by a previous "
+                   "run (--journal) instead of building a fresh engine; "
+                   "the trace then continues against the recovered state")
     p.add_argument("--check", action="store_true",
                    help="assert engine invariants after the drain")
     p.add_argument("--json", action="store_true",
@@ -85,18 +105,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         source = args.dataset
         ingest = None
 
-    eng = Engine(
-        DynamicGraph(initial),
-        EngineConfig(
-            max_batch=args.max_batch,
-            max_delay=args.max_delay or None,
-            query_pressure=args.query_pressure or None,
-            max_pending=args.max_pending or None,
-            num_workers=args.workers,
-            schedule=args.schedule,
-            seed=args.seed,
-        ),
+    faults = None
+    if args.crash_rate or args.stall_rate or args.timeout_rate:
+        from repro.faults.plane import FaultSpec
+
+        faults = FaultSpec(
+            crash_rate=args.crash_rate,
+            stall_rate=args.stall_rate,
+            timeout_rate=args.timeout_rate,
+            max_crashes=args.max_crashes or None,
+        )
+    cfg = EngineConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay or None,
+        query_pressure=args.query_pressure or None,
+        max_pending=args.max_pending or None,
+        num_workers=args.workers,
+        schedule=args.schedule,
+        seed=args.seed,
+        faults=faults,
+        journal_path=None if args.recover_from else args.journal,
+        checkpoint_every=args.checkpoint_every or None,
+        max_retries=args.max_retries,
     )
+    if args.recover_from:
+        eng = Engine.from_journal(args.recover_from, cfg)
+        print(f"recovered from {args.recover_from}: epoch {eng.epoch}, "
+              f"{eng.graph.num_edges} edges", file=sys.stderr)
+    else:
+        eng = Engine(DynamicGraph(initial), cfg)
     for item in trace:
         if item[0] == "query":
             eng.query(item[1], *item[2])
@@ -123,7 +160,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_service_metrics(metrics))
     c = metrics["counters"]
     ok = (
-        c["admitted"] == c["committed"] + c["quarantined"] + c["timed_out"]
+        c["admitted"]
+        == c["committed"] + c["quarantined"] + c["timed_out"] + c["abandoned"]
         and c["in_flight"] == 0
     )
     if not ok:

@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.faults.plane import BatchCrashed, as_plane
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.batch import (
     BatchResult,
@@ -53,12 +54,14 @@ from repro.parallel.batch import (
     validate_batch,
 )
 from repro.parallel.costs import CostModel
+from repro.parallel.runtime import SimDeadlockError
 from repro.service.batcher import (
     CANCEL,
     COALESCE,
     CONFLICT,
     AdaptiveBatcher,
 )
+from repro.service.journal import EdgeJournal, Replay
 from repro.service.metrics import ServiceMetrics
 from repro.service.requests import (
     E_BACKPRESSURE,
@@ -68,9 +71,11 @@ from repro.service.requests import (
     E_DUPLICATE_ID,
     E_EDGE_EXISTS,
     E_EDGE_MISSING,
+    E_RETRIES_EXHAUSTED,
     E_SELF_LOOP,
     E_UNKNOWN_QUERY,
     E_UNKNOWN_VERTEX,
+    STATUS_ABANDONED,
     STATUS_COMMITTED,
     STATUS_PENDING,
     STATUS_QUARANTINED,
@@ -97,8 +102,18 @@ class EngineConfig:
     ``max_pending`` bounds the ingress queue — an update arriving while
     that many operations are pending is rejected (backpressure);
     ``None`` disables the bound.  Costs: ``ingest_cost`` / ``query_cost``
-    advance the simulated clock per request.  The remaining fields are
-    forwarded to :class:`ParallelOrderMaintainer`.
+    advance the simulated clock per request.
+
+    Faults & durability (``docs/faults.md``): ``faults`` arms a seeded
+    :class:`~repro.faults.FaultSpec` / :class:`~repro.faults.FaultPlane`
+    against every batch; ``journal_path`` additionally persists the
+    write-ahead journal to a file; ``checkpoint_every`` writes a full
+    graph+cores+order checkpoint record every N epochs; a crashed batch
+    is retried up to ``max_retries`` times after recovery, each retry
+    preceded by a simulated ``retry_backoff * 2**(attempt-1)`` delay.
+
+    The remaining fields are forwarded to
+    :class:`ParallelOrderMaintainer`.
     """
 
     max_batch: int = 512
@@ -115,6 +130,16 @@ class EngineConfig:
     #: (:data:`repro.parallel.scheduling.POLICIES`)
     policy: Any = "fifo"
     snapshot_cache: int = 8
+    #: fault-injection plane (None = no injection, the default)
+    faults: Any = None
+    #: persist the write-ahead journal to this file (None = in-memory)
+    journal_path: Optional[str] = None
+    #: checkpoint cadence in epochs (None = never checkpoint)
+    checkpoint_every: Optional[int] = None
+    #: crashed-batch retries before the batch is abandoned
+    max_retries: int = 3
+    #: simulated backoff before retry N is 2^(N-1) times this
+    retry_backoff: float = 64.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -123,6 +148,12 @@ class EngineConfig:
             raise ValueError("max_pending must be >= 1 or None")
         if self.ingest_cost < 0 or self.query_cost < 0:
             raise ValueError("costs must be non-negative")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
 
 
 @dataclass
@@ -144,27 +175,52 @@ class Engine:
     config:
         An :class:`EngineConfig`; keyword overrides are applied on top,
         so ``Engine(g, max_batch=64)`` works too.
+    journal:
+        An :class:`EdgeJournal` to adopt (continue appending to) instead
+        of opening a fresh one — the :meth:`from_journal` restart path.
+        Default: a new journal (at ``config.journal_path`` if set) whose
+        first record is the initial graph.
     """
 
     def __init__(
         self,
         graph: DynamicGraph,
         config: Optional[EngineConfig] = None,
+        *,
+        journal: Optional[EdgeJournal] = None,
+        _maintainer: Optional[ParallelOrderMaintainer] = None,
+        _epoch0: int = 0,
         **overrides,
     ) -> None:
         cfg = config or EngineConfig()
         if overrides:
             cfg = replace(cfg, **overrides)
         self.config = cfg
-        self.maintainer = ParallelOrderMaintainer(
-            graph,
-            num_workers=cfg.num_workers,
-            costs=cfg.costs,
-            schedule=cfg.schedule,
-            seed=cfg.seed,
-            policy=cfg.policy,
+        # The engine owns the plane (not the maintainer): its per-run
+        # counter must survive maintainer rebuilds during recovery, or
+        # the fault schedule would restart and re-kill every retry.
+        self.faults = as_plane(cfg.faults, seed=cfg.seed)
+        if _maintainer is not None:
+            self.maintainer = _maintainer
+            self.maintainer.faults = self.faults
+        else:
+            self.maintainer = ParallelOrderMaintainer(
+                graph,
+                num_workers=cfg.num_workers,
+                costs=cfg.costs,
+                schedule=cfg.schedule,
+                seed=cfg.seed,
+                policy=cfg.policy,
+                faults=self.faults,
+            )
+        self.snapshots = SnapshotStore(
+            self.maintainer, cache_epochs=cfg.snapshot_cache, epoch0=_epoch0
         )
-        self.snapshots = SnapshotStore(self.maintainer, cache_epochs=cfg.snapshot_cache)
+        if journal is not None:
+            self.journal = journal
+        else:
+            self.journal = EdgeJournal(cfg.journal_path)
+            self.journal.log_init(self._graph_edges())
         self.batcher = AdaptiveBatcher(
             max_batch=cfg.max_batch,
             max_delay=cfg.max_delay,
@@ -437,11 +493,6 @@ class Engine:
             # unreachable, but an engine bug must surface as a structured
             # partial failure, not an exception escaping to the caller
             validate_batch(self.graph, batch, inserting)
-            result = (
-                self.maintainer.insert_edges(batch)
-                if inserting
-                else self.maintainer.remove_edges(batch)
-            )
         except (ValueError, KeyError) as exc:
             for trackers in live.values():
                 for tr in trackers:
@@ -450,6 +501,64 @@ class Engine:
                         error=make_error(E_BATCH_FAILED, str(exc)),
                     )
             return
+        cfg = self.config
+        attempt = 0
+        while True:
+            # write-ahead: intend before touching the maintainer, so a
+            # crashed attempt leaves an intent-without-commit the replay
+            # recognizes as aborted
+            ids = sorted(tr.request.id or ""
+                         for trackers in live.values() for tr in trackers)
+            self.journal.log_intent(kind, batch, ids, attempt)
+            try:
+                result = (
+                    self.maintainer.insert_edges(batch)
+                    if inserting
+                    else self.maintainer.remove_edges(batch)
+                )
+                break
+            except (BatchCrashed, SimDeadlockError) as exc:
+                if self.faults is None:
+                    raise  # a real protocol bug, not an injected fault
+                self.metrics_collector.faults["crashed_batches"] += 1
+                rep = getattr(exc, "report", None)
+                if rep is not None:
+                    # the doomed attempt still burned simulated time and
+                    # its injections must show up in the totals
+                    self.metrics_collector.fold_faults(rep)
+                    self.now += getattr(rep, "makespan", 0.0)
+                self._recover()
+                attempt += 1
+                if attempt > cfg.max_retries:
+                    for trackers in live.values():
+                        for tr in trackers:
+                            self._finish_async(
+                                tr, STATUS_ABANDONED,
+                                error=make_error(
+                                    E_RETRIES_EXHAUSTED,
+                                    f"batch crashed {attempt} time(s), "
+                                    f"giving up: {exc}",
+                                ),
+                            )
+                    return
+                self.metrics_collector.faults["retries"] += 1
+                self.now += cfg.retry_backoff * (2 ** (attempt - 1))
+                # the backoff advanced the clock: expire deadlines again
+                still: Dict[Edge, List[_Tracked]] = {}
+                for e, trackers in live.items():
+                    alive = []
+                    for tr in trackers:
+                        dl = tr.request.deadline
+                        if dl is not None and dl < self.now:
+                            self._finish_async(tr, STATUS_TIMED_OUT)
+                        else:
+                            alive.append(tr)
+                    if alive:
+                        still[e] = alive
+                live = still
+                if not live:
+                    return
+                batch = list(live)
         self.now += result.makespan
         self._batch_results.append(result)
         self.metrics_collector.fold_report(result.report)
@@ -457,17 +566,141 @@ class Engine:
         for s in result.stats:
             touched.update(s.v_star)
         epoch = self.snapshots.commit(touched)
+        self.journal.log_commit(epoch)
+        detail = f"retried:{attempt}" if attempt else None
+        if attempt:
+            self.metrics_collector.faults["retried_ops"] += sum(
+                len(t) for t in live.values()
+            )
         latencies: List[float] = []
         for trackers in live.values():
             for tr in trackers:
                 lat = self.now - tr.admitted_at
                 latencies.append(lat)
-                self._finish_async(tr, STATUS_COMMITTED, epoch=epoch, latency=lat)
+                self._finish_async(tr, STATUS_COMMITTED, epoch=epoch,
+                                   latency=lat, detail=detail)
         self.metrics_collector.record_epoch(
             epoch=epoch, kind=kind, batch_size=len(batch),
             makespan=result.makespan, committed_at=self.now,
             update_latencies=latencies,
         )
+        self._maybe_checkpoint(epoch)
+
+    # ------------------------------------------------------------------
+    # durability: checkpoints, recovery, restart
+    # ------------------------------------------------------------------
+    def _graph_edges(self) -> List[Edge]:
+        """Committed graph as a canonical sorted edge list (journal form)."""
+        g = self.maintainer.graph
+        return sorted((canonical_edge(u, v) for u, v in g.edges()), key=repr)
+
+    def _maybe_checkpoint(self, epoch: int) -> None:
+        ce = self.config.checkpoint_every
+        if ce is None or epoch % ce != 0:
+            return
+        self.journal.log_checkpoint(
+            epoch, self._graph_edges(), self.maintainer.cores(),
+            self.maintainer.order_sequence(),
+        )
+
+    @staticmethod
+    def _base_maintainer(
+        replay: Replay, cfg: EngineConfig
+    ) -> Tuple[ParallelOrderMaintainer, int]:
+        """A *clean* (fault-free) maintainer at the replay's starting
+        point: the latest checkpoint if there is one, else the initial
+        graph.  Returns it with the epoch it represents."""
+        kw = dict(
+            num_workers=cfg.num_workers, costs=cfg.costs,
+            schedule=cfg.schedule, seed=cfg.seed, policy=cfg.policy,
+        )
+        ck = replay.checkpoint
+        if ck is not None:
+            m = ParallelOrderMaintainer.from_checkpoint(
+                DynamicGraph(list(ck.edges)), dict(ck.cores),
+                list(ck.order), **kw,
+            )
+            return m, ck.epoch
+        return ParallelOrderMaintainer(
+            DynamicGraph(list(replay.initial_edges)), **kw
+        ), 0
+
+    def _recover(self) -> None:
+        """Discard the (presumed corrupt) maintainer and rebuild the last
+        *committed* state from the journal: checkpoint fast-path, then a
+        clean replay of every later committed batch.  The epoch ledger is
+        untouched — recovery never invents or loses an epoch."""
+        replay = self.journal.replay()
+        m, start = self._base_maintainer(replay, self.config)
+        for b in replay.batches_after(start):
+            if b.kind == "+":
+                m.insert_edges(list(b.edges))
+            else:
+                m.remove_edges(list(b.edges))
+        self.snapshots.rebind(m)
+        # re-arm only after the clean rebuild: the plane must not inject
+        # into replay, and its run counter keeps advancing across the
+        # swap so retries see fresh schedules
+        m.faults = self.faults
+        self.maintainer = m
+        self.metrics_collector.faults["recoveries"] += 1
+
+    @classmethod
+    def from_journal(
+        cls,
+        source,
+        config: Optional[EngineConfig] = None,
+        **overrides,
+    ) -> "Engine":
+        """Restart an engine from its write-ahead journal (a path, raw
+        bytes, or an :class:`EdgeJournal`) after a simulated process
+        crash.
+
+        The maintainer is rebuilt from the latest checkpoint (or the
+        init record) and every later *committed* batch is re-applied and
+        re-committed, so the restarted engine answers the same epochs
+        with the same cores as the engine that wrote the journal —
+        aborted intents are skipped.  Request ids named by any intent
+        are remembered, preserving duplicate-id detection across the
+        restart.  Metrics start fresh (counters are per-process);
+        pending-but-uncut operations are lost by design (they were never
+        journaled), which is the usual WAL contract.
+        """
+        if isinstance(source, EdgeJournal):
+            journal = source
+        elif isinstance(source, bytes):
+            journal = EdgeJournal.from_bytes(source)
+        else:
+            journal = EdgeJournal.load(source)
+        cfg = config or EngineConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        replay = journal.replay()
+        m, epoch0 = cls._base_maintainer(replay, cfg)
+        eng = cls(DynamicGraph(), cfg, journal=journal,
+                  _maintainer=m, _epoch0=epoch0)
+        m.faults = None  # replay must be fault-free
+        for b in replay.batches_after(epoch0):
+            result = (
+                m.insert_edges(list(b.edges))
+                if b.kind == "+"
+                else m.remove_edges(list(b.edges))
+            )
+            touched = {w for e in b.edges for w in e}
+            for s in result.stats:
+                touched.update(s.v_star)
+            epoch = eng.snapshots.commit(touched)
+            if epoch != b.epoch:
+                raise ValueError(
+                    f"journal epoch mismatch on replay: rebuilt epoch "
+                    f"{epoch}, journal says {b.epoch}"
+                )
+        m.faults = eng.faults
+        eng._seen_ids.update(replay.ids)
+        for rid in replay.ids:
+            if rid.startswith("r") and rid[1:].isdigit():
+                eng._seq = max(eng._seq, int(rid[1:]) + 1)
+        return eng
 
     # ------------------------------------------------------------------
     # response bookkeeping
@@ -541,3 +774,5 @@ class Engine:
             m.quarantined += 1
         elif resp.status == STATUS_TIMED_OUT:
             m.timed_out += 1
+        elif resp.status == STATUS_ABANDONED:
+            m.abandoned += 1

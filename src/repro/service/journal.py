@@ -1,0 +1,273 @@
+"""Write-ahead edge journal + checkpoint/replay for the serving engine.
+
+The engine's durability story (``docs/faults.md``) is the classic
+WAL + checkpoint pair, scaled down to the reproduction's simulated
+serving plane:
+
+* every micro-batch writes an **intent** record *before* touching the
+  maintainer, and a **commit** record only after the batch applied and
+  its epoch was published to the snapshot store;
+* an intent with no matching commit is an *aborted attempt* — the batch
+  crashed mid-application (``BatchCrashed`` / a simulated deadlock) and
+  its partial effects were discarded — so replay skips it;
+* a periodic **checkpoint** record stores the committed graph, its core
+  numbers and the *full OM order* so recovery can rebuild the
+  maintainer bit-identically via
+  :meth:`~repro.parallel.batch.ParallelOrderMaintainer.from_checkpoint`
+  without replaying history from the initial graph.
+
+Records are canonical JSON lines (sorted keys, no whitespace), which
+makes the journal *byte-comparable*: two runs with the same seed and the
+same request stream produce identical journals (the determinism
+regression test), and :meth:`EdgeJournal.digest` is a stable fingerprint.
+
+The journal is in-memory by default; give it a ``path`` to also append
+each record to a file (one JSON object per line, flushed per record).
+:meth:`EdgeJournal.load` reads such a file back for a post-restart
+:meth:`Engine.from_journal <repro.service.engine.Engine.from_journal>`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.core import canonical_edge
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["EdgeJournal", "Replay", "CommittedBatch", "Checkpoint"]
+
+#: record types, in the order they may legally appear
+REC_INIT = "init"
+REC_INTENT = "intent"
+REC_COMMIT = "commit"
+REC_CHECKPOINT = "checkpoint"
+
+_KINDS = (REC_INIT, REC_INTENT, REC_COMMIT, REC_CHECKPOINT)
+
+
+def _canon(record: Dict) -> str:
+    """One canonical JSON line (sorted keys, minimal separators)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _edges_out(edges: Sequence[Edge]) -> List[List[Vertex]]:
+    return [[u, v] for u, v in edges]
+
+
+def _edges_in(edges: Sequence[Sequence[Vertex]]) -> Tuple[Edge, ...]:
+    return tuple((u, v) for u, v in edges)
+
+
+@dataclass(frozen=True)
+class CommittedBatch:
+    """One durably committed micro-batch, as reconstructed by replay."""
+
+    kind: str               #: ``"+"`` (insert) or ``"-"`` (remove)
+    edges: Tuple[Edge, ...]
+    ids: Tuple[str, ...]    #: request ids the batch carried
+    epoch: int              #: epoch it committed as
+    attempt: int = 0        #: 0 = first try; >0 = committed after retries
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A full engine snapshot: graph + cores + the exact OM order."""
+
+    epoch: int
+    edges: Tuple[Edge, ...]
+    cores: Tuple[Tuple[Vertex, int], ...]
+    order: Tuple[Vertex, ...]
+
+
+@dataclass
+class Replay:
+    """Everything recovery needs, distilled from the record stream."""
+
+    initial_edges: Tuple[Edge, ...] = ()
+    committed: List[CommittedBatch] = field(default_factory=list)
+    checkpoint: Optional[Checkpoint] = None
+    #: every request id named by any intent (also aborted ones) — used to
+    #: restore duplicate-id detection across a restart
+    ids: Set[str] = field(default_factory=set)
+    #: intents that were superseded or never committed (crashed attempts)
+    aborted_intents: int = 0
+    last_epoch: int = 0
+
+    def batches_after(self, epoch: int) -> List[CommittedBatch]:
+        """Committed batches strictly after ``epoch``, in commit order."""
+        return [b for b in self.committed if b.epoch > epoch]
+
+
+class EdgeJournal:
+    """Append-only, canonical-JSONL write-ahead log.
+
+    Parameters
+    ----------
+    path:
+        ``None`` (default) keeps the journal purely in memory.  A path
+        additionally appends every record to that file, flushed per
+        record, so a crashed *process* can be restarted with
+        :meth:`load` + ``Engine.from_journal``.  A fresh journal
+        truncates an existing file (it is a new engine lifetime); use
+        :meth:`load` to continue one.
+    """
+
+    def __init__(self, path: Optional[str] = None, _truncate: bool = True) -> None:
+        self.path = path
+        self.records: List[Dict] = []
+        self._fh = None
+        if path is not None:
+            self._fh = open(path, "w" if _truncate else "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Append one record (validated, canonicalized, flushed)."""
+        t = record.get("t")
+        if t not in _KINDS:
+            raise ValueError(f"unknown journal record type {t!r}")
+        self.records.append(record)
+        if self._fh is not None:
+            self._fh.write(_canon(record) + "\n")
+            self._fh.flush()
+
+    def log_init(self, edges: Sequence[Edge]) -> None:
+        """Record the engine's birth graph (epoch 0)."""
+        self.append({"t": REC_INIT, "edges": _edges_out(edges)})
+
+    def log_intent(self, kind: str, edges: Sequence[Edge],
+                   ids: Sequence[str], attempt: int = 0) -> None:
+        """Write-ahead: about to apply this batch (attempt N)."""
+        self.append({
+            "t": REC_INTENT, "kind": kind, "edges": _edges_out(edges),
+            "ids": list(ids), "attempt": attempt,
+        })
+
+    def log_commit(self, epoch: int) -> None:
+        """The immediately preceding intent applied and published."""
+        self.append({"t": REC_COMMIT, "epoch": epoch})
+
+    def log_checkpoint(self, epoch: int, edges: Sequence[Edge],
+                       cores: Dict[Vertex, int],
+                       order: Sequence[Vertex]) -> None:
+        """Durable snapshot: graph + cores + full OM order at ``epoch``.
+
+        ``cores`` is stored as a list of pairs ordered by ``order`` so the
+        record is canonical without requiring sortable vertex ids.
+        """
+        self.append({
+            "t": REC_CHECKPOINT, "epoch": epoch,
+            "edges": _edges_out(edges),
+            "cores": [[u, cores[u]] for u in order],
+            "order": list(order),
+        })
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "EdgeJournal":
+        """Read a journal file back; further appends continue the file."""
+        j = cls(path=None)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    j.records.append(json.loads(line))
+        j.path = path
+        j._fh = open(path, "a", encoding="utf-8")
+        return j
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EdgeJournal":
+        """Rehydrate an in-memory journal from :meth:`to_bytes` output."""
+        j = cls(path=None)
+        for line in data.decode("utf-8").splitlines():
+            if line:
+                j.records.append(json.loads(line))
+        return j
+
+    def to_bytes(self) -> bytes:
+        """The canonical byte serialization (JSONL, sorted keys)."""
+        return "".join(_canon(r) + "\n" for r in self.records).encode("utf-8")
+
+    def digest(self) -> str:
+        """sha256 fingerprint of :meth:`to_bytes` — the determinism
+        regression tests compare this across same-seed runs."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self) -> Replay:
+        """Distill the record stream into recovery state.
+
+        Intent-without-commit (trailing, or superseded by a retry's
+        intent) is an aborted attempt: its effects were rolled back by
+        rebuilding the maintainer, so replay ignores it beyond counting.
+        """
+        out = Replay()
+        pending: Optional[Dict] = None
+        for rec in self.records:
+            t = rec["t"]
+            if t == REC_INIT:
+                out.initial_edges = _edges_in(rec["edges"])
+            elif t == REC_INTENT:
+                if pending is not None:
+                    out.aborted_intents += 1
+                out.ids.update(rec["ids"])
+                pending = rec
+            elif t == REC_COMMIT:
+                if pending is None:
+                    raise ValueError(
+                        f"commit for epoch {rec['epoch']} without an intent"
+                    )
+                out.committed.append(CommittedBatch(
+                    kind=pending["kind"],
+                    edges=_edges_in(pending["edges"]),
+                    ids=tuple(pending["ids"]),
+                    epoch=rec["epoch"],
+                    attempt=pending.get("attempt", 0),
+                ))
+                out.last_epoch = rec["epoch"]
+                pending = None
+            elif t == REC_CHECKPOINT:
+                out.checkpoint = Checkpoint(
+                    epoch=rec["epoch"],
+                    edges=_edges_in(rec["edges"]),
+                    cores=tuple((u, k) for u, k in rec["cores"]),
+                    order=tuple(rec["order"]),
+                )
+        if pending is not None:
+            out.aborted_intents += 1
+        return out
+
+    def final_edges(self) -> List[Edge]:
+        """The committed edge set at the end of the journal (sorted) —
+        the differential tests' ground truth for the recovered graph."""
+        replay = self.replay()
+        present: Set[Edge] = set()
+        for u, v in replay.initial_edges:
+            present.add(canonical_edge(u, v))
+        for b in replay.committed:
+            for u, v in b.edges:
+                e = canonical_edge(u, v)
+                if b.kind == "+":
+                    present.add(e)
+                else:
+                    present.discard(e)
+        return sorted(present, key=repr)

@@ -11,11 +11,21 @@ counters
     ``committed`` — terminal successes (updates applied or netted out,
     queries answered); ``quarantined`` — malformed/duplicate requests
     ended with a structured error; ``timed_out`` — deadline passed before
-    commit; ``coalesced``/``cancelled`` — duplicate-op merges and
-    insert/remove annihilations inside a pending run; ``in_flight`` —
-    admitted but not yet terminal.  At quiescence::
+    commit; ``abandoned`` — the batch crashed under fault injection and
+    retries were exhausted; ``coalesced``/``cancelled`` — duplicate-op
+    merges and insert/remove annihilations inside a pending run;
+    ``in_flight`` — admitted but not yet terminal.  At quiescence::
 
-        admitted == committed + quarantined + timed_out
+        admitted == committed + quarantined + timed_out + abandoned
+
+faults
+    The crash-recovery block (``docs/faults.md``): ``crashed_batches`` —
+    batch attempts lost to injected faults; ``recoveries`` — maintainer
+    rebuilds from the write-ahead journal; ``retries`` — re-submissions
+    after a recovery; ``retried_ops`` — operations that still committed
+    after ≥1 retry; plus the folded injection counters (``crashes``,
+    ``worker_errors``, ``stalls_injected``, ``timeouts_injected``,
+    ``locks_orphaned``) from every attempt's report.
 
 cuts
     Why each micro-batch was cut: ``size``, ``time``, ``pressure``,
@@ -80,6 +90,7 @@ class ServiceMetrics:
         self.committed = 0
         self.quarantined = 0
         self.timed_out = 0
+        self.abandoned = 0
         self.committed_updates = 0
         self.committed_queries = 0
         self.coalesced = 0
@@ -98,11 +109,23 @@ class ServiceMetrics:
             "lock_failures": 0,
             "batches": 0,
         }
+        self.faults: Dict[str, int] = {
+            "crashed_batches": 0,
+            "recoveries": 0,
+            "retries": 0,
+            "retried_ops": 0,
+            "crashes": 0,
+            "worker_errors": 0,
+            "stalls_injected": 0,
+            "timeouts_injected": 0,
+            "locks_orphaned": 0,
+        }
 
     # ------------------------------------------------------------------
     @property
     def in_flight(self) -> int:
-        return self.admitted - self.committed - self.quarantined - self.timed_out
+        return (self.admitted - self.committed - self.quarantined
+                - self.timed_out - self.abandoned)
 
     def note_depth(self, depth: int) -> None:
         if depth > self.max_queue_depth:
@@ -125,6 +148,18 @@ class ServiceMetrics:
         self.sim["lock_acquires"] += report.lock_acquires
         self.sim["lock_failures"] += report.lock_failures
         self.sim["batches"] += 1
+        self.fold_faults(report)
+
+    def fold_faults(self, report) -> None:
+        """Accumulate a report's injection counters (also called for
+        *crashed* attempts, whose reports never reach :meth:`fold_report`
+        because the batch did not commit)."""
+        f = self.faults
+        f["crashes"] += getattr(report, "crashes", 0)
+        f["worker_errors"] += getattr(report, "worker_errors", 0)
+        f["stalls_injected"] += getattr(report, "stalls_injected", 0)
+        f["timeouts_injected"] += getattr(report, "timeouts_injected", 0)
+        f["locks_orphaned"] += getattr(report, "locks_orphaned", 0)
 
     def record_epoch(
         self,
@@ -150,9 +185,9 @@ class ServiceMetrics:
     def assert_invariant(self) -> None:
         """The quiescence accounting identity checked by CI."""
         assert self.in_flight == 0, (
-            f"admitted != committed + quarantined + timed_out: "
+            f"admitted != committed + quarantined + timed_out + abandoned: "
             f"{self.admitted} != {self.committed} + {self.quarantined} "
-            f"+ {self.timed_out}"
+            f"+ {self.timed_out} + {self.abandoned}"
         )
 
     def as_dict(self, pending_depth: int = 0, now: float = 0.0, epoch: int = 0) -> Dict:
@@ -165,6 +200,7 @@ class ServiceMetrics:
                 "committed": self.committed,
                 "quarantined": self.quarantined,
                 "timed_out": self.timed_out,
+                "abandoned": self.abandoned,
                 "committed_updates": self.committed_updates,
                 "committed_queries": self.committed_queries,
                 "coalesced": self.coalesced,
@@ -182,5 +218,6 @@ class ServiceMetrics:
                 "query": summarize_latencies(self.query_latencies),
             },
             "sim": dict(self.sim),
+            "faults": dict(self.faults),
             "epochs": [dict(e) for e in self.epoch_log],
         }

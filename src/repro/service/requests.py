@@ -11,15 +11,21 @@ Lifecycle
 ---------
 An update request is either **rejected** at the door (ingress queue full,
 it was never admitted), or admitted and then finished in exactly one of
-three terminal states: **committed** (applied in some epoch, or netted
+four terminal states: **committed** (applied in some epoch, or netted
 out by a cancelling opposite operation), **quarantined** (malformed or
-duplicate — structured error attached), or **timed_out** (its deadline
-passed before its micro-batch was cut).  A query is admitted and answered
-immediately against the last committed epoch, so its only terminal states
-are committed / quarantined / timed_out.  That yields the accounting
-invariant checked by CI::
+duplicate — structured error attached), **timed_out** (its deadline
+passed before its micro-batch was cut), or **abandoned** (its batch
+crashed under fault injection and every retry — after engine recovery
+from the write-ahead journal — crashed too; see ``docs/faults.md``).  A
+batch that commits after one or more crash/recover/retry rounds still
+ends **committed** (with ``detail="retried:N"``), so abandonment is
+reserved for retries-exhausted.  A query is admitted and answered
+immediately against the last committed epoch, so its only terminal
+states are committed / quarantined / timed_out.  That yields the
+accounting invariant checked by CI::
 
-    admitted == committed + quarantined + timed_out      (at quiescence)
+    admitted == committed + quarantined + timed_out + abandoned
+                                                         (at quiescence)
 
 Deadlines are *absolute simulated times* (the engine clock advances by
 ingest/query costs and batch makespans, see ``repro.parallel.costs``).
@@ -40,6 +46,7 @@ __all__ = [
     "STATUS_QUARANTINED",
     "STATUS_REJECTED",
     "STATUS_TIMED_OUT",
+    "STATUS_ABANDONED",
     "E_SELF_LOOP",
     "E_DUPLICATE_ID",
     "E_EDGE_EXISTS",
@@ -50,6 +57,8 @@ __all__ = [
     "E_DEADLINE",
     "E_BATCH_FAILED",
     "E_BAD_REQUEST",
+    "E_WORKER_CRASH",
+    "E_RETRIES_EXHAUSTED",
 ]
 
 # terminal + transient statuses
@@ -58,6 +67,7 @@ STATUS_COMMITTED = "committed"      # applied (or answered, for queries)
 STATUS_QUARANTINED = "quarantined"  # malformed/duplicate, never applied
 STATUS_REJECTED = "rejected"        # backpressure: never admitted
 STATUS_TIMED_OUT = "timed_out"      # deadline passed before commit
+STATUS_ABANDONED = "abandoned"      # batch crashed; retries exhausted
 
 # structured error codes
 E_SELF_LOOP = "self-loop"
@@ -70,6 +80,8 @@ E_BACKPRESSURE = "backpressure"
 E_DEADLINE = "deadline-exceeded"
 E_BATCH_FAILED = "batch-failed"
 E_BAD_REQUEST = "bad-request"
+E_WORKER_CRASH = "worker-crash"
+E_RETRIES_EXHAUSTED = "retries-exhausted"
 
 
 @dataclass(frozen=True)

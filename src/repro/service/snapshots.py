@@ -93,15 +93,23 @@ class SnapshotStore:
     cache_epochs:
         How many materialized epoch maps to keep (LRU).  Evicted epochs
         stay answerable — they are rebuilt from the history deltas.
+    epoch0:
+        First answerable epoch.  A fresh engine starts at 0; an engine
+        restarted from a journal checkpoint starts at the checkpoint's
+        epoch — epochs before it were truncated with the checkpoint and
+        :meth:`view` refuses them (``docs/faults.md``).
     """
 
-    def __init__(self, maintainer, cache_epochs: int = 8) -> None:
+    def __init__(self, maintainer, cache_epochs: int = 8,
+                 epoch0: int = 0) -> None:
         if cache_epochs < 1:
             raise ValueError("cache_epochs must be >= 1")
         self.history = CoreHistory(maintainer)
+        self.history.t = epoch0
+        self.min_epoch = epoch0
         self._cache: "OrderedDict[int, Dict[Vertex, int]]" = OrderedDict()
         self._cache_epochs = cache_epochs
-        self._cache[0] = dict(maintainer.cores())
+        self._cache[epoch0] = dict(maintainer.cores())
 
     # ------------------------------------------------------------------
     @property
@@ -129,8 +137,10 @@ class SnapshotStore:
     def view(self, epoch: Optional[int] = None) -> SnapshotView:
         """A read view at ``epoch`` (default: the last committed one)."""
         e = self.epoch if epoch is None else epoch
-        if e < 0 or e > self.epoch:
-            raise ValueError(f"epoch {e} out of range [0, {self.epoch}]")
+        if e < self.min_epoch or e > self.epoch:
+            raise ValueError(
+                f"epoch {e} out of range [{self.min_epoch}, {self.epoch}]"
+            )
         cores = self._cache.get(e)
         if cores is None:
             cores = self.history.cores_at(e)
@@ -146,6 +156,24 @@ class SnapshotStore:
             self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
+    def rebind(self, maintainer) -> None:
+        """Point the store at a rebuilt maintainer (crash recovery).
+
+        The epoch ledger is untouched — recovery rebuilds the maintainer
+        to exactly the last *committed* state, so every already-answered
+        epoch stays answerable and the next :meth:`commit` continues the
+        numbering.  Verifies the rebuilt cores match the committed view
+        before accepting the swap.
+        """
+        live = maintainer.cores()
+        committed = self.view().cores()
+        if live != committed:
+            raise ValueError(
+                "recovered maintainer disagrees with committed epoch "
+                f"{self.epoch}: {len(live)} vs {len(committed)} cores"
+            )
+        self.history.m = maintainer
+
     def check(self) -> None:
         """History-vs-maintainer consistency (valid at quiescence)."""
         self.history.check()

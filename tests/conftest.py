@@ -65,3 +65,61 @@ def split_edges(edges, frac=3):
     """Split an edge list into (base, dynamic-tail)."""
     k = max(1, len(edges) // frac)
     return edges[:-k], edges[-k:]
+
+
+# ----------------------------------------------------------------------
+# per-test timeout: pytest-timeout when installed, SIGALRM fallback here
+# ----------------------------------------------------------------------
+# The chaos suite (fault injection, crash recovery, stateful machines)
+# can hang rather than fail when a protocol bug deadlocks a retry loop,
+# so every test runs under the `timeout` ini limit (pyproject: 120s).
+# Environments without pytest-timeout — like the hermetic CI container —
+# get the same contract from a SIGALRM timer around the call phase.
+import importlib.util
+import signal
+import threading
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # own the ini key the real plugin would register, so the
+        # pyproject `timeout = 120` line is valid either way
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (conftest SIGALRM fallback)",
+            default="0",
+        )
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            limit = float(marker.args[0])
+        else:
+            try:
+                limit = float(item.config.getini("timeout") or 0)
+            except (TypeError, ValueError):
+                limit = 0.0
+        if limit <= 0 or threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def _expired(signum, frame):
+            pytest.fail(
+                f"test exceeded the {limit:.0f}s timeout "
+                f"(conftest SIGALRM fallback)",
+                pytrace=False,
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

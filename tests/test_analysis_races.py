@@ -179,7 +179,7 @@ class TestPlumbing:
         c = det.report().counters()
         assert set(c) == {
             "races", "accesses_traced", "relaxed_accesses", "sync_ops",
-            "locations",
+            "locations", "fault_events",
         }
         assert c["races"] == 1
         assert c["locations"] == 1

@@ -77,6 +77,7 @@ class TestRunners:
         ba = hists["BA"]
         assert len(ba) == 1  # single core value: the paper's key property
 
+    @pytest.mark.slow
     def test_fig4_and_table2(self):
         data = fig4_running_time(
             ["roadNet-CA"], worker_counts=(1, 4), batch_size=60
@@ -89,6 +90,7 @@ class TestRunners:
         assert "OurI vs JEI @4".replace("JEI", "JEI") or True
         assert any("Our" in k for k in rows[0])
 
+    @pytest.mark.slow
     def test_sequential_traversal_times(self):
         t = sequential_traversal_times("roadNet-CA", 40)
         assert t["TI"] > 0 and t["TR"] > 0

@@ -31,6 +31,7 @@ class TestCLI:
         out = self._run("fig3", "--datasets", "roadNet-CA")
         assert "#" in out
 
+    @pytest.mark.slow
     def test_fig4_and_table2(self):
         out = self._run(
             "fig4", "table2",
@@ -47,6 +48,7 @@ class TestCLI:
         )
         assert "OurI" in out
 
+    @pytest.mark.slow
     def test_fig6_fig7(self):
         out = self._run(
             "fig6", "fig7",

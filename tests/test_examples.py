@@ -36,12 +36,14 @@ def test_streaming_social_network():
     assert "final state verified" in out
 
 
+@pytest.mark.slow
 def test_parallel_batch_comparison():
     out = run_example("parallel_batch_comparison.py", "BA")
     assert "OurI speedup" in out
     assert "single core value" in out
 
 
+@pytest.mark.slow
 def test_parallel_batch_comparison_other_dataset():
     out = run_example("parallel_batch_comparison.py", "roadNet-CA")
     assert "OurI speedup" in out
