@@ -37,6 +37,7 @@ BASELINE_PATH = os.path.join(ROOT, "COVERAGE_BASELINE.json")
 TARGETS = {
     "repro.service": os.path.join(SRC, "repro", "service"),
     "repro.parallel": os.path.join(SRC, "repro", "parallel"),
+    "repro.analysis": os.path.join(SRC, "repro", "analysis"),
 }
 
 #: the deterministic test slice that drives the targets — a fixed list,
@@ -59,6 +60,10 @@ GATE_TESTS = [
     "tests/test_sim_machine_edges.py",
     "tests/test_threads.py",
     "tests/test_locks_load_bearing.py",
+    "tests/test_analysis_lint.py",
+    "tests/test_analysis_races.py",
+    "tests/test_static_framework.py",
+    "tests/test_static_mutants.py",
 ]
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — alias for the ``repro-lint`` CLI."""
+
+import sys
+
+from repro.analysis.static.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

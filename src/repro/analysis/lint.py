@@ -48,25 +48,39 @@ raw multi-lock yields are supposed to live.
 
 Suppress a finding by putting ``# lint: ok`` (any rule) or
 ``# lint: ok[RL002]`` (specific rules, comma-separated) on the reported
-line.
+line; ``# lint: file-ok[...]`` suppresses for the whole file (see
+:mod:`repro.analysis.pragmas`).
 
-Run as ``python -m repro.analysis.lint src/`` (or the ``repro-lint``
-console script); ``--format json`` emits machine-readable findings.
-Exit status is 0 when clean, 1 when findings remain, 2 on bad usage.
+These rules (RL001–RL005) are one pass — ``lockrules`` — of the
+multi-pass framework in :mod:`repro.analysis.static`, which adds
+identity-domain dataflow (RL010–RL014), the static lock-order graph
+(RL015–RL017) and journal-schema exhaustiveness (RL020–RL022); see
+``docs/analysis.md`` for the full table.  This module stays standalone
+so the lock rules remain importable without the framework:
+:func:`check_source`/:func:`check_paths` run just these rules, while
+``main`` (the ``repro-lint`` script and ``python -m repro.analysis``)
+drives every registered pass.  Exit status is 0 when clean, 1 when
+findings remain, 2 on bad usage (including nonexistent paths).
 """
 
 from __future__ import annotations
 
-import argparse
 import ast
-import json
-import re
 import sys
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-__all__ = ["Finding", "check_source", "check_file", "check_paths", "main"]
+from repro.analysis.pragmas import collect_pragmas
+
+__all__ = [
+    "Finding",
+    "collect_findings",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "main",
+]
 
 RULES = {
     "RL001": 'result of yield ("try", ...) must be consumed',
@@ -95,8 +109,6 @@ EVENT_ARITY = {
 
 # Protocol helpers whose bodies ARE the blessed raw-yield patterns.
 BLESSED = {"lock_pair", "cond_acquire", "release_all"}
-
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*ok(?:\[([A-Za-z0-9_,\s]+)\])?")
 
 
 @dataclass
@@ -384,20 +396,24 @@ def _check_adjacency_privacy(tree: ast.AST, path: str) -> List[Finding]:
 # ----------------------------------------------------------------------
 # file / tree drivers
 # ----------------------------------------------------------------------
-def _suppressed(finding: Finding, source_lines: List[str]) -> bool:
-    if not (1 <= finding.line <= len(source_lines)):
-        return False
-    m = _PRAGMA_RE.search(source_lines[finding.line - 1])
-    if m is None:
-        return False
-    rules = m.group(1)
-    if rules is None:
-        return True
-    return finding.rule in {r.strip() for r in rules.split(",")}
+def _known_rules() -> Set[str]:
+    """The full rule-id universe (framework rules included), so pragmas
+    naming rules of *other* passes are not reported as typos here."""
+    try:
+        import repro.analysis.static  # noqa: F401 - registers the passes
+        from repro.analysis.static.registry import all_rules
+
+        return set(all_rules())
+    except Exception:  # pragma: no cover - static framework unavailable
+        return set(RULES) | {"RL000", "RL006"}
 
 
-def check_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Lint one source string; returns unsuppressed findings."""
+def collect_findings(source: str, path: str = "<string>") -> List[Finding]:
+    """Raw lock-discipline findings, before any pragma suppression.
+
+    This is the entry point the static framework uses — it applies
+    suppression (and pragma-typo warnings) centrally.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -418,8 +434,29 @@ def check_source(source: str, path: str = "<string>") -> List[Finding]:
 
     visit(tree)
     findings.extend(_check_adjacency_privacy(tree, path))
-    lines = source.splitlines()
-    return [f for f in findings if not _suppressed(f, lines)]
+    return findings
+
+
+def check_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one source string; returns unsuppressed findings.
+
+    Suppression pragmas (``# lint: ok[...]`` / ``# lint: file-ok[...]``)
+    are applied here; a pragma naming a rule id that does not exist
+    yields an ``RL006`` warning finding instead of silently ignoring
+    the suppression.
+    """
+    findings = collect_findings(source, path)
+    pragmas = collect_pragmas(source.splitlines(), _known_rules())
+    for p in pragmas.pragmas:
+        for name in p.unknown:
+            findings.append(Finding(
+                path, p.line, 0, "RL006",
+                f"suppression names unknown rule {name!r} — it "
+                "suppresses nothing (known rules: RL001..RL022)",
+            ))
+    return [
+        f for f in findings if not pragmas.suppresses(f.rule, f.line)
+    ]
 
 
 def check_file(path: Path) -> List[Finding]:
@@ -445,27 +482,15 @@ def check_paths(paths: Iterable[str]) -> List[Finding]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-lint",
-        description="Lock-discipline lint for repro worker protocols.",
-    )
-    parser.add_argument("paths", nargs="+", help="files or directories to lint")
-    parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
-    )
-    args = parser.parse_args(argv)
-    findings = check_paths(args.paths)
-    if args.format == "json":
-        print(json.dumps([asdict(f) for f in findings], indent=2))
-    else:
-        for f in findings:
-            print(f.format())
-        if findings:
-            print(f"{len(findings)} finding(s)")
-    return 1 if findings else 0
+    """The ``repro-lint`` entry point.
+
+    Delegates to the unified multi-pass CLI
+    (:mod:`repro.analysis.static.cli`), which runs the lock rules here
+    plus the identity-domain, lock-order and journal-schema passes.
+    """
+    from repro.analysis.static.cli import main as static_main
+
+    return static_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

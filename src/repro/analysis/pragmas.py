@@ -1,0 +1,155 @@
+"""Suppression pragmas shared by the legacy lint and the static framework.
+
+Two pragma forms are recognized:
+
+``# lint: ok`` / ``# lint: ok[RL002, RL003]``
+    Suppress findings *on that line* — every rule for the bare form, only
+    the listed rules for the bracketed form.
+
+``# lint: file-ok[RL001, RL003]``
+    Suppress the listed rules for the *whole file*.  Conventionally
+    placed at the top of files whose entire purpose is to violate a rule
+    (e.g. the deliberate-deadlock workers in ``tests/test_sim_runtime.py``).
+
+Parsing is tolerant: whitespace is allowed around the brackets, the rule
+names and the commas (``# lint: ok[ RL002 , RL003 ]``).  What is *not*
+tolerated silently is a typo: a rule name that does not exist (``RL02``,
+``RL0003``, ``rl2``) suppresses nothing, and when the pragma is parsed
+with a known-rule universe the parser reports it so the framework can
+emit an ``RL006`` warning instead of quietly ignoring the suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "Pragma",
+    "FilePragmas",
+    "parse_line_pragma",
+    "collect_pragmas",
+]
+
+# `ok` / `file-ok`, optional whitespace everywhere, any junk inside the
+# brackets (validated afterwards so typos can be *reported*, not dropped).
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*(?P<kind>file-ok|ok)\s*(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression pragma."""
+
+    line: int                 #: 1-based line it sits on
+    file_scope: bool          #: True for ``file-ok``
+    rules: Optional[Set[str]]  #: None = suppress everything (bare ``ok``)
+    unknown: List[str] = field(default_factory=list)  #: unrecognized names
+
+
+@dataclass
+class FilePragmas:
+    """All pragmas of one source file, ready for suppression queries."""
+
+    by_line: Dict[int, Pragma] = field(default_factory=dict)
+    file_rules: Set[str] = field(default_factory=set)
+    pragmas: List[Pragma] = field(default_factory=list)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        p = self.by_line.get(line)
+        if p is None:
+            return False
+        return p.rules is None or rule in p.rules
+
+
+def _split_rules(
+    raw: str, known: Optional[Iterable[str]]
+) -> Tuple[Set[str], List[str]]:
+    """Split a bracket body into (recognized, unknown) rule names."""
+    known_set = set(known) if known is not None else None
+    rules: Set[str] = set()
+    unknown: List[str] = []
+    for tok in raw.split(","):
+        name = tok.strip()
+        if not name:
+            continue
+        if known_set is None or name in known_set:
+            rules.add(name)
+        else:
+            unknown.append(name)
+    return rules, unknown
+
+
+def parse_line_pragma(
+    line_text: str, line: int = 0, known: Optional[Iterable[str]] = None
+) -> Optional[Pragma]:
+    """Parse the pragma on one source line, or None.
+
+    ``known`` is the rule-id universe; names outside it land in
+    ``Pragma.unknown`` instead of being silently treated as rules.  With
+    ``known=None`` every syntactically plausible name is accepted.
+    """
+    m = _PRAGMA_RE.search(line_text)
+    if m is None:
+        return None
+    file_scope = m.group("kind") == "file-ok"
+    raw = m.group("rules")
+    if raw is None:
+        # bare `ok` suppresses everything on the line; a bare `file-ok`
+        # would suppress the whole lint and is treated as rule-less (a
+        # no-op) — the caller warns via `unknown` being irrelevant here.
+        return Pragma(line, file_scope, None if not file_scope else set())
+    rules, unknown = _split_rules(raw, known)
+    return Pragma(line, file_scope, rules, unknown)
+
+
+def _comment_lines(source_lines: List[str]) -> Optional[Set[int]]:
+    """Line numbers carrying an actual ``#`` comment token.
+
+    Pragma-looking text inside docstrings (e.g. documentation *about*
+    pragmas) must not parse as a pragma, so the scan is restricted to
+    real comments.  Returns None when the file cannot be tokenized
+    (the caller falls back to scanning every line — a file broken
+    enough to defeat the tokenizer gets RL000 anyway).
+    """
+    src = "\n".join(source_lines) + "\n"
+    lines: Set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(src).readline):
+            if tok.type == tokenize.COMMENT:
+                lines.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return lines
+
+
+def collect_pragmas(
+    source_lines: List[str], known: Optional[Iterable[str]] = None
+) -> FilePragmas:
+    """Scan a file's lines for pragmas (line- and file-scoped)."""
+    out = FilePragmas()
+    commented: Optional[Set[int]] = None
+    scanned = False
+    for i, text in enumerate(source_lines, start=1):
+        if "lint:" not in text:
+            continue
+        if not scanned:
+            commented = _comment_lines(source_lines)
+            scanned = True
+        if commented is not None and i not in commented:
+            continue
+        p = parse_line_pragma(text, i, known)
+        if p is None:
+            continue
+        out.pragmas.append(p)
+        if p.file_scope:
+            out.file_rules.update(p.rules or ())
+        else:
+            out.by_line[i] = p
+    return out

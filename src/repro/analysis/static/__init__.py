@@ -1,0 +1,49 @@
+"""Multi-pass static analysis framework for the repro codebase.
+
+Importing this package registers every built-in pass with the
+:mod:`~repro.analysis.static.registry`:
+
+``lockrules``
+    RL001–RL005, the original worker lock-discipline checker
+    (:mod:`repro.analysis.lint`), adapted to the shared project loader.
+``identity``
+    RL010–RL014, identity-domain dataflow — external vertex ids vs.
+    interned dense ints, bridged only by the Boundary translation layer.
+``lockorder``
+    RL015–RL017, the whole-program static lock-order graph over
+    protocol generators (deadlock cycles, loop-carried accumulation,
+    hold-and-wait).
+``journalschema``
+    RL020–RL022, WAL record-kind and field-shape exhaustiveness between
+    journal writers, replay readers and the declared kind table.
+
+See ``docs/analysis.md`` for the full rule table and workflow.
+"""
+
+from repro.analysis.static import (  # noqa: F401 - import-time registration
+    identity,
+    journalschema,
+    lockorder,
+    lockrules,
+)
+from repro.analysis.static.project import FuncInfo, ModuleInfo, Project
+from repro.analysis.static.registry import (
+    AnalysisResult,
+    Pass,
+    all_rules,
+    register,
+    registered_passes,
+    run_analysis,
+)
+
+__all__ = [
+    "Project",
+    "ModuleInfo",
+    "FuncInfo",
+    "Pass",
+    "register",
+    "registered_passes",
+    "all_rules",
+    "run_analysis",
+    "AnalysisResult",
+]

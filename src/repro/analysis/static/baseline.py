@@ -1,0 +1,71 @@
+"""Baseline files: accepted findings that should not fail the build.
+
+A baseline is a JSON document::
+
+    {"version": 1,
+     "entries": [{"path": "...", "rule": "RL015", "message": "..."}]}
+
+Entries match on ``(path, rule, message)`` — deliberately *not* on line
+numbers, so unrelated edits above a baselined finding do not resurrect
+it.  ``repro-lint --write-baseline`` regenerates the file from the
+current findings; ``--baseline`` filters them out of a run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.lint import Finding
+
+__all__ = ["load_baseline", "save_baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: str) -> List[Finding]:
+    """Read a baseline file into match-only findings (line/col zeroed)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path!r}: expected a version-{_VERSION} document")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path!r}: missing 'entries' list")
+    out: List[Finding] = []
+    for i, e in enumerate(entries):
+        if not (isinstance(e, dict)
+                and isinstance(e.get("path"), str)
+                and isinstance(e.get("rule"), str)
+                and isinstance(e.get("message"), str)):
+            raise BaselineError(
+                f"baseline {path!r}: entry {i} needs path/rule/message")
+        out.append(Finding(e["path"], 0, 0, e["rule"], e["message"]))
+    return out
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    """Write the current findings as a fresh baseline."""
+    doc = {
+        "version": _VERSION,
+        "entries": [
+            {"path": f.path.replace("\\", "/"),
+             "rule": f.rule,
+             "message": f.message}
+            for f in sorted(findings, key=lambda f: (f.path, f.rule,
+                                                     f.message))
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,161 @@
+"""The unified ``repro-lint`` command line.
+
+One driver for every registered pass::
+
+    repro-lint src/ tests/                   # all rules, text output
+    repro-lint --select lockorder,RL010 src/ # a pass + one rule
+    repro-lint --format sarif -o lint.sarif src/
+    repro-lint --baseline lint-baseline.json src/
+    repro-lint --write-baseline lint-baseline.json src/
+    repro-lint --list-rules
+
+Also reachable as ``python -m repro.analysis`` and (for compatibility)
+``python -m repro.analysis.lint``.
+
+Exit status: 0 clean, 1 findings remain, 2 usage errors — including
+paths that do not exist, which are reported by name on stderr instead
+of silently linting nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import repro.analysis.static  # noqa: F401 - registers the passes
+from repro.analysis.static.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.static.output import RENDERERS
+from repro.analysis.static.project import Project
+from repro.analysis.static.registry import (
+    all_rules,
+    registered_passes,
+    run_analysis,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="multi-pass static analysis for the repro codebase",
+    )
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids (RL015), pass names (lockorder) "
+        "or prefixes (RL01)",
+    )
+    ap.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    ap.add_argument(
+        "-o", "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    ap.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as the new baseline and exit 0",
+    )
+    ap.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (grouped by pass) and exit",
+    )
+    return ap
+
+
+def _list_rules() -> str:
+    lines = ["framework:"]
+    from repro.analysis.static.registry import META_RULES
+
+    for rid, desc in sorted(META_RULES.items()):
+        lines.append(f"  {rid}  {desc}")
+    for p in registered_passes():
+        lines.append(f"{p.name}: {p.doc}")
+        for rid, desc in sorted(p.rules.items()):
+            lines.append(f"  {rid}  {desc}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout consumer went away (`repro-lint --list-rules | head`);
+        # not a lint failure, and the traceback would hide real output
+        sys.stderr.close()
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    ap = _build_parser()
+    ns = ap.parse_args(argv)
+
+    if ns.list_rules:
+        print(_list_rules())
+        return 0
+
+    if not ns.paths:
+        print("repro-lint: no paths given (try: repro-lint src/)",
+              file=sys.stderr)
+        return 2
+
+    missing = [p for p in ns.paths if not os.path.exists(p)]
+    if missing:
+        for p in missing:
+            print(f"repro-lint: path does not exist: {p}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if ns.baseline:
+        try:
+            baseline = load_baseline(ns.baseline)
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    project = Project.load(ns.paths)
+    try:
+        result = run_analysis(project, select=ns.select, baseline=baseline)
+    except ValueError as exc:  # bad --select expression
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if ns.write_baseline:
+        save_baseline(ns.write_baseline, result.findings)
+        print(f"wrote {len(result.findings)} entr"
+              f"{'y' if len(result.findings) == 1 else 'ies'} to "
+              f"{ns.write_baseline}", file=sys.stderr)
+        return 0
+
+    report = RENDERERS[ns.format](result.findings, all_rules())
+    if ns.output:
+        with open(ns.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+            if report:
+                fh.write("\n")
+    elif report:
+        print(report)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

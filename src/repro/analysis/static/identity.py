@@ -1,0 +1,399 @@
+"""Identity-domain dataflow: external ids vs. interned dense ints.
+
+Since the representation refactor the codebase runs two vertex-identity
+domains: *external* hashable ids on the public surface and *interned*
+dense ints on everything below the :class:`~repro.core.boundary.Boundary`.
+Nothing at runtime distinguishes the two (both are often ``int``), so a
+missed translation is invisible until a non-identity interner regime
+happens to be exercised.  This pass infers a domain for local values
+from API provenance and flags cross-domain flows:
+
+``RL010``
+    A value of *external* domain reaches an int-domain sink: a
+    ``raw_get``/``raw_set`` key, a subscript of a ``raw_map``/
+    ``IntSlotMap``/``make_vertex_map`` store or of a ``.state./.korder.``
+    vertex map, or an argument to a function defined in an int-native
+    module (``korder``, ``order_insert`` …).
+``RL011``
+    An *interned* value escapes through a ``return`` of a public
+    (non-underscore) function in a facade/service module — interned ints
+    must be translated out (``vertex_out``/``core_map_out``/…) before
+    they reach users.
+``RL012``
+    Redundant double translation: an in-translation
+    (``intern``/``vertex_in``/``edges_in``) applied to an already-int
+    value, or an out-translation (``external``/``vertex_out``/…) applied
+    to an already-external value.
+``RL013``
+    Cross-domain comparison or membership test (``==``, ``in``, …)
+    between an interned and an external value — always a logic bug, the
+    domains only coincide in the identity regime.
+``RL014``
+    Translation below the boundary: int-native modules must not touch
+    ``VertexInterner``/``Boundary`` or call any translation API — the
+    boundary is the *only* place the two domains may meet.
+
+Domain inference is deliberately local and provenance-based (no
+annotations exist to distinguish the domains): values produced by
+out-translation calls are *external*, by in-translation calls are
+*interned*; list/set/comprehension and subscript propagation follow the
+element domain; public facade-method parameters are seeded *external*
+(the facade contract).  Unknown stays unknown — the pass prefers silence
+to false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.lint import Finding
+from repro.analysis.static.project import FuncInfo, ModuleInfo, Project
+from repro.analysis.static.registry import Pass, register
+
+__all__ = ["IDENTITY_RULES"]
+
+IDENTITY_RULES = {
+    "RL010": "external-domain value flows into an int-domain sink",
+    "RL011": "interned int escapes a public facade/service return",
+    "RL012": "redundant double translation across the boundary",
+    "RL013": "cross-domain comparison or membership test",
+    "RL014": "translation API used below the boundary (int-native zone)",
+}
+
+#: out-translation methods — results are external-domain
+EXT_PRODUCERS = {"external", "externals", "vertex_out", "vertices_out",
+                 "core_map_out"}
+#: in-translation methods — results are int-domain
+INT_PRODUCERS = {"intern", "intern_many", "vertex_in", "edges_in", "lookup",
+                 "lookup_default"}
+#: constructors / views whose subscript keys must be int-domain
+INT_MAP_MAKERS = {"raw_map", "IntSlotMap", "make_vertex_map"}
+#: names whose call is itself an int-keyed sink (key argument position)
+RAW_SLOT_CALLS = {"raw_get": 1, "raw_set": 1}
+#: attribute-chain tails naming the int-keyed per-vertex state maps
+_STATE_MAP_ATTRS = {"core", "items", "d_out", "mcd"}
+_STATE_OWNER_ATTRS = {"state", "korder", "ko"}
+
+#: path fragments of int-native modules (the zone below the boundary)
+INT_ZONE = (
+    "repro/core/korder",
+    "repro/core/state",
+    "repro/core/order_insert",
+    "repro/core/order_remove",
+    "repro/core/pqueue",
+    "repro/core/traversal",
+    "repro/parallel/parallel_insert",
+    "repro/parallel/parallel_remove",
+    "repro/om/",
+)
+#: path fragments of the translation layer itself (exempt from RL010-13:
+#: mixing domains is their whole job)
+TRANSLATION_ZONE = ("repro/core/boundary", "repro/graph/", "repro/analysis/")
+#: additional public-surface fragments for RL011 (facades are detected
+#: dynamically by their `Boundary(...)` construction)
+SERVICE_ZONE = ("repro/service/",)
+
+_IN = "int"
+_EX = "ext"
+_INTMAP = "intmap"
+
+
+def _attr_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_state_map_chain(node: ast.expr) -> bool:
+    """``self.state.korder.core`` / ``ko.items`` … — int-keyed state maps."""
+    if not (isinstance(node, ast.Attribute) and node.attr in _STATE_MAP_ATTRS):
+        return False
+    owner = node.value
+    while isinstance(owner, ast.Attribute):
+        if owner.attr in _STATE_OWNER_ATTRS:
+            return True
+        owner = owner.value
+    return isinstance(owner, ast.Name) and owner.id in _STATE_OWNER_ATTRS
+
+
+class _FuncAnalysis:
+    """Statement-order domain inference over one function body."""
+
+    def __init__(self, pass_ctx: "_IdentityPass", fn: FuncInfo) -> None:
+        self.ctx = pass_ctx
+        self.fn = fn
+        self.mod = fn.module
+        self.env: Dict[str, str] = {}
+        self.findings: List[Finding] = []
+
+    # -- domain of an expression ---------------------------------------
+    def domain(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Call):
+            name = _attr_name(node.func)
+            if name in EXT_PRODUCERS:
+                return _EX
+            if name in INT_PRODUCERS:
+                return _IN
+            if name in INT_MAP_MAKERS:
+                return _INTMAP
+            if name in ("list", "sorted", "set", "tuple", "reversed") and node.args:
+                return self.domain(node.args[0])
+            return None
+        if isinstance(node, (ast.List, ast.Set, ast.Tuple)) and node.elts:
+            doms = {self.domain(e) for e in node.elts}
+            if len(doms) == 1:
+                return doms.pop()
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            saved = dict(self.env)
+            try:
+                for gen in node.generators:
+                    it_dom = self.domain(gen.iter)
+                    if it_dom in (_IN, _EX) and isinstance(gen.target, ast.Name):
+                        self.env[gen.target.id] = it_dom
+                return self.domain(node.elt)
+            finally:
+                self.env = saved
+        if isinstance(node, ast.Subscript):
+            # element of a domain-tagged collection keeps the domain
+            base = self.domain(node.value)
+            if base in (_IN, _EX):
+                return base
+            return None
+        if isinstance(node, ast.IfExp):
+            a, b = self.domain(node.body), self.domain(node.orelse)
+            return a if a == b else None
+        if isinstance(node, ast.Starred):
+            return self.domain(node.value)
+        return None
+
+    # -- sinks ----------------------------------------------------------
+    def _emit(self, node: ast.AST, rule: str, msg: str) -> None:
+        self.findings.append(Finding(
+            self.mod.path, node.lineno, node.col_offset, rule, msg))
+
+    def _check_call(self, node: ast.Call) -> None:
+        name = _attr_name(node.func)
+        if name is None:
+            return
+        # RL012: double translation
+        if name in INT_PRODUCERS and node.args:
+            if self.domain(node.args[0]) == _IN:
+                self._emit(node, "RL012",
+                           f"{name}() applied to an already-interned value — "
+                           "double in-translation")
+        if name in EXT_PRODUCERS and node.args:
+            if self.domain(node.args[0]) == _EX:
+                self._emit(node, "RL012",
+                           f"{name}() applied to an already-external value — "
+                           "double out-translation")
+        # RL010: raw-slot key arguments must be int-domain
+        pos = RAW_SLOT_CALLS.get(name)
+        if pos is not None and len(node.args) > pos:
+            if self.domain(node.args[pos]) == _EX:
+                self._emit(node, "RL010",
+                           f"external id passed as {name}() slot key — "
+                           "intern it at the boundary first")
+        # RL010: external value into an int-native callee
+        callee = self.ctx.project.resolve_function(self.mod, name) \
+            if isinstance(node.func, ast.Name) else None
+        if callee is not None and callee.module.in_zone(*INT_ZONE):
+            for arg in node.args:
+                if self.domain(arg) == _EX:
+                    self._emit(node, "RL010",
+                               f"external-domain value passed to int-native "
+                               f"{callee.qualname}() "
+                               f"({callee.module.modname}) without "
+                               "boundary translation")
+
+    def _check_subscript(self, node: ast.Subscript) -> None:
+        base_is_int_map = (
+            self.domain(node.value) == _INTMAP
+            or _is_state_map_chain(node.value)
+        )
+        if not base_is_int_map:
+            return
+        key = node.slice
+        if self.domain(key) == _EX:
+            self._emit(node, "RL010",
+                       "external id used to index an int-keyed vertex map — "
+                       "intern it at the boundary first")
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        ops = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+        sides = [node.left] + list(node.comparators)
+        doms = [self.domain(s) for s in sides]
+        if _IN in doms and _EX in doms and any(
+            isinstance(op, ops) for op in node.ops
+        ):
+            self._emit(node, "RL013",
+                       "comparison mixes interned and external identity "
+                       "domains — translate one side first")
+
+    def _check_return(self, node: ast.Return) -> None:
+        if not self.ctx.public_surface(self.mod):
+            return
+        if self.fn.name.startswith("_"):
+            return
+        if node.value is not None and self.domain(node.value) == _IN:
+            self._emit(node, "RL011",
+                       f"public {self.fn.qualname}() returns interned int "
+                       "ids — translate out (vertex_out/vertices_out/"
+                       "core_map_out) before returning")
+
+    # -- driver ---------------------------------------------------------
+    def _seed_params(self) -> None:
+        """Public facade-method parameters carry external ids."""
+        if self.fn.cls is None or self.fn.name.startswith("_"):
+            return
+        if not self.ctx.facade(self.mod):
+            return
+        args = self.fn.node.args
+        names = [a.arg for a in args.args + args.kwonlyargs]
+        for n in names:
+            if n in ("self", "cls"):
+                continue
+            self.env[n] = _EX
+
+    def _scan_expr(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._check_call(sub)
+            elif isinstance(sub, ast.Subscript):
+                self._check_subscript(sub)
+            elif isinstance(sub, ast.Compare):
+                self._check_compare(sub)
+
+    def _assign(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            dom = self.domain(value)
+            if dom is not None:
+                self.env[target.id] = dom
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+            value, (ast.Tuple, ast.List)
+        ) and len(target.elts) == len(value.elts):
+            for t, v in zip(target.elts, value.elts):
+                self._assign(t, v)
+
+    def _run_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            # check every expression in the statement first …
+            for field_value in ast.iter_child_nodes(stmt):
+                if isinstance(field_value, ast.expr):
+                    self._scan_expr(field_value)
+            if isinstance(stmt, ast.Return):
+                self._check_return(stmt)
+            # … then update the environment
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    self._assign(t, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._assign(stmt.target, stmt.value)
+            elif isinstance(stmt, ast.For):
+                it_dom = self.domain(stmt.iter)
+                if it_dom in (_IN, _EX) and isinstance(stmt.target, ast.Name):
+                    self.env[stmt.target.id] = it_dom
+                self._run_body(stmt.body)
+                self._run_body(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                self._run_body(stmt.body)
+                self._run_body(stmt.orelse)
+            elif isinstance(stmt, ast.If):
+                self._run_body(stmt.body)
+                self._run_body(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                self._run_body(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self._run_body(stmt.body)
+                for h in stmt.handlers:
+                    self._run_body(h.body)
+                self._run_body(stmt.orelse)
+                self._run_body(stmt.finalbody)
+            # nested defs are analyzed as their own FuncInfo entries
+
+    def run(self) -> List[Finding]:
+        self._seed_params()
+        self._run_body(self.fn.node.body)
+        return self.findings
+
+
+class _IdentityPass:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self._facade_cache: Dict[str, bool] = {}
+
+    def facade(self, mod: ModuleInfo) -> bool:
+        """Modules that construct a Boundary — the facade layer."""
+        hit = self._facade_cache.get(mod.path)
+        if hit is None:
+            hit = False
+            if mod.tree is not None:
+                for node in ast.walk(mod.tree):
+                    if isinstance(node, ast.Call) and \
+                            _attr_name(node.func) == "Boundary":
+                        hit = True
+                        break
+            self._facade_cache[mod.path] = hit
+        return hit
+
+    def public_surface(self, mod: ModuleInfo) -> bool:
+        return self.facade(mod) or mod.in_zone(*SERVICE_ZONE)
+
+    def run(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for mod in self.project.iter_modules():
+            if mod.tree is None:
+                continue
+            if mod.in_zone(*INT_ZONE):
+                findings.extend(self._check_int_zone(mod))
+        for fn in self.project.iter_functions():
+            mod = fn.module
+            if mod.tree is None or mod.in_zone(*TRANSLATION_ZONE) \
+                    or mod.in_zone(*INT_ZONE):
+                continue
+            findings.extend(_FuncAnalysis(self, fn).run())
+        return findings
+
+    def _check_int_zone(self, mod: ModuleInfo) -> List[Finding]:
+        """RL014: no translation API below the boundary."""
+        findings: List[Finding] = []
+        assert mod.tree is not None
+        banned_names = {"VertexInterner", "Boundary"}
+        banned_calls = EXT_PRODUCERS | INT_PRODUCERS
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call):
+                name = _attr_name(node.func)
+                if name in banned_calls and isinstance(node.func, ast.Attribute):
+                    findings.append(Finding(
+                        mod.path, node.lineno, node.col_offset, "RL014",
+                        f"translation call .{name}() below the boundary — "
+                        "int-native modules must receive interned ids, "
+                        "never translate",
+                    ))
+            elif isinstance(node, ast.Name) and node.id in banned_names:
+                findings.append(Finding(
+                    mod.path, node.lineno, node.col_offset, "RL014",
+                    f"{node.id} referenced below the boundary — the "
+                    "interner/boundary layer must stay above int-native "
+                    "modules",
+                ))
+        return findings
+
+
+def _run(project: Project) -> List[Finding]:
+    return _IdentityPass(project).run()
+
+
+register(Pass(
+    name="identity",
+    doc="identity-domain dataflow (external ids vs. interned ints)",
+    rules=IDENTITY_RULES,
+    run=_run,
+))

@@ -1,0 +1,326 @@
+"""Journal-schema exhaustiveness: writers vs. readers of WAL records.
+
+:mod:`repro.service.journal` is an append-only JSONL log whose records
+are plain dicts discriminated by a ``"t"`` kind field.  Nothing but
+convention keeps the three views of that schema in sync:
+
+* **writers** — the ``log_*`` helpers (and chaos-test fixtures) that
+  build ``{"t": REC_X, ...}`` literals;
+* **readers** — ``replay()`` / ``from_journal`` / checkpoint recovery,
+  which dispatch on ``rec["t"]`` equality chains and pull fields out of
+  the record;
+* **declarations** — the ``REC_*`` constants and the ``_KINDS`` tuple
+  that :meth:`EdgeJournal.append` validates against.
+
+This pass cross-checks all three statically:
+
+``RL020``
+    A record kind is *written* somewhere but no reader dispatch arm
+    handles it — replay would silently drop it (the record survives the
+    crash; its meaning does not).
+``RL021``
+    A record kind is handled by a reader (or declared in ``REC_*``) but
+    no writer ever produces it — a dead dispatch arm, usually the relic
+    of a renamed kind.
+``RL022``
+    Field-shape drift: a reader pulls a field (``rec["f"]`` /
+    ``rec.get("f")``) out of records of kind *K* that no writer of *K*
+    ever stores.  Alias-aware: ``pending = rec`` inside the intent arm
+    makes ``pending[...]`` reads count against the *intent* shape.
+
+Membership tests against the declared-kinds tuple (``t not in _KINDS``)
+are *validation*, not handling, and are ignored — otherwise ``append``'s
+guard would make every kind look handled.
+
+The whole pass is skipped unless a writer-zone module (one declaring
+``REC_*`` kinds) is part of the project, so linting ``tests/`` alone
+does not report every fixture as unhandled.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint import Finding
+from repro.analysis.static.project import ModuleInfo, Project
+from repro.analysis.static.registry import Pass, register
+
+__all__ = ["JOURNAL_RULES", "collect_schema"]
+
+JOURNAL_RULES = {
+    "RL020": "journal record kind is written but no reader handles it",
+    "RL021": "journal record kind is declared/handled but never written",
+    "RL022": "reader pulls a field no writer of that record kind stores",
+}
+
+#: the discriminator key; never itself a schema field
+_DISCRIMINATOR = "t"
+
+
+@dataclass
+class _Site:
+    path: str
+    line: int
+    col: int
+
+
+@dataclass
+class _Schema:
+    """Everything the pass learned about the record schema."""
+
+    #: kind -> site of the REC_* declaration
+    declared: Dict[str, _Site] = field(default_factory=dict)
+    #: kind -> (fields written, first write site)
+    written: Dict[str, Tuple[Set[str], _Site]] = field(default_factory=dict)
+    #: kind -> site of the dispatch arm handling it
+    handled: Dict[str, _Site] = field(default_factory=dict)
+    #: (kind, field) -> read site, for reads of records of that kind
+    reads: Dict[Tuple[str, str], _Site] = field(default_factory=dict)
+
+
+def _const_str(node: ast.expr, consts: Dict[str, str]) -> Optional[str]:
+    """Resolve an expression to a string: literal or REC_* constant."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return consts.get(node.attr)
+    return None
+
+
+def _collect_kind_consts(project: Project) -> Tuple[Dict[str, str],
+                                                    Dict[str, _Site]]:
+    """``REC_*`` string constants across the project, plus their sites."""
+    consts: Dict[str, str] = {}
+    declared: Dict[str, _Site] = {}
+    for mod in project.iter_modules():
+        if mod.tree is None:
+            continue
+        for node in mod.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                continue
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name) and tgt.id.startswith("REC_"):
+                    consts[tgt.id] = node.value.value
+                    declared.setdefault(
+                        node.value.value,
+                        _Site(mod.path, node.lineno, node.col_offset))
+    return consts, declared
+
+
+def _writer_zone(project: Project) -> bool:
+    consts, _ = _collect_kind_consts(project)
+    return bool(consts)
+
+
+def _collect_writes(mod: ModuleInfo, consts: Dict[str, str],
+                    schema: _Schema) -> None:
+    """Dict literals carrying a ``"t"`` key are record constructions."""
+    if mod.tree is None:
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        kind: Optional[str] = None
+        fields: Set[str] = set()
+        for k, v in zip(node.keys, node.values):
+            if not (isinstance(k, ast.Constant) and isinstance(k.value, str)):
+                continue
+            if k.value == _DISCRIMINATOR:
+                kind = _const_str(v, consts)
+            else:
+                fields.add(k.value)
+        if kind is None:
+            continue
+        site = _Site(mod.path, node.lineno, node.col_offset)
+        if kind in schema.written:
+            schema.written[kind][0].update(fields)
+        else:
+            schema.written[kind] = (fields, site)
+
+
+def _is_rec_t(node: ast.expr, rec_vars: Set[str]) -> bool:
+    """``X["t"]`` for a record variable ``X``."""
+    return (isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in rec_vars
+            and isinstance(node.slice, ast.Constant)
+            and node.slice.value == _DISCRIMINATOR)
+
+
+def _field_reads(body: List[ast.stmt], var_kinds: Dict[str, str],
+                 mod: ModuleInfo, schema: _Schema) -> None:
+    """Attribute ``v["f"]`` / ``v.get("f")`` reads to ``var_kinds[v]``."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            name: Optional[str] = None
+            fld: Optional[str] = None
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in var_kinds
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)):
+                name, fld = node.value.id, node.slice.value
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "get"
+                  and isinstance(node.func.value, ast.Name)
+                  and node.func.value.id in var_kinds
+                  and node.args
+                  and isinstance(node.args[0], ast.Constant)
+                  and isinstance(node.args[0].value, str)):
+                name, fld = node.func.value.id, node.args[0].value
+            if name is None or fld == _DISCRIMINATOR:
+                continue
+            kind = var_kinds[name]
+            schema.reads.setdefault(
+                (kind, fld), _Site(mod.path, node.lineno, node.col_offset))
+
+
+def _collect_reads(mod: ModuleInfo, consts: Dict[str, str],
+                   schema: _Schema) -> None:
+    """Find kind-dispatch chains and the fields each arm reads."""
+    if mod.tree is None:
+        return
+    for fn in ast.walk(mod.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # record variables: anything subscripted with "t"
+        rec_vars: Set[str] = set()
+        disc_vars: Set[str] = set()
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and isinstance(node.slice, ast.Constant)
+                    and node.slice.value == _DISCRIMINATOR):
+                rec_vars.add(node.value.id)
+        if not rec_vars:
+            continue
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and _is_rec_t(node.value, rec_vars)):
+                disc_vars.add(node.targets[0].id)
+        #: record-alias -> kind, grown as dispatch arms alias the record
+        alias_kinds: Dict[str, str] = {}
+
+        def visit(stmts: List[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.If):
+                    kind = _arm_kind(stmt.test)
+                    if kind is not None:
+                        schema.handled.setdefault(
+                            kind, _Site(mod.path, stmt.lineno,
+                                        stmt.col_offset))
+                        _bind_arm(stmt.body, kind)
+                    else:
+                        visit(stmt.body)
+                    visit(stmt.orelse)
+                    continue
+                if isinstance(stmt, (ast.For, ast.While, ast.With)):
+                    visit(stmt.body)
+                    visit(getattr(stmt, "orelse", []) or [])
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body)
+                    for h in stmt.handlers:
+                        visit(h.body)
+                    visit(stmt.orelse)
+                    visit(stmt.finalbody)
+
+        def _arm_kind(test: ast.expr) -> Optional[str]:
+            """``t == REC_X`` / ``rec["t"] == "x"`` → the kind string."""
+            if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                    and isinstance(test.ops[0], ast.Eq)):
+                return None
+            lhs, rhs = test.left, test.comparators[0]
+            for a, b in ((lhs, rhs), (rhs, lhs)):
+                is_disc = (_is_rec_t(a, rec_vars)
+                           or (isinstance(a, ast.Name) and a.id in disc_vars))
+                if is_disc:
+                    return _const_str(b, consts)
+            return None
+
+        def _bind_arm(body: List[ast.stmt], kind: str) -> None:
+            # the record var carries this arm's kind within the arm body
+            var_kinds = {v: kind for v in rec_vars}
+            var_kinds.update(alias_kinds)
+            _field_reads(body, var_kinds, mod, schema)
+            # aliases created here (pending = rec) keep the kind beyond
+            # the arm — later arms read the aliased record's fields
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if (isinstance(node, ast.Assign)
+                            and len(node.targets) == 1
+                            and isinstance(node.targets[0], ast.Name)
+                            and isinstance(node.value, ast.Name)
+                            and node.value.id in rec_vars):
+                        alias_kinds[node.targets[0].id] = kind
+            visit(body)
+
+        visit(fn.body)
+        # reads through surviving aliases outside any arm (e.g. the
+        # trailing `pending is not None` epilogue)
+        _field_reads(fn.body, alias_kinds, mod, schema)
+
+
+def collect_schema(project: Project) -> _Schema:
+    """Build the writer/reader/declaration views of the record schema."""
+    schema = _Schema()
+    consts, declared = _collect_kind_consts(project)
+    schema.declared = declared
+    for mod in project.iter_modules():
+        _collect_writes(mod, consts, schema)
+        _collect_reads(mod, consts, schema)
+    return schema
+
+
+def _run(project: Project) -> List[Finding]:
+    if not _writer_zone(project):
+        return []
+    schema = collect_schema(project)
+    findings: List[Finding] = []
+
+    for kind, (fields, site) in sorted(schema.written.items()):
+        if kind not in schema.handled:
+            findings.append(Finding(
+                site.path, site.line, site.col, "RL020",
+                f"record kind {kind!r} is written here but no reader "
+                "dispatch arm handles it — replay would silently drop it",
+            ))
+
+    for kind in sorted(set(schema.handled) | set(schema.declared)):
+        if kind in schema.written:
+            continue
+        site = schema.handled.get(kind) or schema.declared[kind]
+        where = "handled" if kind in schema.handled else "declared"
+        findings.append(Finding(
+            site.path, site.line, site.col, "RL021",
+            f"record kind {kind!r} is {where} here but no writer ever "
+            "produces it — dead dispatch arm or renamed kind",
+        ))
+
+    for (kind, fld), site in sorted(schema.reads.items()):
+        if kind not in schema.written:
+            continue  # RL020/RL021 territory
+        fields, _wsite = schema.written[kind]
+        if fld not in fields:
+            findings.append(Finding(
+                site.path, site.line, site.col, "RL022",
+                f"reader pulls field {fld!r} out of {kind!r} records, but "
+                "no writer of that kind stores it — field-shape drift",
+            ))
+    return findings
+
+
+register(Pass(
+    name="journalschema",
+    doc="journal record-kind / field-shape exhaustiveness",
+    rules=JOURNAL_RULES,
+    run=_run,
+))

@@ -1,0 +1,460 @@
+"""Static lock-order graph over the worker event protocol.
+
+The dynamic waits-for detector in :mod:`repro.parallel.runtime` catches
+deadlock cycles *a schedule happens to produce*.  This pass is its
+static companion: it symbolically executes every protocol generator in
+the project (statement order, ``yield from`` helper chains inlined with
+parameter renaming), tracks the held lockset, and builds a whole-program
+*acquisition-order graph* — an edge ``X → Y`` means some worker can hold
+key class ``X`` while acquiring ``Y``.  Key classes are the normalized
+key expressions (textual, like the RL002/RL003 matching), so parameters
+with the same name and literal keys unify across functions.
+
+``RL015``
+    A cycle in the acquisition-order graph built from ``try``/
+    ``lock_pair`` acquisitions.  ``lock_pair(x, y)`` commits the caller
+    to the canonical order *x before y*; two sites ordering the same
+    pair both ways (or any longer cycle) is exactly the inversion the
+    dynamic detector can only catch when a schedule hits it.
+    Acquisitions through :func:`cond_acquire` are exempt — that is the
+    sanctioned Algorithm-2 path whose k-order argument the static pass
+    cannot (and must not pretend to) verify.
+``RL016``
+    Loop-carried lock accumulation without full back-off: a raw ``try``
+    of a loop-dependent key that keeps locks from earlier iterations
+    must, on failure, release everything it holds and abort the attempt
+    (the ``_try_lock_all`` pattern) — otherwise it is hold-and-wait in
+    a loop.
+``RL017``
+    Blocking acquisition while holding locks: spinning on a raw ``try``
+    retry loop, or entering ``lock_pair`` (whose back-off releases only
+    its *own* first lock), while locks acquired before the attempt are
+    still held.  This is hold-and-wait; the paper's protocols never do
+    it — multi-lock acquisition either backs off completely or goes
+    through the k-ordered conditional path.
+
+The execution is deliberately optimistic: every ``try`` is assumed to
+succeed (pessimistic paths only *shrink* the held set, so optimism
+over-approximates the order edges, which is the sound direction for
+cycle detection), loop bodies run once, and ``if`` branches merge by
+union of their held sets.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint import BLESSED, Finding
+from repro.analysis.static.project import FuncInfo, Project
+from repro.analysis.static.registry import Pass, register
+
+__all__ = ["LOCKORDER_RULES", "build_order_graph"]
+
+LOCKORDER_RULES = {
+    "RL015": "potential deadlock cycle in the static lock-order graph",
+    "RL016": "loop-carried lock accumulation without full back-off",
+    "RL017": "blocking acquisition while holding locks (hold-and-wait)",
+}
+
+_MAX_INLINE_DEPTH = 5
+
+
+@dataclass
+class _Acq:
+    """One acquisition event observed during symbolic execution."""
+
+    key: str
+    via: str                   # "try" | "lock_pair" | "cond_acquire"
+    path: str
+    line: int
+    col: int
+    func: str
+    held_before: Tuple[str, ...]
+
+
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    acq: _Acq
+    ordered: bool              # via a sanctioned ordered discipline
+
+
+def _subst(text: str, renames: Dict[str, str]) -> str:
+    """Whole-word textual substitution of formal params by arg text."""
+    if not renames:
+        return text
+    pattern = re.compile(
+        r"\b(" + "|".join(re.escape(k) for k in renames) + r")\b")
+    return pattern.sub(lambda m: renames[m.group(1)], text)
+
+
+def _event_tuple(node: ast.expr) -> Optional[Tuple[str, List[ast.expr]]]:
+    if isinstance(node, ast.Tuple) and node.elts:
+        head = node.elts[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value, list(node.elts[1:])
+    return None
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    f = call.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
+class _SymState:
+    """Shared mutable state threaded through the inlined execution."""
+
+    def __init__(self, root: FuncInfo) -> None:
+        self.root = root
+        self.held: Dict[str, str] = {}       # key -> via
+        self.acqs: List[_Acq] = []
+        self.findings: List[Finding] = []
+        self.lockset_vars: Dict[str, Set[str]] = {}
+
+
+class _Executor:
+    """Symbolically execute one function body (with inlining)."""
+
+    def __init__(
+        self,
+        project: Project,
+        fn: FuncInfo,
+        state: _SymState,
+        renames: Dict[str, str],
+        depth: int,
+        nested: Optional[Dict[str, ast.FunctionDef]] = None,
+    ) -> None:
+        self.project = project
+        self.fn = fn
+        self.mod = fn.module
+        self.state = state
+        self.renames = renames
+        self.depth = depth
+        #: innermost-last stack of (loop body, held-before-loop,
+        #: loop target names) for RL016/RL017 classification
+        self.loops: List[Tuple[List[ast.stmt], Set[str], Set[str]]] = []
+        self.nested = dict(nested or {})
+        for stmt in fn.node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                self.nested[stmt.name] = stmt
+
+    # -- helpers ---------------------------------------------------------
+    def _key(self, node: ast.expr) -> str:
+        return _subst(ast.unparse(node), self.renames)
+
+    def _record(self, node: ast.AST, key: str, via: str) -> None:
+        self.state.acqs.append(_Acq(
+            key=key, via=via, path=self.mod.path,
+            line=node.lineno, col=node.col_offset,
+            func=self.state.root.qualname,
+            held_before=tuple(self.state.held),
+        ))
+        self.state.held.setdefault(key, via)
+
+    def _emit(self, node: ast.AST, rule: str, msg: str) -> None:
+        self.state.findings.append(Finding(
+            self.mod.path, node.lineno, node.col_offset, rule, msg))
+
+    def _outer_held(self) -> Set[str]:
+        """Keys held since before the innermost active loop."""
+        if self.loops:
+            return self.loops[-1][1] & set(self.state.held)
+        return set(self.state.held)
+
+    def _loop_targets(self) -> Set[str]:
+        return {t for _body, _held, targets in self.loops for t in targets}
+
+    # -- failure-branch classification -----------------------------------
+    def _loop_has_backoff(self) -> bool:
+        """Does the innermost loop body contain a full back-off branch —
+        an ``if`` arm that both releases (``("release", ...)`` or
+        ``release_all``) and aborts (``return``/``break``/``raise``)?"""
+        if not self.loops:
+            return False
+        body = self.loops[-1][0]
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.If):
+                    continue
+                for branch in (sub.body, sub.orelse):
+                    has_release = has_abort = False
+                    for inner in branch:
+                        for n in ast.walk(inner):
+                            if isinstance(n, ast.Yield) and n.value is not None:
+                                ev = _event_tuple(n.value)
+                                if ev and ev[0] == "release":
+                                    has_release = True
+                            elif isinstance(n, ast.YieldFrom) and isinstance(
+                                    n.value, ast.Call):
+                                if _call_name(n.value) == "release_all":
+                                    has_release = True
+                            elif isinstance(n, (ast.Return, ast.Break,
+                                                ast.Raise)):
+                                has_abort = True
+                    if has_release and has_abort:
+                        return True
+        return False
+
+    # -- acquisition handling --------------------------------------------
+    def _raw_try(self, node: ast.AST, key: str) -> None:
+        if self.loops and not self._loop_has_backoff():
+            outer = self._outer_held() - {key}
+            if outer:
+                self._emit(node, "RL017",
+                           f"spin-retry acquisition of {key!r} while "
+                           f"holding {sorted(outer)} without full "
+                           "back-off — hold-and-wait")
+            if any(re.search(rf"\b{re.escape(t)}\b", key)
+                   for t in self._loop_targets()):
+                self._emit(node, "RL016",
+                           f"loop accumulates locks ({key!r} per "
+                           "iteration) but its failure path does not "
+                           "release the held set and abort — use the "
+                           "full back-off pattern (release_all + "
+                           "return/break)")
+        self._record(node, key, "try")
+
+    def _lock_pair(self, node: ast.AST, x: str, y: str) -> None:
+        if self.state.held:
+            self._emit(node, "RL017",
+                       f"lock_pair({x}, {y}) entered while holding "
+                       f"{sorted(self.state.held)} — its back-off releases "
+                       "only its own first lock, so this is hold-and-wait")
+        # order edges: held -> x, held -> y (via _record) and x -> y,
+        # because lock_pair acquires x first and thereby commits its
+        # caller to the x-before-y orientation
+        self._record(node, x, "lock_pair")
+        self._record(node, y, "lock_pair")
+
+    def _release(self, key: str) -> None:
+        self.state.held.pop(key, None)
+
+    def _release_all(self, arg: ast.expr) -> None:
+        if isinstance(arg, (ast.Set, ast.List, ast.Tuple)):
+            for e in arg.elts:
+                self._release(self._key(e))
+            return
+        if isinstance(arg, ast.Name):
+            name = self.renames.get(arg.id, arg.id)
+            known = self.state.lockset_vars.get(name)
+            if known is not None:
+                for k in list(known):
+                    self._release(k)
+                return
+        # unknown lockset: conservatively everything is released
+        self.state.held.clear()
+
+    # -- statement walk ---------------------------------------------------
+    def run(self, body: Optional[List[ast.stmt]] = None) -> None:
+        for stmt in (body if body is not None else self.fn.node.body):
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.For, ast.While)):
+            targets: Set[str] = set()
+            if isinstance(stmt, ast.For):
+                for n in ast.walk(stmt.target):
+                    if isinstance(n, ast.Name):
+                        targets.add(n.id)
+            # the While test executes per-iteration: scan it inside the
+            # loop context (`while not (yield ("try", k)): spin` is the
+            # canonical spin-retry shape)
+            self.loops.append((stmt.body, set(self.state.held), targets))
+            if isinstance(stmt, ast.While):
+                self._scan_events(stmt.test)
+            self.run(stmt.body)
+            self.loops.pop()
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_events(stmt.test)
+            before = dict(self.state.held)
+            self.run(stmt.body)
+            after_body = dict(self.state.held)
+            self.state.held = dict(before)
+            self.run(stmt.orelse)
+            # merge: a key held on either path stays interesting
+            self.state.held.update(after_body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for h in stmt.handlers:
+                self.run(h.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_events(item.context_expr)
+            self.run(stmt.body)
+            return
+        # track lockset variables (same textual convention as RL002)
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and isinstance(
+                        stmt.value, (ast.Set, ast.List, ast.Tuple)):
+                    self.state.lockset_vars.setdefault(t.id, set()).update(
+                        self._key(e) for e in stmt.value.elts)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute) and node.func.attr in (
+                    "add", "append", "update", "extend") and isinstance(
+                    node.func.value, ast.Name) and node.args:
+                name = self.renames.get(node.func.value.id,
+                                        node.func.value.id)
+                self.state.lockset_vars.setdefault(name, set()).update(
+                    self._key(a) for a in node.args)
+        self._scan_events(stmt)
+
+    def _scan_events(self, root: ast.AST) -> None:
+        """Process yield / yield-from events in AST order under ``root``."""
+        for node in ast.walk(root):
+            if isinstance(node, ast.Yield) and node.value is not None:
+                ev = _event_tuple(node.value)
+                if ev is None:
+                    continue
+                kind, operands = ev
+                if kind == "try" and operands:
+                    self._raw_try(node, self._key(operands[0]))
+                elif kind == "release" and operands:
+                    self._release(self._key(operands[0]))
+            elif isinstance(node, ast.YieldFrom) and isinstance(
+                    node.value, ast.Call):
+                self._yield_from(node, node.value)
+
+    def _yield_from(self, node: ast.YieldFrom, call: ast.Call) -> None:
+        name = _call_name(call)
+        if name == "lock_pair" and len(call.args) >= 2:
+            self._lock_pair(node, self._key(call.args[0]),
+                            self._key(call.args[1]))
+            return
+        if name == "cond_acquire" and call.args:
+            self._record(node, self._key(call.args[0]), "cond_acquire")
+            return
+        if name == "release_all" and call.args:
+            self._release_all(call.args[0])
+            return
+        if name in BLESSED or name is None:
+            return
+        # inline project helpers (nested defs first, then module scope)
+        if self.depth >= _MAX_INLINE_DEPTH:
+            return
+        target_node: Optional[ast.FunctionDef] = self.nested.get(name)
+        target_fn: Optional[FuncInfo] = None
+        if target_node is None:
+            target_fn = self.project.resolve_function(self.mod, name)
+            if target_fn is not None:
+                target_node = target_fn.node
+        if target_node is None:
+            return
+        renames: Dict[str, str] = {}
+        formals = [a.arg for a in target_node.args.args]
+        for formal, actual in zip(formals, call.args):
+            renames[formal] = self._key(actual)
+        sub_fn = FuncInfo(
+            (target_fn.module if target_fn is not None else self.mod),
+            target_node.name, target_node,
+        )
+        ex = _Executor(self.project, sub_fn, self.state, renames,
+                       self.depth + 1,
+                       nested=None if target_fn is not None else self.nested)
+        ex.run()
+
+
+def _is_protocol_generator(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Yield) and node.value is not None:
+            ev = _event_tuple(node.value)
+            if ev is not None and ev[0] in ("try", "release", "tick",
+                                            "spin", "wave", "read", "write"):
+                return True
+        elif isinstance(node, ast.YieldFrom) and isinstance(
+                node.value, ast.Call):
+            if _call_name(node.value) in BLESSED:
+                return True
+    return False
+
+
+def build_order_graph(project: Project) -> Tuple[List[_Edge], List[Finding]]:
+    """Run the symbolic execution; return (order edges, RL016/17 findings)."""
+    edges: List[_Edge] = []
+    findings: List[Finding] = []
+    for fn in project.iter_functions():
+        if fn.module.tree is None:
+            continue
+        if fn.name in BLESSED:
+            continue
+        if not _is_protocol_generator(fn.node):
+            continue
+        state = _SymState(fn)
+        _Executor(project, fn, state, {}, 0).run()
+        findings.extend(state.findings)
+        for acq in state.acqs:
+            ordered = acq.via == "cond_acquire"
+            for held in acq.held_before:
+                if held == acq.key:
+                    continue
+                edges.append(_Edge(held, acq.key, acq, ordered))
+    return edges, findings
+
+
+def _find_cycles(edges: List[_Edge]) -> List[List[_Edge]]:
+    """Cycles in the order graph restricted to non-ordered edges."""
+    adj: Dict[str, List[_Edge]] = {}
+    for e in edges:
+        if e.ordered:
+            continue
+        adj.setdefault(e.src, []).append(e)
+    cycles: List[List[_Edge]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: List[_Edge], on_path: Set[str]):
+        for e in adj.get(node, ()):
+            if e.dst == start:
+                cyc = path + [e]
+                key_nodes = tuple(sorted({x.src for x in cyc}))
+                if key_nodes not in seen_cycles:
+                    seen_cycles.add(key_nodes)
+                    cycles.append(cyc)
+            elif e.dst not in on_path and len(path) < 6:
+                dfs(start, e.dst, path + [e], on_path | {e.dst})
+
+    for start in sorted(adj):
+        dfs(start, start, [], {start})
+    return cycles
+
+
+def _run(project: Project) -> List[Finding]:
+    edges, findings = build_order_graph(project)
+    for cyc in _find_cycles(edges):
+        order = " -> ".join([e.src for e in cyc] + [cyc[0].src])
+        sites = ", ".join(
+            f"{e.acq.func}() {e.acq.path}:{e.acq.line}" for e in cyc)
+        anchor = cyc[0].acq
+        findings.append(Finding(
+            anchor.path, anchor.line, anchor.col, "RL015",
+            f"acquisition-order cycle {order} (sites: {sites}) — the same "
+            "keys are locked in inconsistent order; canonicalize the "
+            "orientation (as lock_pair callers do via the k-order check) "
+            "or route through cond_acquire",
+        ))
+    return findings
+
+
+register(Pass(
+    name="lockorder",
+    doc="static lock-order graph over protocol generators",
+    rules=LOCKORDER_RULES,
+    run=_run,
+))

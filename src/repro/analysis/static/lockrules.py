@@ -1,0 +1,42 @@
+"""Framework wrapper around the original lock-discipline checker.
+
+``RL001``–``RL005`` predate the multi-pass framework and live in
+:mod:`repro.analysis.lint` (which is also their standalone, import-light
+entry point).  This pass adapts them to the shared :class:`Project`: the
+framework parses each file once and applies suppression centrally, so
+the wrapper feeds the already-loaded source through
+:func:`~repro.analysis.lint.collect_findings` (the *raw*, suppression-free
+variant) module by module.
+
+Modules that failed to parse are skipped — the registry already reports
+them as ``RL000``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.lint import RULES, Finding, collect_findings
+from repro.analysis.static.project import Project
+from repro.analysis.static.registry import Pass, register
+
+__all__ = ["LOCKRULES"]
+
+LOCKRULES = dict(RULES)
+
+
+def _run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for mod in project.iter_modules():
+        if mod.tree is None:
+            continue
+        findings.extend(collect_findings(mod.source, mod.path))
+    return findings
+
+
+register(Pass(
+    name="lockrules",
+    doc="worker lock-discipline rules (the original single-file checker)",
+    rules=LOCKRULES,
+    run=_run,
+))

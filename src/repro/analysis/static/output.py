@@ -1,0 +1,94 @@
+"""Finding renderers: text, JSON and SARIF 2.1.0.
+
+The JSON shape is the original single-checker contract — a plain list of
+``{"path", "line", "col", "rule", "message"}`` objects — kept stable for
+scripts that already parse it.  SARIF is for code-scanning UIs (the CI
+workflow uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List
+
+from repro.analysis.lint import Finding
+
+__all__ = ["render_text", "render_json", "render_sarif", "RENDERERS"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(findings: List[Finding], rules: Dict[str, str]) -> str:
+    lines = [f.format() for f in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], rules: Dict[str, str]) -> str:
+    return json.dumps([asdict(f) for f in findings], indent=2)
+
+
+def render_sarif(findings: List[Finding], rules: Dict[str, str]) -> str:
+    """SARIF 2.1.0: one run, one driver, rule metadata + results."""
+    used = sorted({f.rule for f in findings} | set(rules))
+    rule_objs = [
+        {
+            "id": rid,
+            "shortDescription": {"text": rules.get(rid, rid)},
+        }
+        for rid in used
+    ]
+    index = {rid: i for i, rid in enumerate(used)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "warning" if f.rule in ("RL006",) else "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://example.invalid/repro/docs/analysis.md",
+                        "rules": rule_objs,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,237 @@
+"""Project loader + symbol table for the static analysis framework.
+
+Every pass shares one :class:`Project`: each source file is read and
+parsed exactly once, its dotted module name is derived from the package
+layout (walking up through ``__init__.py`` directories), and a
+whole-program symbol table maps ``module.qualname`` to function
+definitions so passes can resolve calls — including ``yield from
+helper(...)`` chains — across module boundaries.
+
+Tests build synthetic projects with :meth:`Project.from_sources`, giving
+each virtual file a zone-appropriate path (zoning rules key off path
+fragments like ``repro/service/``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.pragmas import FilePragmas, collect_pragmas
+
+__all__ = ["ModuleInfo", "FuncInfo", "Project"]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str                      #: display path (as given / relative)
+    modname: str                   #: dotted module name best-effort
+    source: str
+    tree: Optional[ast.Module]     #: None when the file failed to parse
+    error: Optional[Tuple[int, int, str]] = None  #: (line, col, message)
+    lines: List[str] = field(default_factory=list)
+    #: import alias table: local name -> dotted target
+    imports: Dict[str, str] = field(default_factory=dict)
+    _pragmas: Optional[FilePragmas] = None
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace(os.sep, "/").replace("\\", "/")
+
+    def in_zone(self, *fragments: str) -> bool:
+        """True when any path fragment occurs in this module's path."""
+        p = self.posix_path
+        return any(f in p for f in fragments)
+
+    def pragmas(self, known: Iterable[str]) -> FilePragmas:
+        if self._pragmas is None:
+            self._pragmas = collect_pragmas(self.lines, known)
+        return self._pragmas
+
+
+@dataclass
+class FuncInfo:
+    """One project function (top-level or method)."""
+
+    module: ModuleInfo
+    qualname: str                  #: e.g. ``insert_edge_par`` / ``Engine.commit``
+    node: ast.FunctionDef
+    cls: Optional[str] = None      #: enclosing class name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def key(self) -> str:
+        return f"{self.module.modname}.{self.qualname}"
+
+
+def _derive_modname(abspath: str) -> str:
+    """Dotted module name from the package layout around ``abspath``."""
+    directory, fname = os.path.split(abspath)
+    parts: List[str] = []
+    stem = fname[:-3] if fname.endswith(".py") else fname
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        parts.insert(0, pkg)
+        if not pkg:
+            break
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts) if parts else stem
+
+
+def _display_path(abspath: str) -> str:
+    try:
+        rel = os.path.relpath(abspath)
+    except ValueError:  # pragma: no cover - different drive on windows
+        return abspath
+    return rel if not rel.startswith("..") else abspath
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                table[a.asname or a.name.split(".")[0]] = a.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                table[a.asname or a.name] = f"{node.module}.{a.name}"
+    return table
+
+
+class Project:
+    """All modules under analysis plus the derived symbol table."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}      # display path -> info
+        self.by_modname: Dict[str, ModuleInfo] = {}
+        #: ``module.qualname`` -> FuncInfo for every def (incl. methods)
+        self.functions: Dict[str, FuncInfo] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Iterable[str]) -> "Project":
+        """Load files / directory trees (dirs recurse over ``*.py``)."""
+        proj = cls()
+        seen = set()
+        for p in paths:
+            if os.path.isdir(p):
+                files = sorted(
+                    os.path.join(dp, f)
+                    for dp, _dn, fns in os.walk(p)
+                    for f in fns
+                    if f.endswith(".py")
+                )
+            else:
+                files = [p]
+            for f in files:
+                ab = os.path.abspath(f)
+                if ab in seen:
+                    continue
+                seen.add(ab)
+                proj._add_file(ab)
+        return proj
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "Project":
+        """Build a project from ``{virtual_path: source}`` (for tests)."""
+        proj = cls()
+        for path, src in sources.items():
+            proj.add_source(path, src)
+        return proj
+
+    def add_source(self, path: str, source: str) -> ModuleInfo:
+        posix = path.replace("\\", "/")
+        stem = posix.rsplit("/", 1)[-1]
+        stem = stem[:-3] if stem.endswith(".py") else stem
+        # virtual modname: strip a leading src/ and slash-join the rest
+        parts = [p for p in posix.split("/") if p not in ("", ".", "src")]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        modname = ".".join(parts) if parts else stem
+        info = self._parse(path, modname, source)
+        self._register(info)
+        return info
+
+    def _add_file(self, abspath: str) -> None:
+        display = _display_path(abspath)
+        try:
+            source = open(abspath, "r", encoding="utf-8").read()
+        except OSError as exc:
+            info = ModuleInfo(display, _derive_modname(abspath), "", None,
+                              error=(0, 0, f"cannot read: {exc}"))
+            self._register(info)
+            return
+        info = self._parse(display, _derive_modname(abspath), source)
+        self._register(info)
+
+    def _parse(self, path: str, modname: str, source: str) -> ModuleInfo:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return ModuleInfo(
+                path, modname, source, None,
+                error=(exc.lineno or 0, exc.offset or 0,
+                       f"syntax error: {exc.msg}"),
+                lines=source.splitlines(),
+            )
+        info = ModuleInfo(path, modname, source, tree,
+                          lines=source.splitlines())
+        info.imports = _collect_imports(tree)
+        return info
+
+    def _register(self, info: ModuleInfo) -> None:
+        self.modules[info.path] = info
+        self.by_modname[info.modname] = info
+        if info.tree is None:
+            return
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, ast.FunctionDef):
+                    fi = FuncInfo(info, node.name, node)
+                    self.functions[fi.key] = fi
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        fi = FuncInfo(info, f"{node.name}.{item.name}",
+                                      item, cls=node.name)
+                        self.functions[fi.key] = fi
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        return iter(self.modules.values())
+
+    def iter_functions(self) -> Iterator[FuncInfo]:
+        return iter(self.functions.values())
+
+    def resolve_function(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[FuncInfo]:
+        """Resolve a bare call name inside ``module`` to a project def.
+
+        Checks the module's own top-level functions first, then the
+        import alias table (``from repro.x import f [as g]``).
+        """
+        fi = self.functions.get(f"{module.modname}.{name}")
+        if fi is not None and fi.cls is None:
+            return fi
+        target = module.imports.get(name)
+        if target is not None:
+            mod, _, fname = target.rpartition(".")
+            other = self.by_modname.get(mod)
+            if other is not None:
+                return self.functions.get(f"{other.modname}.{fname}")
+        return None

@@ -1,0 +1,178 @@
+"""Pass registry + analysis driver for the static framework.
+
+A *pass* is a named analyzer owning a set of rule ids.  Passes register
+themselves at import time; :func:`run_analysis` loads no pass logic of
+its own — it drives whichever passes are registered, applies the
+suppression pragmas and the optional baseline, and emits ``RL006``
+warnings for suppression pragmas that name unknown rules (a typo'd
+suppression must *warn*, never silently ignore the finding it meant to
+suppress).
+
+Rule selection (``--select``) accepts rule ids (``RL015``), pass names
+(``lockorder``) and comma-separated mixes of both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.analysis.lint import Finding
+from repro.analysis.static.project import Project
+
+__all__ = [
+    "Pass",
+    "register",
+    "registered_passes",
+    "all_rules",
+    "run_analysis",
+    "AnalysisResult",
+]
+
+#: framework-owned rules (not tied to any pass)
+META_RULES = {
+    "RL000": "file cannot be analyzed (unreadable or syntax error)",
+    "RL006": "suppression pragma names an unknown rule",
+}
+
+
+@dataclass
+class Pass:
+    """One registered analyzer."""
+
+    name: str
+    doc: str
+    rules: Dict[str, str]                       #: rule id -> description
+    run: Callable[[Project], List[Finding]]
+
+
+_REGISTRY: Dict[str, Pass] = {}
+
+
+def register(p: Pass) -> Pass:
+    if p.name in _REGISTRY:
+        raise ValueError(f"duplicate pass name {p.name!r}")
+    overlap = {r for q in _REGISTRY.values() for r in q.rules} & set(p.rules)
+    if overlap:
+        raise ValueError(f"pass {p.name!r} re-registers rules {sorted(overlap)}")
+    _REGISTRY[p.name] = p
+    return p
+
+
+def registered_passes() -> List[Pass]:
+    return list(_REGISTRY.values())
+
+
+def all_rules() -> Dict[str, str]:
+    """The full rule table: framework meta rules + every pass's rules."""
+    table = dict(META_RULES)
+    for p in _REGISTRY.values():
+        table.update(p.rules)
+    return table
+
+
+def _selected_rules(select: Optional[str]) -> Optional[Set[str]]:
+    """Expand a ``--select`` expression into a rule-id set (None = all)."""
+    if not select:
+        return None
+    table = all_rules()
+    chosen: Set[str] = set()
+    for tok in select.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        if tok in table:
+            chosen.add(tok)
+        elif tok in _REGISTRY:
+            chosen.update(_REGISTRY[tok].rules)
+        else:
+            # prefix match lets `--select RL01` grab a family
+            hits = {r for r in table if r.startswith(tok)}
+            if not hits:
+                raise ValueError(f"--select: unknown rule or pass {tok!r}")
+            chosen.update(hits)
+    return chosen
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding]          #: unsuppressed, non-baselined
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_analysis(
+    project: Project,
+    select: Optional[str] = None,
+    baseline: Optional[Iterable[Finding]] = None,
+) -> AnalysisResult:
+    """Run the registered passes over ``project``.
+
+    Returns findings that survived rule selection, pragma suppression
+    and the baseline, sorted by (path, line, rule).
+    """
+    chosen = _selected_rules(select)
+    known = set(all_rules())
+    raw: List[Finding] = []
+
+    # RL000 for unparseable modules; RL006 for typo'd pragmas.
+    for mod in project.iter_modules():
+        if mod.error is not None:
+            line, col, msg = mod.error
+            raw.append(Finding(mod.path, line, col, "RL000", msg))
+            continue
+        for pragma in mod.pragmas(known).pragmas:
+            for name in pragma.unknown:
+                raw.append(Finding(
+                    mod.path, pragma.line, 0, "RL006",
+                    f"suppression names unknown rule {name!r} — it "
+                    "suppresses nothing (known rules: RL001..RL022)",
+                ))
+
+    for p in _REGISTRY.values():
+        if chosen is not None and not (set(p.rules) & chosen):
+            continue
+        raw.extend(p.run(project))
+
+    # Dedupe: interprocedural passes can reach the same helper from
+    # several roots and re-derive an identical finding at the same site.
+    unique: List[Finding] = []
+    seen = set()
+    for f in raw:
+        key = (f.path, f.line, f.col, f.rule, f.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    raw = unique
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for f in raw:
+        if chosen is not None and f.rule not in chosen | {"RL000", "RL006"}:
+            continue
+        mod = project.modules.get(f.path)
+        if mod is not None and mod.pragmas(known).suppresses(f.rule, f.line):
+            suppressed += 1
+            continue
+        kept.append(f)
+
+    baselined = 0
+    if baseline is not None:
+        base_keys = {(b.path.replace("\\", "/"), b.rule, b.message)
+                     for b in baseline}
+        survivors = []
+        for f in kept:
+            if (f.path.replace("\\", "/"), f.rule, f.message) in base_keys:
+                baselined += 1
+            else:
+                survivors.append(f)
+        kept = survivors
+
+    kept.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    return AnalysisResult(kept, suppressed=suppressed, baselined=baselined)

@@ -91,7 +91,7 @@ class TestSuppressions:
 
         def first():
             yield ("write", ("x", 1), "a.py:1")
-            yield ("try", "H")
+            yield ("try", "H")  # lint: ok[RL001]
             yield ("release", "H")
 
         def second():

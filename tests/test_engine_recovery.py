@@ -73,7 +73,7 @@ def test_commit_without_intent_is_corrupt():
     with pytest.raises(ValueError, match="without an intent"):
         j.replay()
     with pytest.raises(ValueError, match="unknown journal record"):
-        j.append({"t": "bogus"})
+        j.append({"t": "bogus"})  # lint: ok[RL020]
 
 
 def test_journal_serialization_roundtrips(tmp_path):

@@ -1,5 +1,6 @@
 """SimMachine edge cases: cond_acquire wake ordering, deadlock payload
 details, zero-worker / empty-batch runs, and wave-marker semantics."""
+# lint: file-ok[RL001, RL002]  — edge-case workers intentionally misuse locks
 
 from __future__ import annotations
 

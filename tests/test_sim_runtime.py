@@ -1,4 +1,6 @@
 """Tests for the discrete-event simulated machine and lock primitives."""
+# lint: file-ok[RL001, RL002, RL003]  — workers here deliberately violate
+# the protocol to exercise the runtime's dynamic detectors
 
 import pytest
 

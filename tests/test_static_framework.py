@@ -1,0 +1,279 @@
+"""Tests for the multi-pass framework plumbing: project loader, pragma
+parsing (whitespace tolerance + typo warnings), baseline workflow, the
+output renderers and the unified CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import Finding, check_source
+from repro.analysis.pragmas import collect_pragmas, parse_line_pragma
+from repro.analysis.static import Project, all_rules, run_analysis
+from repro.analysis.static.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.static.cli import main
+from repro.analysis.static.output import render_sarif
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+LEAKY = (
+    "def worker(a, b):\n"
+    "    yield from lock_pair(a, b)\n"
+    "    yield ('tick', 1.0)\n"
+)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# project loader / symbol table
+# ----------------------------------------------------------------------
+class TestProject:
+    def test_from_sources_derives_modnames(self):
+        p = Project.from_sources({
+            "src/repro/core/thing.py": "def f():\n    return 1\n",
+        })
+        mod = p.modules["src/repro/core/thing.py"]
+        assert mod.modname == "repro.core.thing"
+        assert "repro.core.thing.f" in p.functions
+
+    def test_methods_get_class_qualnames(self):
+        p = Project.from_sources({
+            "m.py": "class C:\n    def meth(self):\n        pass\n",
+        })
+        fi = p.functions["m.C.meth"]
+        assert fi.cls == "C" and fi.name == "meth"
+
+    def test_resolve_function_through_import_alias(self):
+        p = Project.from_sources({
+            "src/repro/a.py": "def helper(x):\n    return x\n",
+            "src/repro/b.py": (
+                "from repro.a import helper as h\n"
+                "def caller():\n    return h(1)\n"
+            ),
+        })
+        fi = p.resolve_function(p.modules["src/repro/b.py"], "h")
+        assert fi is not None and fi.key == "repro.a.helper"
+
+    def test_syntax_error_becomes_rl000(self):
+        p = Project.from_sources({"bad.py": "def broken(:\n"})
+        result = run_analysis(p)
+        assert rules_of(result.findings) == ["RL000"]
+
+    def test_load_dedupes_file_given_twice(self, tmp_path):
+        f = tmp_path / "x.py"
+        f.write_text("x = 1\n", encoding="utf-8")
+        p = Project.load([str(f), str(f), str(tmp_path)])
+        assert len(list(p.iter_modules())) == 1
+
+
+# ----------------------------------------------------------------------
+# pragmas: whitespace tolerance and typo warnings (the RL006 regression)
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_whitespace_after_commas_tolerated(self):
+        """`# lint: ok[RL002, RL003]` — the space after the comma must
+        not break the suppression (regression: the old parser required
+        exact `RL002,RL003`)."""
+        src = (
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)  # lint: ok[RL002, RL003]\n"
+            "    yield ('tick', 1.0)\n"
+        )
+        assert check_source(src) == []
+
+    def test_generous_whitespace_everywhere(self):
+        p = parse_line_pragma(
+            "x = 1  #  lint:  ok[ RL002 , RL003 ]", 1,
+            known={"RL002", "RL003"})
+        assert p is not None and p.rules == {"RL002", "RL003"}
+        assert p.unknown == []
+
+    def test_unknown_rule_warns_instead_of_silently_ignoring(self):
+        """A typo'd rule id must produce RL006, and the finding the
+        author meant to suppress must survive."""
+        src = (
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)  # lint: ok[RL02, RL003]\n"
+            "    yield ('tick', 1.0)\n"
+        )
+        findings = check_source(src)
+        assert "RL006" in rules_of(findings)
+        assert "RL002" in rules_of(findings)  # not suppressed by the typo
+        rl6 = next(f for f in findings if f.rule == "RL006")
+        assert "RL02" in rl6.message
+
+    def test_file_scope_pragma_suppresses_whole_file(self):
+        src = (
+            "# lint: file-ok[RL002]\n"
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    yield ('tick', 1.0)\n"
+        )
+        assert check_source(src) == []
+
+    def test_file_scope_pragma_only_named_rules(self):
+        src = (
+            "# lint: file-ok[RL003]\n"
+            "def worker(a, b):\n"
+            "    yield from lock_pair(a, b)\n"
+            "    yield ('tick', 1.0)\n"
+        )
+        assert set(rules_of(check_source(src))) == {"RL002"}
+
+    def test_pragma_text_inside_docstring_is_not_a_pragma(self):
+        """Documentation *about* pragmas (like this repo's own lint
+        docstrings) must neither suppress nor warn."""
+        src = (
+            '"""Write `# lint: ok[RLxxx]` to suppress a finding."""\n'
+            "x = 1\n"
+        )
+        assert check_source(src) == []
+
+    def test_collect_pragmas_reports_unknown_names(self):
+        fp = collect_pragmas(
+            ["x = 1  # lint: ok[RL999]"], known={"RL001"})
+        assert fp.pragmas[0].unknown == ["RL999"]
+        assert not fp.suppresses("RL001", 1)
+
+
+# ----------------------------------------------------------------------
+# rule selection and baseline
+# ----------------------------------------------------------------------
+class TestSelectionAndBaseline:
+    def _project(self):
+        return Project.from_sources({"leaky.py": LEAKY})
+
+    def test_select_by_rule_id(self):
+        result = run_analysis(self._project(), select="RL003")
+        assert rules_of(result.findings) == []
+        result = run_analysis(self._project(), select="RL002")
+        assert set(rules_of(result.findings)) == {"RL002"}
+
+    def test_select_by_pass_name(self):
+        result = run_analysis(self._project(), select="lockrules")
+        assert set(rules_of(result.findings)) == {"RL002"}
+
+    def test_select_unknown_token_raises(self):
+        with pytest.raises(ValueError):
+            run_analysis(self._project(), select="RLxx")
+
+    def test_baseline_roundtrip_filters_findings(self, tmp_path):
+        result = run_analysis(self._project())
+        assert len(result.findings) == 2
+        bpath = tmp_path / "baseline.json"
+        save_baseline(str(bpath), result.findings)
+        baseline = load_baseline(str(bpath))
+        rebased = run_analysis(self._project(), baseline=baseline)
+        assert rebased.findings == [] and rebased.baselined == 2
+
+    def test_baseline_matches_on_message_not_line(self, tmp_path):
+        result = run_analysis(self._project())
+        bpath = tmp_path / "baseline.json"
+        save_baseline(str(bpath), result.findings)
+        shifted = Project.from_sources({"leaky.py": "\n\n" + LEAKY})
+        rebased = run_analysis(shifted, baseline=load_baseline(str(bpath)))
+        assert rebased.findings == []
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bpath = tmp_path / "bad.json"
+        bpath.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(str(bpath))
+
+
+# ----------------------------------------------------------------------
+# output renderers
+# ----------------------------------------------------------------------
+class TestSarif:
+    def test_sarif_shape(self):
+        findings = [Finding("src/x.py", 3, 4, "RL002", "leaked lock")]
+        doc = json.loads(render_sarif(findings, all_rules()))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RL002", "RL015", "RL020"} <= rule_ids
+        res = run["results"][0]
+        assert res["ruleId"] == "RL002"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/x.py"
+        assert loc["region"]["startLine"] == 3
+        assert loc["region"]["startColumn"] == 5  # 1-based
+
+
+# ----------------------------------------------------------------------
+# the unified CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def _leaky_file(self, tmp_path):
+        p = tmp_path / "leaky.py"
+        p.write_text(LEAKY, encoding="utf-8")
+        return p
+
+    def test_nonexistent_path_exits_2_with_message(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir"
+        assert main([str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and str(missing) in err
+
+    def test_no_paths_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_select_filters_cli(self, tmp_path, capsys):
+        p = self._leaky_file(tmp_path)
+        assert main(["--select", "RL003", str(p)]) == 0
+        assert main(["--select", "lockrules", str(p)]) == 1
+
+    def test_bad_select_exits_2(self, tmp_path, capsys):
+        p = self._leaky_file(tmp_path)
+        assert main(["--select", "bogus-pass", str(p)]) == 2
+        assert "bogus-pass" in capsys.readouterr().err
+
+    def test_sarif_output_to_file(self, tmp_path):
+        p = self._leaky_file(tmp_path)
+        out = tmp_path / "lint.sarif"
+        assert main(["--format", "sarif", "-o", str(out), str(p)]) == 1
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["runs"][0]["results"]
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        p = self._leaky_file(tmp_path)
+        bpath = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(bpath), str(p)]) == 0
+        assert main(["--baseline", str(bpath), str(p)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules_covers_every_pass(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("RL001", "RL006", "RL010", "RL015", "RL020"):
+            assert rid in out
+
+    def test_module_alias_entry_point(self, tmp_path):
+        """`python -m repro.analysis` must behave like repro-lint."""
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(clean)],
+            capture_output=True, text=True,
+            cwd=str(ROOT), env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(tmp_path / "nope")],
+            capture_output=True, text=True,
+            cwd=str(ROOT), env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin"},
+        )
+        assert proc.returncode == 2
+        assert "does not exist" in proc.stderr
