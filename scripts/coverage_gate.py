@@ -38,12 +38,14 @@ TARGETS = {
     "repro.service": os.path.join(SRC, "repro", "service"),
     "repro.parallel": os.path.join(SRC, "repro", "parallel"),
     "repro.analysis": os.path.join(SRC, "repro", "analysis"),
+    "repro.replication": os.path.join(SRC, "repro", "replication"),
 }
 
 #: the deterministic test slice that drives the targets — a fixed list,
 #: so the percentage means the same thing in every run
 GATE_TESTS = [
     "tests/test_engine_recovery.py",
+    "tests/test_replication.py",
     "tests/test_faults_determinism.py",
     "tests/test_faults_differential.py",
     "tests/test_service_engine.py",

@@ -12,6 +12,13 @@ convention keeps the three views of that schema in sync:
 * **declarations** — the ``REC_*`` constants and the ``_KINDS`` tuple
   that :meth:`EdgeJournal.append` validates against.
 
+The replication layer added two kinds to the same schema and the pass
+covers them identically: the WAL's ``promote`` record (written by
+``log_promote`` on failover, dispatched by ``replay()`` and the
+follower's ``_apply``) and the shipper's sidecar ``cursor`` record
+(``JournalShipper.save_cursor`` / ``load_cursor``) — a one-record file,
+but a writer/reader pair all the same.
+
 This pass cross-checks all three statically:
 
 ``RL020``

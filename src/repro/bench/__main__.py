@@ -9,6 +9,7 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench fig5 fig6 fig7
     python -m repro.bench service --datasets BA --ops 500 --query-rate 0.3
     python -m repro.bench chaos --datasets BA --seed 7 --assert-recovered
+    python -m repro.bench failover --datasets BA --replicas 3 --assert-failover
     python -m repro.bench representation --datasets BA ER --assert-speedup 0.9
     python -m repro.bench scheduling --datasets BA --assert-speedup 1.2
     python -m repro.bench all   --batch 200
@@ -29,6 +30,7 @@ from typing import List
 from repro.bench import harness
 from repro.bench.reporting import (
     render_chaos,
+    render_failover,
     render_histogram,
     render_series,
     render_service_metrics,
@@ -38,7 +40,7 @@ from repro.bench.reporting import (
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
-    "chaos", "representation", "scheduling",
+    "chaos", "failover", "representation", "scheduling",
 )
 
 
@@ -84,6 +86,20 @@ def _parser() -> argparse.ArgumentParser:
                    help="chaos: exit 1 unless every dataset recovered "
                         "(cores match the uninterrupted run and the "
                         "from-scratch oracle, deterministically)")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="failover workload: follower replicas per set")
+    p.add_argument("--ship-lag", type=int, default=6,
+                   help="failover workload: async shipping lag in records")
+    p.add_argument("--primary-crash-rate", type=float, default=0.01,
+                   help="failover workload: seeded primary-death "
+                        "probability per update submission")
+    p.add_argument("--primary-crashes", type=int, default=2,
+                   help="failover workload: primary-death budget")
+    p.add_argument("--assert-failover", action="store_true",
+                   help="failover: exit 1 unless every dataset survived "
+                        "(zero committed-op loss, divergence bounded by "
+                        "replication lag, every promotion verified "
+                        "bit-identical, deterministically)")
     p.add_argument("--json", type=str, default=None, metavar="PATH",
                    help="representation/scheduling/chaos: also write the "
                         "cells to PATH as JSON")
@@ -218,6 +234,57 @@ def _run(args: argparse.Namespace) -> int:
                             f"oracle={c['oracle_ok']} "
                             f"deterministic={c['determinism_ok']} "
                             f"invariant={c['invariant_ok']})"
+                        )
+                    return 1
+        elif exp == "failover":
+            import json as _json
+
+            cells = [
+                harness.run_failover(
+                    ds,
+                    ops=args.ops,
+                    workers=max(args.workers),
+                    query_rate=args.query_rate,
+                    seed=args.seed,
+                    max_batch=max(1, args.batch // 16),
+                    replicas=args.replicas,
+                    ship_lag=args.ship_lag,
+                    primary_crash_rate=args.primary_crash_rate,
+                    primary_crashes=args.primary_crashes,
+                    crash_rate=args.crash_rate,
+                    stall_rate=args.stall_rate,
+                    timeout_rate=args.timeout_rate,
+                    max_crashes=args.max_crashes,
+                )
+                for ds in args.datasets
+            ]
+            for cell in cells:
+                print(f"\n--- {cell['dataset']} ---")
+                print(render_failover(cell))
+            if args.json:
+                slim = [
+                    {k: v for k, v in c.items() if k != "replication"}
+                    | {"replication": {
+                        k: v for k, v in c["replication"].items()
+                        if k != "replicas"
+                    }}
+                    for c in cells
+                ]
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(slim, fh, indent=2)
+                print(f"wrote {args.json}")
+            if args.assert_failover:
+                bad = [c for c in cells if not c["ok"]]
+                if bad:
+                    for c in bad:
+                        v = c["verdicts"]
+                        print(
+                            f"!! {c['dataset']}: failover run FAILED "
+                            f"(zero_loss={v['zero_loss']} "
+                            f"divergence_bounded={v['divergence_bounded']} "
+                            f"promotions_verified={v['promotions_verified']} "
+                            f"final_state={v['final_state_ok']} "
+                            f"deterministic={v['determinism_ok']})"
                         )
                     return 1
         elif exp == "representation":

@@ -47,6 +47,7 @@ __all__ = [
     "fig7_stability",
     "run_service",
     "run_chaos",
+    "run_failover",
     "run_representation",
     "run_scheduling",
 ]
@@ -334,6 +335,258 @@ def run_chaos(
             and query_mismatches == 0
             and (determinism_ok is None or determinism_ok)
         ),
+    }
+
+
+def run_failover(
+    dataset: str,
+    ops: int = 400,
+    workers: int = 4,
+    query_rate: float = 0.25,
+    seed: int = 0,
+    max_batch: int = 8,
+    replicas: int = 3,
+    ship_lag: int = 6,
+    primary_crash_rate: float = 0.01,
+    primary_crashes: int = 2,
+    crash_rate: float = 0.0,
+    stall_rate: float = 0.0,
+    timeout_rate: float = 0.0,
+    max_crashes: Optional[int] = 4,
+    checkpoint_every: int = 4,
+    verify_determinism: bool = True,
+) -> Dict[str, object]:
+    """The ``failover`` workload: a replica set under seeded primary
+    deaths, judged on the three replication promises
+    (``docs/replication.md``):
+
+    * **zero committed-op loss** — every update the set acknowledged as
+      ``committed`` (minus cancelled net no-ops, which are never
+      journaled) appears in the final primary's journal, across every
+      promotion;
+    * **divergence bounded by replication lag** — every follower query
+      answer equals the primary's snapshot *at the epoch the follower
+      reported* (``replica_epoch``), i.e. replicas serve exactly the
+      lag-old truth, never a wrong one, and the observed
+      ``replica_lag_records`` stays within the shipping-lag bound;
+    * **recovery-time objective** — promotions (each internally verified
+      bit-identical against ``Engine.from_journal`` of the committed
+      prefix; :meth:`ReplicaSet.promote` raises otherwise) are timed and
+      reported as RTO wall milliseconds plus catch-up record counts.
+
+    Engine-level worker faults (``crash_rate`` etc.) can ride along so
+    failover is exercised on journals containing aborted intents; the
+    final state is additionally checked against a from-scratch
+    decomposition of the journal's edge set, and (with
+    ``verify_determinism``) a same-seed rerun must reproduce the same
+    journal bytes, crash schedule and promotion log.
+    """
+    from repro.faults.plane import FaultSpec
+    from repro.replication import ReplicaSet
+    from repro.service import EngineConfig
+    from repro.service.snapshots import QUERY_KINDS
+
+    engine_faults = None
+    if crash_rate or stall_rate or timeout_rate:
+        engine_faults = FaultSpec(
+            crash_rate=crash_rate, stall_rate=stall_rate,
+            timeout_rate=timeout_rate, max_crashes=max_crashes,
+        )
+    budget = max_crashes if max_crashes is not None else 64
+    cfg = EngineConfig(
+        max_batch=max_batch, num_workers=workers, seed=seed,
+        faults=engine_faults, checkpoint_every=checkpoint_every,
+        max_retries=budget + 1,
+    )
+    process_spec = FaultSpec(
+        crash_rate=primary_crash_rate, max_crashes=primary_crashes,
+    ) if primary_crash_rate else None
+    initial, trace = service_trace(dataset, ops, query_rate=query_rate,
+                                   seed=seed)
+
+    def drive():
+        rs = ReplicaSet(
+            DynamicGraph(initial), cfg, replicas=replicas,
+            ship_lag=ship_lag, primary_faults=process_spec,
+            promote_on_crash=True,
+        )
+        acked: Dict[str, str] = {}     # committed update id -> detail
+        stats = {
+            "replica_queries": 0, "stale_answers": 0,
+            "divergence_violations": 0, "uncomparable": 0,
+            "max_lag_records": 0, "headless_rejects": 0,
+        }
+
+        def note(resp):
+            if resp.op != "query" and resp.status == "committed":
+                acked[resp.id] = resp.detail or ""
+            if resp.status == "rejected" and resp.error \
+                    and resp.error["code"] == "primary-down":
+                stats["headless_rejects"] += 1
+
+        uid = 0
+        for item in trace:
+            if item[0] == "query":
+                resp = rs.query(item[1], *item[2])
+                if resp.replica_lag_records is not None:
+                    stats["replica_queries"] += 1
+                    stats["max_lag_records"] = max(
+                        stats["max_lag_records"], resp.replica_lag_records
+                    )
+                if (resp.status == "committed"
+                        and resp.replica_epoch is not None
+                        and rs.primary is not None):
+                    handler = QUERY_KINDS[item[1]]
+                    try:
+                        pinned = rs.primary.view(resp.replica_epoch)
+                    except ValueError:
+                        # the promoted primary's checkpoint floor rose
+                        # past this replica's epoch — uncomparable
+                        stats["uncomparable"] += 1
+                    else:
+                        want = handler(pinned, tuple(item[2]))
+                        if resp.value != want:
+                            stats["divergence_violations"] += 1
+                        live = handler(rs.primary.view(), tuple(item[2]))
+                        if resp.value != live:
+                            stats["stale_answers"] += 1
+            else:
+                rid = f"u{uid}"
+                uid += 1
+                if item[0] == "insert":
+                    note(rs.insert(item[1], item[2], id=rid))
+                else:
+                    note(rs.remove(item[1], item[2], id=rid))
+                for r in rs.take_completed():
+                    note(r)
+        for r in rs.flush():
+            note(r)
+        return rs, acked, stats
+
+    t0 = time.perf_counter()
+    rs, acked, stats = drive()
+    wall = time.perf_counter() - t0
+
+    # ----- zero committed-op loss ------------------------------------
+    # every acked non-cancelled update must be named by a committed
+    # intent in the final primary's journal (the prefix survives every
+    # promotion, so one replay covers all generations)
+    journaled: set = set()
+    lost: List[str] = []
+    if rs.primary is not None:
+        replay = rs.primary.journal.replay()
+        for b in replay.committed:
+            journaled.update(b.ids)
+        lost = sorted(
+            rid for rid, detail in acked.items()
+            if detail != "cancelled" and rid not in journaled
+        )
+    committed_op_loss = len(lost)
+
+    # ----- final state: invariants + from-scratch oracle -------------
+    final_state_ok = rs.primary is not None
+    invariant_ok = None
+    if rs.primary is not None:
+        try:
+            rs.check()
+            invariant_ok = True
+        except (AssertionError, ValueError):
+            invariant_ok = False
+        fc = rs.primary.cores()
+        oracle = dict(
+            core_decomposition(
+                DictGraph(rs.primary.journal.final_edges())
+            ).core
+        )
+        final_state_ok = (
+            invariant_ok
+            and all(fc.get(u) == k for u, k in oracle.items())
+            and all(k == 0 for u, k in fc.items() if u not in oracle)
+        )
+
+    # ----- RTO -------------------------------------------------------
+    promos = rs.promotions
+    rto = None
+    if promos:
+        walls = sorted(p.wall_s * 1000 for p in promos)
+        rto = {
+            "median_ms": statistics.median(walls),
+            "max_ms": walls[-1],
+            "median_catchup_records": statistics.median(
+                sorted(p.catchup_records for p in promos)
+            ),
+        }
+
+    # ----- determinism -----------------------------------------------
+    def promo_log(r):
+        return [(p.generation, p.replica, p.epoch, p.prefix_records)
+                for p in r.promotions]
+
+    determinism_ok = None
+    if verify_determinism:
+        rs2, _, _ = drive()
+        determinism_ok = (
+            rs2.primary is not None and rs.primary is not None
+            and rs2.primary.journal.digest() == rs.primary.journal.digest()
+            and promo_log(rs2) == promo_log(rs)
+            and (
+                rs.process_faults is None
+                or rs2.process_faults.digest() == rs.process_faults.digest()
+            )
+        )
+
+    # the shipping policy lets an async replica drift to ship_lag, plus
+    # the records one commit cycle appends before the pump runs
+    lag_bound = ship_lag + 4
+    verdicts = {
+        "zero_loss": committed_op_loss == 0,
+        "divergence_bounded": (
+            stats["divergence_violations"] == 0
+            and stats["max_lag_records"] <= lag_bound
+        ),
+        "promotions_verified": len(promos) == rs.primary_crashes,
+        "final_state_ok": bool(final_state_ok),
+        "determinism_ok": determinism_ok,
+    }
+    return {
+        "dataset": dataset,
+        "workers": workers,
+        "ops": len(trace),
+        "seed": seed,
+        "replicas": replicas,
+        "ship_lag": ship_lag,
+        "lag_bound": lag_bound,
+        "primary_crash_rate": primary_crash_rate,
+        "primary_crash_budget": primary_crashes,
+        "wall_s": wall,
+        "primary_crashes": rs.primary_crashes,
+        "promotions": len(promos),
+        "rto": rto,
+        "committed_op_loss": committed_op_loss,
+        "lost_ids": lost[:16],
+        "acked_updates": len(acked),
+        "journaled_ids": len(journaled),
+        "replica_queries": stats["replica_queries"],
+        "stale_answers": stats["stale_answers"],
+        "divergence_violations": stats["divergence_violations"],
+        "uncomparable": stats["uncomparable"],
+        "max_lag_records": stats["max_lag_records"],
+        "headless_rejects": stats["headless_rejects"],
+        "epoch": rs.primary.epoch if rs.primary is not None else None,
+        "journal_records": (
+            len(rs.primary.journal) if rs.primary is not None else 0
+        ),
+        "journal_digest": (
+            rs.primary.journal.digest() if rs.primary is not None else ""
+        ),
+        "schedule_digest": (
+            rs.process_faults.digest()
+            if rs.process_faults is not None else None
+        ),
+        "replication": rs.metrics(),
+        "verdicts": verdicts,
+        # headline gate for the CI replication-smoke job
+        "ok": all(v for v in verdicts.values() if v is not None),
     }
 
 

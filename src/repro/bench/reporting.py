@@ -17,6 +17,8 @@ __all__ = [
     "render_analysis_stats",
     "render_service_metrics",
     "render_chaos",
+    "render_replication",
+    "render_failover",
 ]
 
 
@@ -231,6 +233,99 @@ def render_chaos(cell: Mapping) -> str:
             f"schedule sha256 {(cell['schedule_digest'] or '')[:16]}"
         ),
         render_service_metrics(cell["metrics"], max_epochs=4),
+    ]
+    return "\n".join(lines)
+
+
+def render_replication(repl: Mapping) -> str:
+    """Render a :meth:`ReplicaSet.metrics
+    <repro.replication.replicaset.ReplicaSet.metrics>` dict: topology
+    state, shipping totals, the promotion log, and one row per replica
+    (lag in records, applied epoch, generation)."""
+    lines = [
+        (
+            f"replication: generation {repl['generation']}  "
+            f"primary {'alive' if repl['primary_alive'] else 'DEAD'}  "
+            f"crashes {repl['primary_crashes']}  "
+            f"promotions {repl['promotions']}"
+        ),
+        (
+            f"shipping: {repl['records_shipped']} records shipped  "
+            f"{repl['records_replayed']} replayed  "
+            f"{repl['submitted_updates']} updates submitted"
+        ),
+    ]
+    for p in repl["promotion_log"]:
+        lines.append(
+            f"  promoted replica {p['replica']} -> generation "
+            f"{p['generation']} at epoch {p['epoch']} "
+            f"(prefix {p['prefix_records']} records, caught up "
+            f"{p['catchup_records']}, truncated {p['truncated_records']}, "
+            f"{p['wall_s'] * 1000:.1f} ms)"
+        )
+    rows = [
+        {
+            "replica": r["replica"],
+            "lag": r["lag_records"],
+            "epoch": r["epoch"],
+            "gen": r["generation"],
+            "applied": r["applied"],
+            "queries": r["queries_served"],
+            "shipped": r["shipper"]["records_shipped"],
+        }
+        for r in repl["replicas"]
+    ]
+    if rows:
+        lines.append(render_table(rows))
+    else:
+        lines.append("(no followers left)")
+    return "\n".join(lines)
+
+
+def render_failover(cell: Mapping) -> str:
+    """Render one ``run_failover`` cell (see ``repro.bench.harness``):
+    the crash schedule, the loss/divergence verdicts, RTO stats, and the
+    replication metrics block."""
+    v = cell["verdicts"]
+    verdict = "SURVIVED" if cell["ok"] else "FAILED"
+    lines = [
+        (
+            f"{cell['dataset']}: {cell['ops']} ops, seed {cell['seed']}, "
+            f"{cell['replicas']} replicas, ship-lag {cell['ship_lag']}, "
+            f"primary crash rate {cell['primary_crash_rate']} "
+            f"(budget {cell['primary_crash_budget']})"
+        ),
+        (
+            f"verdict: {verdict}  committed-op loss "
+            f"{cell['committed_op_loss']}  divergence violations "
+            f"{cell['divergence_violations']}  "
+            f"stale answers {cell['stale_answers']}/"
+            f"{cell['replica_queries']}  max lag {cell['max_lag_records']}"
+        ),
+        (
+            f"checks: zero-loss {v['zero_loss']}  "
+            f"divergence-bounded {v['divergence_bounded']}  "
+            f"promotions-verified {v['promotions_verified']}  "
+            f"final-state {v['final_state_ok']}  "
+            f"deterministic {v['determinism_ok']}"
+        ),
+        (
+            f"failover: {cell['primary_crashes']} crash(es), "
+            f"{cell['promotions']} promotion(s), RTO "
+            + (
+                f"median {cell['rto']['median_ms']:.1f} ms / "
+                f"max {cell['rto']['max_ms']:.1f} ms, catch-up "
+                f"median {cell['rto']['median_catchup_records']} records"
+                if cell["promotions"]
+                else "n/a"
+            )
+        ),
+        (
+            f"journal: {cell['journal_records']} records "
+            f"sha256 {cell['journal_digest'][:16]}  "
+            f"crash schedule sha256 {(cell['schedule_digest'] or '')[:16]}"
+        ),
+        render_replication(cell["replication"]),
     ]
     return "\n".join(lines)
 

@@ -1,0 +1,31 @@
+"""Replication: WAL shipping, follower replicas, failover.
+
+The serving engine's journal (:mod:`repro.service.journal`) is a
+canonical, byte-comparable WAL — which makes it a replication stream for
+free.  This package turns that observation into a primary/follower
+topology (``docs/replication.md``):
+
+* :class:`JournalShipper` — tails a primary journal incrementally with
+  a record cursor + byte offset (resumable, batched);
+* :class:`FollowerEngine` — replays shipped records continuously into
+  its own maintainer + snapshot store and serves the primary's query
+  plane with explicit staleness fields (``replica_epoch``,
+  ``replica_lag_records``);
+* :class:`ReplicaSet` — routes traffic, ships semi-synchronously (zero
+  committed-op loss), detects seeded primary death through the fault
+  plane, and promotes the most-caught-up follower — verified
+  bit-identical to ``Engine.from_journal`` of the same prefix.
+"""
+
+from repro.replication.follower import FollowerEngine
+from repro.replication.replicaset import PRIMARY_WID, Promotion, ReplicaSet
+from repro.replication.shipper import REC_CURSOR, JournalShipper
+
+__all__ = [
+    "JournalShipper",
+    "FollowerEngine",
+    "ReplicaSet",
+    "Promotion",
+    "PRIMARY_WID",
+    "REC_CURSOR",
+]

@@ -1,0 +1,194 @@
+"""Incremental WAL shipping: tail a primary's journal toward followers.
+
+A :class:`JournalShipper` is one follower's view of how much of the
+primary's :class:`~repro.service.journal.EdgeJournal` it has received.
+It tracks a **record cursor** (how many records were shipped) and the
+matching **byte offset** into the canonical JSONL serialization, so a
+follower can resume shipping after its own restart from a persisted
+cursor instead of re-shipping the whole journal.
+
+Two tailing modes share the cursor/offset bookkeeping:
+
+* **object mode** (``JournalShipper(journal)``) — tails a live
+  in-process :class:`EdgeJournal` by record index.  This is what
+  :class:`~repro.replication.ReplicaSet` uses: primary and followers
+  live in one simulated process, and the record dicts are shipped
+  as-is.
+* **file mode** (``JournalShipper.from_file(path)``) — tails a
+  file-backed journal by byte offset: seek to the offset, read complete
+  lines, parse.  A trailing line without a newline (the primary died
+  mid-write) is left for the next poll, so a torn record is never
+  shipped.
+
+Shipping is batched: :meth:`poll` returns at most ``batch_records`` new
+records per call (``None`` = everything available), and :meth:`lag`
+reports how many records the follower is behind the head — the number
+the serving plane surfaces as ``replica_lag_records``.
+
+Cursor persistence writes a single ``{"t": "cursor", "records": n,
+"offset": b}`` record (:data:`REC_CURSOR`) to a sidecar file; the
+static journal-schema rules (RL020–RL022, ``docs/analysis.md``) check
+its writer/reader shapes exactly like the WAL's own record kinds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.journal import EdgeJournal, _canon
+
+__all__ = ["JournalShipper", "REC_CURSOR"]
+
+#: the shipper's persisted-position record kind (sidecar file, one line)
+REC_CURSOR = "cursor"
+
+
+class JournalShipper:
+    """Tail one journal incrementally on behalf of one follower.
+
+    Parameters
+    ----------
+    journal:
+        The primary's live :class:`EdgeJournal` (object mode).  Pass
+        ``None`` and use :meth:`from_file` for file mode.
+    batch_records:
+        Max records shipped per :meth:`poll` (``None`` = unbounded).
+    cursor:
+        Resume position: ``(records, offset)`` as persisted by
+        :meth:`save_cursor`.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[EdgeJournal] = None,
+        *,
+        batch_records: Optional[int] = None,
+        cursor: Tuple[int, int] = (0, 0),
+        _path: Optional[str] = None,
+    ) -> None:
+        if (journal is None) == (_path is None):
+            raise ValueError("exactly one of journal / file path required")
+        if batch_records is not None and batch_records < 1:
+            raise ValueError("batch_records must be >= 1 or None")
+        self.journal = journal
+        self.path = _path
+        self.batch_records = batch_records
+        self.cursor, self.offset = cursor
+        self.records_shipped = 0
+        self.batches_shipped = 0
+
+    @classmethod
+    def from_file(cls, path: str, *, batch_records: Optional[int] = None,
+                  cursor: Tuple[int, int] = (0, 0)) -> "JournalShipper":
+        """Tail a file-backed journal (byte-offset resume)."""
+        return cls(None, batch_records=batch_records, cursor=cursor,
+                   _path=path)
+
+    # ------------------------------------------------------------------
+    # shipping
+    # ------------------------------------------------------------------
+    def available(self) -> int:
+        """Records at the head beyond the cursor (object mode exact; file
+        mode counts complete lines currently on disk)."""
+        if self.journal is not None:
+            return len(self.journal.records) - self.cursor
+        return len(self._read_complete_lines()[0])
+
+    def lag(self) -> int:
+        """Alias for :meth:`available` — the follower's shipping lag."""
+        return self.available()
+
+    def poll(self, max_records: Optional[int] = None) -> List[Dict]:
+        """Ship the next batch of records and advance cursor + offset.
+
+        Returns ``[]`` when the follower is caught up.  The per-call
+        bound is ``min(max_records, batch_records)`` (unbounded when
+        both are ``None``).
+        """
+        limit = self.batch_records
+        if max_records is not None:
+            limit = max_records if limit is None else min(limit, max_records)
+        if self.journal is not None:
+            out = self.journal.records[self.cursor:]
+            if limit is not None:
+                out = out[:limit]
+            self.offset += sum(
+                len(_canon(r).encode("utf-8")) + 1 for r in out
+            )
+        else:
+            lines, consumed = self._read_complete_lines(limit)
+            out = [json.loads(ln) for ln in lines]
+            self.offset += consumed
+        if out:
+            self.cursor += len(out)
+            self.records_shipped += len(out)
+            self.batches_shipped += 1
+        return out
+
+    def _read_complete_lines(
+        self, limit: Optional[int] = None
+    ) -> Tuple[List[str], int]:
+        """Complete (newline-terminated) lines past ``offset``; a torn
+        trailing write stays unconsumed.  Returns (lines, bytes)."""
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            data = fh.read()
+        lines: List[str] = []
+        consumed = 0
+        start = 0
+        while True:
+            nl = data.find(b"\n", start)
+            if nl < 0:
+                break
+            lines.append(data[start:nl].decode("utf-8"))
+            start = nl + 1
+            if limit is not None and len(lines) >= limit:
+                break
+        consumed = start
+        return lines, consumed
+
+    # ------------------------------------------------------------------
+    # cursor persistence (record + offset resume)
+    # ------------------------------------------------------------------
+    def save_cursor(self, path: str) -> None:
+        """Persist the shipping position (atomically: write + replace)."""
+        rec = {"t": REC_CURSOR, "records": self.cursor,
+               "offset": self.offset}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_canon(rec) + "\n")
+        os.replace(tmp, path)
+
+    @staticmethod
+    def load_cursor(path: str) -> Tuple[int, int]:
+        """Read a persisted ``(records, offset)`` position back."""
+        with open(path, "r", encoding="utf-8") as fh:
+            rec = json.loads(fh.readline())
+        if rec["t"] == REC_CURSOR:
+            return (rec["records"], rec["offset"])
+        raise ValueError(f"not a cursor record: {rec!r}")
+
+    # ------------------------------------------------------------------
+    def retarget(self, journal: EdgeJournal, prefix_len: int) -> None:
+        """Point the shipper at a new primary's journal after failover.
+
+        The new journal's first ``prefix_len`` records are byte-identical
+        to the dead primary's committed prefix, so a cursor inside the
+        prefix stays valid; a cursor beyond it (the follower had already
+        received a dangling intent the failover truncated) is pulled
+        back to the boundary."""
+        self.journal = journal
+        self.path = None
+        if self.cursor > prefix_len:
+            self.cursor = prefix_len
+        self.offset = len(journal.prefix_bytes(self.cursor))
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "cursor": self.cursor,
+            "offset": self.offset,
+            "records_shipped": self.records_shipped,
+            "batches_shipped": self.batches_shipped,
+        }

@@ -78,7 +78,27 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--recover-from", metavar="PATH",
                    help="restart from a journal file written by a previous "
                    "run (--journal) instead of building a fresh engine; "
-                   "the trace then continues against the recovered state")
+                   "the trace then continues against the recovered state "
+                   "and keeps appending to that file (or to --journal, if "
+                   "given, via a rebase)")
+    repl = p.add_argument_group("replication (docs/replication.md)")
+    repl.add_argument("--replicas", type=int, default=0,
+                      help="follower read replicas behind the primary "
+                      "(0 = unreplicated serving, the default)")
+    repl.add_argument("--ship-lag", type=int, default=8,
+                      help="async replicas are shipped journal records only "
+                      "once they fall more than this many records behind")
+    repl.add_argument("--ship-batch", type=int, default=0,
+                      help="max records per shipping poll (0 = unbounded)")
+    repl.add_argument("--promote-on-crash", action="store_true",
+                      help="fail over to the most-caught-up follower when "
+                      "the primary process dies (otherwise the set goes "
+                      "headless and updates are rejected)")
+    repl.add_argument("--primary-crash-rate", type=float, default=0.0,
+                      help="seeded primary process-death probability per "
+                      "update submission (0 disables)")
+    repl.add_argument("--primary-crashes", type=int, default=1,
+                      help="total primary-death budget")
     p.add_argument("--check", action="store_true",
                    help="assert engine invariants after the drain")
     p.add_argument("--json", action="store_true",
@@ -128,23 +148,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_every=args.checkpoint_every or None,
         max_retries=args.max_retries,
     )
+    if args.replicas:
+        if args.recover_from:
+            print("--replicas cannot be combined with --recover-from: a "
+                  "replica set bootstraps its followers from the primary "
+                  "journal's birth record", file=sys.stderr)
+            return 2
+        return _serve_replicated(args, cfg, initial, trace, source, ingest)
+
     if args.recover_from:
-        eng = Engine.from_journal(args.recover_from, cfg)
+        try:
+            eng = Engine.from_journal(args.recover_from, cfg)
+        except OSError as exc:
+            print(f"cannot recover from {args.recover_from}: {exc}",
+                  file=sys.stderr)
+            return 2
+        journal_at = args.recover_from
+        if args.journal and args.journal != args.recover_from:
+            try:
+                eng.journal.rebase(args.journal)
+            except OSError as exc:
+                print(f"cannot continue the journal at {args.journal}: "
+                      f"{exc}", file=sys.stderr)
+                eng.close()
+                return 2
+            journal_at = args.journal
         print(f"recovered from {args.recover_from}: epoch {eng.epoch}, "
-              f"{eng.graph.num_edges} edges", file=sys.stderr)
+              f"{eng.graph.num_edges} edges; journal continues at "
+              f"{journal_at}", file=sys.stderr)
     else:
         eng = Engine(DynamicGraph(initial), cfg)
-    for item in trace:
-        if item[0] == "query":
-            eng.query(item[1], *item[2])
-        elif item[0] == "insert":
-            eng.insert(item[1], item[2])
-        else:
-            eng.remove(item[1], item[2])
-    eng.flush()
-    if args.check:
-        eng.check()
-    metrics = eng.metrics()
+    with eng:
+        _drive_trace(eng, trace)
+        eng.flush()
+        if args.check:
+            eng.check()
+        metrics = eng.metrics()
     if ingest is not None:
         metrics["ingest"] = ingest
 
@@ -158,6 +197,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"malformed {ingest['malformed']}  "
                   f"self-loops {ingest['self_loops']}")
         print(render_service_metrics(metrics))
+    return 0 if _accounting_ok(metrics) else 1
+
+
+def _drive_trace(target, trace) -> None:
+    """Feed one workload trace into an Engine or ReplicaSet."""
+    for item in trace:
+        if item[0] == "query":
+            target.query(item[1], *item[2])
+        elif item[0] == "insert":
+            target.insert(item[1], item[2])
+        else:
+            target.remove(item[1], item[2])
+
+
+def _accounting_ok(metrics) -> bool:
     c = metrics["counters"]
     ok = (
         c["admitted"]
@@ -166,8 +220,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if not ok:
         print("accounting invariant VIOLATED", file=sys.stderr)
-        return 1
-    return 0
+    return ok
+
+
+def _serve_replicated(args, cfg, initial, trace, source, ingest) -> int:
+    """The ``--replicas N`` serving path: primary + followers + failover."""
+    from repro.bench.reporting import render_replication
+    from repro.replication import ReplicaSet
+
+    primary_faults = None
+    if args.primary_crash_rate:
+        from repro.faults.plane import FaultSpec
+
+        primary_faults = FaultSpec(
+            crash_rate=args.primary_crash_rate,
+            max_crashes=args.primary_crashes or None,
+        )
+    with ReplicaSet(
+        DynamicGraph(initial),
+        cfg,
+        replicas=args.replicas,
+        ship_lag=args.ship_lag,
+        ship_batch=args.ship_batch or None,
+        primary_faults=primary_faults,
+        promote_on_crash=args.promote_on_crash,
+    ) as rs:
+        _drive_trace(rs, trace)
+        rs.flush()
+        repl = rs.metrics()
+        if rs.primary is None:
+            print("primary died and no follower was promoted "
+                  "(pass --promote-on-crash)", file=sys.stderr)
+            if args.json:
+                print(json.dumps({"replication": repl}, indent=2,
+                                 default=repr))
+            else:
+                print(render_replication(repl))
+            return 1
+        if args.check:
+            rs.check()
+        metrics = rs.primary.metrics()
+        metrics["replication"] = repl
+    if ingest is not None:
+        metrics["ingest"] = ingest
+    if args.json:
+        print(json.dumps(metrics, indent=2, default=repr))
+    else:
+        print(f"source: {source}  initial edges: {len(initial)}  "
+              f"trace ops: {len(trace)}  replicas: {args.replicas}")
+        if ingest is not None:
+            print(f"ingest: kept {ingest['kept']}  "
+                  f"malformed {ingest['malformed']}  "
+                  f"self-loops {ingest['self_loops']}")
+        print(render_replication(metrics["replication"]))
+        print(render_service_metrics(metrics))
+    return 0 if _accounting_ok(metrics) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

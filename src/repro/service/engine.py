@@ -85,7 +85,7 @@ from repro.service.requests import (
     Response,
     make_error,
 )
-from repro.service.snapshots import SnapshotStore, SnapshotView
+from repro.service.snapshots import QUERY_KINDS, SnapshotStore, SnapshotView
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -233,16 +233,9 @@ class Engine:
         self._edge_reqs: Dict[Edge, List[_Tracked]] = {}
         self._completed: List[Response] = []
         self._batch_results: List[BatchResult] = []
-        self._query_kinds: Dict[str, Callable[[SnapshotView, Tuple], Any]] = {
-            "core": lambda view, a: view.core(*a),
-            "cores": lambda view, a: view.cores(),
-            "k_core": lambda view, a: view.k_core(*a),
-            "k_shell": lambda view, a: view.k_shell(*a),
-            "in_k_core": lambda view, a: view.in_k_core(*a),
-            "degeneracy": lambda view, a: view.degeneracy(),
-            "innermost": lambda view, a: view.innermost(),
-            "shell_histogram": lambda view, a: view.shell_histogram(),
-        }
+        self._query_kinds: Dict[str, Callable[[SnapshotView, Tuple], Any]] = (
+            dict(QUERY_KINDS)
+        )
 
     # ------------------------------------------------------------------
     # public surface
@@ -343,6 +336,24 @@ class Engine:
         self.maintainer.check()
         self.snapshots.history.check()
         self.metrics_collector.assert_invariant()
+
+    def close(self) -> None:
+        """Release the engine's durable resources (the journal's file
+        handle, if any).  Idempotent.  The engine object stays queryable
+        — only further *journaled* work is off the table, exactly like a
+        cleanly stopped process.  Use the engine as a context manager to
+        get this on every exit path::
+
+            with Engine(graph, journal_path=path) as eng:
+                ...
+        """
+        self.journal.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # submission paths

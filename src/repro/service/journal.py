@@ -14,7 +14,11 @@ serving plane:
   numbers and the *full OM order* so recovery can rebuild the
   maintainer bit-identically via
   :meth:`~repro.parallel.batch.ParallelOrderMaintainer.from_checkpoint`
-  without replaying history from the initial graph.
+  without replaying history from the initial graph;
+* a **promote** record marks a replication failover: the journal up to
+  that point is the committed prefix a follower replayed before taking
+  over as the new primary (:mod:`repro.replication`,
+  ``docs/replication.md``).
 
 Records are canonical JSON lines (sorted keys, no whitespace), which
 makes the journal *byte-comparable*: two runs with the same seed and the
@@ -46,8 +50,12 @@ REC_INIT = "init"
 REC_INTENT = "intent"
 REC_COMMIT = "commit"
 REC_CHECKPOINT = "checkpoint"
+#: a follower took over as primary at this point (``docs/replication.md``);
+#: written by :meth:`repro.replication.ReplicaSet.promote` at the head of
+#: each new primary generation's journal continuation
+REC_PROMOTE = "promote"
 
-_KINDS = (REC_INIT, REC_INTENT, REC_COMMIT, REC_CHECKPOINT)
+_KINDS = (REC_INIT, REC_INTENT, REC_COMMIT, REC_CHECKPOINT, REC_PROMOTE)
 
 
 def _canon(record: Dict) -> str:
@@ -97,6 +105,10 @@ class Replay:
     #: intents that were superseded or never committed (crashed attempts)
     aborted_intents: int = 0
     last_epoch: int = 0
+    #: how many failovers this journal has lived through (promote records)
+    promotions: int = 0
+    #: primary generation: 0 for the original primary, bumped per promote
+    generation: int = 0
 
     def batches_after(self, epoch: int) -> List[CommittedBatch]:
         """Committed batches strictly after ``epoch``, in commit order."""
@@ -168,10 +180,35 @@ class EdgeJournal:
             "order": list(order),
         })
 
+    def log_promote(self, epoch: int, records: int, generation: int,
+                    replica: int) -> None:
+        """A follower was promoted to primary: it replayed ``records``
+        records of the dead primary's journal, its last committed epoch
+        was ``epoch``, and it starts generation ``generation``
+        (``docs/replication.md``)."""
+        self.append({
+            "t": REC_PROMOTE, "epoch": epoch, "records": records,
+            "generation": generation, "replica": replica,
+        })
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def rebase(self, path: str) -> None:
+        """Move the journal to ``path``: write every record already held
+        to the new file, then keep appending there.  Used by
+        ``repro-serve --recover-from OLD --journal NEW`` so a recovered
+        engine stays durable in a *fresh* file instead of silently
+        dropping the ``--journal`` request."""
+        fh = open(path, "w", encoding="utf-8")
+        for rec in self.records:
+            fh.write(_canon(rec) + "\n")
+        fh.flush()
+        self.close()
+        self.path = path
+        self._fh = fh
 
     # ------------------------------------------------------------------
     # reading
@@ -201,6 +238,25 @@ class EdgeJournal:
     def to_bytes(self) -> bytes:
         """The canonical byte serialization (JSONL, sorted keys)."""
         return "".join(_canon(r) + "\n" for r in self.records).encode("utf-8")
+
+    def prefix_bytes(self, records: int) -> bytes:
+        """Canonical bytes of the first ``records`` records — what a
+        follower that has received that many records holds locally, and
+        what promotion verifies against ``Engine.from_journal``."""
+        return "".join(
+            _canon(r) + "\n" for r in self.records[:records]
+        ).encode("utf-8")
+
+    def committed_prefix_len(self) -> int:
+        """Number of leading records up to and including the last record
+        that is *not* a dangling intent — i.e. the longest prefix whose
+        replay loses no committed batch.  A trailing intent (a batch the
+        primary died mid-applying) is excluded: its effects were never
+        acknowledged, so failover may drop it."""
+        n = len(self.records)
+        while n > 0 and self.records[n - 1].get("t") == REC_INTENT:
+            n -= 1
+        return n
 
     def digest(self) -> str:
         """sha256 fingerprint of :meth:`to_bytes` — the determinism
@@ -252,6 +308,18 @@ class EdgeJournal:
                     cores=tuple((u, k) for u, k in rec["cores"]),
                     order=tuple(rec["order"]),
                 )
+            elif t == REC_PROMOTE:
+                # failover marker: a dangling intent left by the dead
+                # primary (had there been one) was truncated before the
+                # promote record was written, so ``pending`` is clear
+                if pending is not None:
+                    raise ValueError(
+                        f"promote record at generation {rec['generation']} "
+                        "follows an unresolved intent — the failover "
+                        "truncation was skipped"
+                    )
+                out.promotions += 1
+                out.generation = rec["generation"]
         if pending is not None:
             out.aborted_intents += 1
         return out

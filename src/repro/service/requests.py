@@ -59,6 +59,8 @@ __all__ = [
     "E_BAD_REQUEST",
     "E_WORKER_CRASH",
     "E_RETRIES_EXHAUSTED",
+    "E_REPLICA_UNREADY",
+    "E_PRIMARY_DOWN",
 ]
 
 # terminal + transient statuses
@@ -82,6 +84,9 @@ E_BATCH_FAILED = "batch-failed"
 E_BAD_REQUEST = "bad-request"
 E_WORKER_CRASH = "worker-crash"
 E_RETRIES_EXHAUSTED = "retries-exhausted"
+# replication-plane codes (docs/replication.md)
+E_REPLICA_UNREADY = "replica-unready"   # follower has no init record yet
+E_PRIMARY_DOWN = "primary-down"         # primary dead, no promotable follower
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,13 @@ class Response:
     committed in (for queries: the epoch it was answered against).
     ``latency`` is simulated time from admission to the terminal state.
     ``detail`` carries coalescing notes (``"coalesced"``, ``"cancelled"``).
+
+    The two ``replica_*`` fields are the read-replica staleness contract
+    (``docs/replication.md``): a query answered by a
+    :class:`~repro.replication.FollowerEngine` carries the epoch its
+    replica had applied (``replica_epoch``) and how many primary journal
+    records it had not yet replayed at answer time
+    (``replica_lag_records``).  Both stay ``None`` on primary answers.
     """
 
     id: str
@@ -122,6 +134,8 @@ class Response:
     epoch: Optional[int] = None
     latency: Optional[float] = None
     detail: Optional[str] = None
+    replica_epoch: Optional[int] = None
+    replica_lag_records: Optional[int] = None
 
     @property
     def ok(self) -> bool:

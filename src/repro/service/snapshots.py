@@ -32,7 +32,7 @@ from repro.core.queries import (
 
 Vertex = Hashable
 
-__all__ = ["SnapshotStore", "SnapshotView"]
+__all__ = ["SnapshotStore", "SnapshotView", "QUERY_KINDS"]
 
 
 class SnapshotView:
@@ -80,6 +80,22 @@ class SnapshotView:
 
     def shell_histogram(self) -> Dict[int, int]:
         return shell_histogram(self._cores)
+
+
+#: the snapshot query plane: kind -> handler(view, args).  Shared by the
+#: primary :class:`~repro.service.engine.Engine` and the replication
+#: layer's :class:`~repro.replication.FollowerEngine`, so every serving
+#: surface answers exactly the same query kinds the same way.
+QUERY_KINDS = {
+    "core": lambda view, a: view.core(*a),
+    "cores": lambda view, a: view.cores(),
+    "k_core": lambda view, a: view.k_core(*a),
+    "k_shell": lambda view, a: view.k_shell(*a),
+    "in_k_core": lambda view, a: view.in_k_core(*a),
+    "degeneracy": lambda view, a: view.degeneracy(),
+    "innermost": lambda view, a: view.innermost(),
+    "shell_histogram": lambda view, a: view.shell_histogram(),
+}
 
 
 class SnapshotStore:

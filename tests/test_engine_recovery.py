@@ -173,9 +173,8 @@ def test_from_journal_restart_matches_original(tmp_path):
     edges = erdos_renyi(30, 70, seed=5)
     cfg = EngineConfig(max_batch=4, checkpoint_every=2,
                        journal_path=str(tmp_path / "wal.jsonl"))
-    eng = Engine(DynamicGraph(edges), cfg)
-    _drive(eng, edges)
-    eng.journal.close()
+    with Engine(DynamicGraph(edges), cfg) as eng:
+        _drive(eng, edges)
 
     for source in (cfg.journal_path, eng.journal.to_bytes(), eng.journal):
         back = Engine.from_journal(source, EngineConfig(max_batch=4))

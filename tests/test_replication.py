@@ -1,0 +1,439 @@
+"""Replication subsystem tests: WAL shipping, follower replay, the
+staleness contract, and chaos-style failover with the bit-identity
+promotion gate (``docs/replication.md``)."""
+
+import json
+
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.faults.plane import FaultSpec
+from repro.graph.dictgraph import DictGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.replication import (
+    FollowerEngine,
+    JournalShipper,
+    ReplicaSet,
+)
+from repro.service import Engine, EngineConfig
+from repro.service.journal import REC_INTENT, EdgeJournal
+from repro.service.requests import (
+    E_PRIMARY_DOWN,
+    E_REPLICA_UNREADY,
+    E_UNKNOWN_VERTEX,
+    STATUS_COMMITTED,
+    STATUS_QUARANTINED,
+    STATUS_REJECTED,
+)
+
+
+def _journaled_engine(edges, n_ops=24, **cfg_kw):
+    """A primary with some committed history to ship."""
+    cfg = EngineConfig(max_batch=4, **cfg_kw)
+    eng = Engine(DynamicGraph(edges), cfg)
+    for i in range(n_ops):
+        u, v = edges[i % len(edges)]
+        if i % 3 == 2:
+            eng.remove(u, v)
+        else:
+            eng.insert(u + 1000, v + 2000 + i)
+    eng.flush()
+    return eng
+
+
+# ----------------------------------------------------------------------
+# JournalShipper: incremental tailing + cursor persistence
+# ----------------------------------------------------------------------
+class TestShipper:
+    def test_object_mode_tails_incrementally(self):
+        eng = _journaled_engine(erdos_renyi(20, 40, seed=1))
+        s = JournalShipper(eng.journal, batch_records=5)
+        total = len(eng.journal.records)
+        assert s.lag() == total
+        shipped = []
+        while True:
+            batch = s.poll()
+            if not batch:
+                break
+            assert len(batch) <= 5
+            shipped.extend(batch)
+        assert shipped == eng.journal.records
+        assert s.lag() == 0
+        # the byte offset tracks the canonical serialization exactly
+        assert s.offset == len(eng.journal.to_bytes())
+        # new records become visible without any reset
+        eng.insert(7000, 7001)
+        eng.flush()
+        assert s.lag() > 0
+        s.poll()
+        assert s.cursor == len(eng.journal.records)
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JournalShipper(None)
+        with pytest.raises(ValueError, match="exactly one"):
+            JournalShipper(EdgeJournal(), _path="x.jsonl")
+        with pytest.raises(ValueError, match="batch_records"):
+            JournalShipper(EdgeJournal(), batch_records=0)
+
+    def test_file_mode_resume_and_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        eng = _journaled_engine(erdos_renyi(15, 30, seed=2),
+                                journal_path=path)
+        eng.close()
+        s = JournalShipper.from_file(path, batch_records=7)
+        got = []
+        while True:
+            batch = s.poll()
+            if not batch:
+                break
+            got.extend(batch)
+        assert got == [json.loads(ln) for ln in
+                       open(path, encoding="utf-8").read().splitlines()]
+        # a torn trailing write (no newline) is never shipped...
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": "intent", "kind": "+", "edges"')
+        assert s.poll() == []
+        # ...until the writer finishes the line
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(': [[1, 2]], "ids": ["z"], "attempt": 0}\n')
+        (rec,) = s.poll()
+        assert rec["t"] == REC_INTENT and rec["ids"] == ["z"]
+
+    def test_cursor_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        eng = _journaled_engine(erdos_renyi(15, 30, seed=3),
+                                journal_path=path)
+        eng.close()
+        s = JournalShipper.from_file(path)
+        s.poll(max_records=4)
+        side = str(tmp_path / "cursor.jsonl")
+        s.save_cursor(side)
+        assert JournalShipper.load_cursor(side) == (s.cursor, s.offset)
+        # a resumed shipper continues where the dead one stopped: the
+        # concatenation of both tails is the whole journal
+        resumed = JournalShipper.from_file(
+            path, cursor=JournalShipper.load_cursor(side))
+        rest = []
+        while True:
+            batch = resumed.poll()
+            if not batch:
+                break
+            rest.extend(batch)
+        assert len(rest) == len(EdgeJournal.load(path)) - 4
+        with open(side, "w", encoding="utf-8") as fh:
+            fh.write('{"t": "init", "edges": []}\n')
+        with pytest.raises(ValueError, match="not a cursor record"):
+            JournalShipper.load_cursor(side)
+
+
+# ----------------------------------------------------------------------
+# FollowerEngine: replay + the staleness contract
+# ----------------------------------------------------------------------
+class TestFollower:
+    def test_replay_reproduces_primary_state(self):
+        eng = _journaled_engine(erdos_renyi(25, 60, seed=4),
+                                checkpoint_every=3)
+        f = FollowerEngine(0, eng.config)
+        f.receive(eng.journal.records)
+        f.replay()
+        assert f.epoch == eng.epoch
+        assert f.maintainer.cores() == eng.cores()
+        # re-anchoring makes the follower bit-identical to a cold
+        # restart of the same prefix — the promotion safety property
+        f.verify_matches(Engine.from_journal(eng.journal.to_bytes(),
+                                             eng.config))
+
+    def test_staleness_fields_reflect_backlog(self):
+        eng = _journaled_engine(erdos_renyi(20, 40, seed=5))
+        f = FollowerEngine(1, eng.config)
+        f.receive(eng.journal.records)
+        f.replay()
+        at_head = f.query("degeneracy")
+        assert at_head.status == STATUS_COMMITTED
+        assert at_head.replica_epoch == eng.epoch
+        assert at_head.replica_lag_records == 0
+        # primary commits more; the follower has not seen it yet
+        eng.insert(8000, 8001)
+        eng.flush()
+        head = len(eng.journal.records)
+        stale = f.query("degeneracy", head_records=head)
+        assert stale.replica_epoch == f.epoch < eng.epoch
+        assert stale.replica_lag_records == head - f.applied > 0
+        # partial replay: received-but-unapplied records count too
+        f.receive(eng.journal.records[f.applied:])
+        assert f.backlog() > 0
+        assert f.lag_records() == f.backlog()
+
+    def test_query_plane_error_paths(self):
+        empty = FollowerEngine(2)
+        r = empty.query("core", 0)
+        assert r.status == STATUS_QUARANTINED
+        assert r.error["code"] == E_REPLICA_UNREADY
+        eng = _journaled_engine(erdos_renyi(10, 20, seed=6), n_ops=6)
+        f = FollowerEngine(2, eng.config)
+        f.receive(eng.journal.records)
+        f.replay()
+        assert f.query("bogus").error["code"] == "unknown-query"
+        missing = f.query("core", "no-such-vertex")
+        assert missing.error["code"] == E_UNKNOWN_VERTEX
+        assert missing.replica_epoch == f.epoch
+
+    def test_stream_grammar_violations_fail_loudly(self):
+        f = FollowerEngine(0)
+        f.receive([{"t": "commit", "epoch": 1}])
+        with pytest.raises(ValueError, match="without an intent"):
+            f.replay()
+        g = FollowerEngine(1)
+        g.receive([{"t": "init", "edges": [[0, 1]]},
+                   {"t": "init", "edges": [[0, 1]]}])
+        with pytest.raises(ValueError, match="second init"):
+            g.replay()
+        h = FollowerEngine(2)
+        h.receive([{"t": "wat"}])  # lint: ok[RL020]
+        with pytest.raises(ValueError, match="unknown record kind"):
+            h.replay()
+
+    def test_superseded_intents_count_as_aborted(self):
+        j = EdgeJournal()
+        j.log_init([(0, 1), (1, 2), (0, 2)])
+        j.log_intent("+", [(0, 3)], ["a"], attempt=0)   # crashed attempt
+        j.log_intent("+", [(0, 3)], ["a"], attempt=1)
+        j.log_commit(1)
+        f = FollowerEngine(0)
+        f.receive(j.records)
+        f.replay()
+        assert f.aborted_intents == 1
+        assert f.epoch == 1
+        assert f.maintainer.graph.has_edge(0, 3)
+
+
+# ----------------------------------------------------------------------
+# ReplicaSet: shipping policy, failover, promotion bit-identity
+# ----------------------------------------------------------------------
+class TestReplicaSet:
+    def test_semi_sync_shipping_policy(self):
+        edges = erdos_renyi(20, 40, seed=7)
+        with ReplicaSet(DynamicGraph(edges), replicas=2, ship_lag=50,
+                        max_batch=2) as rs:
+            for i in range(12):
+                rs.insert(100 + i, 200 + i)
+            rs.flush()
+            head = len(rs.primary.journal.records)
+            # the sync replica (pool head) is always at the journal head
+            assert rs.followers[0].applied == head
+            # the async replica is allowed to trail within ship_lag
+            assert rs.followers[1].applied < head
+            assert rs.followers[1].lag_records(head) <= 50 + 4
+            rs.sync()
+            assert all(f.applied == head for f in rs.followers)
+            rs.check()
+
+    def test_queries_round_robin_with_staleness_stamp(self):
+        edges = erdos_renyi(20, 40, seed=8)
+        with ReplicaSet(DynamicGraph(edges), replicas=3,
+                        ship_lag=4, max_batch=2) as rs:
+            for i in range(8):
+                rs.insert(300 + i, 400 + i)
+            responses = [rs.query("degeneracy") for _ in range(6)]
+            assert all(r.replica_epoch is not None for r in responses)
+            assert all(r.replica_lag_records is not None
+                       for r in responses)
+            served = [f.queries_served for f in rs.followers]
+            assert served == [2, 2, 2]
+            # every stale answer is the primary's own answer at that epoch
+            rs.flush()
+            for r in responses:
+                if r.status == STATUS_COMMITTED:
+                    want = rs.primary.view(r.replica_epoch).degeneracy()
+                    assert r.value == want
+
+    def test_forced_failover_promotes_most_caught_up(self):
+        edges = erdos_renyi(25, 60, seed=9)
+        with ReplicaSet(DynamicGraph(edges), replicas=3, ship_lag=6,
+                        max_batch=3, checkpoint_every=2) as rs:
+            for i in range(18):
+                rs.insert(500 + i, 600 + i)
+            rs.flush()
+            old_epoch = rs.epoch
+            rs.kill_primary()
+            assert rs.generation == 1 and len(rs.promotions) == 1
+            promo = rs.promotions[0]
+            # the sync replica held the longest committed prefix
+            assert promo.replica == 0
+            assert rs.primary.epoch == promo.epoch == old_epoch
+            assert len(rs.followers) == 2
+            # survivors learn the new generation via the promote record
+            rs.sync()
+            assert all(f.generation == 1 for f in rs.followers)
+            assert all(f.promotions_seen == 1 for f in rs.followers)
+            rs.check()
+            # the new primary keeps committing
+            rs.insert(900, 901)
+            rs.flush()
+            assert rs.primary.graph.has_edge(900, 901)
+
+    def test_promotion_truncates_dangling_intent(self):
+        edges = erdos_renyi(15, 30, seed=10)
+        with ReplicaSet(DynamicGraph(edges), replicas=1,
+                        ship_lag=0, max_batch=2) as rs:
+            rs.insert(700, 701)
+            rs.insert(701, 702)
+            rs.flush()
+            # hand-ship a dangling intent the primary never committed
+            # (it "died mid-batch"): failover must drop it
+            f = rs.followers[0]
+            f.receive([{"t": "intent", "kind": "+",
+                        "edges": [[777, 778]], "ids": ["doomed"],
+                        "attempt": 0}])
+            committed = len(f.records) - 1
+            rs.kill_primary()
+            promo = rs.promotions[0]
+            assert promo.truncated_records == 1
+            assert promo.prefix_records == committed
+            assert not rs.primary.graph.has_edge(777, 778)
+            # the promoted journal carries the prefix + promote record
+            replay = rs.primary.journal.replay()
+            assert replay.generation == 1
+            assert replay.promotions == 1
+
+    def test_promoted_state_is_bit_identical_to_cold_restart(self):
+        edges = erdos_renyi(25, 60, seed=11)
+        with ReplicaSet(DynamicGraph(edges), replicas=2, ship_lag=4,
+                        max_batch=3, checkpoint_every=2) as rs:
+            for i in range(15):
+                rs.insert(800 + i, 850 + i)
+            rs.flush()
+            rs.kill_primary()
+            promo = rs.promotions[0]
+            prefix = promo.prefix_records
+            j = EdgeJournal()
+            j.records = rs.primary.journal.records[:prefix]
+            cold = Engine.from_journal(j, rs.config)
+            assert rs.primary.epoch == cold.epoch
+            assert rs.primary.cores() == cold.cores()
+            assert (rs.primary.maintainer.order_sequence()
+                    == cold.maintainer.order_sequence())
+
+    def test_seeded_crashes_and_headless_mode(self):
+        edges = erdos_renyi(20, 40, seed=12)
+        spec = FaultSpec(crash_rate=0.2, max_crashes=1)
+        with ReplicaSet(DynamicGraph(edges), replicas=1, max_batch=2,
+                        primary_faults=spec, promote_on_crash=False,
+                        seed=3) as rs:
+            rejected = []
+            for i in range(30):
+                r = rs.insert(i + 100, i + 200)
+                if r.status == STATUS_REJECTED:
+                    rejected.append(r)
+            assert rs.primary is None and rs.primary_crashes == 1
+            assert rejected
+            assert all(r.error["code"] == E_PRIMARY_DOWN for r in rejected)
+            # reads keep working off the surviving follower
+            q = rs.query("degeneracy")
+            assert q.status == STATUS_COMMITTED
+            m = rs.metrics()
+            assert m["primary_alive"] is False and m["promotions"] == 0
+
+    def test_zero_replicas_degenerates_to_plain_primary(self):
+        edges = erdos_renyi(10, 20, seed=13)
+        with ReplicaSet(DynamicGraph(edges), replicas=0,
+                        max_batch=2) as rs:
+            rs.insert(50, 51)
+            rs.flush()
+            assert rs.query("core", 50).status == STATUS_COMMITTED
+            rs.check()
+            # with no follower to promote, death leaves the set headless
+            rs.kill_primary()
+            assert rs.primary is None
+            dead = rs.insert(60, 61)
+            assert dead.status == STATUS_REJECTED
+            assert dead.error["code"] == E_PRIMARY_DOWN
+            with pytest.raises(ValueError, match="no follower"):
+                rs.promote()
+
+    def test_final_edges_survive_double_failover(self):
+        edges = erdos_renyi(25, 60, seed=14)
+        with ReplicaSet(DynamicGraph(edges), replicas=3, ship_lag=3,
+                        max_batch=3, checkpoint_every=3) as rs:
+            acked = set()
+            for i in range(10):
+                rs.insert(i + 100, i + 300, id=f"u{i}")
+            for r in rs.flush():
+                if r.status == STATUS_COMMITTED:
+                    acked.add(r.id)
+            rs.kill_primary()
+            for i in range(10, 20):
+                rs.insert(i + 100, i + 300, id=f"u{i}")
+            for r in rs.flush():
+                if r.status == STATUS_COMMITTED:
+                    acked.add(r.id)
+            rs.kill_primary()
+            assert rs.generation == 2
+            # no committed op lost across two promotions
+            journaled = {i for b in rs.primary.journal.replay().committed
+                         for i in b.ids}
+            assert acked <= journaled
+            # and the final state equals a from-scratch decomposition
+            oracle = core_decomposition(
+                DictGraph(rs.primary.journal.final_edges())).core
+            got = rs.primary.cores()
+            assert all(got[u] == k for u, k in oracle.items())
+
+
+# ----------------------------------------------------------------------
+# satellite: snapshot-store epoch floors after recovery and promotion
+# ----------------------------------------------------------------------
+class TestEpochFloors:
+    def test_follower_refuses_views_before_its_anchor_checkpoint(self):
+        eng = _journaled_engine(erdos_renyi(25, 60, seed=15),
+                                checkpoint_every=2)
+        ckpt = eng.journal.replay().checkpoint
+        assert ckpt is not None and ckpt.epoch >= 2
+        # a late-joining replica attaches at the latest checkpoint: its
+        # floor is the checkpoint epoch, exactly like Engine.from_journal
+        late = FollowerEngine(0, eng.config)
+        anchor = next(i for i, r in enumerate(eng.journal.records)
+                      if r.get("t") == "checkpoint"
+                      and r["epoch"] == ckpt.epoch)
+        late.receive(eng.journal.records[anchor:])
+        late.replay()
+        assert late.epoch == eng.epoch
+        assert late.snapshots.min_epoch == ckpt.epoch
+        assert late.view(ckpt.epoch).cores() is not None
+        with pytest.raises(ValueError):
+            late.view(ckpt.epoch - 1)
+
+    def test_full_history_follower_keeps_epoch0_answerable(self):
+        eng = _journaled_engine(erdos_renyi(20, 40, seed=16),
+                                checkpoint_every=2)
+        f = FollowerEngine(0, eng.config)
+        f.receive(eng.journal.records)
+        f.replay()
+        # shipped from birth: re-anchoring rebinds, never truncates, so
+        # the whole ledger from epoch 0 stays answerable
+        assert f.snapshots.min_epoch == 0
+        assert f.view(0).cores() is not None
+        with pytest.raises(ValueError):
+            f.view(-1)
+
+    def test_promoted_primary_floor_is_its_anchor_checkpoint(self):
+        edges = erdos_renyi(25, 60, seed=17)
+        with ReplicaSet(DynamicGraph(edges), replicas=2, ship_lag=4,
+                        max_batch=3, checkpoint_every=2) as rs:
+            for i in range(15):
+                rs.insert(i + 100, i + 200)
+            rs.flush()
+            rs.kill_primary()
+            # the promoted engine went through from_journal: its floor
+            # is the prefix's last checkpoint, and earlier epochs refuse
+            floor = rs.primary.snapshots.min_epoch
+            assert floor >= 1
+            assert rs.primary.view(floor).cores() is not None
+            with pytest.raises(ValueError):
+                rs.primary.view(floor - 1)
+            # the epoch0 boundary itself is also refused post-promotion
+            if floor > 0:
+                with pytest.raises(ValueError):
+                    rs.primary.view(0)

@@ -326,6 +326,84 @@ class TestJournalSchemaMutants:
         }
         assert new_rules_hit(src) == set()
 
+    # -- replication record kinds: promote (WAL) and cursor (sidecar) --
+
+    def test_rl020_promote_written_without_reader(self):
+        """A failover writer appends promote records but replay never
+        grew an arm for them — the generation bump would vanish."""
+        src = {
+            "src/repro/service/journal.py": (
+                _JOURNAL_BASE.replace("REC_B = 'b'", "REC_B = 'promote'")
+                + "    def log_promote(self, gen, replica):\n"
+                  "        self.append({'t': REC_B, 'generation': gen,\n"
+                  "                     'replica': replica})\n"
+                  "    def replay(self):\n"
+                  "        for rec in self.records:\n"
+                  "            t = rec['t']\n"
+                  "            if t == REC_A:\n"
+                  "                out = rec['x']\n"
+                  "        return out\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL020"}
+
+    def test_rl021_cursor_reader_without_writer(self):
+        """A shipper that can load a cursor sidecar nobody saves: the
+        resume path is dead code."""
+        src = {
+            "src/repro/service/journal.py": _JOURNAL_BASE + (
+                "    def log_b(self):\n"
+                "        self.append({'t': REC_B})\n"
+                "    def replay(self):\n"
+                "        for rec in self.records:\n"
+                "            t = rec['t']\n"
+                "            if t == REC_A:\n"
+                "                out = rec['x']\n"
+                "            elif t == REC_B:\n"
+                "                out = None\n"
+                "        return out\n"
+            ),
+            "src/repro/replication/shipper.py": (
+                "REC_CURSOR = 'cursor'\n"
+                "def load_cursor(path):\n"
+                "    rec = _read_one(path)\n"
+                "    if rec['t'] == REC_CURSOR:\n"
+                "        return (rec['records'], rec['offset'])\n"
+                "    raise ValueError(rec)\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL021"}
+
+    def test_rl022_cursor_field_drift(self):
+        """save_cursor stores ``records``/``offset``; a reader asking
+        for ``position`` is reading a field that was never written."""
+        src = {
+            "src/repro/service/journal.py": _JOURNAL_BASE + (
+                "    def log_b(self):\n"
+                "        self.append({'t': REC_B})\n"
+                "    def replay(self):\n"
+                "        for rec in self.records:\n"
+                "            t = rec['t']\n"
+                "            if t == REC_A:\n"
+                "                out = rec['x']\n"
+                "            elif t == REC_B:\n"
+                "                out = None\n"
+                "        return out\n"
+            ),
+            "src/repro/replication/shipper.py": (
+                "REC_CURSOR = 'cursor'\n"
+                "def save_cursor(fh, n, off):\n"
+                "    fh.write({'t': REC_CURSOR, 'records': n,\n"
+                "              'offset': off})\n"
+                "def load_cursor(path):\n"
+                "    rec = _read_one(path)\n"
+                "    if rec['t'] == REC_CURSOR:\n"
+                "        return (rec['position'], rec['offset'])\n"
+                "    raise ValueError(rec)\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL022"}
+
     def test_pass_skipped_without_writer_zone(self):
         """Linting tests/ alone (no REC_* declarations in the project)
         must not flag every fixture as an unhandled kind."""
