@@ -45,6 +45,9 @@ TARGETS = {
 #: so the percentage means the same thing in every run
 GATE_TESTS = [
     "tests/test_engine_recovery.py",
+    "tests/test_sharding.py",
+    "tests/test_sharding_recovery.py",
+    "tests/test_process_backend.py",
     "tests/test_replication.py",
     "tests/test_faults_determinism.py",
     "tests/test_faults_differential.py",

@@ -12,6 +12,7 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench failover --datasets BA --replicas 3 --assert-failover
     python -m repro.bench representation --datasets BA ER --assert-speedup 0.9
     python -m repro.bench scheduling --datasets BA --assert-speedup 1.2
+    python -m repro.bench sharding --shards 4 --assert-speedup 1.5
     python -m repro.bench all   --batch 200
 
 ``--profile`` wraps the run in :mod:`cProfile` and prints the top 25
@@ -34,13 +35,14 @@ from repro.bench.reporting import (
     render_histogram,
     render_series,
     render_service_metrics,
+    render_sharding,
     render_table,
 )
 
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
-    "chaos", "failover", "representation", "scheduling",
+    "chaos", "failover", "representation", "scheduling", "sharding",
 )
 
 
@@ -69,8 +71,14 @@ def _parser() -> argparse.ArgumentParser:
                    help="scheduling workload: number of hub vertices whose "
                         "incident edges form the contended batch")
     p.add_argument("--assert-speedup", type=float, default=None, metavar="X",
-                   help="representation/scheduling: exit 1 unless the "
-                        "headline speedup is >= X on every dataset")
+                   help="representation/scheduling/sharding: exit 1 unless "
+                        "the headline speedup is >= X on every cell")
+    p.add_argument("--shards", type=int, default=4,
+                   help="sharding workload: shard count (process backend)")
+    p.add_argument("--vertices", type=int, default=1200,
+                   help="sharding workload: vertex universe size")
+    p.add_argument("--shard-ops", type=int, default=12000,
+                   help="sharding workload: update-trace length")
     p.add_argument("--crash-rate", type=float, default=0.01,
                    help="chaos workload: per-event worker crash probability")
     p.add_argument("--stall-rate", type=float, default=0.01,
@@ -381,6 +389,31 @@ def _run(args: argparse.Namespace) -> int:
                             f"speedup {c['speedup']:.2f} < {args.assert_speedup}"
                         )
                     return 1
+        elif exp == "sharding":
+            import json as _json
+
+            cell = harness.run_sharding(
+                num_vertices=args.vertices,
+                ops=args.shard_ops,
+                shards=args.shards,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+            print(render_sharding(cell))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(cell, fh, indent=2)
+                print(f"wrote {args.json}")
+            if not cell["ok"]:
+                print("!! sharding: bit-identity or crash recovery failed")
+                return 1
+            if (args.assert_speedup is not None
+                    and cell["speedup"] < args.assert_speedup):
+                print(
+                    f"!! sharding: process@{cell['shards']} speedup "
+                    f"{cell['speedup']:.2f} < {args.assert_speedup}"
+                )
+                return 1
         elif exp == "fig7":
             out = harness.fig7_stability(
                 args.datasets[:2],

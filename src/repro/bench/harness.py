@@ -24,13 +24,14 @@ from repro.core.decomposition import core_decomposition, core_histogram
 from repro.core.maintainer import OrderMaintainer, TraversalMaintainer
 from repro.graph.datasets import DATASETS
 from repro.graph.dictgraph import DictGraph
-from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 from repro.parallel.batch import ParallelOrderMaintainer
 from repro.bench.workloads import (
     contended_batch,
     dataset_workload,
     disjoint_batches,
     service_trace,
+    uniform_update_trace,
 )
 
 Edge = Tuple[int, int]
@@ -50,6 +51,7 @@ __all__ = [
     "run_failover",
     "run_representation",
     "run_scheduling",
+    "run_sharding",
 ]
 
 # name -> factory(graph, workers) -> maintainer with {insert,remove}_edges
@@ -762,6 +764,158 @@ def run_scheduling(
             if "conflict-aware" in rows
             else 1.0
         ),
+    }
+
+
+def run_sharding(
+    num_vertices: int = 1200,
+    ops: int = 12000,
+    shards: int = 4,
+    repeats: int = 3,
+    seed: int = 0,
+    crash_txs: Sequence[int] = (0, 5),
+) -> Dict[str, object]:
+    """Sharded scale-out workload: process backend vs one thread engine.
+
+    Drives the same uniform update trace
+    (:func:`repro.bench.workloads.uniform_update_trace` — the
+    cross-shard *worst case*: at N shards a fraction (N-1)/N of ops
+    spans two shards) through
+
+    * a single :class:`~repro.service.engine.Engine` on the thread
+      backend, and
+    * a :class:`~repro.service.sharding.ShardedEngine` on the process
+      backend with ``shards`` OS-process workers,
+
+    both with the same total worker budget.  Wall-clock is best of
+    ``repeats`` (the box is noisy; min is the stable statistic).  Every
+    repeat also checks the stitched core map is **bit-identical** to the
+    single engine's — the differential guarantee the speedup must not
+    buy its way out of.
+
+    A second, smaller pass exercises the 2PC crash windows: for every
+    router crash point the run is re-driven with an injected
+    :class:`~repro.service.sharding.RouterCrashed`, recovered via
+    :meth:`~repro.service.sharding.ShardedEngine.from_journals`, and the
+    recovered stitch is checked against a fresh single-engine
+    decomposition of the recovered edge set.
+
+    The headline ``speedup`` is monolith/sharded wall-clock; ``ok``
+    requires bit-identity everywhere and every crash window recovered.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.service.engine import Engine, EngineConfig
+    from repro.service.sharding import (
+        CRASH_POINTS, RouterCrashed, ShardedEngine,
+    )
+
+    trace = uniform_update_trace(num_vertices, ops, seed=seed)
+    cross = sum(
+        1 for _, u, v in trace
+        if u % shards != v % shards
+    )
+
+    mono_walls: List[float] = []
+    shard_walls: List[float] = []
+    identical = True
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        mono = Engine(DynamicGraph(),
+                      EngineConfig(backend="thread", num_workers=shards))
+        for op, u, v in trace:
+            getattr(mono, op)(u, v)
+        mono.flush()
+        mono_cores = dict(mono.maintainer.cores())
+        mono.close()
+        mono_walls.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        sharded = ShardedEngine(
+            DynamicGraph(),
+            EngineConfig(backend="process", shards=shards,
+                         num_workers=shards),
+        )
+        for op, u, v in trace:
+            getattr(sharded, op)(u, v)
+        sharded.flush()
+        shard_cores = sharded.cores()
+        sharded.close()
+        shard_walls.append(time.perf_counter() - t0)
+        identical = identical and shard_cores == mono_cores
+
+    # ----- crash windows: recovery must match a fresh single engine --
+    crash_trace = uniform_update_trace(
+        max(64, num_vertices // 8), max(512, ops // 16), seed=seed + 1
+    )
+    recoveries = {}
+    tmp = tempfile.mkdtemp(prefix="repro-sharding-bench-")
+    try:
+        for point in CRASH_POINTS:
+            for txseq in crash_txs:
+                base = os.path.join(tmp, f"{point}-{txseq}")
+                eng = ShardedEngine(
+                    DynamicGraph(),
+                    EngineConfig(backend="sim", shards=shards,
+                                 journal_path=base, cross_group=4),
+                    crash_2pc={point: txseq},
+                )
+                crashed = False
+                try:
+                    for op, u, v in crash_trace:
+                        getattr(eng, op)(u, v)
+                    eng.flush()
+                except RouterCrashed:
+                    crashed = True
+                    eng.abandon()
+                if not crashed:
+                    eng.close()
+                rec = ShardedEngine.from_journals(
+                    base, EngineConfig(backend="sim", shards=shards)
+                )
+                got = rec.cores()
+                union = set()
+                for sh in rec.shards:
+                    for u, v in sh.edges():
+                        union.add(canonical_edge(u, v))
+                rec.close()
+                oracle = Engine(
+                    DynamicGraph(sorted(union, key=repr)),
+                    EngineConfig(backend="sim"),
+                )
+                fresh = dict(oracle.maintainer.cores())
+                oracle.close()
+                recoveries[f"{point}@tx{txseq}"] = {
+                    "crashed": crashed,
+                    "resolutions": len(rec.resolutions),
+                    "identical": got == fresh,
+                }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    mono_wall = min(mono_walls)
+    shard_wall = min(shard_walls)
+    recovered_ok = all(r["identical"] for r in recoveries.values())
+    crash_seen = any(r["crashed"] for r in recoveries.values())
+    return {
+        "num_vertices": num_vertices,
+        "ops": ops,
+        "cross_ops": cross,
+        "shards": shards,
+        "repeats": repeats,
+        "seed": seed,
+        "mono_wall_s": mono_wall,
+        "shard_wall_s": shard_wall,
+        "mono_walls_s": mono_walls,
+        "shard_walls_s": shard_walls,
+        "bit_identical": identical,
+        "crash_recoveries": recoveries,
+        "crash_windows_exercised": crash_seen,
+        # headline metric — what the CI smoke gate asserts against
+        "speedup": mono_wall / max(shard_wall, 1e-9),
+        "ok": identical and recovered_ok and crash_seen,
     }
 
 

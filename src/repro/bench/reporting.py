@@ -19,6 +19,7 @@ __all__ = [
     "render_chaos",
     "render_replication",
     "render_failover",
+    "render_sharding",
 ]
 
 
@@ -327,6 +328,36 @@ def render_failover(cell: Mapping) -> str:
         ),
         render_replication(cell["replication"]),
     ]
+    return "\n".join(lines)
+
+
+def render_sharding(cell: Mapping) -> str:
+    """Render one ``run_sharding`` cell (see ``repro.bench.harness``):
+    the scale-out wall-clock comparison, the bit-identity verdict, and
+    one line per exercised 2PC crash window."""
+    verdict = "OK" if cell["ok"] else "FAILED"
+    lines = [
+        (
+            f"sharding: {cell['ops']} ops over {cell['num_vertices']} "
+            f"vertices ({cell['cross_ops']} cross-shard), "
+            f"{cell['shards']} shards, seed {cell['seed']}"
+        ),
+        (
+            f"wall-clock (best of {cell['repeats']}): "
+            f"thread monolith {cell['mono_wall_s']:.3f} s  "
+            f"process sharded {cell['shard_wall_s']:.3f} s  "
+            f"-> {cell['speedup']:.2f}x"
+        ),
+        (
+            f"verdict: {verdict}  bit-identical {cell['bit_identical']}  "
+            f"crash windows exercised {cell['crash_windows_exercised']}"
+        ),
+    ]
+    for name, r in sorted(cell["crash_recoveries"].items()):
+        lines.append(
+            f"  {name}: crashed {r['crashed']}  "
+            f"resolutions {r['resolutions']}  identical {r['identical']}"
+        )
     return "\n".join(lines)
 
 

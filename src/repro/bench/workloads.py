@@ -23,6 +23,7 @@ __all__ = [
     "contended_batch",
     "trace_from_edges",
     "service_trace",
+    "uniform_update_trace",
 ]
 
 
@@ -177,6 +178,41 @@ def trace_from_edges(
             absent.append(e)
             trace.append(("remove", e[0], e[1]))
     return initial, trace
+
+
+def uniform_update_trace(
+    num_vertices: int, ops: int, seed: int = 0, remove_rate: float = 0.3
+) -> List[Tuple[str, int, int]]:
+    """A sequentially-valid uniform insert/remove stream over
+    ``num_vertices`` integer vertices — the sharding scale-out workload.
+
+    Endpoints are drawn uniformly, so with N shards a fraction
+    ``(N-1)/N`` of the ops is cross-shard: the *worst* case for the
+    sharded router's 2PC path, which makes it the honest workload for
+    the scale-out speedup claim.  Every insert targets an absent edge
+    and every remove (drawn with ``remove_rate`` when the edge is
+    present) a present one, so a single engine and a sharded engine fed
+    this trace must land on the identical final edge set.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    ops_out: List[Tuple[str, int, int]] = []
+    edges = set()
+    while len(ops_out) < ops:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e in edges:
+            if rng.random() < remove_rate:
+                ops_out.append(("remove", u, v))
+                edges.discard(e)
+        else:
+            ops_out.append(("insert", u, v))
+            edges.add(e)
+    return ops_out
 
 
 def service_trace(

@@ -15,8 +15,11 @@ from repro.faults.plane import (
     FaultEvent,
     FaultPlane,
     FaultSpec,
+    ROUTER_SALT,
+    SHARD_SALT,
     WorkerCrashed,
     as_plane,
+    derive_plane,
 )
 
 __all__ = [
@@ -27,6 +30,9 @@ __all__ = [
     "FaultEvent",
     "FaultPlane",
     "FaultSpec",
+    "ROUTER_SALT",
+    "SHARD_SALT",
     "WorkerCrashed",
     "as_plane",
+    "derive_plane",
 ]

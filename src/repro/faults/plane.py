@@ -274,3 +274,40 @@ def as_plane(faults, seed: int = 0) -> Optional[FaultPlane]:
     if isinstance(faults, FaultSpec):
         return FaultPlane(faults, seed=seed) if faults.active else None
     raise TypeError(f"faults must be FaultSpec or FaultPlane, got {faults!r}")
+
+
+#: salt separating each shard's derived hash stream (docs/sharding.md)
+SHARD_SALT = 0x5AA5D1CE
+#: salt for the router's own 2PC crash-window plane
+ROUTER_SALT = 0x2FA5E7E1
+
+
+def derive_plane(faults, member: int, seed: int = 0,
+                 salt: int = SHARD_SALT) -> Optional[FaultPlane]:
+    """An independently-seeded plane for one member of a sharded engine.
+
+    Each shard worker (and the router itself, with ``ROUTER_SALT``)
+    must draw from its *own* deterministic stream: sharing one plane
+    would make shard A's injections depend on how many events shard B
+    happened to process first — interleaving-dependent, so no longer
+    reproducible.  Mixing ``(salt, member)`` into the seed keeps every
+    member's schedule a pure function of ``(spec, seed, member)``.
+
+    Accepts the same values as :func:`as_plane`; a ``FaultPlane`` input
+    contributes its spec and seed (the per-member plane is always a
+    fresh object — planes hold per-run counters that must not be
+    shared across processes).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlane):
+        spec, base = faults.spec, faults.seed
+    elif isinstance(faults, FaultSpec):
+        spec, base = faults, seed
+    else:
+        raise TypeError(
+            f"faults must be FaultSpec or FaultPlane, got {faults!r}"
+        )
+    if not spec.active:
+        return None
+    return FaultPlane(spec, seed=base ^ _mix(salt, member))

@@ -29,11 +29,30 @@ order), translation is skipped entirely by the
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
 
 Vertex = Hashable
 
-__all__ = ["VertexInterner"]
+__all__ = ["VertexInterner", "ShardedInterner", "stable_shard"]
+
+
+def stable_shard(x: Vertex, nshards: int) -> int:
+    """Content-hash shard assignment: stable across runs and restarts.
+
+    Placement must be a pure function of the *external* id — deriving it
+    from interner arrival order would re-shard vertices after a crash
+    (recovery re-interns in journal-replay order, which differs from the
+    live admission order whenever an aborted attempt interned first).
+    Small non-negative ints (the benchmark workloads) shard by value so
+    uniform workloads stay balanced; everything else hashes its ``repr``
+    through sha256, which python's per-process ``hash()`` randomization
+    cannot perturb.
+    """
+    if isinstance(x, int) and not isinstance(x, bool) and x >= 0:
+        return x % nshards
+    digest = hashlib.sha256(repr(x).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % nshards
 
 
 class VertexInterner:
@@ -126,3 +145,71 @@ class VertexInterner:
         it._to_ext = list(self._to_ext)
         it.identity = self.identity
         return it
+
+
+class ShardedInterner:
+    """Shard-aware interning: dense global ids plus ``(shard, local)``.
+
+    The router's view of the vertex space (:mod:`repro.service.sharding`):
+    every external id is interned once into a *global* dense int (the
+    index into the shared refinement arrays of the process backend), its
+    shard is fixed by :func:`stable_shard`, and within the shard it gets
+    a dense *local* id in per-shard arrival order.  All three views only
+    grow; none is ever remapped.
+    """
+
+    __slots__ = ("nshards", "_global", "_shard", "_local", "_counts")
+
+    def __init__(self, nshards: int) -> None:
+        if nshards < 1:
+            raise ValueError("nshards must be >= 1")
+        self.nshards = nshards
+        self._global = VertexInterner()
+        self._shard: List[int] = []      # gid -> shard
+        self._local: List[int] = []      # gid -> local id within shard
+        self._counts = [0] * nshards     # next local id per shard
+
+    def intern(self, x: Vertex) -> int:
+        """Global dense id of ``x``, assigning shard + local id if new."""
+        n = len(self._global)
+        gid = self._global.intern(x)
+        if gid == n:  # newly assigned
+            s = stable_shard(x, self.nshards)
+            self._shard.append(s)
+            self._local.append(self._counts[s])
+            self._counts[s] += 1
+        return gid
+
+    def shard_of(self, x: Vertex) -> int:
+        """Shard owning ``x`` (pure content hash; interns as a side
+        effect so the global id is dense by admission order)."""
+        return self._shard[self.intern(x)]
+
+    def split(self, gid: int) -> Tuple[int, int]:
+        """``gid -> (shard, local_id)``."""
+        return self._shard[gid], self._local[gid]
+
+    def lookup(self, x: Vertex) -> int:
+        return self._global.lookup(x)
+
+    def external(self, gid: int) -> Vertex:
+        return self._global.external(gid)
+
+    def shard_size(self, shard: int) -> int:
+        """Number of vertices owned by ``shard``."""
+        return self._counts[shard]
+
+    def owned(self, shard: int) -> List[int]:
+        """Global ids owned by ``shard``, in local-id order."""
+        return [g for g in range(len(self._shard))
+                if self._shard[g] == shard]
+
+    def __len__(self) -> int:
+        return len(self._global)
+
+    def __contains__(self, x: Vertex) -> bool:
+        return x in self._global
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedInterner(n={len(self._global)}, "
+                f"shards={self.nshards}, counts={self._counts})")

@@ -23,9 +23,34 @@ storage is underneath.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["IntSlotMap", "make_vertex_map", "raw_map", "raw_get", "raw_set"]
+__all__ = ["IntSlotMap", "make_vertex_map", "raw_map", "raw_get", "raw_set",
+           "int64_buffer", "int64_view"]
+
+#: bytes per int64 slot — the unit every shared flat array is sized in
+INT64 = 8
+
+
+def int64_buffer(n: int, fill: int = 0) -> array:
+    """A flat int64 array of ``n`` slots, each set to ``fill``.
+
+    The in-process rendering of the per-vertex flat arrays the process
+    backend maps into ``multiprocessing.shared_memory``
+    (:mod:`repro.parallel.procs`); both sides index it the same way.
+    """
+    return array("q", [fill]) * n if n else array("q")
+
+
+def int64_view(buf, n: int) -> memoryview:
+    """An int64[``n``] view over a writable bytes-like buffer.
+
+    Used to overlay a ``SharedMemory.buf`` (or any ``memoryview``) with
+    the same slot semantics as :func:`int64_buffer` — slot ``i`` of every
+    attached process aliases the same 8 bytes.
+    """
+    return memoryview(buf)[: n * INT64].cast("q")
 
 
 class _Missing:

@@ -12,7 +12,11 @@ step-atomic and therefore analyzable.
 
 The same worker generators can also be driven by real threads
 (:mod:`repro.parallel.threads`) to validate the synchronization protocol
-under genuine preemption.
+under genuine preemption, and the sharded serving engine escapes the GIL
+entirely by hosting shard engines in real OS processes
+(:mod:`repro.parallel.procs`) that cooperate over
+``multiprocessing.shared_memory`` flat arrays
+(:mod:`repro.parallel.hindex` is the shared refinement kernel).
 
 Modules
 -------
@@ -23,11 +27,14 @@ Modules
 * :mod:`repro.parallel.parallel_insert` — OurI (Algorithm 5)
 * :mod:`repro.parallel.parallel_remove` — OurR (Algorithm 6)
 * :mod:`repro.parallel.batch`    — Parallel-InsertEdges / -RemoveEdges (Algorithm 3)
+* :mod:`repro.parallel.hindex`   — synchronous H-index core refinement
+* :mod:`repro.parallel.procs`    — process-backend shard workers
 """
 
 from repro.parallel.costs import CostModel
 from repro.parallel.runtime import SimMachine, SimReport, SimDeadlockError
 from repro.parallel.batch import ParallelOrderMaintainer
+from repro.parallel.hindex import h_index, refine_cores
 from repro.parallel.scheduling import (
     POLICIES,
     ConflictAwarePolicy,
@@ -51,4 +58,6 @@ __all__ = [
     "ConflictAwarePolicy",
     "POLICIES",
     "get_policy",
+    "h_index",
+    "refine_cores",
 ]

@@ -17,7 +17,11 @@ package answers "serve an interleaved stream of updates and queries":
   percentiles and folded simulation reports;
 * :class:`EdgeJournal` — the write-ahead edge journal + checkpoint
   records behind crash recovery and ``Engine.from_journal`` (see
-  ``docs/faults.md``).
+  ``docs/faults.md``);
+* :class:`ShardedEngine` — router + N engine shards with cross-shard
+  two-phase commit on the journal and exact epoch-stitched views; the
+  ``process`` backend hosts each shard in its own OS process (see
+  ``docs/sharding.md``).
 
 See ``docs/service.md`` for the architecture tour and the metrics
 glossary, and ``repro-serve`` (``python -m repro.service``) for the CLI.
@@ -28,11 +32,15 @@ from repro.service.engine import Engine, EngineConfig
 from repro.service.journal import EdgeJournal, Replay
 from repro.service.metrics import ServiceMetrics, percentile, summarize_latencies
 from repro.service.requests import Request, Response
+from repro.service.sharding import LocalShard, RouterCrashed, ShardedEngine
 from repro.service.snapshots import SnapshotStore, SnapshotView
 
 __all__ = [
     "Engine",
     "EngineConfig",
+    "ShardedEngine",
+    "LocalShard",
+    "RouterCrashed",
     "EdgeJournal",
     "Replay",
     "PendingOps",

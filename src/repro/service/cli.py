@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -81,6 +82,16 @@ def _parser() -> argparse.ArgumentParser:
                    "the trace then continues against the recovered state "
                    "and keeps appending to that file (or to --journal, if "
                    "given, via a rebase)")
+    shrd = p.add_argument_group("sharding (docs/sharding.md)")
+    shrd.add_argument("--shards", type=int, default=1,
+                      help="engine shards behind the router (1 = the "
+                      "classic monolithic engine, the default)")
+    shrd.add_argument("--backend", choices=("sim", "thread", "process"),
+                      default="sim",
+                      help="batch-loop substrate: 'sim' (simulated "
+                      "machine), 'thread' (real threads), 'process' "
+                      "(each shard engine in its own OS process; "
+                      "requires --shards >= 2)")
     repl = p.add_argument_group("replication (docs/replication.md)")
     repl.add_argument("--replicas", type=int, default=0,
                       help="follower read replicas behind the primary "
@@ -135,12 +146,47 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout_rate=args.timeout_rate,
             max_crashes=args.max_crashes or None,
         )
+    # sharding/backend validation (exit 2 = config error, docs/sharding.md)
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.backend == "process" and args.shards < 2:
+        print("--backend process hosts each shard engine in its own OS "
+              "process; it requires --shards >= 2 (use --backend sim or "
+              "thread for a monolithic engine)", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.replicas:
+        print("--shards cannot be combined with --replicas: the "
+              "replication plane ships one primary journal, a sharded "
+              "engine writes one journal per shard", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.recover_from:
+        if args.journal and args.journal != args.recover_from:
+            print("sharded recovery continues its per-shard journals in "
+                  "place; --journal must be omitted or equal "
+                  "--recover-from", file=sys.stderr)
+            return 2
+        written = 0
+        while os.path.exists(f"{args.recover_from}.shard{written}"):
+            written += 1
+        if written == 0:
+            print(f"no shard journals at {args.recover_from}.shard0..N "
+                  "(was the run sharded?)", file=sys.stderr)
+            return 2
+        if written != args.shards:
+            print(f"--recover-from journals were written by {written} "
+                  f"shard(s) but --shards is {args.shards}; the shard "
+                  "count (and vertex placement) is fixed at write time",
+                  file=sys.stderr)
+            return 2
     cfg = EngineConfig(
         max_batch=args.max_batch,
         max_delay=args.max_delay or None,
         query_pressure=args.query_pressure or None,
         max_pending=args.max_pending or None,
         num_workers=args.workers,
+        backend=args.backend,
+        shards=args.shards,
         schedule=args.schedule,
         seed=args.seed,
         faults=faults,
@@ -148,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_every=args.checkpoint_every or None,
         max_retries=args.max_retries,
     )
+    if args.shards > 1:
+        return _serve_sharded(args, cfg, initial, trace, source, ingest)
     if args.replicas:
         if args.recover_from:
             print("--replicas cannot be combined with --recover-from: a "
@@ -221,6 +269,55 @@ def _accounting_ok(metrics) -> bool:
     if not ok:
         print("accounting invariant VIOLATED", file=sys.stderr)
     return ok
+
+
+def _serve_sharded(args, cfg, initial, trace, source, ingest) -> int:
+    """The ``--shards N`` serving path: router + N engine shards."""
+    from repro.service.sharding import ShardedEngine
+
+    if args.recover_from:
+        try:
+            eng = ShardedEngine.from_journals(args.recover_from, cfg)
+        except (OSError, ValueError) as exc:
+            print(f"cannot recover from {args.recover_from}.shard*: {exc}",
+                  file=sys.stderr)
+            return 2
+        resolved = sum(1 for r in eng.resolutions if r.committed)
+        aborted = sum(1 for r in eng.resolutions if not r.committed)
+        print(f"recovered {cfg.shards} shards from {args.recover_from}: "
+              f"epoch {eng.epoch}; resolution pass committed {resolved}, "
+              f"aborted {aborted} dangling prepare(s)", file=sys.stderr)
+    else:
+        eng = ShardedEngine(DynamicGraph(initial), cfg)
+    with eng:
+        _drive_trace(eng, trace)
+        eng.flush()
+        if args.check:
+            eng.check()
+        metrics = eng.metrics()
+    if ingest is not None:
+        metrics["ingest"] = ingest
+    if args.json:
+        print(json.dumps(metrics, indent=2, default=repr))
+    else:
+        print(f"source: {source}  initial edges: {len(initial)}  "
+              f"trace ops: {len(trace)}  shards: {cfg.shards}  "
+              f"backend: {cfg.backend}")
+        if ingest is not None:
+            print(f"ingest: kept {ingest['kept']}  "
+                  f"malformed {ingest['malformed']}  "
+                  f"self-loops {ingest['self_loops']}")
+        for i, sm in enumerate(metrics["shards"]):
+            c = sm["counters"]
+            print(f"shard {i}: epoch {sm['epoch']}  "
+                  f"admitted {c['admitted']}  committed {c['committed']}  "
+                  f"quarantined {c['quarantined']}")
+        print("router:")
+        print(render_service_metrics(metrics["router"]))
+    ok = _accounting_ok(metrics["router"])
+    for sm in metrics["shards"]:
+        ok = _accounting_ok(sm) and ok
+    return 0 if ok else 1
 
 
 def _serve_replicated(args, cfg, initial, trace, source, ingest) -> int:

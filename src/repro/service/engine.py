@@ -44,7 +44,9 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple,
+)
 
 from repro.faults.plane import BatchCrashed, as_plane
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
@@ -61,7 +63,7 @@ from repro.service.batcher import (
     CONFLICT,
     AdaptiveBatcher,
 )
-from repro.service.journal import EdgeJournal, Replay
+from repro.service.journal import EdgeJournal, PreparedTx, Replay
 from repro.service.metrics import ServiceMetrics
 from repro.service.requests import (
     E_BACKPRESSURE,
@@ -123,6 +125,19 @@ class EngineConfig:
     ingest_cost: float = 1.0
     query_cost: float = 5.0
     num_workers: int = 4
+    #: how the batch loop executes: ``"sim"`` (simulated machine),
+    #: ``"thread"`` (real threads), or ``"process"`` (shard workers in
+    #: real OS processes — requires the sharded engine,
+    #: :mod:`repro.service.sharding`)
+    backend: str = "sim"
+    #: number of engine shards (1 = the classic monolithic engine;
+    #: >1 routes through :class:`~repro.service.sharding.ShardedEngine`)
+    shards: int = 1
+    #: group-commit size of the router's cross-shard 2PC buffer — how
+    #: many cross edges are committed per grouped prepare/commit round
+    #: (None = ``4 * max_batch``; the distributed commit amortizes its
+    #: per-round cost over a larger run than the in-engine micro-batch)
+    cross_group: Optional[int] = None
     costs: Optional[CostModel] = None
     schedule: str = "min-clock"
     seed: int = 0
@@ -154,6 +169,15 @@ class EngineConfig:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.backend not in ("sim", "thread", "process"):
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                "(use 'sim', 'thread' or 'process')"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.cross_group is not None and self.cross_group < 1:
+            raise ValueError("cross_group must be >= 1 or None")
 
 
 @dataclass
@@ -190,6 +214,7 @@ class Engine:
         journal: Optional[EdgeJournal] = None,
         _maintainer: Optional[ParallelOrderMaintainer] = None,
         _epoch0: int = 0,
+        foreign: Sequence[Edge] = (),
         **overrides,
     ) -> None:
         cfg = config or EngineConfig()
@@ -204,7 +229,7 @@ class Engine:
             self.maintainer = _maintainer
             self.maintainer.faults = self.faults
         else:
-            self.maintainer = ParallelOrderMaintainer(
+            self.maintainer = self._maintainer_cls(cfg)(
                 graph,
                 num_workers=cfg.num_workers,
                 costs=cfg.costs,
@@ -216,11 +241,19 @@ class Engine:
         self.snapshots = SnapshotStore(
             self.maintainer, cache_epochs=cfg.snapshot_cache, epoch0=_epoch0
         )
+        #: cross-shard edges this engine co-owns but does NOT maintain:
+        #: the coordinator shard (owner of the canonical first endpoint)
+        #: applies them to its order maintainer; this engine only tracks
+        #: them for validation and adjacency stitching.
+        self._foreign: set = {canonical_edge(*e) for e in foreign}
         if journal is not None:
             self.journal = journal
         else:
             self.journal = EdgeJournal(cfg.journal_path)
-            self.journal.log_init(self._graph_edges())
+            self.journal.log_init(
+                self._graph_edges(),
+                foreign=sorted(self._foreign, key=repr),
+            )
         self.batcher = AdaptiveBatcher(
             max_batch=cfg.max_batch,
             max_delay=cfg.max_delay,
@@ -230,6 +263,8 @@ class Engine:
         self.now: float = 0.0
         self._seq = 0
         self._seen_ids: set = set()
+        #: cross-shard transactions prepared but not yet decided (2PC)
+        self._prepared: Dict[str, PreparedTx] = {}
         self._edge_reqs: Dict[Edge, List[_Tracked]] = {}
         self._completed: List[Response] = []
         self._batch_results: List[BatchResult] = []
@@ -605,6 +640,10 @@ class Engine:
         g = self.maintainer.graph
         return sorted((canonical_edge(u, v) for u, v in g.edges()), key=repr)
 
+    def foreign_edges(self) -> List[Edge]:
+        """Tracked-but-not-maintained cross-shard edges (sorted)."""
+        return sorted(self._foreign, key=repr)
+
     def _maybe_checkpoint(self, epoch: int) -> None:
         ce = self.config.checkpoint_every
         if ce is None or epoch % ce != 0:
@@ -612,11 +651,32 @@ class Engine:
         self.journal.log_checkpoint(
             epoch, self._graph_edges(), self.maintainer.cores(),
             self.maintainer.order_sequence(),
+            foreign=self.foreign_edges(),
         )
 
     @staticmethod
+    def _maintainer_cls(cfg: EngineConfig):
+        """The batch-loop backend class for ``cfg.backend``.
+
+        ``"process"`` has no in-engine maintainer: shard workers each
+        host a sim-backed engine in their own OS process
+        (:mod:`repro.parallel.procs`), so constructing a monolithic
+        engine with it is a config error the sharded router prevents.
+        """
+        if cfg.backend == "thread":
+            from repro.parallel.threads import ThreadBackedMaintainer
+
+            return ThreadBackedMaintainer
+        if cfg.backend == "process":
+            raise ValueError(
+                "backend 'process' runs shard workers in OS processes — "
+                "construct a repro.service.sharding.ShardedEngine instead"
+            )
+        return ParallelOrderMaintainer
+
+    @classmethod
     def _base_maintainer(
-        replay: Replay, cfg: EngineConfig
+        cls, replay: Replay, cfg: EngineConfig
     ) -> Tuple[ParallelOrderMaintainer, int]:
         """A *clean* (fault-free) maintainer at the replay's starting
         point: the latest checkpoint if there is one, else the initial
@@ -625,14 +685,15 @@ class Engine:
             num_workers=cfg.num_workers, costs=cfg.costs,
             schedule=cfg.schedule, seed=cfg.seed, policy=cfg.policy,
         )
+        mcls = cls._maintainer_cls(cfg)
         ck = replay.checkpoint
         if ck is not None:
-            m = ParallelOrderMaintainer.from_checkpoint(
+            m = mcls.from_checkpoint(
                 DynamicGraph(list(ck.edges)), dict(ck.cores),
                 list(ck.order), **kw,
             )
             return m, ck.epoch
-        return ParallelOrderMaintainer(
+        return mcls(
             DynamicGraph(list(replay.initial_edges)), **kw
         ), 0
 
@@ -708,10 +769,165 @@ class Engine:
                 )
         m.faults = eng.faults
         eng._seen_ids.update(replay.ids)
+        eng._foreign = set(replay.foreign)
         for rid in replay.ids:
             if rid.startswith("r") and rid[1:].isdigit():
                 eng._seq = max(eng._seq, int(rid[1:]) + 1)
         return eng
+
+    # ------------------------------------------------------------------
+    # cross-shard 2PC participant surface (docs/sharding.md)
+    # ------------------------------------------------------------------
+    def validate_cross(self, kind: str, edge: Edge) -> Optional[str]:
+        """Error code if a cross-shard op is inapplicable, else None.
+
+        Only the *committed* graph matters: a cross-shard edge can never
+        sit in this engine's local batcher (its routing class is fixed
+        by the endpoint hash), so pending local ops cannot make it valid
+        or invalid.  Edges this engine merely *tracks* (peer-owner role;
+        the coordinator shard maintains them) count as present, so both
+        owners always cast the same vote.
+        """
+        has = (self.graph.has_edge(*edge)
+               or canonical_edge(*edge) in self._foreign)
+        if kind == "+" and has:
+            return E_EDGE_EXISTS
+        if kind == "-" and not has:
+            return E_EDGE_MISSING
+        return None
+
+    def prepare_cross(self, tx: str, kind: str, edge: Edge, rid: str,
+                      shard: int, peer: int,
+                      role: str = "apply") -> Optional[str]:
+        """Phase 1: vote on transaction ``tx``.  A yes-vote writes a
+        durable ``prepare`` record (the redo information) and parks the
+        transaction; a validation failure returns the error code and
+        writes nothing.  ``role`` records which side of the edge this
+        engine is: the coordinator (``"apply"``) runs order maintenance
+        at commit; the peer (``"track"``) only updates its foreign
+        adjacency set."""
+        err = self.validate_cross(kind, edge)
+        if err is not None:
+            return err
+        e = canonical_edge(*edge)
+        self.journal.log_prepare(tx, kind, e, rid, shard, peer, role=role)
+        self._prepared[tx] = PreparedTx(tx=tx, kind=kind, edge=e, id=rid,
+                                        shard=shard, peer=peer, role=role)
+        self._seen_ids.add(rid)
+        return None
+
+    def commit_cross(self, tx: str) -> int:
+        """Phase 2: apply the prepared transaction and publish it.
+
+        Returns the epoch the edge committed as on this shard.  The
+        ``commit2`` record written here is, on the coordinator, the
+        protocol's decision record.
+        """
+        return self._apply_cross(self._prepared.pop(tx))
+
+    def commit_cross_group(self, txs: List[str]) -> int:
+        """Phase 2 for a whole cross-shard *group*: apply every decided
+        edge as one maintainer batch, publish one epoch, then write one
+        ``commit2`` per transaction carrying that shared epoch (replay
+        folds the run back into one batch).  The router guarantees the
+        group is kind-homogeneous and duplicate-free — the same
+        contract the micro-batcher gives local batches."""
+        return self._apply_cross_batch([self._prepared.pop(tx) for tx in txs])
+
+    def abort_cross(self, tx: str) -> None:
+        """Phase 2 (abort): void the prepared transaction."""
+        self._prepared.pop(tx)
+        self.journal.log_abort2(tx)
+
+    def resolve_prepared(self, prep: PreparedTx, commit: bool) -> Optional[int]:
+        """Recovery resolution for a *dangling* prepare (one this engine
+        re-read from its journal rather than parked live).  ``commit``
+        redoes the apply and writes the missing ``commit2``; otherwise
+        an ``abort2`` voids it.  Driven by the router's resolution pass
+        (:meth:`repro.service.sharding.ShardedEngine.from_journals`)."""
+        if commit:
+            return self._apply_cross(prep)
+        self.journal.log_abort2(prep.tx)
+        return None
+
+    def _apply_cross(self, prep: PreparedTx) -> int:
+        return self._apply_cross_batch([prep])
+
+    def _apply_cross_batch(self, preps: List[PreparedTx]) -> int:
+        """Apply decided cross-shard edges to the local maintainer.
+
+        No intent record is written — the ``prepare`` *is* the
+        write-ahead — and the decision is redo-only: an injected crash
+        during the apply recovers and retries, it can never abort.
+
+        Only ``"apply"``-role transactions (this engine coordinates the
+        edge) touch the maintainer and publish an epoch; ``"track"``-role
+        ones (the peer coordinates) just update the foreign adjacency
+        set and journal their ``commit2`` with the current epoch — the
+        coordinator's journal owns the redo."""
+        applied = [p for p in preps if p.role != "track"]
+        tracked = [p for p in preps if p.role == "track"]
+        inserting = preps[0].kind == "+"
+        makespan = 0.0
+        if applied:
+            batch = [p.edge for p in applied]
+            cfg = self.config
+            attempt = 0
+            while True:
+                try:
+                    result = (
+                        self.maintainer.insert_edges(batch)
+                        if inserting
+                        else self.maintainer.remove_edges(batch)
+                    )
+                    break
+                except (BatchCrashed, SimDeadlockError) as exc:
+                    if self.faults is None:
+                        raise
+                    self.metrics_collector.faults["crashed_batches"] += 1
+                    rep = getattr(exc, "report", None)
+                    if rep is not None:
+                        self.metrics_collector.fold_faults(rep)
+                        self.now += getattr(rep, "makespan", 0.0)
+                    self._recover()
+                    attempt += 1
+                    if attempt > cfg.max_retries:
+                        # a decided transaction cannot be abandoned; this
+                        # is only reachable with an unbounded crash budget
+                        raise
+                    self.metrics_collector.faults["retries"] += 1
+                    self.now += cfg.retry_backoff * (2 ** (attempt - 1))
+            makespan = result.makespan
+            self.now += makespan
+            self.metrics_collector.fold_report(result.report)
+            touched = {w for e in batch for w in e}
+            for s in result.stats:
+                touched.update(s.v_star)
+            epoch = self.snapshots.commit(touched)
+        else:
+            epoch = self.epoch
+        for p in tracked:
+            if p.kind == "+":
+                self._foreign.add(p.edge)
+            else:
+                self._foreign.discard(p.edge)
+        for p in preps:
+            self.journal.log_commit2(p.tx, epoch)
+        n = len(preps)
+        self.metrics_collector.admitted += n
+        self.metrics_collector.committed += n
+        self.metrics_collector.committed_updates += n
+        op = "insert" if inserting else "remove"
+        for _ in preps:
+            self.metrics_collector.note_latency(op, makespan)
+        if applied:
+            self.metrics_collector.record_epoch(
+                epoch=epoch, kind=preps[0].kind, batch_size=len(applied),
+                makespan=makespan, committed_at=self.now,
+                update_latencies=[makespan] * len(applied),
+            )
+            self._maybe_checkpoint(epoch)
+        return epoch
 
     # ------------------------------------------------------------------
     # response bookkeeping

@@ -18,7 +18,14 @@ serving plane:
 * a **promote** record marks a replication failover: the journal up to
   that point is the committed prefix a follower replayed before taking
   over as the new primary (:mod:`repro.replication`,
-  ``docs/replication.md``).
+  ``docs/replication.md``);
+* **prepare** / **commit2** / **abort2** records carry the two-shard
+  commit protocol for cross-shard edges (:mod:`repro.service.sharding`,
+  ``docs/sharding.md``): a prepare is a yes-vote holding full redo
+  information, the coordinator's commit2 is the decision, and a prepare
+  resolved by neither is *dangling* — the router's recovery resolution
+  pass commits it iff any shard holds a commit2 for the same
+  transaction, else aborts it on every participant (presumed abort).
 
 Records are canonical JSON lines (sorted keys, no whitespace), which
 makes the journal *byte-comparable*: two runs with the same seed and the
@@ -43,7 +50,8 @@ from repro.graph.core import canonical_edge
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
-__all__ = ["EdgeJournal", "Replay", "CommittedBatch", "Checkpoint"]
+__all__ = ["EdgeJournal", "Replay", "CommittedBatch", "Checkpoint",
+           "PreparedTx"]
 
 #: record types, in the order they may legally appear
 REC_INIT = "init"
@@ -54,8 +62,17 @@ REC_CHECKPOINT = "checkpoint"
 #: written by :meth:`repro.replication.ReplicaSet.promote` at the head of
 #: each new primary generation's journal continuation
 REC_PROMOTE = "promote"
+#: cross-shard two-phase commit (``docs/sharding.md``): a shard voted yes
+#: on a cross-shard edge transaction and holds its redo information
+REC_PREPARE = "prepare"
+#: the cross-shard transaction applied on this shard at ``epoch`` — the
+#: first ``commit2`` written anywhere (the coordinator's) is the decision
+REC_COMMIT2 = "commit2"
+#: the cross-shard transaction was abandoned; the prepare above it is void
+REC_ABORT2 = "abort2"
 
-_KINDS = (REC_INIT, REC_INTENT, REC_COMMIT, REC_CHECKPOINT, REC_PROMOTE)
+_KINDS = (REC_INIT, REC_INTENT, REC_COMMIT, REC_CHECKPOINT, REC_PROMOTE,
+          REC_PREPARE, REC_COMMIT2, REC_ABORT2)
 
 
 def _canon(record: Dict) -> str:
@@ -83,6 +100,25 @@ class CommittedBatch:
 
 
 @dataclass(frozen=True)
+class PreparedTx:
+    """A cross-shard transaction this shard voted yes on (``prepare``
+    record).  Carries everything needed to *redo* the local apply if the
+    router decides commit during recovery (``docs/sharding.md``)."""
+
+    tx: str                 #: router-global transaction id
+    kind: str               #: ``"+"`` or ``"-"``
+    edge: Edge
+    id: str                 #: the originating request id
+    shard: int              #: the shard this journal belongs to
+    peer: int               #: the other participant shard
+    #: ``"apply"`` — this shard is the edge's coordinator and runs order
+    #: maintenance on it; ``"track"`` — this shard is the peer owner and
+    #: only records the edge in its foreign adjacency (durability +
+    #: stitch adjacency, no maintainer work; see ``docs/sharding.md``)
+    role: str = "apply"
+
+
+@dataclass(frozen=True)
 class Checkpoint:
     """A full engine snapshot: graph + cores + the exact OM order."""
 
@@ -90,6 +126,9 @@ class Checkpoint:
     edges: Tuple[Edge, ...]
     cores: Tuple[Tuple[Vertex, int], ...]
     order: Tuple[Vertex, ...]
+    #: cross-shard edges this shard tracks but does not maintain
+    #: (peer-owner replicas; empty for monolithic engines)
+    foreign: Tuple[Edge, ...] = ()
 
 
 @dataclass
@@ -109,6 +148,17 @@ class Replay:
     promotions: int = 0
     #: primary generation: 0 for the original primary, bumped per promote
     generation: int = 0
+    #: cross-shard transactions still *dangling* at the end of the journal
+    #: (prepare without a commit2/abort2) — the router's recovery
+    #: resolution pass decides their fate (``docs/sharding.md``)
+    prepared: Dict[str, PreparedTx] = field(default_factory=dict)
+    #: cross-shard transactions that applied locally (commit2 records)
+    commit2: Set[str] = field(default_factory=set)
+    #: cross-shard transactions abandoned locally (abort2 records)
+    abort2: Set[str] = field(default_factory=set)
+    #: the running foreign-adjacency set (peer-owner replicas of cross
+    #: edges, ``role == "track"``) as of the end of the journal
+    foreign: Set[Edge] = field(default_factory=set)
 
     def batches_after(self, epoch: int) -> List[CommittedBatch]:
         """Committed batches strictly after ``epoch``, in commit order."""
@@ -149,9 +199,17 @@ class EdgeJournal:
             self._fh.write(_canon(record) + "\n")
             self._fh.flush()
 
-    def log_init(self, edges: Sequence[Edge]) -> None:
-        """Record the engine's birth graph (epoch 0)."""
-        self.append({"t": REC_INIT, "edges": _edges_out(edges)})
+    def log_init(self, edges: Sequence[Edge],
+                 foreign: Sequence[Edge] = ()) -> None:
+        """Record the engine's birth graph (epoch 0).  ``foreign`` is the
+        birth foreign-adjacency set of a peer-owner shard (cross edges it
+        tracks without maintaining); omitted when empty so monolithic
+        journals keep their historical byte shape."""
+        rec = {"t": REC_INIT, "edges": _edges_out(edges),
+               "foreign": _edges_out(foreign)}
+        if not foreign:
+            del rec["foreign"]
+        self.append(rec)
 
     def log_intent(self, kind: str, edges: Sequence[Edge],
                    ids: Sequence[str], attempt: int = 0) -> None:
@@ -167,18 +225,26 @@ class EdgeJournal:
 
     def log_checkpoint(self, epoch: int, edges: Sequence[Edge],
                        cores: Dict[Vertex, int],
-                       order: Sequence[Vertex]) -> None:
+                       order: Sequence[Vertex],
+                       foreign: Sequence[Edge] = ()) -> None:
         """Durable snapshot: graph + cores + full OM order at ``epoch``.
 
         ``cores`` is stored as a list of pairs ordered by ``order`` so the
         record is canonical without requiring sortable vertex ids.
+        ``foreign`` snapshots a shard's foreign adjacency (omitted when
+        empty) — without it, recovery from the checkpoint fast-path
+        would lose peer-owner replicas committed before the checkpoint.
         """
-        self.append({
+        rec = {
             "t": REC_CHECKPOINT, "epoch": epoch,
             "edges": _edges_out(edges),
             "cores": [[u, cores[u]] for u in order],
             "order": list(order),
-        })
+            "foreign": _edges_out(foreign),
+        }
+        if not foreign:
+            del rec["foreign"]
+        self.append(rec)
 
     def log_promote(self, epoch: int, records: int, generation: int,
                     replica: int) -> None:
@@ -190,6 +256,32 @@ class EdgeJournal:
             "t": REC_PROMOTE, "epoch": epoch, "records": records,
             "generation": generation, "replica": replica,
         })
+
+    def log_prepare(self, tx: str, kind: str, edge: Edge, id: str,
+                    shard: int, peer: int, role: str = "apply") -> None:
+        """Cross-shard write-ahead: this shard votes yes on transaction
+        ``tx`` (a single ``kind`` op on the cross-shard ``edge``) and can
+        redo the apply from this record alone (``docs/sharding.md``).
+        ``role`` records which side of the edge this shard holds:
+        ``"apply"`` (coordinator, runs order maintenance) or ``"track"``
+        (peer owner, foreign adjacency only)."""
+        u, v = edge
+        self.append({
+            "t": REC_PREPARE, "tx": tx, "kind": kind, "edge": [u, v],
+            "id": id, "shard": shard, "peer": peer, "role": role,
+        })
+
+    def log_commit2(self, tx: str, epoch: int) -> None:
+        """The prepared cross-shard transaction ``tx`` applied locally
+        and published as ``epoch``.  The coordinator's commit2 is the
+        protocol's decision record: once it is durable anywhere, every
+        participant must (re)do its apply."""
+        self.append({"t": REC_COMMIT2, "tx": tx, "epoch": epoch})
+
+    def log_abort2(self, tx: str) -> None:
+        """The prepared cross-shard transaction ``tx`` was abandoned:
+        no shard wrote a commit2, so its prepare is void everywhere."""
+        self.append({"t": REC_ABORT2, "tx": tx})
 
     def close(self) -> None:
         if self._fh is not None:
@@ -282,6 +374,8 @@ class EdgeJournal:
             t = rec["t"]
             if t == REC_INIT:
                 out.initial_edges = _edges_in(rec["edges"])
+                out.foreign = {canonical_edge(u, v)
+                               for u, v in rec.get("foreign", ())}
             elif t == REC_INTENT:
                 if pending is not None:
                     out.aborted_intents += 1
@@ -307,7 +401,67 @@ class EdgeJournal:
                     edges=_edges_in(rec["edges"]),
                     cores=tuple((u, k) for u, k in rec["cores"]),
                     order=tuple(rec["order"]),
+                    foreign=_edges_in(rec.get("foreign", ())),
                 )
+                out.foreign = {canonical_edge(u, v)
+                               for u, v in rec.get("foreign", ())}
+            elif t == REC_PREPARE:
+                # cross-shard vote: independent of the local intent/commit
+                # stream (a prepare can never interleave inside a local
+                # batch — the engine's commit path is synchronous)
+                tx = rec["tx"]
+                u, v = rec["edge"]
+                out.prepared[tx] = PreparedTx(
+                    tx=tx, kind=rec["kind"], edge=(u, v), id=rec["id"],
+                    shard=rec["shard"], peer=rec["peer"],
+                    role=rec.get("role", "apply"),
+                )
+                out.ids.add(rec["id"])
+            elif t == REC_COMMIT2:
+                tx = rec["tx"]
+                prep = out.prepared.pop(tx, None)
+                if prep is None:
+                    raise ValueError(
+                        f"commit2 for transaction {tx!r} without a prepare"
+                    )
+                if prep.role == "track":
+                    # peer-owner replica: update the foreign adjacency,
+                    # no maintainer batch to fold (the coordinator's
+                    # journal owns the apply)
+                    e = canonical_edge(*prep.edge)
+                    if prep.kind == "+":
+                        out.foreign.add(e)
+                    else:
+                        out.foreign.discard(e)
+                    out.commit2.add(tx)
+                    continue
+                # a cross-shard *group* applies as one maintainer batch
+                # and publishes one epoch, then writes one commit2 per
+                # transaction with that shared epoch — fold those runs
+                # back into a single CommittedBatch so restart replays
+                # the same batches (and epoch sequence) the live engine
+                # committed
+                last = out.committed[-1] if out.committed else None
+                if (last is not None and last.epoch == rec["epoch"]
+                        and last.kind == prep.kind):
+                    out.committed[-1] = CommittedBatch(
+                        kind=last.kind, edges=last.edges + (prep.edge,),
+                        ids=last.ids + (prep.id,), epoch=last.epoch,
+                    )
+                else:
+                    out.committed.append(CommittedBatch(
+                        kind=prep.kind, edges=(prep.edge,), ids=(prep.id,),
+                        epoch=rec["epoch"],
+                    ))
+                out.last_epoch = rec["epoch"]
+                out.commit2.add(tx)
+            elif t == REC_ABORT2:
+                tx = rec["tx"]
+                if out.prepared.pop(tx, None) is None:
+                    raise ValueError(
+                        f"abort2 for transaction {tx!r} without a prepare"
+                    )
+                out.abort2.add(tx)
             elif t == REC_PROMOTE:
                 # failover marker: a dangling intent left by the dead
                 # primary (had there been one) was truncated before the

@@ -404,6 +404,76 @@ class TestJournalSchemaMutants:
         }
         assert new_rules_hit(src) == {"RL022"}
 
+    # -- cross-shard 2PC record kinds: prepare / commit2 / abort2 ------
+
+    def test_rl020_prepare_written_without_reader(self):
+        """A 2PC participant writes prepare records but replay never
+        grew an arm for them — a dangling prepare would be invisible to
+        the recovery resolution pass."""
+        src = {
+            "src/repro/service/journal.py": (
+                _JOURNAL_BASE.replace("REC_B = 'b'", "REC_B = 'prepare'")
+                + "    def log_prepare(self, tx, kind, edge, role):\n"
+                  "        self.append({'t': REC_B, 'tx': tx,\n"
+                  "                     'kind': kind, 'edge': edge,\n"
+                  "                     'role': role})\n"
+                  "    def replay(self):\n"
+                  "        for rec in self.records:\n"
+                  "            t = rec['t']\n"
+                  "            if t == REC_A:\n"
+                  "                out = rec['x']\n"
+                  "        return out\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL020"}
+
+    def test_rl021_abort2_arm_without_writer(self):
+        """Replay dispatches on abort2 records nobody logs — the relic
+        of a renamed decision record; presumed-abort would silently
+        change meaning."""
+        src = {
+            "src/repro/service/journal.py": (
+                _JOURNAL_BASE.replace(
+                    "REC_B = 'b'", "REC_B = 'commit2'\nREC_C = 'abort2'")
+                + "    def log_commit2(self, tx, epoch):\n"
+                  "        self.append({'t': REC_B, 'tx': tx,\n"
+                  "                     'epoch': epoch})\n"
+                  "    def replay(self):\n"
+                  "        for rec in self.records:\n"
+                  "            t = rec['t']\n"
+                  "            if t == REC_A:\n"
+                  "                out = rec['x']\n"
+                  "            elif t == REC_B:\n"
+                  "                out = rec['epoch']\n"
+                  "            elif t == REC_C:\n"  # nothing writes abort2
+                  "                out = None\n"
+                  "        return out\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL021"}
+
+    def test_rl022_commit2_field_drift(self):
+        """log_commit2 stores ``tx``/``epoch``; a reader pulling
+        ``shard`` out of commit2 records is reading the prepare's shape
+        — exactly the drift the role/foreign redesign invites."""
+        src = {
+            "src/repro/service/journal.py": (
+                _JOURNAL_BASE.replace("REC_B = 'b'", "REC_B = 'commit2'")
+                + "    def log_commit2(self, tx, epoch):\n"
+                  "        self.append({'t': REC_B, 'tx': tx,\n"
+                  "                     'epoch': epoch})\n"
+                  "    def replay(self):\n"
+                  "        for rec in self.records:\n"
+                  "            t = rec['t']\n"
+                  "            if t == REC_A:\n"
+                  "                out = rec['x']\n"
+                  "            elif t == REC_B:\n"
+                  "                out = rec['shard']\n"  # prepare's field
+                  "        return out\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL022"}
+
     def test_pass_skipped_without_writer_zone(self):
         """Linting tests/ alone (no REC_* declarations in the project)
         must not flag every fixture as an unhandled kind."""
