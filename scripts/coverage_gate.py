@@ -55,6 +55,7 @@ GATE_TESTS = [
     "tests/test_service_batcher.py",
     "tests/test_service_snapshots.py",
     "tests/test_service_differential.py",
+    "tests/test_queryplane.py",
     "tests/test_stream.py",
     "tests/test_parallel_insert.py",
     "tests/test_parallel_remove.py",

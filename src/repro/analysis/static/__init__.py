@@ -16,11 +16,15 @@ Importing this package registers every built-in pass with the
 ``journalschema``
     RL020–RL022, WAL record-kind and field-shape exhaustiveness between
     journal writers, replay readers and the declared kind table.
+``bufferschema``
+    RL023–RL025, shared-memory buffer-slot store/load lockstep between
+    the query-plane publisher and its readers (``QP_*`` slots).
 
 See ``docs/analysis.md`` for the full rule table and workflow.
 """
 
 from repro.analysis.static import (  # noqa: F401 - import-time registration
+    bufferschema,
     identity,
     journalschema,
     lockorder,

@@ -1,0 +1,181 @@
+"""Shared-memory buffer-schema lockstep: publisher stores vs. reader loads.
+
+:mod:`repro.service.queryplane` lays int64 slots over raw shared memory;
+the ``QP_*`` integer constants are the *only* schema those segments
+have.  The publisher writes slots (``hdr[QP_EPOCH] = ...``), readers
+decode them (``epoch = hdr[QP_EPOCH]``), and nothing but convention
+keeps the two sides in lockstep — a slot renumbered, added, or dropped
+on one side silently corrupts every answer on the other, with no
+exception to catch it (the bytes are always "valid").
+
+This pass cross-checks the three views statically, the shape of the
+journal-schema family (RL020–RL022) transplanted to buffer slots:
+
+``RL023``
+    A ``QP_*`` slot is *stored* somewhere but never *loaded* — the
+    publisher pays for bytes no reader can see; usually a decode path
+    lost in a refactor (the seqlock makes the loss silent, not loud).
+``RL024``
+    A slot is *loaded* but never *stored* — the reader decodes garbage
+    that merely happens to be zero-initialized; usually a publisher
+    write lost in a refactor.
+``RL025``
+    A slot constant is declared but never subscripted anywhere — a dead
+    slot, usually the relic of a renumbered layout (and a trap: the next
+    author reuses the index for something else).
+
+Stores are subscripts in assignment-target position (``buf[QP_X] = v``,
+including augmented assignment); loads are subscripts in value position.
+The pass arms itself only when a module in the project declares ``QP_*``
+integer constants at module level — linting ``tests/`` alone does not
+report every fixture.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lint import Finding
+from repro.analysis.static.project import ModuleInfo, Project
+from repro.analysis.static.registry import Pass, register
+
+__all__ = ["BUFFER_RULES", "collect_slots"]
+
+BUFFER_RULES = {
+    "RL023": "buffer slot is stored but no reader ever loads it",
+    "RL024": "buffer slot is loaded but no publisher ever stores it",
+    "RL025": "buffer slot is declared but never subscripted",
+}
+
+_PREFIX = "QP_"
+
+
+@dataclass
+class _Site:
+    path: str
+    line: int
+    col: int
+
+
+@dataclass
+class _Slots:
+    """Everything the pass learned about the slot schema."""
+
+    #: slot name -> site of the QP_* declaration
+    declared: Dict[str, _Site] = field(default_factory=dict)
+    #: slot name -> first store site (``buf[QP_X] = v``)
+    stored: Dict[str, _Site] = field(default_factory=dict)
+    #: slot name -> first load site (``v = buf[QP_X]``)
+    loaded: Dict[str, _Site] = field(default_factory=dict)
+
+
+def _slot_name(node: ast.expr) -> Optional[str]:
+    """The ``QP_*`` name used as a subscript index, if any."""
+    if isinstance(node, ast.Name) and node.id.startswith(_PREFIX):
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr.startswith(_PREFIX):
+        return node.attr
+    return None
+
+
+def _collect_decls(mod: ModuleInfo, slots: _Slots) -> None:
+    if mod.tree is None:
+        return
+    for node in mod.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and not isinstance(node.value.value, bool)):
+            continue
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name) and tgt.id.startswith(_PREFIX):
+                slots.declared.setdefault(
+                    tgt.id, _Site(mod.path, node.lineno, node.col_offset))
+
+
+def _collect_uses(mod: ModuleInfo, slots: _Slots) -> None:
+    if mod.tree is None:
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Subscript):
+            continue
+        name = _slot_name(node.slice)
+        if name is None:
+            continue
+        site = _Site(mod.path, node.lineno, node.col_offset)
+        if isinstance(node.ctx, ast.Store):
+            slots.stored.setdefault(name, site)
+        elif isinstance(node.ctx, ast.Load):
+            slots.loaded.setdefault(name, site)
+
+
+def _augment(mod: ModuleInfo, slots: _Slots) -> None:
+    """``buf[QP_X] += v`` reads and writes the slot in one statement."""
+    if mod.tree is None:
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.AugAssign):
+            continue
+        if not isinstance(node.target, ast.Subscript):
+            continue
+        name = _slot_name(node.target.slice)
+        if name is None:
+            continue
+        site = _Site(mod.path, node.lineno, node.col_offset)
+        slots.stored.setdefault(name, site)
+        slots.loaded.setdefault(name, site)
+
+
+def collect_slots(project: Project) -> _Slots:
+    """Build the declaration/store/load views of the slot schema."""
+    slots = _Slots()
+    for mod in project.iter_modules():
+        _collect_decls(mod, slots)
+        _collect_uses(mod, slots)
+        _augment(mod, slots)
+    return slots
+
+
+def _run(project: Project) -> List[Finding]:
+    slots = collect_slots(project)
+    if not slots.declared:
+        return []  # no buffer-schema zone in this project
+    findings: List[Finding] = []
+    names: Set[str] = (set(slots.declared) | set(slots.stored)
+                       | set(slots.loaded))
+    for name in sorted(names):
+        stored = name in slots.stored
+        loaded = name in slots.loaded
+        if stored and not loaded:
+            site = slots.stored[name]
+            findings.append(Finding(
+                site.path, site.line, site.col, "RL023",
+                f"slot {name} is stored here but never loaded — no reader "
+                "decodes what the publisher writes (lost decode path?)",
+            ))
+        elif loaded and not stored:
+            site = slots.loaded[name]
+            findings.append(Finding(
+                site.path, site.line, site.col, "RL024",
+                f"slot {name} is loaded here but never stored — the reader "
+                "decodes bytes no publisher writes (lost publish path?)",
+            ))
+        elif not stored and not loaded:
+            site = slots.declared[name]
+            findings.append(Finding(
+                site.path, site.line, site.col, "RL025",
+                f"slot {name} is declared here but never subscripted — "
+                "dead slot; renumbering traps the next layout change",
+            ))
+    return findings
+
+
+register(Pass(
+    name="bufferschema",
+    doc="shared-memory buffer-slot store/load lockstep",
+    rules=BUFFER_RULES,
+    run=_run,
+))

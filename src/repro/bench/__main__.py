@@ -33,6 +33,7 @@ from repro.bench.reporting import (
     render_chaos,
     render_failover,
     render_histogram,
+    render_queryplane,
     render_series,
     render_service_metrics,
     render_sharding,
@@ -43,6 +44,7 @@ DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
     "chaos", "failover", "representation", "scheduling", "sharding",
+    "queryplane",
 )
 
 
@@ -71,14 +73,28 @@ def _parser() -> argparse.ArgumentParser:
                    help="scheduling workload: number of hub vertices whose "
                         "incident edges form the contended batch")
     p.add_argument("--assert-speedup", type=float, default=None, metavar="X",
-                   help="representation/scheduling/sharding: exit 1 unless "
-                        "the headline speedup is >= X on every cell")
+                   help="representation/scheduling/sharding/queryplane: exit "
+                        "1 unless the headline speedup is >= X on every cell")
     p.add_argument("--shards", type=int, default=4,
                    help="sharding workload: shard count (process backend)")
     p.add_argument("--vertices", type=int, default=1200,
                    help="sharding workload: vertex universe size")
     p.add_argument("--shard-ops", type=int, default=12000,
                    help="sharding workload: update-trace length")
+    p.add_argument("--queries", type=int, default=1_000_000,
+                   help="queryplane workload: timed query count")
+    p.add_argument("--update-rate", type=float, default=0.01,
+                   help="queryplane workload: updates per query")
+    p.add_argument("--reader-counts", nargs="+", type=int, default=[1, 2, 4],
+                   help="queryplane workload: reader-pool sizes to sweep")
+    p.add_argument("--qp-vertices", type=int, default=400,
+                   help="queryplane workload: vertex universe size")
+    p.add_argument("--frame", type=int, default=512,
+                   help="queryplane workload: sample every Nth answer for "
+                        "bit-identity verification")
+    p.add_argument("--no-recovery", action="store_true",
+                   help="queryplane workload: skip the mid-stream crash/"
+                        "recovery leg")
     p.add_argument("--crash-rate", type=float, default=0.01,
                    help="chaos workload: per-event worker crash probability")
     p.add_argument("--stall-rate", type=float, default=0.01,
@@ -412,6 +428,34 @@ def _run(args: argparse.Namespace) -> int:
                 print(
                     f"!! sharding: process@{cell['shards']} speedup "
                     f"{cell['speedup']:.2f} < {args.assert_speedup}"
+                )
+                return 1
+        elif exp == "queryplane":
+            import json as _json
+
+            cell = harness.run_queryplane(
+                num_vertices=args.qp_vertices,
+                queries=args.queries,
+                update_rate=args.update_rate,
+                readers=tuple(args.reader_counts),
+                frame=args.frame,
+                seed=args.seed,
+                repeats=args.repeats,
+                recovery=not args.no_recovery,
+            )
+            print(render_queryplane(cell))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(cell, fh, indent=2)
+                print(f"wrote {args.json}")
+            if not cell["ok"]:
+                print("!! queryplane: bit-identity or recovery failed")
+                return 1
+            if (args.assert_speedup is not None
+                    and cell["speedup"] < args.assert_speedup):
+                print(
+                    f"!! queryplane: {max(args.reader_counts)}-reader "
+                    f"speedup {cell['speedup']:.2f} < {args.assert_speedup}"
                 )
                 return 1
         elif exp == "fig7":

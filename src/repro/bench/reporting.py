@@ -19,6 +19,7 @@ __all__ = [
     "render_chaos",
     "render_replication",
     "render_failover",
+    "render_queryplane",
     "render_sharding",
 ]
 
@@ -358,6 +359,45 @@ def render_sharding(cell: Mapping) -> str:
             f"  {name}: crashed {r['crashed']}  "
             f"resolutions {r['resolutions']}  identical {r['identical']}"
         )
+    return "\n".join(lines)
+
+
+def render_queryplane(cell: Mapping) -> str:
+    """Render one ``run_queryplane`` cell (see ``repro.bench.harness``):
+    the in-engine baseline, one line per reader-pool size, and the
+    bit-identity / recovery verdicts."""
+    verdict = "OK" if cell["ok"] else "FAILED"
+    lines = [
+        (
+            f"queryplane: {cell['queries']} queries / {cell['updates']} "
+            f"updates over {cell['num_vertices']} vertices "
+            f"(rate {cell['update_rate']}, frame {cell['frame']}, "
+            f"seed {cell['seed']})"
+        ),
+        (
+            f"in-engine baseline (best of {cell.get('repeats', 1)} per "
+            f"phase): {cell['engine_wall_s']:.3f} s  "
+            f"{cell['engine_qps']:,.0f} q/s"
+        ),
+    ]
+    for n in sorted(cell["readers"]):
+        r = cell["readers"][n]
+        lines.append(
+            f"  {n} reader(s): {r['wall_s']:.3f} s  {r['qps']:,.0f} q/s  "
+            f"-> {r['speedup']:.2f}x  ({r['samples']} samples verified)"
+        )
+    rec = cell["recovery"]
+    if rec.get("ran"):
+        lines.append(
+            f"recovery: min_epoch {rec['min_epoch']}  "
+            f"truncated {rec['truncated']}  "
+            f"bit-identical {rec['bit_identical']}  "
+            f"refused-below-min {rec['refused_below_min']}"
+        )
+    lines.append(
+        f"verdict: {verdict}  bit-identical {cell['bit_identical']}  "
+        f"headline speedup {cell['speedup']:.2f}x"
+    )
     return "\n".join(lines)
 
 

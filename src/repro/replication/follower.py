@@ -107,6 +107,10 @@ class FollowerEngine:
         self.replay_makespan = 0.0
         self.queries_served = 0
         self._qseq = 0
+        #: wait-free query plane publisher (docs/queryplane.md); a
+        #: follower republishes at every applied commit and re-anchor,
+        #: so reader processes stay bounded-stale behind replication lag
+        self._queryplane = None
 
     # ------------------------------------------------------------------
     # receiving + replaying
@@ -226,6 +230,7 @@ class FollowerEngine:
                 f"replica {self.replica_id} epoch drift: replay produced "
                 f"epoch {got}, primary committed {epoch}"
             )
+        self._publish_epoch(touched)
 
     def _maintainer_kw(self) -> Dict[str, Any]:
         cfg = self.config
@@ -242,6 +247,40 @@ class FollowerEngine:
         self.maintainer = m
         self.snapshots = SnapshotStore(
             m, cache_epochs=self.config.snapshot_cache, epoch0=epoch0
+        )
+        # a mid-stream attach moves min_epoch forward: republish so
+        # pinned readers below the new floor get the truncation refusal
+        self._publish_epoch(None)
+
+    # ------------------------------------------------------------------
+    # wait-free query plane (docs/queryplane.md)
+    # ------------------------------------------------------------------
+    def enable_queryplane(self, publisher=None, **kwargs):
+        """Attach an :class:`~repro.service.queryplane.EpochPublisher`.
+
+        Every applied commit (and every checkpoint re-anchor) republishes
+        the follower's core map, stamped with the replica's applied epoch
+        — reader processes answer from shared memory at replication-lag
+        staleness without touching the replay loop.  Pass an existing
+        ``publisher`` to rebind after promotion (the promoted engine's
+        plane keeps its segments; epochs continue from the follower's
+        applied epoch).  The caller owns the publisher's lifetime.
+        """
+        if publisher is None:
+            from repro.service.queryplane import EpochPublisher
+
+            publisher = EpochPublisher(**kwargs)
+        self._queryplane = publisher
+        if self.snapshots is not None:
+            self._publish_epoch(None)
+        return publisher
+
+    def _publish_epoch(self, touched) -> None:
+        if self._queryplane is None or self.snapshots is None:
+            return
+        view = self.snapshots.view()
+        self._queryplane.publish(
+            view.epoch, self.snapshots.min_epoch, view.mapping, touched
         )
 
     # ------------------------------------------------------------------

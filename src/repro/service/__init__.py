@@ -21,7 +21,11 @@ package answers "serve an interleaved stream of updates and queries":
 * :class:`ShardedEngine` — router + N engine shards with cross-shard
   two-phase commit on the journal and exact epoch-stitched views; the
   ``process`` backend hosts each shard in its own OS process (see
-  ``docs/sharding.md``).
+  ``docs/sharding.md``);
+* :class:`EpochPublisher` / :class:`SnapshotReader` / :class:`ReaderPool`
+  — the wait-free query plane: seqlocked shared-memory epoch snapshots
+  served by parallel OS reader processes that never enter the engine
+  loop (see ``docs/queryplane.md``).
 
 See ``docs/service.md`` for the architecture tour and the metrics
 glossary, and ``repro-serve`` (``python -m repro.service``) for the CLI.
@@ -31,6 +35,7 @@ from repro.service.batcher import AdaptiveBatcher, PendingOps
 from repro.service.engine import Engine, EngineConfig
 from repro.service.journal import EdgeJournal, Replay
 from repro.service.metrics import ServiceMetrics, percentile, summarize_latencies
+from repro.service.queryplane import EpochPublisher, ReaderPool, SnapshotReader
 from repro.service.requests import Request, Response
 from repro.service.sharding import LocalShard, RouterCrashed, ShardedEngine
 from repro.service.snapshots import SnapshotStore, SnapshotView
@@ -47,6 +52,9 @@ __all__ = [
     "AdaptiveBatcher",
     "SnapshotStore",
     "SnapshotView",
+    "EpochPublisher",
+    "SnapshotReader",
+    "ReaderPool",
     "Request",
     "Response",
     "ServiceMetrics",

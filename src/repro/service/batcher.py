@@ -164,7 +164,18 @@ class AdaptiveBatcher:
             self._first_queued_at = None
 
     def note_query(self) -> None:
-        self._queries_since_commit += 1
+        self.note_queries(1)
+
+    def note_queries(self, n: int) -> None:
+        """Record ``n`` answered queries at once.
+
+        The wait-free query plane answers reads in other OS processes —
+        none of them pass through :meth:`note_query` — so the engine
+        periodically folds the plane's shared read counter in here
+        (:meth:`repro.service.engine.Engine.enable_queryplane`), keeping
+        the ``pressure`` cut trigger honest under wait-free reads.
+        """
+        self._queries_since_commit += n
 
     # ------------------------------------------------------------------
     def cut_reason(self, now: float) -> Optional[str]:

@@ -92,6 +92,16 @@ def _parser() -> argparse.ArgumentParser:
                       "machine), 'thread' (real threads), 'process' "
                       "(each shard engine in its own OS process; "
                       "requires --shards >= 2)")
+    qp = p.add_argument_group("wait-free query plane (docs/queryplane.md)")
+    qp.add_argument("--readers", type=int, default=0,
+                    help="OS reader processes answering queries from the "
+                    "shared-memory epoch snapshot instead of the engine "
+                    "loop (0 = classic in-engine reads, the default)")
+    qp.add_argument("--read-mix", type=float, default=1.0,
+                    metavar="FRAC",
+                    help="with --readers: fraction of trace queries routed "
+                    "to the reader pool; the rest still take the in-engine "
+                    "path (default 1.0 = all reads wait-free)")
     repl = p.add_argument_group("replication (docs/replication.md)")
     repl.add_argument("--replicas", type=int, default=0,
                       help="follower read replicas behind the primary "
@@ -154,6 +164,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--backend process hosts each shard engine in its own OS "
               "process; it requires --shards >= 2 (use --backend sim or "
               "thread for a monolithic engine)", file=sys.stderr)
+        return 2
+    if args.readers < 0:
+        print("--readers must be >= 0", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.read_mix <= 1.0:
+        print("--read-mix must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.readers and (args.shards > 1 or args.replicas):
+        print("--readers serves the monolithic engine's query plane; it "
+              "cannot be combined with --shards or --replicas (enable "
+              "those planes programmatically, see docs/queryplane.md)",
+              file=sys.stderr)
         return 2
     if args.shards > 1 and args.replicas:
         print("--shards cannot be combined with --replicas: the "
@@ -227,11 +249,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         eng = Engine(DynamicGraph(initial), cfg)
     with eng:
-        _drive_trace(eng, trace)
+        if args.readers:
+            qp_stats = _drive_with_readers(eng, trace, args)
+        else:
+            qp_stats = None
+            _drive_trace(eng, trace)
         eng.flush()
         if args.check:
             eng.check()
         metrics = eng.metrics()
+    if qp_stats is not None:
+        metrics["queryplane"] = qp_stats
     if ingest is not None:
         metrics["ingest"] = ingest
 
@@ -244,6 +272,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"ingest: kept {ingest['kept']}  "
                   f"malformed {ingest['malformed']}  "
                   f"self-loops {ingest['self_loops']}")
+        if qp_stats is not None:
+            print(f"queryplane: readers {qp_stats['readers']}  "
+                  f"wait-free reads {qp_stats['wait_free_reads']} "
+                  f"(mix {qp_stats['read_mix']:g}, counter "
+                  f"{qp_stats['reads_total']})")
         print(render_service_metrics(metrics))
     return 0 if _accounting_ok(metrics) else 1
 
@@ -257,6 +290,50 @@ def _drive_trace(target, trace) -> None:
             target.insert(item[1], item[2])
         else:
             target.remove(item[1], item[2])
+
+
+def _drive_with_readers(eng, trace, args):
+    """The ``--readers N`` serving path (docs/queryplane.md).
+
+    Updates go to the engine as usual; ``--read-mix`` of the queries are
+    answered by the reader pool from the shared-memory snapshot (the
+    rest take the classic in-engine path).  The pool's read counter is
+    bound back into the batcher so ``query_pressure`` cuts keep firing
+    even when reads never enter the engine loop.
+    """
+    import random as _random
+
+    from repro.service.queryplane import ReaderPool
+
+    publisher = eng.enable_queryplane()
+    rng = _random.Random(args.seed ^ 0x51CA)
+    wait_free = 0
+    try:
+        with ReaderPool(publisher.ctrl_name, readers=args.readers) as pool:
+            eng.bind_read_counter(pool.reads_total)
+            for item in trace:
+                if item[0] == "query":
+                    if rng.random() < args.read_mix:
+                        pool.query(item[1], *item[2])
+                        wait_free += 1
+                    else:
+                        eng.query(item[1], *item[2])
+                elif item[0] == "insert":
+                    eng.insert(item[1], item[2])
+                else:
+                    eng.remove(item[1], item[2])
+            stats = {
+                "readers": args.readers,
+                "read_mix": args.read_mix,
+                "wait_free_reads": wait_free,
+                "reads_total": pool.reads_total(),
+                "per_reader": pool.counters(),
+            }
+            eng.flush()  # fold the final read-counter delta
+    finally:
+        eng.bind_read_counter(None)
+        publisher.close()
+    return stats
 
 
 def _accounting_ok(metrics) -> bool:

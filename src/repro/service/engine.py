@@ -268,6 +268,12 @@ class Engine:
         self._edge_reqs: Dict[Edge, List[_Tracked]] = {}
         self._completed: List[Response] = []
         self._batch_results: List[BatchResult] = []
+        #: wait-free query plane (docs/queryplane.md): an
+        #: EpochPublisher fed at every commit, plus the plane's shared
+        #: read counter folded into the batcher's pressure trigger
+        self._queryplane = None
+        self._read_counter: Optional[Callable[[], int]] = None
+        self._reads_seen = 0
         self._query_kinds: Dict[str, Callable[[SnapshotView, Tuple], Any]] = (
             dict(QUERY_KINDS)
         )
@@ -325,6 +331,7 @@ class Engine:
 
     def submit(self, request: Request) -> Response:
         """Admit and process one request; never raises for bad input."""
+        self._poll_external_reads()
         rid = self._assign_id(request)
         if rid is None:  # duplicate id
             return self._quarantine_direct(
@@ -342,8 +349,76 @@ class Engine:
     def flush(self) -> List[Response]:
         """Force-cut the pending run and return every update response
         that became terminal since the last drain."""
+        self._poll_external_reads()
         self._cut("flush")
         return self.take_completed()
+
+    # ------------------------------------------------------------------
+    # wait-free query plane (docs/queryplane.md)
+    # ------------------------------------------------------------------
+    def enable_queryplane(self, publisher=None,
+                          read_counter: Optional[Callable[[], int]] = None,
+                          **kwargs):
+        """Attach (or create) an epoch publisher and publish the current
+        committed state.
+
+        ``publisher`` lets a restarted engine rebind the buffers its
+        predecessor served (:meth:`from_journal` recovery): the rebind
+        re-publishes the full mirror at the restarted engine's epoch and
+        ``min_epoch``, so readers pinned below a checkpoint-truncated
+        epoch start getting structured refusals immediately.  ``kwargs``
+        (``capacity``, ``vocab_capacity``) size a freshly created
+        publisher.
+
+        ``read_counter`` is a zero-arg callable polled on every submit
+        and flush — normally
+        :meth:`repro.service.queryplane.ReaderPool.reads_total` — whose
+        *delta* feeds :meth:`AdaptiveBatcher.note_queries`, keeping
+        ``query_pressure`` cuts firing although wait-free reads never
+        enter the engine.
+
+        The engine does **not** own the publisher: close it (and any
+        reader pool) caller-side after :meth:`close`.
+        """
+        if publisher is None:
+            from repro.service.queryplane import EpochPublisher
+
+            publisher = EpochPublisher(**kwargs)
+        self._queryplane = publisher
+        if read_counter is not None:
+            self.bind_read_counter(read_counter)
+        self._publish_epoch(None)
+        return publisher
+
+    def bind_read_counter(
+        self, read_counter: Optional[Callable[[], int]]
+    ) -> None:
+        """Start folding an external (query-plane) read counter into the
+        batcher's pressure trigger.  The counter must be monotonic; the
+        engine tracks the last value it folded.  Pass ``None`` to unbind
+        (e.g. before the reader pool's counter segment is released)."""
+        self._read_counter = read_counter
+        self._reads_seen = read_counter() if read_counter is not None else 0
+
+    def _poll_external_reads(self) -> None:
+        if self._read_counter is None:
+            return
+        total = self._read_counter()
+        delta = total - self._reads_seen
+        if delta > 0:
+            self._reads_seen = total
+            self.batcher.note_queries(delta)
+
+    def _publish_epoch(self, touched=None) -> None:
+        """Publish the last committed epoch to the query plane (no-op
+        without one).  ``touched`` bounds the mirror update; ``None``
+        forces a full rewrite (first publish, rebind)."""
+        if self._queryplane is None:
+            return
+        view = self.snapshots.view()
+        self._queryplane.publish(
+            view.epoch, self.snapshots.min_epoch, view.mapping, touched
+        )
 
     def take_completed(self) -> List[Response]:
         """Drain the asynchronously-completed update responses."""
@@ -613,6 +688,7 @@ class Engine:
             touched.update(s.v_star)
         epoch = self.snapshots.commit(touched)
         self.journal.log_commit(epoch)
+        self._publish_epoch(touched)
         detail = f"retried:{attempt}" if attempt else None
         if attempt:
             self.metrics_collector.faults["retried_ops"] += sum(
@@ -716,6 +792,10 @@ class Engine:
         m.faults = self.faults
         self.maintainer = m
         self.metrics_collector.faults["recoveries"] += 1
+        # the buffers already carry the last committed epoch, but a full
+        # re-publish pins them to the *rebuilt* state — recovery must
+        # never leave the wait-free plane answering from a corrupt map
+        self._publish_epoch(None)
 
     @classmethod
     def from_journal(
@@ -904,6 +984,7 @@ class Engine:
             for s in result.stats:
                 touched.update(s.v_star)
             epoch = self.snapshots.commit(touched)
+            self._publish_epoch(touched)
         else:
             epoch = self.epoch
         for p in tracked:

@@ -61,6 +61,8 @@ __all__ = [
     "E_RETRIES_EXHAUSTED",
     "E_REPLICA_UNREADY",
     "E_PRIMARY_DOWN",
+    "E_EPOCH_TRUNCATED",
+    "E_EPOCH_UNAVAILABLE",
 ]
 
 # terminal + transient statuses
@@ -87,6 +89,11 @@ E_RETRIES_EXHAUSTED = "retries-exhausted"
 # replication-plane codes (docs/replication.md)
 E_REPLICA_UNREADY = "replica-unready"   # follower has no init record yet
 E_PRIMARY_DOWN = "primary-down"         # primary dead, no promotable follower
+# query-plane refusals (docs/queryplane.md): a pinned epoch the wait-free
+# buffers can no longer answer gets a structured refusal, never a stale
+# or torn answer
+E_EPOCH_TRUNCATED = "epoch-truncated"      # pin below the published min_epoch
+E_EPOCH_UNAVAILABLE = "epoch-unavailable"  # pin valid but not buffered
 
 
 @dataclass(frozen=True)
@@ -124,6 +131,14 @@ class Response:
     replica had applied (``replica_epoch``) and how many primary journal
     records it had not yet replayed at answer time
     (``replica_lag_records``).  Both stay ``None`` on primary answers.
+
+    The two ``snapshot_*``/``staleness_*`` fields are the wait-free
+    query plane's bounded-staleness contract (``docs/queryplane.md``):
+    an answer served from the shared-memory buffers carries the epoch of
+    the buffer it read (``snapshot_epoch``) and how many epochs the
+    freshest published buffer was ahead at answer time
+    (``staleness_epochs``, 0 for an up-to-date read).  Both stay
+    ``None`` on the in-engine read path.
     """
 
     id: str
@@ -136,6 +151,8 @@ class Response:
     detail: Optional[str] = None
     replica_epoch: Optional[int] = None
     replica_lag_records: Optional[int] = None
+    snapshot_epoch: Optional[int] = None
+    staleness_epochs: Optional[int] = None
 
     @property
     def ok(self) -> bool:

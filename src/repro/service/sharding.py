@@ -128,6 +128,11 @@ class LocalShard:
     def take_completed(self) -> List[Response]:
         return self.engine.take_completed()
 
+    def enable_queryplane(self, **kwargs) -> str:
+        """Publish this shard's epochs (docs/queryplane.md); returns the
+        ctrl segment name for attaching readers."""
+        return self.engine.enable_queryplane(**kwargs).ctrl_name
+
     # -- 2PC participant ----------------------------------------------
     def prepare_cross(self, tx: str, kind: str, edge: Edge, rid: str,
                       peer: int, role: str = "apply") -> Optional[str]:
@@ -283,6 +288,11 @@ class ShardedEngine:
         self._stitch_cache: Optional[Tuple[Tuple[int, ...], SnapshotView]] = None
         self.resolutions: List[_Resolution] = []
         self._closed = False
+        #: stitched-global query plane (docs/queryplane.md): refreshed
+        #: whenever the stitch cache recomputes, plus on every flush
+        self._queryplane = None
+        self._qp_min_epoch = 0
+        self._shard_planes: List[str] = []
         if _shards is not None:
             self.shards = _shards
             for sh in self.shards:
@@ -413,7 +423,48 @@ class ShardedEngine:
         self._completed = []
         for sh in self.shards:
             out.extend(sh.flush())
+        if self._queryplane is not None:
+            self.view()  # refresh the stitched buffer at the new vector
         return out
+
+    # ------------------------------------------------------------------
+    # wait-free query plane (docs/queryplane.md)
+    # ------------------------------------------------------------------
+    def enable_queryplane(self, publisher=None, per_shard: bool = False,
+                          **kwargs):
+        """Attach the stitched-global epoch publisher (and optionally a
+        per-shard plane on every shard engine).
+
+        The global buffer carries the stitched core map stamped with the
+        global epoch (the shard-epoch vector sum) and refreshes whenever
+        the stitch recomputes — after :meth:`flush` and on any
+        :meth:`view` at a new epoch vector.  Its ``min_epoch`` is the
+        global epoch at enable time: pre-stitch history is not
+        reconstructible, so older pins get a structured refusal.
+
+        With ``per_shard=True`` every shard engine additionally
+        publishes its *own* epochs from its own process (workers publish
+        at each local commit — no router involvement); the ctrl names
+        are returned by :meth:`shard_queryplanes`.
+        """
+        if publisher is None:
+            from repro.service.queryplane import EpochPublisher
+
+            publisher = EpochPublisher(**kwargs)
+        self._queryplane = publisher
+        self._qp_min_epoch = self.epoch
+        if per_shard:
+            self._shard_planes = [
+                sh.enable_queryplane(**kwargs) for sh in self.shards
+            ]
+        self._stitch_cache = None  # force a fresh stitch + publish
+        self.view()
+        return publisher
+
+    def shard_queryplanes(self) -> List[str]:
+        """Ctrl segment names of the per-shard planes (empty unless
+        ``enable_queryplane(per_shard=True)``)."""
+        return list(self._shard_planes)
 
     def take_completed(self) -> List[Response]:
         out = self._completed
@@ -440,6 +491,13 @@ class ShardedEngine:
             return self._stitch_cache[1]
         view = SnapshotView(sum(vec), self._stitch())
         self._stitch_cache = (vec, view)
+        if self._queryplane is not None:
+            # publish after the epoch-vector refinement settles: global
+            # epochs are the (strictly increasing) vector sum, so every
+            # stamped epoch names exactly one stitched state
+            self._queryplane.publish(
+                view.epoch, self._qp_min_epoch, view.mapping, None
+            )
         return view
 
     def metrics(self) -> Dict:

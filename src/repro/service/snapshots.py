@@ -41,13 +41,25 @@ class SnapshotView:
     All answers come from the frozen ``cores`` map via the helpers of
     :mod:`repro.core.queries`; the view never touches the maintainer, so
     reading can never block on (or observe) an in-flight batch.
+
+    The map never changes after construction, so the derived aggregates
+    (:meth:`degeneracy`, :meth:`shell_histogram`, :meth:`innermost`) and
+    the :meth:`cores` export are computed once per view and cached —
+    under a read-heavy mix these, not the maintainer, are the hot path.
     """
 
-    __slots__ = ("epoch", "_cores")
+    __slots__ = ("epoch", "_cores", "_copy", "_degeneracy", "_innermost",
+                 "_histogram", "_shells", "_kcores")
 
     def __init__(self, epoch: int, cores: Dict[Vertex, int]) -> None:
         self.epoch = epoch
         self._cores = cores
+        self._copy: Optional[Dict[Vertex, int]] = None
+        self._degeneracy: Optional[int] = None
+        self._innermost: Optional[Tuple[int, Set[Vertex]]] = None
+        self._histogram: Optional[Dict[int, int]] = None
+        self._shells: Dict[int, Set[Vertex]] = {}
+        self._kcores: Dict[int, Set[Vertex]] = {}
 
     def __len__(self) -> int:
         return len(self._cores)
@@ -55,31 +67,63 @@ class SnapshotView:
     def __contains__(self, u: Vertex) -> bool:
         return u in self._cores
 
+    @property
+    def mapping(self) -> Dict[Vertex, int]:
+        """The view's internal core map — shared, **read-only**.  The
+        zero-copy surface the query-plane publisher encodes from
+        (:meth:`repro.service.queryplane.EpochPublisher.publish`);
+        mutating it corrupts the epoch ledger."""
+        return self._cores
+
     def core(self, u: Vertex) -> Optional[int]:
         """Core number of ``u`` at this epoch (None if unknown then)."""
         return self._cores.get(u)
 
     def cores(self) -> Dict[Vertex, int]:
-        """A copy of the full core map at this epoch."""
-        return dict(self._cores)
+        """The full core map at this epoch.
+
+        The returned dict is built once per view and shared by every
+        later call (the store hands out one view per cached epoch, so
+        this is one copy per *epoch*, not per query) — treat it as
+        read-only; take ``dict(view.cores())`` to mutate.
+        """
+        if self._copy is None:
+            self._copy = dict(self._cores)
+        return self._copy
 
     def k_core(self, k: int) -> Set[Vertex]:
-        return k_core_vertices(self._cores, k)
+        """Vertices in the ``k``-core — computed once per ``k`` per view
+        and shared by later calls; treat it as read-only."""
+        got = self._kcores.get(k)
+        if got is None:
+            got = self._kcores[k] = k_core_vertices(self._cores, k)
+        return got
 
     def k_shell(self, k: int) -> Set[Vertex]:
-        return k_shell(self._cores, k)
+        """Vertices in the ``k``-shell — computed once per ``k`` per
+        view and shared by later calls; treat it as read-only."""
+        got = self._shells.get(k)
+        if got is None:
+            got = self._shells[k] = k_shell(self._cores, k)
+        return got
 
     def in_k_core(self, u: Vertex, k: int) -> bool:
         return in_k_core(self._cores, u, k)
 
     def degeneracy(self) -> int:
-        return degeneracy(self._cores)
+        if self._degeneracy is None:
+            self._degeneracy = degeneracy(self._cores)
+        return self._degeneracy
 
     def innermost(self) -> Tuple[int, Set[Vertex]]:
-        return innermost_core(self._cores)
+        if self._innermost is None:
+            self._innermost = innermost_core(self._cores)
+        return self._innermost
 
     def shell_histogram(self) -> Dict[int, int]:
-        return shell_histogram(self._cores)
+        if self._histogram is None:
+            self._histogram = shell_histogram(self._cores)
+        return self._histogram
 
 
 #: the snapshot query plane: kind -> handler(view, args).  Shared by the
@@ -123,9 +167,13 @@ class SnapshotStore:
         self.history = CoreHistory(maintainer)
         self.history.t = epoch0
         self.min_epoch = epoch0
-        self._cache: "OrderedDict[int, Dict[Vertex, int]]" = OrderedDict()
+        #: epoch -> materialized SnapshotView (LRU).  Caching the *view*
+        #: (not the raw map) makes the per-view aggregate caches and the
+        #: one-copy-per-epoch ``cores()`` export effective across
+        #: repeated ``view()`` calls at the same epoch.
+        self._cache: "OrderedDict[int, SnapshotView]" = OrderedDict()
         self._cache_epochs = cache_epochs
-        self._cache[epoch0] = dict(maintainer.cores())
+        self._cache[epoch0] = SnapshotView(epoch0, dict(maintainer.cores()))
 
     # ------------------------------------------------------------------
     @property
@@ -142,12 +190,12 @@ class SnapshotStore:
         epoch = self.history.record_epoch(touched)
         if prev is not None:
             # incremental materialization: patch the previous epoch's map
-            cur = dict(prev)
+            cur = dict(prev.mapping)
             for w in touched:
                 k = self.history.core_at(w, epoch)
                 if k is not None:
                     cur[w] = k
-            self._remember(epoch, cur)
+            self._remember(epoch, SnapshotView(epoch, cur))
         return epoch
 
     def view(self, epoch: Optional[int] = None) -> SnapshotView:
@@ -157,16 +205,16 @@ class SnapshotStore:
             raise ValueError(
                 f"epoch {e} out of range [{self.min_epoch}, {self.epoch}]"
             )
-        cores = self._cache.get(e)
-        if cores is None:
-            cores = self.history.cores_at(e)
-            self._remember(e, cores)
+        view = self._cache.get(e)
+        if view is None:
+            view = SnapshotView(e, self.history.cores_at(e))
+            self._remember(e, view)
         else:
             self._cache.move_to_end(e)
-        return SnapshotView(e, cores)
+        return view
 
-    def _remember(self, epoch: int, cores: Dict[Vertex, int]) -> None:
-        self._cache[epoch] = cores
+    def _remember(self, epoch: int, view: SnapshotView) -> None:
+        self._cache[epoch] = view
         self._cache.move_to_end(epoch)
         while len(self._cache) > self._cache_epochs:
             self._cache.popitem(last=False)
@@ -182,7 +230,7 @@ class SnapshotStore:
         before accepting the swap.
         """
         live = maintainer.cores()
-        committed = self.view().cores()
+        committed = self.view().mapping
         if live != committed:
             raise ValueError(
                 "recovered maintainer disagrees with committed epoch "
@@ -193,7 +241,7 @@ class SnapshotStore:
     def check(self) -> None:
         """History-vs-maintainer consistency (valid at quiescence)."""
         self.history.check()
-        live = self.view().cores()
+        live = self.view().mapping
         for u, k in self.history.m.cores().items():
             assert live.get(u) == k, (
                 f"snapshot of {u!r} out of sync: {live.get(u)} != {k}"

@@ -24,6 +24,7 @@ NEW_RULES = {
     "RL010", "RL011", "RL012", "RL013", "RL014",
     "RL015", "RL016", "RL017",
     "RL020", "RL021", "RL022",
+    "RL023", "RL024", "RL025",
 }
 
 
@@ -481,6 +482,91 @@ class TestJournalSchemaMutants:
             "tests/test_thing.py": (
                 "def test_bogus(j):\n"
                 "    j.append({'t': 'bogus'})\n"
+            ),
+        }
+        assert new_rules_hit(src) == set()
+
+
+# ----------------------------------------------------------------------
+# buffer-schema lockstep (RL023-RL025)
+# ----------------------------------------------------------------------
+_BUFFER_BASE = (
+    "QP_SEQ = 0\n"
+    "QP_EPOCH = 1\n"
+    "class Pub:\n"
+    "    def write(self, hdr, epoch):\n"
+    "        hdr[QP_SEQ] = 1\n"
+    "        hdr[QP_EPOCH] = epoch\n"
+    "        hdr[QP_SEQ] = 2\n"
+)
+
+
+class TestBufferSchemaMutants:
+    def test_rl023_stored_slot_never_loaded(self):
+        """The reader forgot to decode QP_EPOCH: the publisher pays for
+        bytes nobody can see."""
+        src = {
+            "src/repro/service/queryplane.py": (
+                _BUFFER_BASE
+                + "class Rdr:\n"
+                  "    def read(self, hdr):\n"
+                  "        s1 = hdr[QP_SEQ]\n"
+                  "        return s1\n"  # QP_EPOCH never loaded
+            ),
+        }
+        assert new_rules_hit(src) == {"RL023"}
+
+    def test_rl024_loaded_slot_never_stored(self):
+        """The reader decodes a slot no publisher writes — always-zero
+        garbage that looks like a valid epoch."""
+        src = {
+            "src/repro/service/queryplane.py": (
+                _BUFFER_BASE.replace("        hdr[QP_EPOCH] = epoch\n", "")
+                + "class Rdr:\n"
+                  "    def read(self, hdr):\n"
+                  "        s1 = hdr[QP_SEQ]\n"
+                  "        epoch = hdr[QP_EPOCH]\n"  # nothing stores it
+                  "        return s1, epoch\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL024"}
+
+    def test_rl025_declared_slot_never_subscripted(self):
+        """A renumbering relic: the constant survives, every use is
+        gone — and its index is one layout change from being reused."""
+        src = {
+            "src/repro/service/queryplane.py": (
+                _BUFFER_BASE.replace("QP_EPOCH = 1\n",
+                                     "QP_EPOCH = 1\nQP_MIN_EPOCH = 2\n")
+                + "class Rdr:\n"
+                  "    def read(self, hdr):\n"
+                  "        s1 = hdr[QP_SEQ]\n"
+                  "        return s1, hdr[QP_EPOCH]\n"
+            ),
+        }
+        assert new_rules_hit(src) == {"RL025"}
+
+    def test_augassign_counts_as_store_and_load(self):
+        """``hdr[QP_SEQ] += 1`` both reads and writes the slot — the
+        seqlock bump idiom must satisfy both directions at once."""
+        src = {
+            "src/repro/service/queryplane.py": (
+                "QP_SEQ = 0\n"
+                "class Pub:\n"
+                "    def stamp(self, hdr):\n"
+                "        hdr[QP_SEQ] += 1\n"
+            ),
+        }
+        assert new_rules_hit(src) == set()
+
+    def test_pass_skipped_without_slot_declarations(self):
+        """Linting a module that merely subscripts QP_-named constants
+        (e.g. a test fixture importing them) must not arm the pass."""
+        src = {
+            "tests/test_thing.py": (
+                "from repro.service.queryplane import QP_SEQ\n"
+                "def test_poke(hdr):\n"
+                "    hdr[QP_SEQ] = 3\n"
             ),
         }
         assert new_rules_hit(src) == set()
