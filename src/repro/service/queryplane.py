@@ -30,12 +30,27 @@ Three kinds of segment, all named in a small fixed **control** segment:
 
 Seqlock protocol
 ----------------
-The publisher writes the *inactive* buffer: stamp ``QP_SEQ`` odd, write
-payload + header fields, stamp ``QP_SEQ`` even, then flip
-``QP_CTRL_ACTIVE``.  Readers load the header stamp, read, and re-load
-the stamp: an odd or changed stamp is a torn read and the reader
-retries.  A reader can therefore *never* observe a half-published epoch;
-the price is bounded retrying, never blocking — the wait-free contract.
+The publisher writes the *inactive* buffer: stamp ``QP_SEQ`` and its
+``QP_SEQ_ECHO`` twin odd, write payload + header fields, stamp
+``QP_SEQ_ECHO`` even, stamp ``QP_SEQ`` even, then flip
+``QP_CTRL_ACTIVE``.  Readers load the header stamp, read, and then
+require *both* ``QP_SEQ_ECHO`` and ``QP_SEQ`` to still equal the loaded
+even stamp: an odd, changed, or mismatched stamp is a torn read and the
+reader retries.  A reader can therefore *never* observe a
+half-published epoch; the price is bounded retrying, never blocking —
+the wait-free contract.
+
+Memory-model caveat: the soundness argument assumes stores to the
+shared mapping become visible in program order (x86-TSO) — CPython
+emits no memory barriers for plain buffer writes.  On weakly-ordered
+CPUs (aarch64: Apple Silicon, Graviton) an even stamp could in
+principle become visible before the payload stores it follows.  The
+``QP_SEQ_ECHO`` bracket narrows that window — the two stamps sit on
+opposite sides of the payload writes, so a torn accept needs two
+independently stale slots — but detection there is best-effort, not
+guaranteed; deployments on weak memory models should treat the plane's
+bit-identity gate (``python -m repro.bench queryplane``) as the
+empirical check.
 
 Staleness contract
 ------------------
@@ -101,6 +116,7 @@ QP_MIN_EPOCH = 2    # oldest answerable epoch (checkpoint truncation)
 QP_N = 3            # valid payload slots (interner size at publish)
 QP_VOCAB_LEN = 4    # valid bytes of the vocab segment
 QP_VOCAB_COUNT = 5  # external ids encoded in those bytes
+QP_SEQ_ECHO = 6     # post-payload stamp twin (weak-memory torn-read guard)
 
 # Control segment slots (same store/load lockstep contract).
 QP_CTRL_SEQ = 0          # seqlock stamp for generation swaps
@@ -127,6 +143,7 @@ _LEN = struct.Struct("<I")  # vocab entry length prefix
 # unpack replaces a run of per-slot memoryview loads
 _CTRL3 = struct.Struct("<3q")  # QP_CTRL_SEQ, QP_CTRL_ACTIVE, QP_CTRL_GENERATION
 _HDR6 = struct.Struct("<6q")   # QP_SEQ .. QP_VOCAB_COUNT
+_HDR7 = struct.Struct("<7q")   # ... + QP_SEQ_ECHO (final-confirm read)
 _I64 = struct.Struct("<q")
 
 
@@ -258,12 +275,15 @@ class EpochPublisher:
         ctrl[QP_CTRL_SEQ] = seq + 2
 
     def _write_buffer(self, b: int, epoch: int, min_epoch: int) -> None:
-        """Seqlock-write buffer ``b``: odd stamp, payload + header
-        fields, even stamp."""
+        """Seqlock-write buffer ``b``: odd stamps, payload + header
+        fields, even echo, even stamp.  The echo is the last store
+        after the payload; the stamp pair brackets every payload byte
+        (module docstring, *Memory-model caveat*)."""
         seg = self._bufs[b]
         hdr = seg.i64
         self._seq[b] += 1
         hdr[QP_SEQ] = self._seq[b]
+        hdr[QP_SEQ_ECHO] = self._seq[b]
         n = len(self._mirror)
         if n:
             hdr[HEADER_SLOTS:HEADER_SLOTS + n] = memoryview(self._mirror)[:n]
@@ -273,6 +293,7 @@ class EpochPublisher:
         hdr[QP_VOCAB_LEN] = len(self._vocab_mirror)
         hdr[QP_VOCAB_COUNT] = len(self._interner)
         self._seq[b] += 1
+        hdr[QP_SEQ_ECHO] = self._seq[b]
         hdr[QP_SEQ] = self._seq[b]
 
     # -- mirror maintenance ---------------------------------------------
@@ -317,33 +338,37 @@ class EpochPublisher:
         ``min_epoch`` moves the refusal boundary: pins below it get
         :data:`E_EPOCH_TRUNCATED`.
         """
-        if touched is None:
-            for x in cores:
-                self._intern(x)
-            n = len(self._interner)
-            self._mirror = int64_buffer(n, CORE_UNKNOWN)
-            lookup = self._interner.lookup
-            for x, k in cores.items():
-                self._mirror[lookup(x)] = k
-        else:
-            for x in touched:
-                self._intern(x)
-            n = len(self._interner)
-            if len(self._mirror) < n:
-                self._mirror.extend([CORE_UNKNOWN] * (n - len(self._mirror)))
-            lookup = self._interner.lookup
-            get = cores.get
-            for x in touched:
-                self._mirror[lookup(x)] = get(x, CORE_UNKNOWN)
-        if (len(self._interner) > self._capacity
+        for x in (cores if touched is None else touched):
+            self._intern(x)
+        n = len(self._interner)
+        # Extend the mirror with CORE_UNKNOWN slots only — newly
+        # interned vertices were first seen in *this* commit, so the
+        # extended mirror is still a faithful image of the *previous*
+        # epoch's payload.  That matters right below: a regrow
+        # re-stamps both fresh buffers with the previous
+        # (epoch, min_epoch), so it must run before this epoch's
+        # values land, or pinned readers of the previous epoch would
+        # get new-epoch values under the old stamp.
+        if len(self._mirror) < n:
+            self._mirror.extend([CORE_UNKNOWN] * (n - len(self._mirror)))
+        if (n > self._capacity
                 or len(self._vocab_mirror) > self._vocab_capacity):
             self._regrow()
         elif len(self._vocab_mirror) > self._vocab_written:
             # append-only: ship the new vocab tail before the header
             # that advertises it, so readers never chase missing bytes
-            w, n = self._vocab_written, len(self._vocab_mirror)
-            self._vocab.shm.buf[w:n] = bytes(self._vocab_mirror[w:n])
-            self._vocab_written = n
+            w, m = self._vocab_written, len(self._vocab_mirror)
+            self._vocab.shm.buf[w:m] = bytes(self._vocab_mirror[w:m])
+            self._vocab_written = m
+        lookup = self._interner.lookup
+        if touched is None:
+            self._mirror = int64_buffer(n, CORE_UNKNOWN)
+            for x, k in cores.items():
+                self._mirror[lookup(x)] = k
+        else:
+            get = cores.get
+            for x in touched:
+                self._mirror[lookup(x)] = get(x, CORE_UNKNOWN)
         back = 1 - self._active
         self._write_buffer(back, epoch, min_epoch)
         self._active = back
@@ -503,7 +528,7 @@ class SnapshotReader:
         n = hdr[QP_N]
         vlen = hdr[QP_VOCAB_LEN]
         vcount = hdr[QP_VOCAB_COUNT]
-        if hdr[QP_SEQ] != s1:
+        if hdr[QP_SEQ_ECHO] != s1 or hdr[QP_SEQ] != s1:
             return None
         return s1, epoch, min_epoch, n, vlen, vcount
 
@@ -566,7 +591,7 @@ class SnapshotReader:
         self._decode_vocab(vcount, vlen)
         hdr = self._bufs[b].i64
         vals = hdr[HEADER_SLOTS:HEADER_SLOTS + n].tolist()
-        if hdr[QP_SEQ] != seq:
+        if hdr[QP_SEQ_ECHO] != seq or hdr[QP_SEQ] != seq:
             return None
         ext = self._externals
         cores = {
@@ -670,9 +695,11 @@ class SnapshotReader:
             val = _I64.unpack_from(hbuf, (HEADER_SLOTS + slot) * INT64)[0]
         else:
             val = CORE_UNKNOWN
-        # confirm the whole pass was stable: header not restamped, no
-        # buffer flip or regrow behind our back
-        if (_I64.unpack_from(hbuf)[0] != h1
+        # confirm the whole pass was stable: header not restamped (both
+        # stamp slots, the echo being the post-payload one), no buffer
+        # flip or regrow behind our back
+        hcheck = _HDR7.unpack_from(hbuf)
+        if (hcheck[QP_SEQ] != h1 or hcheck[QP_SEQ_ECHO] != h1
                 or _CTRL3.unpack_from(ctrl_buf) != (s1, active, gen)):
             return None
         if kind == "core":
@@ -701,7 +728,7 @@ class SnapshotReader:
         slot = self._slots.get(u)
         hdr = self._bufs[b].i64
         val = hdr[HEADER_SLOTS + slot] if slot is not None and slot < n else CORE_UNKNOWN
-        if hdr[QP_SEQ] != seq:
+        if hdr[QP_SEQ_ECHO] != seq or hdr[QP_SEQ] != seq:
             return None, False
         view = SnapshotView(meta[1], {} if val == CORE_UNKNOWN else {u: val})
         try:
@@ -1012,7 +1039,11 @@ class ReaderPool:
                 self._collect_reader(r)
                 conn.send(("stop",))
                 self._recv(r)
-            except (OSError, EOFError, BrokenPipeError):
+            except (OSError, EOFError, BrokenPipeError, RuntimeError):
+                # RuntimeError: a reader replied ('err', ...) to an
+                # earlier frame — shutdown must still reach every
+                # process and release the counter segment; closing the
+                # pipe below unblocks the reader if "stop" never landed
                 pass
             conn.close()
         for p in self._procs:

@@ -18,7 +18,9 @@ latest epoch — pays the materialization once.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+from typing import (
+    Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple,
+)
 
 from repro.core.history import CoreHistory
 from repro.core.queries import (
@@ -32,7 +34,34 @@ from repro.core.queries import (
 
 Vertex = Hashable
 
-__all__ = ["SnapshotStore", "SnapshotView", "QUERY_KINDS"]
+__all__ = ["FrozenCoreMap", "SnapshotStore", "SnapshotView", "QUERY_KINDS"]
+
+
+class FrozenCoreMap(dict):
+    """A read-only dict for cached query results shared across callers.
+
+    The per-view caches hand the *same* object to every caller (and the
+    ``QUERY_KINDS`` handlers ship it as ``Response.value`` on the
+    in-engine path), so mutation would silently corrupt every later
+    answer at that epoch — here it raises instead.  Pickling reduces to
+    a plain ``dict``, so cross-process consumers (reader pools, shard
+    pipes) receive their own private, mutable copy; ``.copy()`` gives
+    the same in-process.
+    """
+
+    __slots__ = ()
+
+    def _frozen(self, *args, **kwargs):
+        raise TypeError(
+            "snapshot query results are read-only (shared per-epoch "
+            "cache); take dict(result) to mutate a private copy"
+        )
+
+    __setitem__ = __delitem__ = _frozen
+    clear = pop = popitem = setdefault = update = _frozen
+
+    def __reduce__(self):
+        return (dict, (dict(self),))
 
 
 class SnapshotView:
@@ -54,12 +83,12 @@ class SnapshotView:
     def __init__(self, epoch: int, cores: Dict[Vertex, int]) -> None:
         self.epoch = epoch
         self._cores = cores
-        self._copy: Optional[Dict[Vertex, int]] = None
+        self._copy: Optional["FrozenCoreMap"] = None
         self._degeneracy: Optional[int] = None
-        self._innermost: Optional[Tuple[int, Set[Vertex]]] = None
-        self._histogram: Optional[Dict[int, int]] = None
-        self._shells: Dict[int, Set[Vertex]] = {}
-        self._kcores: Dict[int, Set[Vertex]] = {}
+        self._innermost: Optional[Tuple[int, FrozenSet[Vertex]]] = None
+        self._histogram: Optional["FrozenCoreMap"] = None
+        self._shells: Dict[int, FrozenSet[Vertex]] = {}
+        self._kcores: Dict[int, FrozenSet[Vertex]] = {}
 
     def __len__(self) -> int:
         return len(self._cores)
@@ -79,32 +108,33 @@ class SnapshotView:
         """Core number of ``u`` at this epoch (None if unknown then)."""
         return self._cores.get(u)
 
-    def cores(self) -> Dict[Vertex, int]:
+    def cores(self) -> Mapping[Vertex, int]:
         """The full core map at this epoch.
 
-        The returned dict is built once per view and shared by every
-        later call (the store hands out one view per cached epoch, so
-        this is one copy per *epoch*, not per query) — treat it as
-        read-only; take ``dict(view.cores())`` to mutate.
+        Built once per view and shared by every later call (the store
+        hands out one view per cached epoch, so this is one copy per
+        *epoch*, not per query).  The result is a :class:`FrozenCoreMap`
+        — mutation raises; take ``dict(view.cores())`` for a private
+        copy.
         """
         if self._copy is None:
-            self._copy = dict(self._cores)
+            self._copy = FrozenCoreMap(self._cores)
         return self._copy
 
-    def k_core(self, k: int) -> Set[Vertex]:
+    def k_core(self, k: int) -> FrozenSet[Vertex]:
         """Vertices in the ``k``-core — computed once per ``k`` per view
-        and shared by later calls; treat it as read-only."""
+        and shared by later calls, hence frozen."""
         got = self._kcores.get(k)
         if got is None:
-            got = self._kcores[k] = k_core_vertices(self._cores, k)
+            got = self._kcores[k] = frozenset(k_core_vertices(self._cores, k))
         return got
 
-    def k_shell(self, k: int) -> Set[Vertex]:
+    def k_shell(self, k: int) -> FrozenSet[Vertex]:
         """Vertices in the ``k``-shell — computed once per ``k`` per
-        view and shared by later calls; treat it as read-only."""
+        view and shared by later calls, hence frozen."""
         got = self._shells.get(k)
         if got is None:
-            got = self._shells[k] = k_shell(self._cores, k)
+            got = self._shells[k] = frozenset(k_shell(self._cores, k))
         return got
 
     def in_k_core(self, u: Vertex, k: int) -> bool:
@@ -115,14 +145,15 @@ class SnapshotView:
             self._degeneracy = degeneracy(self._cores)
         return self._degeneracy
 
-    def innermost(self) -> Tuple[int, Set[Vertex]]:
+    def innermost(self) -> Tuple[int, FrozenSet[Vertex]]:
         if self._innermost is None:
-            self._innermost = innermost_core(self._cores)
+            kmax, verts = innermost_core(self._cores)
+            self._innermost = (kmax, frozenset(verts))
         return self._innermost
 
-    def shell_histogram(self) -> Dict[int, int]:
+    def shell_histogram(self) -> Mapping[int, int]:
         if self._histogram is None:
-            self._histogram = shell_histogram(self._cores)
+            self._histogram = FrozenCoreMap(shell_histogram(self._cores))
         return self._histogram
 
 

@@ -16,6 +16,7 @@ from repro.service.queryplane import (
     CORE_UNKNOWN,
     NO_EPOCH,
     QP_SEQ,
+    QP_SEQ_ECHO,
     EpochPublisher,
     ReaderPool,
     SnapshotReader,
@@ -159,10 +160,30 @@ class TestSeqlock:
                 # falls back to the general path, which spins and bounds
                 with pytest.raises(RuntimeError, match="did not stabilize"):
                     r.answer("core", ("a",))
-                hdr[QP_SEQ] = seq + 2  # stable again
+                hdr[QP_SEQ_ECHO] = seq + 2
+                hdr[QP_SEQ] = seq + 2  # stable again (stamps in lockstep)
                 assert r.answer("degeneracy", ())[0] == 1
                 assert r.answer("core", ("a",))[0] == 1
                 assert r.stats()["retries"] >= 398
+
+    def test_echo_mismatch_detected_as_torn(self):
+        """The post-payload ``QP_SEQ_ECHO`` bracket: a buffer whose main
+        stamp looks stable but whose echo disagrees is refused as torn —
+        on both the general and the fused point path."""
+        with EpochPublisher() as pub:
+            pub.publish(1, 0, {"a": 1})
+            hdr = pub._bufs[pub._active].i64
+            with SnapshotReader(pub.ctrl_name, max_spins=200) as r:
+                assert r.answer("core", ("a",))[0] == 1
+                echo = hdr[QP_SEQ_ECHO]
+                hdr[QP_SEQ_ECHO] = echo + 2  # even, but out of step
+                with pytest.raises(RuntimeError, match="did not stabilize"):
+                    r.answer("degeneracy", ())
+                with pytest.raises(RuntimeError, match="did not stabilize"):
+                    r.answer("core", ("a",))
+                hdr[QP_SEQ_ECHO] = echo  # back in lockstep
+                assert r.answer("degeneracy", ())[0] == 1
+                assert r.answer("core", ("a",))[0] == 1
 
     def test_regrow_keeps_readers_attached(self):
         with EpochPublisher(capacity=2, vocab_capacity=64) as pub:
@@ -190,6 +211,34 @@ class TestPinContract:
                 value, epoch, stale, err = r.answer("core", ("a",),
                                                     pin_epoch=2)
                 assert (value, epoch, stale, err) == (2, 2, 0, None)
+
+    def test_pin_previous_epoch_survives_regrow(self):
+        """A regrow re-stamps the fresh buffers with the previous
+        epoch, so their payload must still *be* the previous epoch's:
+        a reader pinned there keeps getting pre-grow answers — never
+        the regrowing commit's values under the old stamp."""
+        with EpochPublisher(capacity=2, vocab_capacity=64) as pub:
+            pub.publish(1, 0, {"a": 1, "b": 1})
+            with SnapshotReader(pub.ctrl_name) as r:
+                assert r.answer("core", ("a",), pin_epoch=1)[:2] == (1, 1)
+                cores = {"a": 5, "b": 1}
+                cores.update({i: 2 for i in range(30)})  # forces a regrow
+                pub.publish(2, 0, cores,
+                            touched=["a"] + list(range(30)))
+                assert r.answer("core", ("a",))[:2] == (5, 2)
+                # epoch 1 still answers with its own values, not 5
+                assert r.answer("core", ("a",), pin_epoch=1) == (1, 1, 1,
+                                                                 None)
+                # vertices first seen by the regrowing commit are
+                # unknown at the pinned epoch, not leaked backwards
+                value, epoch, _, err = r.answer("core", (0,), pin_epoch=1)
+                assert value is None and epoch == 1
+                assert err[0] == E_UNKNOWN_VERTEX
+                # aggregates at the pin see only the pre-grow universe
+                assert r.answer("shell_histogram", (),
+                                pin_epoch=1)[0] == {1: 2}
+                assert r.answer("shell_histogram", ())[0] == {1: 1, 2: 30,
+                                                              5: 1}
 
     def test_pin_unbuffered_and_truncated(self):
         with EpochPublisher() as pub:
@@ -368,6 +417,20 @@ class TestReaderPool:
                 # rerunning the staged slice keeps counting reads
                 pool.run(sample_every=4)
                 assert pool.reads_total() == 2 * len(chunk)
+
+    def test_close_survives_reader_error_reply(self):
+        """A reader that replied ``('err', ...)`` must not wedge
+        ``close()``: every process is still stopped and joined, and the
+        shared counter segment is released."""
+        with EpochPublisher() as pub:
+            pub.publish(1, 0, {"a": 1})
+            pool = ReaderPool(pub.ctrl_name, readers=2)
+            # malformed frame: the worker's unpack raises, it replies err
+            pool.dispatch([("core",)])
+            pool.close()
+            assert pool._counter is None
+            assert all(not p.is_alive() for p in pool._procs)
+            pool.close()  # idempotent after the error path too
 
     def test_pool_refusal_is_a_response(self):
         with EpochPublisher() as pub:

@@ -8,7 +8,7 @@ from repro.core.history import CoreHistory
 from repro.core.maintainer import OrderMaintainer
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.parallel.batch import ParallelOrderMaintainer
-from repro.service.snapshots import SnapshotStore
+from repro.service.snapshots import FrozenCoreMap, SnapshotStore, SnapshotView
 
 
 def triangle_plus_tail():
@@ -85,6 +85,45 @@ class TestSnapshotStore:
         # every historical epoch answers correctly even after eviction
         for e, cores in snapshots.items():
             assert store.view(e).cores() == cores
+
+    def test_cached_results_are_read_only(self):
+        """The cached accessors hand the *same* object to every caller
+        (and the in-engine QUERY_KINDS path ships it as a response
+        value) — mutating one must raise, not silently corrupt the
+        per-epoch cache served to every later query."""
+        v = SnapshotView(0, {0: 2, 1: 2, 2: 2, 3: 1})
+        for mutate in (
+            lambda: v.cores().__setitem__(9, 9),
+            lambda: v.cores().pop(0),
+            lambda: v.cores().update({0: 9}),
+            lambda: v.cores().clear(),
+            lambda: v.shell_histogram().__setitem__(2, 0),
+        ):
+            with pytest.raises(TypeError, match="read-only"):
+                mutate()
+        assert isinstance(v.k_core(2), frozenset)
+        assert isinstance(v.k_shell(1), frozenset)
+        assert isinstance(v.innermost()[1], frozenset)
+        # frozen results still compare as the plain types
+        assert v.cores() == {0: 2, 1: 2, 2: 2, 3: 1}
+        assert v.k_core(2) == {0, 1, 2}
+        # the documented escape hatches give private mutable copies
+        mine = dict(v.cores())
+        mine[0] = 99
+        assert v.cores()[0] == 2
+
+    def test_frozen_map_pickles_as_private_plain_dict(self):
+        """Cross-process consumers (reader pools, shard pipes) receive
+        their own plain dict — mutable, and detached from the cache."""
+        import pickle
+
+        v = SnapshotView(0, {0: 1, 1: 1})
+        clone = pickle.loads(pickle.dumps(v.cores()))
+        assert type(clone) is dict and clone == v.cores()
+        clone[0] = 99  # their copy, not the shared cache
+        assert v.cores()[0] == 1
+        assert type(v.cores().copy()) is dict
+        assert isinstance(v.cores(), FrozenCoreMap)
 
     def test_epoch_out_of_range(self):
         store = SnapshotStore(ParallelOrderMaintainer(triangle_plus_tail()))
