@@ -56,6 +56,9 @@ GATE_TESTS = [
     "tests/test_service_snapshots.py",
     "tests/test_service_differential.py",
     "tests/test_queryplane.py",
+    "tests/test_traffic_window.py",
+    "tests/test_traffic_stateful.py",
+    "tests/test_traffic_differential.py",
     "tests/test_stream.py",
     "tests/test_parallel_insert.py",
     "tests/test_parallel_remove.py",

@@ -38,13 +38,14 @@ from repro.bench.reporting import (
     render_service_metrics,
     render_sharding,
     render_table,
+    render_traffic,
 )
 
 DEFAULT_DATASETS = ["roadNet-CA", "ER", "BA", "RMAT"]
 EXPERIMENTS = (
     "table1", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "service",
     "chaos", "failover", "representation", "scheduling", "sharding",
-    "queryplane",
+    "queryplane", "traffic",
 )
 
 
@@ -124,6 +125,26 @@ def _parser() -> argparse.ArgumentParser:
                         "(zero committed-op loss, divergence bounded by "
                         "replication lag, every promotion verified "
                         "bit-identical, deterministically)")
+    p.add_argument("--shapes", nargs="+", default=None,
+                   metavar="SHAPE",
+                   help="traffic workload: which shapes to run "
+                        "(default: all of repro.traffic.SHAPES)")
+    p.add_argument("--traffic-ops", type=int, default=2000,
+                   help="traffic workload: arrival-op count per shape "
+                        "(the window roughly doubles the record count)")
+    p.add_argument("--traffic-vertices", type=int, default=120,
+                   help="traffic workload: vertex universe size")
+    p.add_argument("--traces", nargs="+", default=None, metavar="PATH",
+                   help="traffic workload: replay these trace files "
+                        "instead of generating (one cell per file; "
+                        "--shapes/--traffic-ops are then ignored)")
+    p.add_argument("--no-boundary-verify", action="store_true",
+                   help="traffic workload: skip the lossless window-"
+                        "boundary oracle leg (SLO legs only)")
+    p.add_argument("--assert-hit-rate", type=float, default=None,
+                   metavar="X",
+                   help="traffic: exit 1 unless the update deadline "
+                        "hit-rate is >= X on every non-overload shape")
     p.add_argument("--json", type=str, default=None, metavar="PATH",
                    help="representation/scheduling/chaos: also write the "
                         "cells to PATH as JSON")
@@ -458,6 +479,67 @@ def _run(args: argparse.Namespace) -> int:
                     f"speedup {cell['speedup']:.2f} < {args.assert_speedup}"
                 )
                 return 1
+        elif exp == "traffic":
+            import json as _json
+
+            from repro.traffic import SHAPES
+
+            if args.traces:
+                cells = [
+                    harness.run_traffic(
+                        "uniform",  # overridden by the trace header
+                        trace_path=path,
+                        workers=max(args.workers),
+                        seed=args.seed,
+                        verify_boundaries=not args.no_boundary_verify,
+                    )
+                    for path in args.traces
+                ]
+            else:
+                cells = [
+                    harness.run_traffic(
+                        shape,
+                        ops=args.traffic_ops,
+                        vertices=args.traffic_vertices,
+                        workers=max(args.workers),
+                        seed=args.seed,
+                        verify_boundaries=not args.no_boundary_verify,
+                    )
+                    for shape in (args.shapes or SHAPES)
+                ]
+            for cell in cells:
+                print(f"\n--- {cell['shape']} ---")
+                print(render_traffic(cell))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(cells, fh, indent=2)
+                print(f"wrote {args.json}")
+            bad = [c for c in cells if not c["ok"]]
+            if bad:
+                for c in bad:
+                    print(
+                        f"!! {c['shape']}: traffic run FAILED "
+                        f"(invariant={c['invariant_ok']} "
+                        f"deterministic={c['determinism_ok']} "
+                        f"boundaries={c['boundaries_ok']} "
+                        f"engine_mode={c['engine_mode_ok']})"
+                    )
+                return 1
+            if args.assert_hit_rate is not None:
+                slow = [
+                    c for c in cells
+                    if c["shape"] != "overload"
+                    and c["slo"].get("update", {}).get("hit_rate", 1.0)
+                    < args.assert_hit_rate
+                ]
+                if slow:
+                    for c in slow:
+                        print(
+                            f"!! {c['shape']}: update hit-rate "
+                            f"{c['slo']['update']['hit_rate']:.3f} "
+                            f"< {args.assert_hit_rate}"
+                        )
+                    return 1
         elif exp == "fig7":
             out = harness.fig7_stability(
                 args.datasets[:2],

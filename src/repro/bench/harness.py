@@ -53,6 +53,8 @@ __all__ = [
     "run_scheduling",
     "run_sharding",
     "run_queryplane",
+    "run_traffic",
+    "traffic_profile",
 ]
 
 # name -> factory(graph, workers) -> maintainer with {insert,remove}_edges
@@ -1448,3 +1450,132 @@ def fig7_stability(
                 ),
             }
     return out
+
+
+# ----------------------------------------------------------------------
+# traffic: sliding-window SLO attainment per shape (docs/traffic.md)
+# ----------------------------------------------------------------------
+def traffic_profile(shape: str, *, workers: int = 4, seed: int = 0,
+                    backend: str = "sim") -> Dict[str, object]:
+    """The bench's per-shape engine profile.  The three in-capacity
+    shapes run unbounded admission with time-based cuts; ``overload``
+    squeezes the ingress queue (backpressure → ``rejected``) and arms a
+    small crash budget with zero retries so the ``abandoned`` terminal
+    state is exercised too."""
+    prof: Dict[str, object] = {
+        "max_batch": 16,
+        "max_delay": 256.0,
+        "num_workers": workers,
+        "backend": backend,
+        "seed": seed,
+    }
+    if shape == "overload":
+        from repro.faults.plane import FaultSpec
+
+        prof.update(
+            max_pending=12,
+            max_retries=0,
+            faults=FaultSpec(crash_rate=0.05, max_crashes=3),
+        )
+    return prof
+
+
+def run_traffic(
+    shape: str,
+    *,
+    ops: int = 2000,
+    vertices: int = 120,
+    window: Optional[float] = None,
+    rate: Optional[float] = None,
+    query_mix: float = 0.2,
+    seed: int = 0,
+    workers: int = 4,
+    backend: str = "sim",
+    trace_path: Optional[str] = None,
+    verify_boundaries: bool = True,
+    boundary_limit: Optional[int] = 8,
+) -> Dict[str, object]:
+    """One traffic cell: generate (or load) the shape's trace, replay it
+    twice through fresh engines for the SLO numbers plus a determinism
+    verdict (same trace → same cores digest, same journal digest), and —
+    unless disabled — replay a lossless leg in *engine* mode
+    (``EngineConfig.window``, no deadlines) that bit-compares the cores
+    against a from-scratch decomposition at every window boundary and
+    against the model-mode leg's final cores.
+
+    The SLO legs replay in **model** mode: deadline = ``t + slo[class]``,
+    expiry removes submitted through the same admission path as live
+    traffic.  ``trace_path`` loads a pre-generated trace instead of
+    generating (the CI smoke uses the bundled ``examples/traces/``)."""
+    from repro.service import Engine
+    from repro.traffic import Trace, generate_trace, replay
+
+    if trace_path is not None:
+        trace = Trace.load(trace_path).materialized()
+    else:
+        trace = generate_trace(
+            shape, ops=ops, vertices=vertices, seed=seed,
+            **({"window": window} if window is not None else {}),
+            **({"rate": rate} if rate is not None else {}),
+            query_mix=query_mix,
+        )
+    shape = trace.header.shape
+    legs = []
+    for _ in range(2):
+        eng = Engine(DynamicGraph(),
+                     **traffic_profile(shape, workers=workers, seed=seed,
+                                       backend=backend))
+        legs.append(replay(eng, trace, mode="model"))
+    a, b = legs
+    determinism_ok = (
+        a.cores_digest == b.cores_digest
+        and a.journal_digest == b.journal_digest
+        and a.trace_digest == b.trace_digest
+    )
+    boundaries_ok = True
+    engine_mode_ok = True
+    boundaries: List[Dict] = []
+    if verify_boundaries:
+        # the oracle legs are about *window* correctness, not capacity:
+        # they always run lossless (unbounded admission, no deadlines, no
+        # faults) even for the overload shape, whose squeeze belongs to
+        # the SLO legs above
+        vprof = traffic_profile("uniform", workers=workers, seed=seed,
+                                backend=backend)
+        weng = Engine(DynamicGraph(), window=trace.header.window, **vprof)
+        wrep = replay(weng, trace, mode="engine", slo={"update": None,
+                                                       "query": None},
+                      check_boundaries=True, boundary_limit=boundary_limit)
+        boundaries = wrep.boundaries
+        boundaries_ok = wrep.boundaries_ok
+        mrep = replay(Engine(DynamicGraph(), **vprof), trace, mode="model",
+                      slo={"update": None, "query": None})
+        engine_mode_ok = wrep.cores_digest == mrep.cores_digest
+    cell: Dict[str, object] = {
+        "shape": shape,
+        "mode": "model",
+        "records": trace.header.ops,
+        "vertices": trace.header.vertices,
+        "window": trace.header.window,
+        "seed": trace.header.seed,
+        "trace_digest": a.trace_digest,
+        "cores_digest": a.cores_digest,
+        "journal_digest": a.journal_digest,
+        "slo": a.slo,
+        "expiry": a.expiry,
+        "window_metrics": a.metrics.get("window", {}),
+        "counters": a.metrics["counters"],
+        "cuts": a.metrics["cuts"],
+        "now": a.metrics["now"],
+        "event_now": a.metrics.get("event_now", 0.0),
+        "invariant_ok": a.invariant_ok and b.invariant_ok,
+        "determinism_ok": determinism_ok,
+        "boundaries": boundaries,
+        "boundaries_ok": boundaries_ok,
+        "engine_mode_ok": engine_mode_ok,
+    }
+    cell["ok"] = bool(
+        cell["invariant_ok"] and determinism_ok
+        and boundaries_ok and engine_mode_ok
+    )
+    return cell

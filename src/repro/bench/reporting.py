@@ -21,6 +21,7 @@ __all__ = [
     "render_failover",
     "render_queryplane",
     "render_sharding",
+    "render_traffic",
 ]
 
 
@@ -397,6 +398,55 @@ def render_queryplane(cell: Mapping) -> str:
     lines.append(
         f"verdict: {verdict}  bit-identical {cell['bit_identical']}  "
         f"headline speedup {cell['speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def render_traffic(cell: Mapping) -> str:
+    """Render one ``run_traffic`` cell (see ``repro.bench.harness``): the
+    trace identity, per-class SLO attainment (p50/p99 user-perceived
+    latency and deadline hit-rate), the sliding-window counters, and the
+    determinism / boundary-oracle verdicts."""
+    verdict = "OK" if cell["ok"] else "FAILED"
+    c = cell["counters"]
+    lines = [
+        (
+            f"{cell['shape']}: {cell['records']} records over "
+            f"{cell['vertices']} vertices, window {cell['window']:.0f}, "
+            f"seed {cell['seed']}  trace sha256 {cell['trace_digest'][:16]}"
+        ),
+        (
+            f"admitted {c['admitted']} == committed {c['committed']} "
+            f"+ quarantined {c['quarantined']} + timed_out {c['timed_out']} "
+            f"+ abandoned {c.get('abandoned', 0)} "
+            f"(rejected {c['rejected']}, coalesced {c['coalesced']})"
+        ),
+    ]
+    for cls in ("update", "query"):
+        s = cell["slo"].get(cls)
+        if s is None or s["count"] == 0:
+            continue
+        lat = s["latency"]
+        lines.append(
+            f"{cls}: n={s['count']} hit-rate {s['hit_rate']:.3f} "
+            f"(budget {s['budget']})  "
+            f"p50={lat['p50']:.0f} p99={lat['p99']:.0f} max={lat['max']:.0f}  "
+            f"late={s['late']} rejected={s['rejected']} "
+            f"timed_out={s['timed_out']} abandoned={s['abandoned']}"
+        )
+    w = cell.get("window_metrics") or {}
+    if w:
+        lines.append(
+            f"window: scheduled={w.get('scheduled', 0)} "
+            f"fired={w.get('fired', 0)} rebuffered={w.get('rebuffered', 0)} "
+            f"armed={w.get('armed', 0)}  expiry {cell['expiry']}"
+        )
+    nb = len(cell.get("boundaries", ()))
+    lines.append(
+        f"verdict: {verdict}  invariant {cell['invariant_ok']}  "
+        f"deterministic {cell['determinism_ok']}  "
+        f"boundaries {cell['boundaries_ok']} ({nb} checked)  "
+        f"engine-mode==model-mode {cell['engine_mode_ok']}"
     )
     return "\n".join(lines)
 

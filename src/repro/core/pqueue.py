@@ -20,8 +20,9 @@ on inspection) and differ only in how staleness is detected:
   stamp detects relabels, and ``update_version`` re-snapshots every
   member to one consistent version before the next ``front``.
 
-``repro.parallel.pqueue`` re-exports :class:`VersionedPQ` for backward
-compatibility; this module is the single implementation.
+This module is the single implementation; the historical
+``repro.parallel.pqueue`` shim was deprecated and has been removed —
+importing it raises ``ModuleNotFoundError``.
 """
 
 from __future__ import annotations

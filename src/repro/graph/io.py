@@ -10,8 +10,12 @@ experiments use the synthetic stand-ins from :mod:`repro.graph.datasets`.
 from __future__ import annotations
 
 import gzip
+import hashlib
+import json
 from pathlib import Path
-from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    IO, Dict, Iterable, Iterator, List, Optional, Tuple, Union,
+)
 
 from repro.graph.generators import dedupe_edges
 from repro.graph.interning import VertexInterner
@@ -24,6 +28,11 @@ __all__ = [
     "write_edge_list",
     "read_temporal_edge_list",
     "write_temporal_edge_list",
+    "canon_record",
+    "write_op_trace",
+    "read_op_trace",
+    "iter_op_trace",
+    "op_trace_digest",
 ]
 
 
@@ -145,3 +154,86 @@ def write_temporal_edge_list(
     with _open(path, "w") as fh:
         for u, v, t in edges:
             fh.write(f"{u} {v} {t}\n")
+
+
+# ----------------------------------------------------------------------
+# timed-operation traces (repro.traffic, docs/traffic.md)
+# ----------------------------------------------------------------------
+def canon_record(rec: Dict) -> str:
+    """A record's canonical JSON form — sorted keys, no whitespace — the
+    same canon the write-ahead journal uses, so a trace file has exactly
+    one byte representation and its digest is meaningful."""
+    return json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+
+def write_op_trace(path: PathLike, header: Dict,
+                   ops: Iterable[Dict]) -> str:
+    """Write a timed-operation trace: one canonical-JSONL record per
+    line, the header first.  Gzip-transparent (``.gz`` suffix).  Returns
+    the sha256 hex digest of the *uncompressed* canonical bytes — the
+    trace's identity for determinism gates."""
+    h = hashlib.sha256()
+    with _open(path, "w") as fh:
+        line = canon_record({"kind": "header", **header}) + "\n"
+        fh.write(line)
+        h.update(line.encode("utf-8"))
+        for rec in ops:
+            line = canon_record(rec) + "\n"
+            fh.write(line)
+            h.update(line.encode("utf-8"))
+    return h.hexdigest()
+
+
+def read_op_trace(path: PathLike) -> Tuple[Dict, List[Dict]]:
+    """Read a whole trace into memory: ``(header, ops)``.  For million-op
+    files prefer the streaming :func:`iter_op_trace`."""
+    it = iter_op_trace(path)
+    header = next(it)
+    return header, list(it)
+
+
+def iter_op_trace(path: PathLike) -> Iterator[Dict]:
+    """Stream a trace file: yields the header record first, then every
+    op record in file order — the growing-graph-iterator idiom (datasets
+    as iterators of timed deltas).  Raises ``ValueError`` on a missing
+    or malformed header and on malformed op records (a trace is a
+    *generated* artifact; unlike :func:`read_edge_list` there is no
+    lenient mode — a corrupt trace must fail loudly, not replay
+    differently)."""
+    with _open(path, "r") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"empty trace file: {path}")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed trace header: {exc}") from exc
+        if header.get("kind") != "header":
+            raise ValueError(
+                f"first trace record must be the header, got {first!r}"
+            )
+        yield header
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"malformed trace record at line {lineno}: {exc}"
+                ) from exc
+            if "t" not in rec or "op" not in rec:
+                raise ValueError(
+                    f"trace record at line {lineno} lacks 't'/'op': {rec!r}"
+                )
+            yield rec
+
+
+def op_trace_digest(path: PathLike) -> str:
+    """sha256 of a trace's canonical uncompressed bytes.  Re-canonizes
+    every record, so the digest is stable across gzip vs plain storage
+    and any cosmetic re-encoding of the same records."""
+    h = hashlib.sha256()
+    for rec in iter_op_trace(path):
+        h.update((canon_record(rec) + "\n").encode("utf-8"))
+    return h.hexdigest()

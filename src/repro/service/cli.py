@@ -5,12 +5,16 @@ Runs an interleaved insert/remove/query trace through
 
     repro-serve --dataset BA --ops 1000 --query-rate 0.3 --workers 8
     repro-serve --edge-list graph.txt --ops 500 --max-batch 128 --json
+    repro-serve --trace examples/traces/uniform.jsonl --trace-mode engine
 
-Input is either a registered dataset stand-in (``--dataset``) or a real
-edge-list file (``--edge-list``), read leniently: malformed lines and
-self-loops are counted and skipped (``read_edge_list(strict=False)``) —
-the file-level twin of the engine's request quarantine — and reported in
-the output under ``ingest``.
+Input is either a registered dataset stand-in (``--dataset``), a real
+edge-list file (``--edge-list``), or a timed-operation trace
+(``--trace``, the ``repro.traffic`` format of ``docs/traffic.md``).
+Edge lists are read leniently: malformed lines and self-loops are
+counted and skipped (``read_edge_list(strict=False)``) — the file-level
+twin of the engine's request quarantine — and reported in the output
+under ``ingest``.  Traces are *generated* artifacts and therefore
+strict: a malformed trace exits 2.
 """
 
 from __future__ import annotations
@@ -43,6 +47,10 @@ def _parser() -> argparse.ArgumentParser:
     src.add_argument("--edge-list", metavar="PATH",
                      help="edge-list file (read leniently; malformed lines "
                      "and self-loops counted and skipped)")
+    src.add_argument("--trace", metavar="PATH",
+                     help="replay a timed-operation trace file "
+                     "(repro.traffic canonical JSONL, docs/traffic.md); "
+                     "strict — a malformed trace exits 2")
     p.add_argument("--ops", type=int, default=1000, help="trace length")
     p.add_argument("--query-rate", type=float, default=0.25)
     p.add_argument("--workers", type=int, default=4)
@@ -102,6 +110,22 @@ def _parser() -> argparse.ArgumentParser:
                     help="with --readers: fraction of trace queries routed "
                     "to the reader pool; the rest still take the in-engine "
                     "path (default 1.0 = all reads wait-free)")
+    tfc = p.add_argument_group("traffic replay (docs/traffic.md)")
+    tfc.add_argument("--trace-mode", choices=("model", "engine"),
+                     default="model",
+                     help="with --trace: 'model' submits the trace's expiry "
+                     "removes like any other op (works on every backend, "
+                     "including --shards); 'engine' skips them and arms the "
+                     "engine's own sliding-window plane "
+                     "(EngineConfig.window) instead")
+    tfc.add_argument("--check-boundaries", action="store_true",
+                     help="with --trace: quiesce at each window boundary "
+                     "and bit-compare the cores against a from-scratch "
+                     "decomposition of the ideal windowed edge set; the "
+                     "run is made lossless (SLO deadlines off — a "
+                     "deadline-dropped insert diverges from the ideal by "
+                     "design) and batching is perturbed by the quiesces; "
+                     "exits 1 on mismatch")
     repl = p.add_argument_group("replication (docs/replication.md)")
     repl.add_argument("--replicas", type=int, default=0,
                       help="follower read replicas behind the primary "
@@ -130,7 +154,20 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     ingest = {"kept": 0, "malformed": 0, "self_loops": 0}
-    if args.edge_list:
+    if args.trace:
+        if args.readers or args.replicas or args.recover_from:
+            print("--trace replays a self-contained timed trace; it cannot "
+                  "be combined with --readers, --replicas or --recover-from",
+                  file=sys.stderr)
+            return 2
+        if args.trace_mode == "engine" and args.shards > 1:
+            print("--trace-mode engine arms the monolithic engine's "
+                  "sliding-window plane; a sharded engine replays traces "
+                  "in model mode (docs/traffic.md)", file=sys.stderr)
+            return 2
+        initial, trace = [], []
+        source, ingest = args.trace, None
+    elif args.edge_list:
         edges = read_edge_list(args.edge_list, strict=False, counters=ingest)
         if not edges:
             print("edge list is empty after lenient parsing", file=sys.stderr)
@@ -216,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_every=args.checkpoint_every or None,
         max_retries=args.max_retries,
     )
+    if args.trace:
+        return _serve_trace(args, cfg)
     if args.shards > 1:
         return _serve_sharded(args, cfg, initial, trace, source, ingest)
     if args.replicas:
@@ -346,6 +385,72 @@ def _accounting_ok(metrics) -> bool:
     if not ok:
         print("accounting invariant VIOLATED", file=sys.stderr)
     return ok
+
+
+def _serve_trace(args, cfg) -> int:
+    """The ``--trace PATH`` serving path (docs/traffic.md): replay a
+    timed-operation trace through the engine and report SLO attainment
+    next to the usual metrics surface."""
+    import dataclasses
+
+    from repro.traffic import Trace, replay
+
+    try:
+        trace = Trace.load(args.trace).materialized()
+    except (OSError, ValueError) as exc:
+        print(f"cannot replay trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    header = trace.header
+    if args.trace_mode == "engine":
+        cfg = dataclasses.replace(cfg, window=header.window)
+    if args.shards > 1:
+        from repro.service.sharding import ShardedEngine
+
+        eng = ShardedEngine(DynamicGraph(), cfg)
+    else:
+        eng = Engine(DynamicGraph(), cfg)
+    with eng:
+        rep = replay(eng, trace, mode=args.trace_mode,
+                     slo=({"update": None, "query": None}
+                          if args.check_boundaries else None),
+                     check_boundaries=args.check_boundaries)
+        metrics = rep.metrics
+
+    if args.json:
+        print(json.dumps(rep.as_dict(), indent=2, default=repr))
+    else:
+        print(f"source: {args.trace}  shape: {header.shape}  "
+              f"records: {header.ops}  window: {header.window:g}  "
+              f"mode: {args.trace_mode}"
+              + (f"  shards: {cfg.shards}" if args.shards > 1 else ""))
+        print(f"trace sha256 {rep.trace_digest[:16]}  "
+              f"cores sha256 {rep.cores_digest[:16]}"
+              + (f"  journal sha256 {rep.journal_digest[:16]}"
+                 if rep.journal_digest else ""))
+        for cls, s in sorted(rep.slo.items()):
+            lat = s["latency"]
+            print(f"{cls}: n={s['count']} hit-rate {s['hit_rate']:.3f} "
+                  f"(budget {s['budget']})  p50={lat['p50']:.0f} "
+                  f"p99={lat['p99']:.0f}  late={s['late']} "
+                  f"rejected={s['rejected']} timed_out={s['timed_out']} "
+                  f"abandoned={s['abandoned']}")
+        if rep.expiry and args.trace_mode == "model":
+            print(f"expiry: {rep.expiry}")
+        if rep.boundaries:
+            bad = [b for b in rep.boundaries if not b["ok"]]
+            print(f"boundaries: {len(rep.boundaries)} checked, "
+                  f"{len(bad)} mismatched")
+        if "router" in metrics:
+            print("router:")
+            print(render_service_metrics(metrics["router"]))
+        else:
+            print(render_service_metrics(metrics))
+    ok = rep.invariant_ok and rep.boundaries_ok
+    if not ok:
+        print("trace replay FAILED "
+              f"(invariant={rep.invariant_ok} "
+              f"boundaries={rep.boundaries_ok})", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def _serve_sharded(args, cfg, initial, trace, source, ingest) -> int:

@@ -43,6 +43,7 @@ True
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import (
     Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple,
@@ -155,6 +156,12 @@ class EngineConfig:
     max_retries: int = 3
     #: simulated backoff before retry N is 2^(N-1) times this
     retry_backoff: float = 64.0
+    #: sliding-window retention in *event-clock* units (``docs/traffic.md``):
+    #: every committed insert arms a deterministic expiry remove at
+    #: ``arrival + window``, fired by :meth:`Engine.advance_to` through
+    #: the normal admission path.  ``None`` (the default) disables the
+    #: window plane entirely.
+    window: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -178,6 +185,8 @@ class EngineConfig:
             raise ValueError("shards must be >= 1")
         if self.cross_group is not None and self.cross_group < 1:
             raise ValueError("cross_group must be >= 1 or None")
+        if self.window is not None and self.window <= 0:
+            raise ValueError("window must be > 0 or None")
 
 
 @dataclass
@@ -261,6 +270,21 @@ class Engine:
         )
         self.metrics_collector = ServiceMetrics(ingress_capacity=cfg.max_pending)
         self.now: float = 0.0
+        #: event (arrival) clock — advanced only by :meth:`advance_to`.
+        #: Distinct from the *service* clock ``now`` (which also counts
+        #: ingest/query costs and batch makespans, and therefore differs
+        #: across backends): expiry due-times live on the event clock so
+        #: a trace replays to the same windowed graph on every backend.
+        self.event_now: float = 0.0
+        # sliding-window expiry plane (config.window): a due-time heap
+        # over committed-present edges.  _expiry_due is the authority —
+        # a heap entry whose due-time disagrees with it is stale (the
+        # edge was re-armed or disarmed) and is skipped on pop.
+        self._expiry_heap: List[Tuple[float, int, Edge]] = []
+        self._expiry_due: Dict[Edge, float] = {}
+        self._arrival: Dict[Edge, float] = {}
+        self._expiry_push = 0  # heap tiebreak: edges are never compared
+        self._expiry_ids = 0
         self._seq = 0
         self._seen_ids: set = set()
         #: cross-shard transactions prepared but not yet decided (2PC)
@@ -350,8 +374,124 @@ class Engine:
         """Force-cut the pending run and return every update response
         that became terminal since the last drain."""
         self._poll_external_reads()
+        self._fire_due_expiries()
         self._cut("flush")
         return self.take_completed()
+
+    # ------------------------------------------------------------------
+    # sliding-window plane (docs/traffic.md)
+    # ------------------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Advance the **event clock** to ``t`` (a trace arrival time).
+
+        The service clock is dragged along when it lags (a quiet stream
+        still ages the pending run), due window expiries fire as
+        ``remove`` requests through the normal admission path — they
+        compete with live traffic for admission and batching — and any
+        time-based cut trigger that became due fires.  Monotonic:
+        ``t`` below the current event clock is a no-op advance."""
+        if t > self.event_now:
+            self.event_now = t
+        if t > self.now:
+            self.now = t
+        self._fire_due_expiries()
+        reason = self.batcher.cut_reason(self.now)
+        if reason is not None:
+            self._cut(reason)
+
+    def drain_window(self) -> List[Response]:
+        """Flush until quiescent *at the current event clock*: no pending
+        operations and no armed expiry that is already due.  Each round
+        fires due expiries then force-cuts, so removes armed by a commit
+        inside the round are caught by the next one."""
+        out: List[Response] = []
+        while True:
+            out.extend(self.flush())
+            if not self.pending_ops() and not self._has_due_expiry():
+                return out
+
+    def expiries_armed(self) -> int:
+        """Number of committed-present edges with a scheduled expiry."""
+        return len(self._expiry_due)
+
+    def rearm_window(self, asof: Optional[float] = None) -> None:
+        """(Re)arm an expiry for every committed edge at ``asof +
+        window`` (default: the current event clock).  The restart path:
+        the WAL does not journal the expiry schedule, so a restarted
+        engine grants every surviving edge a fresh window from the
+        restart point — deterministic, and documented in
+        ``docs/traffic.md``."""
+        if self.config.window is None:
+            return
+        t = self.event_now if asof is None else asof
+        for e in self._graph_edges():
+            self._arm_expiry(e, t + self.config.window)
+
+    def _arm_expiry(self, e: Edge, due: float) -> None:
+        self._expiry_due[e] = due
+        self._expiry_push += 1
+        heapq.heappush(self._expiry_heap, (due, self._expiry_push, e))
+        self.metrics_collector.window["scheduled"] += 1
+
+    def _has_due_expiry(self) -> bool:
+        heap = self._expiry_heap
+        while heap and self._expiry_due.get(heap[0][2]) != heap[0][0]:
+            heapq.heappop(heap)  # prune stale entries
+        return bool(heap) and heap[0][0] <= self.event_now
+
+    def _fire_due_expiries(self) -> None:
+        """Submit a ``remove`` for every armed edge whose due-time has
+        passed on the event clock.  Expiry requests carry the reserved
+        ``exp:`` id prefix and no deadline (retention is a correctness
+        obligation, not a latency SLO).  A backpressure rejection does
+        not lose the expiry: it is re-armed ``retry_backoff`` later and
+        keeps competing for admission."""
+        if self.config.window is None:
+            return
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= self.event_now:
+            due, _, e = heapq.heappop(heap)
+            if self._expiry_due.get(e) != due:
+                continue  # stale: re-armed later or disarmed
+            rid = f"exp:{self._expiry_ids}"
+            self._expiry_ids += 1
+            resp = self.submit(Request("remove", u=e[0], v=e[1], id=rid))
+            if resp.status == STATUS_REJECTED:
+                self.metrics_collector.window["rebuffered"] += 1
+                self._arm_expiry(e, self.event_now + self.config.retry_backoff)
+            else:
+                self.metrics_collector.window["fired"] += 1
+
+    def _note_commit_window(self, kind: str, batch: Sequence[Edge]) -> None:
+        """Window bookkeeping at batch commit: a committed insert arms
+        its expiry at ``arrival + window``; a committed remove (live or
+        expiry) disarms the edge."""
+        if self.config.window is None:
+            return
+        w = self.config.window
+        if kind == "+":
+            for e in batch:
+                self._arm_expiry(e, self._arrival.pop(e, self.event_now) + w)
+        else:
+            for e in batch:
+                self._expiry_due.pop(e, None)
+
+    def _requeue_window(self, kind: str,
+                        live: Dict[Edge, List[_Tracked]]) -> None:
+        """Window bookkeeping for a batch that terminally *failed to
+        apply* (quarantined re-validation, abandoned after retries).
+        Inserts never committed: drop their arrival stamps.  For removes
+        the edges stay present; any whose *fired expiry* died with the
+        batch is re-armed a backoff later, so retention is eventually
+        enforced even through an abandoned batch."""
+        if self.config.window is None:
+            return
+        for e, trackers in live.items():
+            if kind == "+":
+                self._arrival.pop(e, None)
+            elif any((tr.request.id or "").startswith("exp:")
+                     for tr in trackers):
+                self._arm_expiry(e, self.event_now + self.config.retry_backoff)
 
     # ------------------------------------------------------------------
     # wait-free query plane (docs/queryplane.md)
@@ -436,7 +576,8 @@ class Engine:
     def metrics(self) -> Dict:
         """The full metrics surface as a plain dict."""
         return self.metrics_collector.as_dict(
-            pending_depth=len(self.batcher), now=self.now, epoch=self.epoch
+            pending_depth=len(self.batcher), now=self.now, epoch=self.epoch,
+            event_now=self.event_now, window_armed=self.expiries_armed(),
         )
 
     def check(self) -> None:
@@ -517,6 +658,16 @@ class Engine:
             for tr in self._edge_reqs.pop(e, []):
                 self._finish_async(tr, STATUS_COMMITTED, detail="cancelled")
             self.metrics_collector.cancelled += 1
+            if self.config.window is not None:
+                if kind == "+":
+                    # the insert annihilated a pending remove: the edge
+                    # stays committed-present and its retention window
+                    # restarts at this arrival
+                    self._arm_expiry(e, self.event_now + self.config.window)
+                else:
+                    # the remove annihilated a pending insert: no commit
+                    # will ever arm it
+                    self._arrival.pop(e, None)
             return self._commit_direct(request, rid, detail="cancelled")
         if action == COALESCE:
             self._edge_reqs[e].append(_Tracked(request=replace(request, id=rid),
@@ -536,6 +687,11 @@ class Engine:
                 request, rid, E_EDGE_MISSING, f"edge not present: {e!r}"
             )
         self.batcher.queue(kind, e, self.now)
+        if kind == "+" and self.config.window is not None:
+            # stamp the arrival on the event clock; the expiry arms at
+            # commit (an insert lost to overload must not leave a
+            # phantom expiry behind)
+            self._arrival.setdefault(e, self.event_now)
         self._edge_reqs.setdefault(e, []).append(
             _Tracked(request=replace(request, id=rid), admitted_at=self.now)
         )
@@ -605,6 +761,9 @@ class Engine:
                     alive.append(tr)
             if alive:
                 live[e] = alive
+            elif kind == "+":
+                # the insert never applies: no window will arm for it
+                self._arrival.pop(e, None)
         if not live:
             return
         batch = list(live)
@@ -621,6 +780,7 @@ class Engine:
                         tr, STATUS_QUARANTINED,
                         error=make_error(E_BATCH_FAILED, str(exc)),
                     )
+            self._requeue_window(kind, live)
             return
         cfg = self.config
         attempt = 0
@@ -661,6 +821,7 @@ class Engine:
                                     f"giving up: {exc}",
                                 ),
                             )
+                    self._requeue_window(kind, live)
                     return
                 self.metrics_collector.faults["retries"] += 1
                 self.now += cfg.retry_backoff * (2 ** (attempt - 1))
@@ -676,6 +837,8 @@ class Engine:
                             alive.append(tr)
                     if alive:
                         still[e] = alive
+                    elif kind == "+":
+                        self._arrival.pop(e, None)
                 live = still
                 if not live:
                     return
@@ -689,6 +852,7 @@ class Engine:
         epoch = self.snapshots.commit(touched)
         self.journal.log_commit(epoch)
         self._publish_epoch(touched)
+        self._note_commit_window(kind, batch)
         detail = f"retried:{attempt}" if attempt else None
         if attempt:
             self.metrics_collector.faults["retried_ops"] += sum(
@@ -853,6 +1017,11 @@ class Engine:
         for rid in replay.ids:
             if rid.startswith("r") and rid[1:].isdigit():
                 eng._seq = max(eng._seq, int(rid[1:]) + 1)
+            elif rid.startswith("exp:") and rid[4:].isdigit():
+                eng._expiry_ids = max(eng._expiry_ids, int(rid[4:]) + 1)
+        # window recovery: the expiry schedule is volatile state — every
+        # surviving edge gets a fresh window from the restart point
+        eng.rearm_window()
         return eng
 
     # ------------------------------------------------------------------

@@ -109,6 +109,14 @@ class ServiceMetrics:
             "lock_failures": 0,
             "batches": 0,
         }
+        # sliding-window plane (docs/traffic.md): expiries armed at
+        # commit, expiry removes submitted, and backpressure-deferred
+        # expiries re-armed for a later attempt
+        self.window: Dict[str, int] = {
+            "scheduled": 0,
+            "fired": 0,
+            "rebuffered": 0,
+        }
         self.faults: Dict[str, int] = {
             "crashed_batches": 0,
             "recoveries": 0,
@@ -190,9 +198,12 @@ class ServiceMetrics:
             f"+ {self.timed_out} + {self.abandoned}"
         )
 
-    def as_dict(self, pending_depth: int = 0, now: float = 0.0, epoch: int = 0) -> Dict:
+    def as_dict(self, pending_depth: int = 0, now: float = 0.0,
+                epoch: int = 0, event_now: float = 0.0,
+                window_armed: int = 0) -> Dict:
         return {
             "now": now,
+            "event_now": event_now,
             "epoch": epoch,
             "counters": {
                 "admitted": self.admitted,
@@ -218,6 +229,7 @@ class ServiceMetrics:
                 "query": summarize_latencies(self.query_latencies),
             },
             "sim": dict(self.sim),
+            "window": {**self.window, "armed": window_armed},
             "faults": dict(self.faults),
             "epochs": [dict(e) for e in self.epoch_log],
         }

@@ -263,6 +263,16 @@ class ShardedEngine:
             cfg = replace(cfg, **overrides)
         if cfg.shards < 1:
             raise ValueError("shards must be >= 1")
+        if cfg.window is not None:
+            # engine-native expiry cannot see cross-shard edges (they
+            # bypass the shard batcher via 2PC); windowed traffic on a
+            # sharded engine is driven by the trace layer instead
+            # (repro.traffic model mode, docs/traffic.md)
+            raise ValueError(
+                "config.window is a monolithic-engine feature; drive "
+                "sliding windows on a sharded engine through "
+                "repro.traffic (model mode)"
+            )
         self.config = cfg
         self.nshards = cfg.shards
         self.interner = _interner or ShardedInterner(self.nshards)
@@ -414,6 +424,14 @@ class ShardedEngine:
         self.metrics_collector.admitted += 1
         return self._quarantine(request, rid, E_BAD_REQUEST,
                                 f"unknown op {request.op!r}")
+
+    def advance_to(self, t: float) -> None:
+        """Advance the router's service clock to a trace arrival time
+        (monotonic no-op when behind).  Shards keep their own clocks;
+        window expiry on a sharded engine is the trace driver's job
+        (see :meth:`__init__`'s ``window`` rejection)."""
+        if t > self.now:
+            self.now = t
 
     def flush(self) -> List[Response]:
         for s in sorted(self._lbuf):

@@ -1,0 +1,38 @@
+"""Temporal sliding-window workloads and adversarial traffic shapes.
+
+The serving north star ("heavy traffic from millions of users") is only
+measurable under realistic traffic.  This package provides it
+(``docs/traffic.md``):
+
+- a **replayable trace format** — canonical JSONL, seeded generator →
+  file → iterator of timed ops — so million-op runs are deterministic,
+  shareable, and diffable by digest (:mod:`repro.traffic.trace`);
+- **traffic shapes** beyond uniform arrivals: diurnal load curves,
+  flash-crowd bursts against one hub vertex, and sustained-overload
+  streams that exercise admission backpressure and the ``abandoned``
+  terminal state (:mod:`repro.traffic.shapes`);
+- a **sliding-window replay driver** where every admitted insert is
+  paired with a deterministic expiry remove at ``t + window``, driven
+  through the normal :class:`~repro.service.Engine` /
+  :class:`~repro.service.sharding.ShardedEngine` request envelopes so
+  expiries compete with live traffic for admission and batching, with
+  per-window-boundary oracle checks and SLO attainment accounting
+  (:mod:`repro.traffic.driver`).
+
+Bench: ``python -m repro.bench traffic`` reports p50/p99 latency and
+deadline hit-rate per shape and emits ``BENCH_traffic_*.json``.
+"""
+
+from repro.traffic.driver import ReplayReport, replay
+from repro.traffic.shapes import SHAPES, generate_trace
+from repro.traffic.trace import TimedOp, Trace, TraceHeader
+
+__all__ = [
+    "SHAPES",
+    "ReplayReport",
+    "TimedOp",
+    "Trace",
+    "TraceHeader",
+    "generate_trace",
+    "replay",
+]

@@ -1,0 +1,374 @@
+"""Sliding-window trace replay against a serving engine.
+
+Two replay modes, differing only in who executes the window's expiry
+removes (the ``"x":1`` records):
+
+**model** (works on every engine, including the sharded/process ones)
+    The trace is submitted verbatim — expiry removes are ordinary
+    requests with the reserved ``exp:`` id prefix.  The op sequence the
+    engine sees is exactly the file, so with sequence-driven cuts
+    (``max_delay=None``) a monolithic replay is bit-deterministic:
+    same trace → same batches → same journal bytes.
+
+**engine** (monolithic engines with ``EngineConfig.window`` set)
+    Expiry records are *skipped*; the engine's own window plane fires
+    the equivalent removes from its due-time heap during
+    :meth:`~repro.service.Engine.advance_to`.  Because the driver
+    advances the event clock to each record's ``t`` before submitting
+    it, the engine fires each expiry at the same position in the
+    submission sequence as the skipped record — the two modes converge
+    to the same windowed graph.
+
+Every record's ``t`` drives ``advance_to`` first, then the op is
+submitted with deadline ``t + slo[class]`` (service clock), so expiry
+removals and live traffic compete for admission and batching — under
+overload both can be rejected, and the accounting invariant
+``admitted == committed + quarantined + timed_out + abandoned`` is
+asserted at the end of every replay.
+
+At every window boundary (``k * window``) the driver can quiesce the
+engine and compare its cores bit-for-bit against a from-scratch
+decomposition of the ideal windowed edge set (the trace prefix) — the
+paper-correctness gate for the whole traffic plane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposition import core_decomposition
+from repro.graph.dictgraph import DictGraph
+from repro.graph.io import canon_record
+from repro.service.metrics import summarize_latencies
+from repro.service.requests import (
+    STATUS_ABANDONED,
+    STATUS_COMMITTED,
+    STATUS_PENDING,
+    STATUS_QUARANTINED,
+    STATUS_REJECTED,
+    STATUS_TIMED_OUT,
+    Request,
+    Response,
+)
+from repro.traffic.trace import TimedOp, Trace
+
+Edge = Tuple[int, int]
+
+__all__ = ["ReplayReport", "cores_digest", "replay"]
+
+#: id prefix of driver-submitted expiry removes (model mode); the
+#: engine's own window plane uses the bare ``exp:`` prefix
+_EXP_ID = "exp:m"
+
+
+def cores_digest(cores: Dict) -> str:
+    """sha256 of the canonical JSON of a core map (sorted, compact) —
+    the bit-identity token the differential gates compare."""
+    canon = canon_record({str(k): v for k, v in cores.items()})
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _Pending:
+    cls: str  # "update" | "query" | "expiry"
+    t: float  # event-time arrival
+    sub_now: float  # service clock at submission
+
+
+@dataclass
+class ReplayReport:
+    """Everything one trace replay measured (see ``docs/traffic.md``
+    for the metric definitions)."""
+
+    shape: str
+    mode: str
+    trace_digest: str
+    #: per-class SLO attainment: terminal counts, user-perceived latency
+    #: percentiles, and the deadline hit-rate
+    slo: Dict[str, Dict] = field(default_factory=dict)
+    #: one entry per checked window boundary: event time, match verdict,
+    #: engine vs oracle sizes
+    boundaries: List[Dict] = field(default_factory=list)
+    boundaries_ok: bool = True
+    invariant_ok: bool = True
+    final_cores: Dict = field(default_factory=dict)
+    cores_digest: str = ""
+    journal_digest: Optional[str] = None
+    metrics: Dict = field(default_factory=dict)
+    #: model-mode expiry accounting (engine mode reports through
+    #: ``metrics["window"]`` instead): submitted / rejected-then-retried
+    #: / quarantined-missing (inserts lost to overload)
+    expiry: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "shape": self.shape,
+            "mode": self.mode,
+            "trace_digest": self.trace_digest,
+            "slo": self.slo,
+            "boundaries": self.boundaries,
+            "boundaries_ok": self.boundaries_ok,
+            "invariant_ok": self.invariant_ok,
+            "cores_digest": self.cores_digest,
+            "journal_digest": self.journal_digest,
+            "expiry": self.expiry,
+            "metrics": self.metrics,
+        }
+
+
+class _SloTally:
+    """Per-class terminal accounting with user-perceived latency.
+
+    Latency is measured from the op's *event-time arrival* mapped onto
+    the service clock: ``(sub_now - t) + resp.latency`` — queueing at
+    the door plus admission-to-terminal.  ``on_time`` means committed
+    within the class budget; the hit-rate denominator excludes
+    quarantined ops (structured rejections of malformed input, not
+    capacity misses) but includes rejected / timed-out / abandoned."""
+
+    def __init__(self, budgets: Dict[str, float]) -> None:
+        self.budgets = budgets
+        self.counts: Dict[str, Dict[str, int]] = {}
+        self.lat: Dict[str, List[float]] = {}
+
+    def note(self, cls: str, status: str, user_latency: Optional[float],
+             budget_cls: Optional[str] = None) -> None:
+        c = self.counts.setdefault(cls, {
+            "count": 0, "committed": 0, "on_time": 0, "late": 0,
+            "rejected": 0, "timed_out": 0, "abandoned": 0,
+            "quarantined": 0,
+        })
+        c["count"] += 1
+        budget = self.budgets.get(budget_cls or cls)
+        if status == STATUS_COMMITTED:
+            c["committed"] += 1
+            if user_latency is not None:
+                self.lat.setdefault(cls, []).append(user_latency)
+            if budget is None or (user_latency is not None
+                                  and user_latency <= budget):
+                c["on_time"] += 1
+            else:
+                c["late"] += 1
+        elif status == STATUS_REJECTED:
+            c["rejected"] += 1
+        elif status == STATUS_TIMED_OUT:
+            c["timed_out"] += 1
+        elif status == STATUS_ABANDONED:
+            c["abandoned"] += 1
+        elif status == STATUS_QUARANTINED:
+            c["quarantined"] += 1
+
+    def summary(self) -> Dict[str, Dict]:
+        out: Dict[str, Dict] = {}
+        for cls, c in sorted(self.counts.items()):
+            eligible = c["count"] - c["quarantined"]
+            out[cls] = {
+                **c,
+                "budget": self.budgets.get(cls),
+                "hit_rate": (c["on_time"] / eligible) if eligible else 1.0,
+                "latency": summarize_latencies(self.lat.get(cls, [])),
+            }
+        return out
+
+
+def replay(
+    engine,
+    trace: Trace,
+    *,
+    mode: str = "model",
+    slo: Optional[Dict[str, float]] = None,
+    check_boundaries: bool = False,
+    boundary_limit: Optional[int] = None,
+) -> ReplayReport:
+    """Replay ``trace`` against ``engine`` and account SLO attainment.
+
+    ``engine`` is a monolithic :class:`~repro.service.Engine` or a
+    :class:`~repro.service.sharding.ShardedEngine` (model mode only —
+    the sharded engine rejects ``config.window``).  In engine mode the
+    engine must have been constructed with ``window=trace.header.window``.
+
+    ``check_boundaries`` quiesces the engine at every window boundary
+    and bit-compares its cores against a from-scratch decomposition of
+    the ideal windowed edge set (``boundary_limit`` caps how many
+    boundaries are checked; quiescing flushes the batcher, so each check
+    perturbs batching — leave it off for latency-faithful bench runs).
+    """
+    if mode not in ("model", "engine"):
+        raise ValueError(f"unknown replay mode {mode!r}")
+    native_window = getattr(engine.config, "window", None)
+    if mode == "engine" and native_window is None:
+        raise ValueError(
+            "engine-mode replay needs EngineConfig.window set "
+            "(model mode replays expiry records explicitly)"
+        )
+    if mode == "model" and native_window is not None:
+        raise ValueError(
+            "model-mode replay on a windowed engine would double-remove "
+            "every expiring edge; build the engine without window"
+        )
+    header = trace.header
+    budgets = dict(header.slo)
+    if slo is not None:
+        budgets.update(slo)
+    tally = _SloTally(budgets)
+    pending: Dict[str, _Pending] = {}
+    expiry_stats = {"submitted": 0, "rejected": 0, "missing": 0}
+    window = header.window
+    boundary_at = window if check_boundaries else None
+    boundaries: List[Dict] = []
+    ideal = set()  # ideal windowed edge set = prefix-apply of the trace
+    exp_seq = 0
+
+    def settle(resp: Response) -> None:
+        p = pending.pop(resp.id, None)
+        if p is None:
+            return
+        if p.cls == "expiry":
+            _settle_expiry(resp)
+            return
+        user_lat = None
+        if resp.status == STATUS_COMMITTED:
+            user_lat = (p.sub_now - p.t) + (resp.latency or 0.0)
+        tally.note(p.cls, resp.status, user_lat)
+
+    def _settle_expiry(resp: Response) -> None:
+        if resp.status == STATUS_QUARANTINED:
+            # the paired insert never committed (lost to overload):
+            # there is nothing to expire
+            expiry_stats["missing"] += 1
+
+    def drain() -> None:
+        if mode == "engine":
+            for resp in engine.drain_window():
+                settle(resp)
+        else:
+            while True:
+                for resp in engine.flush():
+                    settle(resp)
+                if not engine.pending_ops():
+                    break
+
+    def check_boundary(b: float) -> None:
+        engine.advance_to(b)
+        drain()
+        got = engine.cores()
+        want = core_decomposition(DictGraph(sorted(ideal))).core
+        # vertices outside any edge sit at core 0 on whichever side
+        # remembers them; compare on the union support
+        support = set(got) | set(want)
+        ok = all((got.get(x) or 0) == (want.get(x) or 0) for x in support)
+        boundaries.append({
+            "t": b, "ok": ok,
+            "engine_edges": (sum(1 for _ in engine.graph.edges())
+                             if hasattr(engine, "graph") else None),
+            "ideal_edges": len(ideal),
+        })
+
+    for op in trace:
+        # boundaries are inclusive on the left of the next record: every
+        # op with t <= k*window (expiries due exactly on the boundary
+        # included) lands before the check, matching the engine plane's
+        # inclusive due <= event_now firing rule
+        if boundary_at is not None and op.t > boundary_at:
+            while boundary_at is not None and op.t > boundary_at:
+                check_boundary(boundary_at)
+                boundary_at += window
+                if boundary_limit is not None and \
+                        len(boundaries) >= boundary_limit:
+                    boundary_at = None
+        engine.advance_to(op.t)
+        for resp in engine.take_completed():
+            settle(resp)
+        if op.op == "query":
+            sub_now = _now(engine)
+            resp = engine.submit(Request(
+                "query", kind=op.q, args=tuple(op.args),
+                deadline=_deadline(op, budgets, "query"),
+            ))
+            tally.note("query", resp.status,
+                       (sub_now - op.t) + (resp.latency or 0.0))
+            continue
+        if op.expiry:
+            ideal.discard((op.u, op.v))
+            if mode == "engine":
+                continue  # the engine's window plane fires this one
+            rid = f"{_EXP_ID}{exp_seq}"
+            exp_seq += 1
+            resp = engine.submit(Request("remove", u=op.u, v=op.v, id=rid))
+            expiry_stats["submitted"] += 1
+            if resp.status == STATUS_REJECTED:
+                # retention lost to backpressure: retry once after the
+                # next flush rather than dropping the expiry on the floor
+                expiry_stats["rejected"] += 1
+                for r in engine.flush():
+                    settle(r)
+                resp = engine.submit(
+                    Request("remove", u=op.u, v=op.v, id=rid + "r"))
+            if resp.status == STATUS_PENDING:
+                pending[resp.id] = _Pending("expiry", op.t, _now(engine))
+            else:
+                _settle_expiry(resp)
+            continue
+        if op.op == "insert":
+            ideal.add((op.u, op.v))
+        else:
+            ideal.discard((op.u, op.v))
+        sub_now = _now(engine)
+        req = Request(op.op, u=op.u, v=op.v,
+                      deadline=_deadline(op, budgets, "update"))
+        resp = engine.submit(req)
+        if resp.status == STATUS_PENDING:
+            pending[resp.id] = _Pending("update", op.t, sub_now)
+        else:
+            user_lat = ((sub_now - op.t) + (resp.latency or 0.0)
+                        if resp.status == STATUS_COMMITTED else None)
+            tally.note("update", resp.status, user_lat)
+    drain()
+    for resp in engine.take_completed():
+        settle(resp)
+    # anything still pending was lost by a bug, not a policy: fail loudly
+    if pending:
+        raise AssertionError(
+            f"{len(pending)} request(s) never reached a terminal state: "
+            f"{sorted(pending)[:5]}"
+        )
+    final = engine.cores()
+    metrics = engine.metrics()
+    # a ShardedEngine reports {"router": ..., "shards": [...]}; the
+    # router ledger carries the whole-system request accounting
+    c = metrics["counters"] if "counters" in metrics \
+        else metrics["router"]["counters"]
+    invariant_ok = (
+        c["admitted"] == c["committed"] + c["quarantined"]
+        + c["timed_out"] + c["abandoned"]
+    )
+    journal = getattr(engine, "journal", None)
+    return ReplayReport(
+        shape=header.shape,
+        mode=mode,
+        trace_digest=trace.digest(),
+        slo=tally.summary(),
+        boundaries=boundaries,
+        boundaries_ok=all(b["ok"] for b in boundaries),
+        invariant_ok=invariant_ok,
+        final_cores=final,
+        cores_digest=cores_digest(final),
+        journal_digest=journal.digest() if journal is not None else None,
+        metrics=metrics,
+        expiry=expiry_stats,
+    )
+
+
+def _now(engine) -> float:
+    return engine.now
+
+
+def _deadline(op: TimedOp, budgets: Dict[str, float],
+              cls: str) -> Optional[float]:
+    budget = budgets.get(cls)
+    if budget is None:
+        return None
+    return op.t + budget

@@ -1,0 +1,198 @@
+"""The replayable timed-operation trace format.
+
+A trace is canonical JSONL (sorted keys, no whitespace — the same canon
+as the write-ahead journal): one header record, then op records sorted
+by non-decreasing ``t``.  The event times ``t`` live on the **event
+clock** (see :meth:`repro.service.Engine.advance_to`), not the service
+clock, which is what makes a trace replay to the same windowed graph on
+every backend.
+
+Record shapes (``docs/traffic.md`` is the normative spec)::
+
+    {"kind":"header","version":1,"shape":"uniform","seed":7,
+     "window":400.0,"ops":2480,"vertices":120,
+     "slo":{"update":900.0,"query":120.0},"params":{...}}
+    {"t":12.5,"op":"insert","u":3,"v":7}
+    {"t":14.0,"op":"query","q":"core","args":[3]}
+    {"t":412.5,"op":"remove","u":3,"v":7,"x":1}
+
+``"x":1`` marks a remove *scheduled by the sliding window* (the pair of
+the insert at ``t - window``) rather than live traffic.  Replay modes
+differ only in who executes those records: **model** mode submits them
+like any other op; **engine** mode skips them and lets the engine's own
+window plane (``EngineConfig.window``) fire the equivalent removes.
+
+Traces are *generated* artifacts and therefore strict: a malformed
+record fails loudly (``ValueError``), there is no lenient mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.io import (
+    canon_record,
+    iter_op_trace,
+    write_op_trace,
+)
+
+PathLike = Union[str, Path]
+
+TRACE_VERSION = 1
+
+__all__ = ["TRACE_VERSION", "TimedOp", "Trace", "TraceHeader"]
+
+
+@dataclass(frozen=True)
+class TimedOp:
+    """One timed operation of a trace."""
+
+    t: float
+    op: str  # "insert" | "remove" | "query"
+    u: Optional[int] = None
+    v: Optional[int] = None
+    q: Optional[str] = None  # query kind
+    args: Tuple = ()
+    #: True for a remove scheduled by the sliding window (the expiry
+    #: pair of an insert), False for live traffic
+    expiry: bool = False
+
+    def to_record(self) -> Dict:
+        rec: Dict = {"t": self.t, "op": self.op}
+        if self.op == "query":
+            rec["q"] = self.q
+            rec["args"] = list(self.args)
+        else:
+            rec["u"] = self.u
+            rec["v"] = self.v
+            if self.expiry:
+                rec["x"] = 1
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: Dict) -> "TimedOp":
+        op = rec["op"]
+        if op == "query":
+            return cls(t=float(rec["t"]), op=op, q=rec.get("q"),
+                       args=tuple(rec.get("args", ())))
+        if op not in ("insert", "remove"):
+            raise ValueError(f"unknown trace op {op!r}")
+        return cls(t=float(rec["t"]), op=op, u=rec["u"], v=rec["v"],
+                   expiry=bool(rec.get("x", 0)))
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The trace's self-description (first record of the file)."""
+
+    shape: str
+    seed: int
+    window: float
+    ops: int  # number of op records that follow
+    vertices: int
+    version: int = TRACE_VERSION
+    #: per-class SLO latency budgets in service-clock units; replay sets
+    #: each request's deadline to ``t + slo[class]``
+    slo: Dict[str, float] = field(default_factory=dict)
+    #: shape-specific generator parameters (rate, query_mix, ...)
+    params: Dict = field(default_factory=dict)
+
+    def to_record(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, rec: Dict) -> "TraceHeader":
+        known = set(cls.__dataclass_fields__)
+        extra = {k for k in rec if k != "kind" and k not in known}
+        if extra:
+            raise ValueError(f"unknown trace header fields: {sorted(extra)}")
+        kw = {k: v for k, v in rec.items() if k in known}
+        hdr = cls(**kw)
+        if hdr.version != TRACE_VERSION:
+            raise ValueError(
+                f"trace version {hdr.version} not supported "
+                f"(this reader speaks {TRACE_VERSION})"
+            )
+        return hdr
+
+
+class Trace:
+    """A replayable operation trace: a header plus an iterable of
+    :class:`TimedOp` in time order.
+
+    Either memory-backed (:meth:`from_ops`, what the generators return)
+    or file-backed (:meth:`load` — iteration streams the file each pass,
+    the growing-graph-iterator idiom, so million-op traces never need to
+    fit in memory)."""
+
+    def __init__(self, header: TraceHeader, *,
+                 ops: Optional[Sequence[TimedOp]] = None,
+                 path: Optional[PathLike] = None) -> None:
+        if (ops is None) == (path is None):
+            raise ValueError("exactly one of ops/path must be given")
+        self.header = header
+        self._ops = list(ops) if ops is not None else None
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def from_ops(cls, header: TraceHeader,
+                 ops: Sequence[TimedOp]) -> "Trace":
+        return cls(header, ops=ops)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Trace":
+        """Open a trace file (validates the header only; ops stream)."""
+        it = iter_op_trace(path)
+        header = TraceHeader.from_record(next(it))
+        it.close()
+        return cls(header, path=path)
+
+    def __len__(self) -> int:
+        return self.header.ops
+
+    def __iter__(self) -> Iterator[TimedOp]:
+        if self._ops is not None:
+            yield from self._ops
+            return
+        it = iter_op_trace(self.path)
+        next(it)  # header, already parsed
+        prev = float("-inf")
+        for rec in it:
+            op = TimedOp.from_record(rec)
+            if op.t < prev:
+                raise ValueError(
+                    f"trace ops out of order: t={op.t} after t={prev}"
+                )
+            prev = op.t
+            yield op
+
+    def records(self) -> Iterator[Dict]:
+        """Header + op records, the file's canonical record stream."""
+        yield {"kind": "header", **self.header.to_record()}
+        for op in self:
+            yield op.to_record()
+
+    def digest(self) -> str:
+        """sha256 of the canonical uncompressed bytes — the trace's
+        identity (stable across memory/file/gzip representations)."""
+        h = hashlib.sha256()
+        for rec in self.records():
+            h.update((canon_record(rec) + "\n").encode("utf-8"))
+        return h.hexdigest()
+
+    def save(self, path: PathLike) -> str:
+        """Write the canonical JSONL file; returns its digest."""
+        it = iter(self.records())
+        header = next(it)
+        header.pop("kind")
+        digest = write_op_trace(path, header, it)
+        return digest
+
+    def materialized(self) -> "Trace":
+        """A memory-backed copy (one full pass over the file)."""
+        if self._ops is not None:
+            return self
+        return Trace(self.header, ops=list(self))

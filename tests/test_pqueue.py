@@ -129,19 +129,23 @@ class TestStaleness:
         assert fronts == true_order
 
 
-class TestDeprecatedShim:
-    def test_parallel_pqueue_warns_and_reexports(self):
+class TestRemovedShim:
+    def test_parallel_pqueue_import_fails_loudly(self):
+        """Mutant guard (ISSUE 10 satellite): the deprecated
+        ``repro.parallel.pqueue`` shim is gone.  The old import path must
+        raise ``ModuleNotFoundError`` — a silent resurrection (e.g. a
+        stray pqueue.py reappearing under repro/parallel/) would revive
+        the duplicate-implementation hazard the dedup removed."""
         import importlib
         import sys
-        import warnings
+
+        import pytest
 
         sys.modules.pop("repro.parallel.pqueue", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.parallel.pqueue")
-        assert any(
-            issubclass(w.category, DeprecationWarning)
-            and "repro.core.pqueue" in str(w.message)
-            for w in caught
-        )
-        assert shim.VersionedPQ is VersionedPQ
+        with pytest.raises(ModuleNotFoundError, match="pqueue"):
+            importlib.import_module("repro.parallel.pqueue")
+        # the package itself and the real home are untouched
+        importlib.import_module("repro.parallel")
+        from repro.core.pqueue import VersionedPQ as real
+
+        assert real is VersionedPQ

@@ -1,0 +1,143 @@
+"""Hypothesis stateful test (ISSUE 10 satellite): a sliding-window
+engine stepped across window-expiry boundaries, with interleaved
+queries, against the ideal :class:`~repro.traffic.shapes.WindowModel`
+plus a from-scratch decomposition oracle.
+
+The machine mirrors the engine's window semantics in the model: an
+insert is due at ``submit-time + window`` (the engine stamps arrival at
+QUEUE and arms at commit), expiries are inclusive (``due <= event_now``),
+and a re-insert racing a fired expiry annihilates it and re-arms at the
+same event time the model re-adds with.  After every quiesce
+(``drain_window``) the committed graph, the core numbers, and snapshot
+query answers must match the model exactly.  Extends the
+``ChaosEngineMachine`` pattern of ``test_faults_differential``."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.core.decomposition import core_decomposition
+from repro.graph.dictgraph import DictGraph
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.service import Engine, EngineConfig
+from repro.traffic.shapes import WindowModel
+
+WINDOW = 100.0
+
+
+class SlidingWindowMachine(RuleBasedStateMachine):
+    VERTICES = 12
+
+    def __init__(self):
+        super().__init__()
+        self.cfg = EngineConfig(window=WINDOW, max_batch=3,
+                                max_delay=None, seed=17)
+        self.eng = Engine(DynamicGraph(), self.cfg)
+        self.model = WindowModel()
+        # edges with an op pending in the engine: one in-flight op per
+        # edge between quiesces keeps the model's arming rule exact
+        self.inflight = set()
+
+    # -- time ----------------------------------------------------------
+    @rule(delta=st.sampled_from([1.0, 10.0, 40.0, 60.0, 100.0, 150.0]))
+    def advance(self, delta):
+        t = self.eng.event_now + delta
+        self.eng.advance_to(t)
+        self.model.pop_due(t)
+
+    @rule()
+    def advance_to_next_boundary(self):
+        """Land exactly on a multiple of the window — the inclusive
+        boundary the driver's oracle checks pivot on."""
+        t = (self.eng.event_now // WINDOW + 1) * WINDOW
+        self.eng.advance_to(t)
+        self.model.pop_due(t)
+
+    # -- traffic -------------------------------------------------------
+    @rule(data=st.data())
+    def insert(self, data):
+        n = self.VERTICES
+        absent = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+            if (u, v) not in self.model and (u, v) not in self.inflight
+        ]
+        if not absent:
+            return
+        e = data.draw(st.sampled_from(absent))
+        t = self.eng.event_now
+        self.eng.insert(*e)
+        self.inflight.add(e)
+        # a fired-but-uncommitted expiry for e is annihilated by this
+        # insert and re-armed at event_now + window — the same due the
+        # model records here
+        self.model.add(e, t + WINDOW)
+
+    @precondition(lambda self: any(
+        e not in self.inflight for e in self.model.due))
+    @rule(data=st.data())
+    def remove(self, data):
+        candidates = sorted(
+            e for e in self.model.due if e not in self.inflight
+        )
+        e = data.draw(st.sampled_from(candidates))
+        self.eng.remove(*e)
+        self.inflight.add(e)
+        self.model.discard(e)
+
+    @rule(v=st.integers(min_value=0, max_value=VERTICES - 1))
+    def query_midstream(self, v):
+        """Queries interleave freely; mid-stream they answer against the
+        committed epoch, so only the envelope is asserted here (the
+        quiesced compare checks values)."""
+        r = self.eng.query("core", v)
+        assert r.status in ("committed", "quarantined")
+        if r.status == "quarantined":
+            assert r.error["code"] == "unknown-vertex"
+
+    # -- oracle --------------------------------------------------------
+    @rule()
+    def quiesce_and_compare(self):
+        self.eng.drain_window()
+        self.model.pop_due(self.eng.event_now)
+        self.inflight.clear()
+        assert sorted(self.eng.graph.edges()) == self.model.edges()
+        oracle = core_decomposition(DictGraph(self.model.edges())).core
+        got = self.eng.cores()
+        for u, k in oracle.items():
+            assert got[u] == k, f"core[{u}]={got[u]} != oracle {k}"
+        for u, k in got.items():
+            if u not in oracle:
+                assert k == 0, f"dangling vertex {u} has core {k}"
+        # armed expiries must cover exactly the present edges
+        assert self.eng.expiries_armed() == len(self.model)
+        # snapshot queries agree with the oracle once quiesced
+        for u in list(oracle)[:3]:
+            r = self.eng.query("core", u)
+            assert r.status == "committed" and r.value == oracle[u]
+
+    def teardown(self):
+        self.quiesce_and_compare()
+        self.eng.check()
+
+
+TestSlidingWindowMachine = SlidingWindowMachine.TestCase
+TestSlidingWindowMachine.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+
+def test_machine_edges_survive_exactly_one_window():
+    """Deterministic sanity run of the same semantics the machine
+    checks: edges inserted at k distinct times die in due order."""
+    eng = Engine(DynamicGraph(), EngineConfig(window=WINDOW, max_batch=2,
+                                              max_delay=None))
+    for i in range(4):
+        eng.advance_to(25.0 * i)
+        eng.insert(i, i + 1)
+    eng.flush()
+    for i in range(4):
+        eng.advance_to(WINDOW + 25.0 * i)
+        eng.drain_window()
+        survivors = {canonical_edge(j, j + 1) for j in range(i + 1, 4)}
+        assert set(eng.graph.edges()) == survivors
+    eng.check()

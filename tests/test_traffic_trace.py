@@ -1,0 +1,283 @@
+"""The replayable trace format (ISSUE 10 tentpole, docs/traffic.md):
+canonical JSONL round-trips, digest identity across representations,
+strict failure on malformed input, and seeded-deterministic generators
+whose traces are sequentially valid against the ideal window model."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.graph.io import (
+    canon_record,
+    iter_op_trace,
+    op_trace_digest,
+    read_op_trace,
+    write_op_trace,
+)
+from repro.traffic import SHAPES, TimedOp, Trace, TraceHeader, generate_trace
+from repro.traffic.shapes import WindowModel
+
+
+class TestRecordRoundTrip:
+    def test_update_op(self):
+        op = TimedOp(t=12.5, op="insert", u=3, v=7)
+        assert TimedOp.from_record(op.to_record()) == op
+
+    def test_expiry_remove_marked(self):
+        op = TimedOp(t=412.5, op="remove", u=3, v=7, expiry=True)
+        rec = op.to_record()
+        assert rec["x"] == 1
+        assert TimedOp.from_record(rec) == op
+
+    def test_live_remove_not_marked(self):
+        rec = TimedOp(t=1.0, op="remove", u=0, v=1).to_record()
+        assert "x" not in rec
+
+    def test_query_op(self):
+        op = TimedOp(t=14.0, op="query", q="core", args=(3,))
+        assert TimedOp.from_record(op.to_record()) == op
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace op"):
+            TimedOp.from_record({"t": 1.0, "op": "frobnicate", "u": 0, "v": 1})
+
+    def test_header_round_trip(self):
+        hdr = TraceHeader(shape="uniform", seed=7, window=400.0, ops=10,
+                          vertices=50, slo={"update": 900.0})
+        assert TraceHeader.from_record(hdr.to_record()) == hdr
+
+    def test_header_rejects_unknown_fields(self):
+        rec = TraceHeader(shape="uniform", seed=0, window=1.0, ops=0,
+                          vertices=3).to_record()
+        rec["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown trace header"):
+            TraceHeader.from_record(rec)
+
+    def test_header_rejects_future_version(self):
+        rec = TraceHeader(shape="uniform", seed=0, window=1.0, ops=0,
+                          vertices=3).to_record()
+        rec["version"] = 99
+        with pytest.raises(ValueError, match="version 99"):
+            TraceHeader.from_record(rec)
+
+
+class TestFileFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        tr = generate_trace("uniform", ops=120, vertices=30, seed=3)
+        path = tmp_path / "t.jsonl"
+        digest = tr.save(path)
+        back = Trace.load(path)
+        assert back.header == tr.header
+        assert list(back) == list(tr)
+        assert digest == tr.digest() == back.digest()
+
+    def test_digest_stable_across_gzip(self, tmp_path):
+        tr = generate_trace("uniform", ops=80, vertices=20, seed=1)
+        plain = tmp_path / "t.jsonl"
+        gz = tmp_path / "t.jsonl.gz"
+        assert tr.save(plain) == tr.save(gz)
+        assert op_trace_digest(plain) == op_trace_digest(gz) == tr.digest()
+
+    def test_canonical_bytes(self, tmp_path):
+        """Every line is canonical JSON: sorted keys, no whitespace."""
+        tr = generate_trace("uniform", ops=40, vertices=10, seed=2)
+        path = tmp_path / "t.jsonl"
+        tr.save(path)
+        for line in path.read_text().splitlines():
+            assert line == canon_record(json.loads(line))
+
+    def test_header_must_come_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(canon_record({"t": 1.0, "op": "insert",
+                                      "u": 0, "v": 1}) + "\n")
+        with pytest.raises(ValueError, match="must be the header"):
+            list(iter_op_trace(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            list(iter_op_trace(path))
+
+    def test_malformed_record_fails_loudly(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        digest = write_op_trace(path, {"shape": "uniform"}, [])
+        assert digest
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_op_trace(path))
+
+    def test_record_without_t_fails(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_op_trace(path, {"shape": "uniform"},
+                       [{"op": "insert", "u": 0, "v": 1}])
+        with pytest.raises(ValueError, match="lacks 't'/'op'"):
+            list(iter_op_trace(path))
+
+    def test_out_of_order_ops_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        hdr = TraceHeader(shape="uniform", seed=0, window=10.0, ops=2,
+                          vertices=3)
+        write_op_trace(path, hdr.to_record(), [
+            TimedOp(t=5.0, op="insert", u=0, v=1).to_record(),
+            TimedOp(t=1.0, op="insert", u=1, v=2).to_record(),
+        ])
+        with pytest.raises(ValueError, match="out of order"):
+            list(Trace.load(path))
+
+    def test_read_op_trace_whole_file(self, tmp_path):
+        tr = generate_trace("uniform", ops=30, vertices=10, seed=4)
+        path = tmp_path / "t.jsonl.gz"
+        tr.save(path)
+        header, ops = read_op_trace(path)
+        assert header["shape"] == "uniform"
+        assert len(ops) == tr.header.ops
+        with gzip.open(path, "rt") as fh:
+            assert len(fh.readlines()) == len(ops) + 1
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_deterministic_per_seed(self, shape):
+        a = generate_trace(shape, ops=150, vertices=40, seed=11)
+        b = generate_trace(shape, ops=150, vertices=40, seed=11)
+        c = generate_trace(shape, ops=150, vertices=40, seed=12)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_sequentially_valid(self, shape):
+        """Inserts target absent edges, expiry removes exactly present
+        edges at exactly ``arrival + window``, times non-decreasing."""
+        window = 500.0
+        tr = generate_trace(shape, ops=300, vertices=40, seed=5,
+                            window=window, drain=True)
+        model = {}
+        prev = float("-inf")
+        for op in tr:
+            assert op.t >= prev
+            prev = op.t
+            if op.op == "insert":
+                e = (op.u, op.v)
+                assert e not in model
+                assert op.u < op.v
+                model[e] = op.t + window
+            elif op.op == "remove":
+                assert op.expiry  # the window is the only remover
+                e = (op.u, op.v)
+                assert model.pop(e) == pytest.approx(op.t)
+        assert not model  # drain=True ends on the empty graph
+
+    def test_arrival_count_is_exact(self):
+        tr = generate_trace("uniform", ops=200, vertices=50, seed=1)
+        arrivals = sum(1 for op in tr if not op.expiry)
+        assert arrivals == 200
+
+    def test_flash_burst_pins_hub(self):
+        tr = generate_trace("flash", ops=400, vertices=50, seed=9,
+                            hub=4, factor=10.0)
+        b0 = tr.header.params["burst_start"]
+        b1 = b0 + tr.header.params["burst_len"]
+        in_burst = [op for op in tr
+                    if op.op == "insert" and b0 <= op.t < b1]
+        assert in_burst
+        assert all(4 in (op.u, op.v) for op in in_burst)
+
+    def test_overload_is_denser_than_uniform(self):
+        u = generate_trace("uniform", ops=300, vertices=60, seed=2)
+        o = generate_trace("overload", ops=300, vertices=60, seed=2)
+        u_span = max(op.t for op in u if not op.expiry)
+        o_span = max(op.t for op in o if not op.expiry)
+        assert o_span < u_span / 5  # factor 10 compressed the clock
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic shape"):
+            generate_trace("mystery", ops=10, vertices=5)
+
+    def test_unknown_shape_param_rejected(self):
+        with pytest.raises(TypeError, match="unknown parameters"):
+            generate_trace("diurnal", ops=10, vertices=5, hub=3)
+
+    def test_header_carries_slo_and_params(self):
+        tr = generate_trace("diurnal", ops=50, vertices=20, seed=0,
+                            slo={"update": 123.0}, cycles=3)
+        assert tr.header.slo == {"update": 123.0}
+        assert tr.header.params["cycles"] == 3
+
+
+class TestWindowModel:
+    def test_add_discard_membership(self):
+        m = WindowModel()
+        m.add((0, 1), 10.0)
+        assert (0, 1) in m and len(m) == 1
+        m.discard((0, 1))
+        assert (0, 1) not in m and len(m) == 0
+        m.discard((0, 1))  # idempotent
+
+    def test_duplicate_add_rejected(self):
+        m = WindowModel()
+        m.add((0, 1), 10.0)
+        with pytest.raises(ValueError, match="already present"):
+            m.add((0, 1), 20.0)
+
+    def test_pop_due_in_due_order(self):
+        m = WindowModel()
+        m.add((0, 1), 30.0)
+        m.add((1, 2), 10.0)
+        m.add((2, 3), 20.0)
+        assert m.pop_due(25.0) == [(10.0, (1, 2)), (20.0, (2, 3))]
+        assert m.edges() == [(0, 1)]
+
+    def test_pop_due_skips_stale_after_discard(self):
+        m = WindowModel()
+        m.add((0, 1), 10.0)
+        m.discard((0, 1))
+        m.add((0, 1), 50.0)  # re-added with a later due
+        assert m.pop_due(20.0) == []
+        assert (0, 1) in m
+
+    def test_sampling_covers_present_edges(self):
+        import random
+
+        m = WindowModel()
+        for i in range(10):
+            m.add((i, i + 1), float(i))
+        m.discard((3, 4))
+        rng = random.Random(0)
+        seen = {m.sample_edge(rng) for _ in range(400)}
+        assert seen == set(m.edges())
+
+
+class TestBundledTraces:
+    """The traces under ``examples/traces/`` are committed artifacts the
+    CI traffic-smoke job replays; their digests are pinned so format or
+    generator drift cannot slip in silently (regenerate deliberately
+    with ``generate_trace(shape, ops=400, vertices=60, seed=7)``)."""
+
+    PINNED = {
+        "uniform": "2e9d894d4f1eb6e4ad1c123bc0205715"
+                   "388f8a90fe05cce3a2f4a756eac40862",
+        "diurnal": "35d17b47918740e6a9183bfb19794aed"
+                   "3c64d848bd0e78ef8a018c3fedea5035",
+        "flash": "03903d34b115124f367147e85694dc52"
+                 "ccecd2d9b1df27645657fa660c979050",
+        "overload": "ddcb7a428d8c64d754c4d64cb130554c"
+                    "6af65f683cfcf32fa3fed3ee179e7cea",
+    }
+
+    @pytest.mark.parametrize("shape", sorted(PINNED))
+    def test_digest_pinned(self, shape):
+        import pathlib
+
+        path = (pathlib.Path(__file__).parent.parent
+                / "examples" / "traces" / f"{shape}.jsonl")
+        tr = Trace.load(path)
+        assert tr.digest() == self.PINNED[shape]
+        assert tr.header.shape == shape
+
+    @pytest.mark.parametrize("shape", sorted(PINNED))
+    def test_bundled_equals_regenerated(self, shape):
+        assert (generate_trace(shape, ops=400, vertices=60, seed=7).digest()
+                == self.PINNED[shape])

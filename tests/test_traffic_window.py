@@ -1,0 +1,241 @@
+"""The engine's sliding-window expiry plane (ISSUE 10 tentpole) and the
+sustained-overload backpressure satellite: arming at commit, inclusive
+firing on the event clock, CANCEL/annihilation bookkeeping, rebuffering
+under backpressure, restart re-arming, and the accounting invariant
+``admitted == committed + quarantined + timed_out + abandoned`` under a
+trace that exceeds ingress capacity."""
+
+import pytest
+
+from repro.bench.harness import run_traffic, traffic_profile
+from repro.faults.plane import FaultSpec
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.service import Engine, EngineConfig, Request
+from repro.service.sharding import ShardedEngine
+from repro.traffic import generate_trace, replay
+
+
+def windowed(window=100.0, **kw):
+    kw.setdefault("max_batch", 4)
+    kw.setdefault("max_delay", None)
+    return Engine(DynamicGraph(), window=window, **kw)
+
+
+class TestConfig:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            EngineConfig(window=0.0)
+        with pytest.raises(ValueError, match="window"):
+            EngineConfig(window=-5.0)
+
+    def test_sharded_engine_rejects_window(self):
+        with pytest.raises(ValueError, match="monolithic"):
+            ShardedEngine(DynamicGraph(),
+                          EngineConfig(shards=2, window=100.0))
+
+    def test_windowless_engine_has_inert_plane(self):
+        eng = Engine(DynamicGraph(), max_batch=2)
+        eng.insert(0, 1)
+        eng.flush()
+        eng.advance_to(1e9)
+        eng.flush()
+        assert eng.expiries_armed() == 0
+        assert sorted(eng.graph.edges()) == [(0, 1)]
+
+
+class TestExpiryLifecycle:
+    def test_commit_arms_at_arrival_plus_window(self):
+        eng = windowed(window=100.0)
+        eng.advance_to(10.0)
+        eng.insert(0, 1)
+        eng.flush()
+        assert eng.expiries_armed() == 1
+        eng.advance_to(109.0)  # due is 110: not yet
+        eng.flush()
+        assert sorted(eng.graph.edges()) == [(0, 1)]
+        eng.advance_to(110.0)  # inclusive: due <= event_now fires
+        eng.drain_window()
+        assert list(eng.graph.edges()) == []
+        assert eng.expiries_armed() == 0
+
+    def test_event_clock_is_monotonic(self):
+        eng = windowed()
+        eng.advance_to(50.0)
+        eng.advance_to(20.0)
+        assert eng.event_now == 50.0
+
+    def test_live_remove_disarms(self):
+        eng = windowed(window=100.0)
+        eng.insert(0, 1)
+        eng.flush()
+        assert eng.expiries_armed() == 1
+        eng.remove(0, 1)
+        eng.flush()
+        assert eng.expiries_armed() == 0
+        eng.advance_to(1e9)
+        eng.drain_window()
+        m = eng.metrics()["window"]
+        assert m["fired"] == 0  # nothing left to expire
+
+    def test_expiry_requests_carry_reserved_id(self):
+        eng = windowed(window=10.0, max_batch=1)
+        eng.advance_to(0.0)
+        eng.insert(0, 1)
+        eng.flush()
+        eng.advance_to(20.0)
+        done = eng.drain_window()
+        exp = [r for r in done if (r.id or "").startswith("exp:")]
+        assert len(exp) == 1 and exp[0].status == "committed"
+
+    def test_pending_annihilation_rearms(self):
+        """insert committed, then pending remove+insert annihilate: the
+        edge stays present and its expiry is re-armed from the CANCEL
+        point, not lost."""
+        eng = windowed(window=100.0, max_batch=16)
+        eng.advance_to(0.0)
+        eng.insert(0, 1)
+        eng.flush()
+        eng.advance_to(30.0)
+        eng.remove(0, 1)   # pending
+        eng.insert(0, 1)   # annihilates the pending remove
+        eng.flush()
+        assert sorted(eng.graph.edges()) == [(0, 1)]
+        assert eng.expiries_armed() == 1
+        eng.advance_to(101.0)  # original due (100) is void
+        eng.flush()
+        assert sorted(eng.graph.edges()) == [(0, 1)]
+        eng.advance_to(130.0)  # re-armed due: CANCEL point + window
+        eng.drain_window()
+        assert list(eng.graph.edges()) == []
+
+    def test_pending_insert_annihilated_never_arms(self):
+        eng = windowed(window=100.0, max_batch=16)
+        eng.insert(0, 1)   # pending
+        eng.remove(0, 1)   # annihilates it
+        eng.flush()
+        assert eng.expiries_armed() == 0
+        assert list(eng.graph.edges()) == []
+
+    def test_metrics_window_accounting(self):
+        eng = windowed(window=10.0, max_batch=2)
+        eng.advance_to(0.0)
+        for i in range(4):
+            eng.insert(i, i + 1)
+        eng.flush()
+        eng.advance_to(100.0)
+        eng.drain_window()
+        m = eng.metrics()
+        assert m["event_now"] == 100.0
+        assert m["window"]["scheduled"] == 4
+        assert m["window"]["fired"] == 4
+        assert m["window"]["armed"] == 0
+
+    def test_drain_window_catches_cascading_expiries(self):
+        """Edges inserted at different times all expire in one drain even
+        though later dues are armed while earlier ones are being
+        removed."""
+        eng = windowed(window=50.0, max_batch=1)
+        for i in range(5):
+            eng.advance_to(10.0 * i)
+            eng.insert(i, i + 1)
+        eng.flush()
+        eng.advance_to(1000.0)
+        eng.drain_window()
+        assert list(eng.graph.edges()) == []
+
+
+class TestBackpressureAndRestart:
+    def test_rejected_expiry_is_rebuffered_not_lost(self):
+        eng = Engine(DynamicGraph(), window=10.0, max_batch=4,
+                     max_delay=None, max_pending=2)
+        eng.advance_to(0.0)
+        eng.insert(0, 1)
+        eng.flush()
+        # jam the ingress queue so the fired expiry gets rejected
+        eng.submit(Request("insert", u=5, v=6))
+        eng.submit(Request("insert", u=6, v=7))
+        eng.advance_to(20.0)
+        m = eng.metrics()["window"]
+        assert m["rebuffered"] >= 1
+        assert eng.expiries_armed() >= 1  # re-armed, still owed
+        eng.drain_window()  # drains the jam; the retry is not due yet
+        eng.advance_to(20.0 + eng.config.retry_backoff)  # backoff elapses
+        eng.drain_window()
+        assert (0, 1) not in set(eng.graph.edges())
+        assert eng.metrics()["window"]["fired"] >= 1
+
+    def test_restart_rearms_committed_edges(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        cfg = EngineConfig(window=100.0, max_batch=4, max_delay=None,
+                           journal_path=path)
+        eng = Engine(DynamicGraph(), cfg)
+        eng.advance_to(5.0)
+        eng.insert(0, 1)
+        eng.insert(1, 2)
+        eng.flush()
+        assert eng.expiries_armed() == 2
+        eng.close()
+        # the WAL does not journal the expiry schedule: the restarted
+        # engine grants every surviving edge a fresh window
+        back = Engine.from_journal(path, EngineConfig(
+            window=100.0, max_batch=4, max_delay=None))
+        assert back.expiries_armed() == 2
+        back.advance_to(back.event_now + 100.0)
+        back.drain_window()
+        assert list(back.graph.edges()) == []
+        back.close()
+
+    def test_restart_resumes_expiry_id_sequence(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        cfg = EngineConfig(window=10.0, max_batch=1, max_delay=None,
+                           journal_path=path)
+        eng = Engine(DynamicGraph(), cfg)
+        eng.advance_to(0.0)
+        eng.insert(0, 1)
+        eng.flush()
+        eng.advance_to(50.0)
+        eng.drain_window()  # journal now holds an exp:0 remove
+        eng.insert(2, 3)
+        eng.flush()
+        eng.close()
+        back = Engine.from_journal(path, EngineConfig(
+            window=10.0, max_batch=1, max_delay=None))
+        back.advance_to(back.event_now + 10.0)
+        done = back.drain_window()
+        exp = [r.id for r in done if (r.id or "").startswith("exp:")]
+        assert exp and all(int(i.split(":")[1]) >= 1 for i in exp)
+        back.close()
+
+
+class TestOverloadBackpressure:
+    """The sustained-overload satellite: a trace beyond ingress capacity
+    must shed load through the structured terminal states while the
+    accounting invariant holds exactly."""
+
+    def test_invariant_under_overload(self):
+        trace = generate_trace("overload", ops=600, vertices=80, seed=3)
+        eng = Engine(DynamicGraph(), max_batch=16, max_delay=256.0,
+                     max_pending=12, max_retries=0, seed=3,
+                     faults=FaultSpec(crash_rate=0.05, max_crashes=3))
+        rep = replay(eng, trace, mode="model")
+        c = rep.metrics["counters"]
+        assert c["admitted"] == (c["committed"] + c["quarantined"]
+                                 + c["timed_out"] + c["abandoned"])
+        assert c["in_flight"] == 0
+        assert c["rejected"] > 0        # backpressure actually bit
+        assert c["abandoned"] > 0       # zero-retry crashes abandoned
+        assert rep.invariant_ok
+        s = rep.slo["update"]
+        assert s["rejected"] == c["rejected"]
+        assert s["hit_rate"] < 1.0
+
+    def test_bench_overload_cell_is_ok(self):
+        cell = run_traffic("overload", ops=400, vertices=60, seed=7,
+                           verify_boundaries=False)
+        assert cell["ok"]
+        assert cell["counters"]["rejected"] > 0
+
+    def test_profile_shapes(self):
+        prof = traffic_profile("overload")
+        assert prof["max_pending"] == 12 and prof["max_retries"] == 0
+        assert "max_pending" not in traffic_profile("uniform")
